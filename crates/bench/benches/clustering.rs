@@ -1,0 +1,62 @@
+//! Benchmarks of the clustering step and the end-to-end clustered pipeline against the
+//! non-clustered baseline — the headline efficiency comparison of the paper
+//! (clustering time + per-cluster generation vs whole-tree generation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xsm_core::{ClusteredMatcher, ClusteringConfig, ClusteringVariant, KMeansClusterer};
+use xsm_matcher::element::{match_elements, ElementMatchConfig, NameElementMatcher};
+use xsm_matcher::generator::branch_and_bound::BranchAndBoundGenerator;
+use xsm_matcher::{CandidateSet, MatchingProblem};
+use xsm_repo::{GeneratorConfig, RepositoryGenerator, SchemaRepository};
+
+fn setup() -> (MatchingProblem, SchemaRepository, CandidateSet) {
+    let repo = RepositoryGenerator::new(
+        GeneratorConfig::small(17)
+            .with_target_elements(2000)
+            .with_seed(17),
+    )
+    .generate();
+    let problem = MatchingProblem::paper_experiment();
+    let candidates = match_elements(
+        &problem.personal,
+        &repo,
+        &NameElementMatcher,
+        &ElementMatchConfig::default().with_min_similarity(0.55),
+    );
+    (problem, repo, candidates)
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let (_, repo, candidates) = setup();
+    let mut group = c.benchmark_group("kmeans-clustering");
+    group.sample_size(10);
+    for join in [2u32, 3, 4] {
+        group.bench_function(format!("join_distance_{join}"), |b| {
+            let clusterer =
+                KMeansClusterer::new(ClusteringConfig::default().with_join_distance(join));
+            b.iter(|| black_box(clusterer.cluster(&repo, &candidates)).0.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (problem, repo, candidates) = setup();
+    let generator = BranchAndBoundGenerator::new();
+    let mut group = c.benchmark_group("clustered-pipeline");
+    group.sample_size(10);
+    for variant in ClusteringVariant::all() {
+        group.bench_function(format!("variant_{}", variant.label()), |b| {
+            let matcher = ClusteredMatcher::for_variant(variant);
+            b.iter(|| {
+                black_box(matcher.run_on_candidates(&problem, &repo, &candidates, &generator))
+                    .mappings
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Benchmarks of the schema-mapping generators: Branch & Bound (the paper's choice)
+//! against exhaustive enumeration, beam search and A*. The B&B-vs-exhaustive pair is
+//! the paper's own ablation ("B&B tested 30 times less partial mappings").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xsm_matcher::element::{match_elements, ElementMatchConfig, NameElementMatcher};
+use xsm_matcher::generator::astar::AStarGenerator;
+use xsm_matcher::generator::beam::BeamSearchGenerator;
+use xsm_matcher::generator::branch_and_bound::{BranchAndBoundConfig, BranchAndBoundGenerator};
+use xsm_matcher::generator::exhaustive::ExhaustiveGenerator;
+use xsm_matcher::{CandidateSet, MappingGenerator, MatchingProblem};
+use xsm_repo::{GeneratorConfig, RepositoryGenerator, SchemaRepository};
+
+fn setup() -> (MatchingProblem, SchemaRepository, CandidateSet) {
+    let repo = RepositoryGenerator::new(
+        GeneratorConfig::small(13)
+            .with_target_elements(1500)
+            .with_seed(13),
+    )
+    .generate();
+    let problem = MatchingProblem::paper_experiment();
+    let candidates = match_elements(
+        &problem.personal,
+        &repo,
+        &NameElementMatcher,
+        &ElementMatchConfig::default().with_min_similarity(0.55),
+    );
+    (problem, repo, candidates)
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let (problem, repo, candidates) = setup();
+    let mut group = c.benchmark_group("mapping-generators");
+    group.sample_size(10);
+
+    group.bench_function("branch_and_bound", |b| {
+        let g = BranchAndBoundGenerator::new();
+        b.iter(|| black_box(g.generate(&problem, &repo, &candidates)).mappings.len())
+    });
+    group.bench_function("branch_and_bound_no_bounding", |b| {
+        let g = BranchAndBoundGenerator::with_config(BranchAndBoundConfig {
+            use_bounding: false,
+            ..Default::default()
+        });
+        b.iter(|| black_box(g.generate(&problem, &repo, &candidates)).mappings.len())
+    });
+    group.bench_function("exhaustive", |b| {
+        let g = ExhaustiveGenerator::new();
+        b.iter(|| black_box(g.generate(&problem, &repo, &candidates)).mappings.len())
+    });
+    group.bench_function("beam_width_32", |b| {
+        let g = BeamSearchGenerator::new(32);
+        b.iter(|| black_box(g.generate(&problem, &repo, &candidates)).mappings.len())
+    });
+    group.bench_function("a_star", |b| {
+        let g = AStarGenerator::new();
+        b.iter(|| black_box(g.generate(&problem, &repo, &candidates)).mappings.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

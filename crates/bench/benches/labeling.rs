@@ -1,0 +1,53 @@
+//! Benchmarks of the node-labelling substrate: building the labelling and answering
+//! tree-distance queries. The paper relies on node labelling to make the k-means
+//! distance computations cheap (Sec. 4, "Distance measure"); this bench quantifies the
+//! gain over the naive parent-walking distance.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use xsm_repo::{GeneratorConfig, RepositoryGenerator};
+use xsm_schema::TreeLabeling;
+
+fn bench_labeling(c: &mut Criterion) {
+    let repo = RepositoryGenerator::new(
+        GeneratorConfig::small(5)
+            .with_target_elements(3000)
+            .with_seed(5),
+    )
+    .generate();
+    // Pick the largest tree for the query benches.
+    let (tree_id, tree) = repo
+        .trees()
+        .max_by_key(|(_, t)| t.len())
+        .expect("repository is not empty");
+    let labeling = repo.labeling(tree_id).unwrap().clone();
+    let nodes: Vec<_> = tree.node_ids().collect();
+
+    let mut group = c.benchmark_group("tree-distance");
+    group.bench_function(BenchmarkId::new("build_labeling", tree.len()), |b| {
+        b.iter(|| black_box(TreeLabeling::build(black_box(tree))))
+    });
+    group.bench_function(BenchmarkId::new("labeled_distance", tree.len()), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (i, &a) in nodes.iter().enumerate().step_by(3) {
+                let b_node = nodes[(i * 7 + 1) % nodes.len()];
+                acc += labeling.distance(a, b_node).unwrap_or(0) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::new("naive_distance", tree.len()), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (i, &a) in nodes.iter().enumerate().step_by(3) {
+                let b_node = nodes[(i * 7 + 1) % nodes.len()];
+                acc += tree.distance(a, b_node).unwrap_or(0) as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_labeling);
+criterion_main!(benches);

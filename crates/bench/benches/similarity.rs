@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the string-similarity kernels used by the element matcher.
+//! The fuzzy kernel is the inner loop of the whole element-matching step
+//! (`|N_s| · |N_R|` calls), so its cost directly scales the paper's step ②.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xsm_similarity::{affix, compare_string_fuzzy, edit, jaro, ngram, token};
+
+const PAIRS: &[(&str, &str)] = &[
+    ("name", "customerName"),
+    ("address", "shippingAddress"),
+    ("email", "e-mail"),
+    ("authorName", "author"),
+    ("publicationYear", "year"),
+    ("title", "subtitle"),
+    ("telephone", "phone"),
+    ("identifier", "id"),
+];
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity-kernels");
+    group.bench_function("compare_string_fuzzy", |b| {
+        b.iter(|| {
+            for (a, s) in PAIRS {
+                black_box(compare_string_fuzzy(black_box(a), black_box(s)));
+            }
+        })
+    });
+    group.bench_function("levenshtein", |b| {
+        b.iter(|| {
+            for (a, s) in PAIRS {
+                black_box(edit::levenshtein(black_box(a), black_box(s)));
+            }
+        })
+    });
+    group.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            for (a, s) in PAIRS {
+                black_box(jaro::jaro_winkler(black_box(a), black_box(s)));
+            }
+        })
+    });
+    group.bench_function("trigram_dice", |b| {
+        b.iter(|| {
+            for (a, s) in PAIRS {
+                black_box(ngram::ngram_similarity(black_box(a), black_box(s), 3));
+            }
+        })
+    });
+    group.bench_function("token_set", |b| {
+        b.iter(|| {
+            for (a, s) in PAIRS {
+                black_box(token::token_set_similarity(black_box(a), black_box(s)));
+            }
+        })
+    });
+    group.bench_function("affix", |b| {
+        b.iter(|| {
+            for (a, s) in PAIRS {
+                black_box(affix::affix_similarity(black_box(a), black_box(s)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_bounded_prefilter(c: &mut Criterion) {
+    // The approximate-string-join style early exit vs the full kernel on a skewed
+    // workload where most pairs are hopeless (the realistic element-matching regime).
+    let names: Vec<String> = (0..64).map(|i| format!("unrelatedElementName{i:03}")).collect();
+    c.bench_function("fuzzy_full_vs_query", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in &names {
+                acc += compare_string_fuzzy("email", n);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("fuzzy_bounded_vs_query", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in &names {
+                if let Some(s) = xsm_similarity::fuzzy::compare_string_fuzzy_bounded("email", n, 0.6) {
+                    acc += s;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_bounded_prefilter);
+criterion_main!(benches);

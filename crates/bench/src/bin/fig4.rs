@@ -1,0 +1,25 @@
+//! Regenerates Figure 4 of the paper: the cluster-size distribution produced by the
+//! three reclustering strategies (none / join / join & remove).
+//!
+//! ```text
+//! cargo run -p xsm-bench --bin fig4 --release [seed=N] [elements=N] [minsim=X]
+//! ```
+
+use xsm_bench::experiments::{render_fig4, run_fig4};
+use xsm_bench::{ExperimentConfig, Workload};
+
+fn main() {
+    let config = match ExperimentConfig::default().apply_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: fig4 [seed=N] [elements=N] [delta=X] [alpha=X] [minsim=X]");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("building workload ({} elements, seed {})…", config.elements, config.seed);
+    let workload = Workload::build(config);
+    eprintln!("{}", workload.describe());
+    let result = run_fig4(&workload);
+    println!("{}", render_fig4(&result));
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 5 of the paper: the percentage of preserved mappings as a
+//! function of the objective threshold δ, for the small / medium / large / tree
+//! clustering variants.
+//!
+//! ```text
+//! cargo run -p xsm-bench --bin fig5 --release [seed=N] [elements=N] [delta=X] [alpha=X] [minsim=X]
+//! ```
+
+use xsm_bench::experiments::{render_preservation, run_fig5};
+use xsm_bench::{ExperimentConfig, Workload};
+
+fn main() {
+    let config = match ExperimentConfig::default().apply_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: fig5 [seed=N] [elements=N] [delta=X] [alpha=X] [minsim=X]");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("building workload ({} elements, seed {})…", config.elements, config.seed);
+    let workload = Workload::build(config);
+    eprintln!("{}", workload.describe());
+    let result = run_fig5(&workload);
+    println!("{}", render_preservation(&result, "Figure 5: preserved mappings per clustering variant"));
+}

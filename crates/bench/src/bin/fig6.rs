@@ -1,0 +1,26 @@
+//! Regenerates Figure 6 of the paper: the percentage of preserved mappings as a
+//! function of the objective threshold δ for three objective functions
+//! (α ∈ {0.25, 0.50, 0.75}), all using the "medium clusters" variant.
+//!
+//! ```text
+//! cargo run -p xsm-bench --bin fig6 --release [seed=N] [elements=N] [delta=X] [minsim=X]
+//! ```
+
+use xsm_bench::experiments::{render_preservation, run_fig6};
+use xsm_bench::{ExperimentConfig, Workload};
+
+fn main() {
+    let config = match ExperimentConfig::default().apply_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: fig6 [seed=N] [elements=N] [delta=X] [minsim=X]");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("building workload ({} elements, seed {})…", config.elements, config.seed);
+    let workload = Workload::build(config);
+    eprintln!("{}", workload.describe());
+    let result = run_fig6(&workload);
+    println!("{}", render_preservation(&result, "Figure 6: preserved mappings per objective function (alpha)"));
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 1 of the paper (cluster properties + mapping-generator
+//! performance) plus the clustering-time paragraph of Sec. 5.
+//!
+//! ```text
+//! cargo run -p xsm-bench --bin table1 --release [seed=N] [elements=N] [delta=X] [alpha=X] [minsim=X]
+//! ```
+
+use xsm_bench::experiments::{render_table1, run_table1};
+use xsm_bench::{ExperimentConfig, Workload};
+
+fn main() {
+    let config = match ExperimentConfig::default().apply_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: table1 [seed=N] [elements=N] [delta=X] [alpha=X] [minsim=X]");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("building workload ({} elements, seed {})…", config.elements, config.seed);
+    let workload = Workload::build(config);
+    eprintln!("{}", workload.describe());
+    eprintln!("running the four variants (small / medium / large / tree)…");
+    let result = run_table1(&workload);
+    println!("{}", render_table1(&result));
+}

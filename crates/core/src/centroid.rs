@@ -1,0 +1,132 @@
+//! Centroid (medoid) computation.
+//!
+//! "In Bellflower, the centroid for a cluster is selected from the mapping elements
+//! which belong to the cluster (such centroids are also known as medoids). More
+//! specifically, the mapping element which is the center of weight for the cluster is
+//! used as a centroid."
+
+use crate::cluster::ClusteredNode;
+use crate::distance::ClusterDistance;
+use xsm_repo::SchemaRepository;
+use xsm_schema::GlobalNodeId;
+
+/// Number of members above which the medoid is computed over a deterministic sample
+/// rather than all pairs (keeps huge clusters from costing `O(m²)`).
+const MEDOID_SAMPLE_LIMIT: usize = 256;
+
+/// The medoid of a cluster: the member minimising the sum of distances to the other
+/// members ("center of weight"). Ties are broken towards the smaller node id so the
+/// result is deterministic. Returns `None` for an empty member list.
+pub fn medoid(
+    repo: &SchemaRepository,
+    distance: &dyn ClusterDistance,
+    members: &[ClusteredNode],
+) -> Option<GlobalNodeId> {
+    if members.is_empty() {
+        return None;
+    }
+    if members.len() == 1 {
+        return Some(members[0].node);
+    }
+    // Deterministic sample of reference points for very large clusters.
+    let stride = (members.len() / MEDOID_SAMPLE_LIMIT).max(1);
+    let reference: Vec<GlobalNodeId> = members
+        .iter()
+        .step_by(stride)
+        .map(|m| m.node)
+        .collect();
+
+    let mut best: Option<(f64, GlobalNodeId)> = None;
+    for candidate in members {
+        let mut sum = 0.0;
+        for &other in &reference {
+            // Same tree by construction; unreachable pairs count as a large penalty.
+            sum += distance
+                .distance(repo, candidate.node, other)
+                .unwrap_or(f64::MAX / reference.len() as f64);
+        }
+        let better = match best {
+            None => true,
+            Some((best_sum, best_node)) => {
+                sum < best_sum - 1e-12 || (sum < best_sum + 1e-12 && candidate.node < best_node)
+            }
+        };
+        if better {
+            best = Some((sum, candidate.node));
+        }
+    }
+    best.map(|(_, node)| node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::PathLengthDistance;
+    use xsm_matcher::MappingElement;
+    use xsm_schema::tree::paper_repository_fragment;
+    use xsm_schema::{NodeId, TreeId};
+
+    fn member(repo_node: GlobalNodeId) -> ClusteredNode {
+        ClusteredNode {
+            node: repo_node,
+            elements: vec![MappingElement::new(NodeId(0), repo_node, 0.5)],
+        }
+    }
+
+    fn fig1_repo() -> SchemaRepository {
+        SchemaRepository::from_trees(vec![paper_repository_fragment()])
+    }
+
+    #[test]
+    fn medoid_of_empty_and_singleton() {
+        let repo = fig1_repo();
+        assert_eq!(medoid(&repo, &PathLengthDistance, &[]), None);
+        let only = GlobalNodeId::new(TreeId(0), NodeId(2));
+        assert_eq!(
+            medoid(&repo, &PathLengthDistance, &[member(only)]),
+            Some(only)
+        );
+    }
+
+    #[test]
+    fn medoid_is_the_central_member() {
+        let repo = fig1_repo();
+        let tree = repo.tree(TreeId(0)).unwrap();
+        let gid = |name: &str| GlobalNodeId::new(TreeId(0), tree.find_by_name(name).unwrap());
+        // Members: title, authorName, data, book. 'data' is adjacent to title and
+        // authorName and one step from book — it minimises the distance sum.
+        let members: Vec<ClusteredNode> = ["title", "authorName", "data", "book"]
+            .iter()
+            .map(|n| member(gid(n)))
+            .collect();
+        assert_eq!(
+            medoid(&repo, &PathLengthDistance, &members),
+            Some(gid("data"))
+        );
+    }
+
+    #[test]
+    fn medoid_is_deterministic_under_member_order() {
+        let repo = fig1_repo();
+        let tree = repo.tree(TreeId(0)).unwrap();
+        let gid = |name: &str| GlobalNodeId::new(TreeId(0), tree.find_by_name(name).unwrap());
+        let mut members: Vec<ClusteredNode> = ["shelf", "title", "authorName", "data", "book"]
+            .iter()
+            .map(|n| member(gid(n)))
+            .collect();
+        let m1 = medoid(&repo, &PathLengthDistance, &members);
+        members.reverse();
+        let m2 = medoid(&repo, &PathLengthDistance, &members);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn two_member_tie_breaks_to_smaller_id() {
+        let repo = fig1_repo();
+        let a = GlobalNodeId::new(TreeId(0), NodeId(3));
+        let b = GlobalNodeId::new(TreeId(0), NodeId(4));
+        // Symmetric pair: both have the same distance sum; smaller id wins.
+        let m = medoid(&repo, &PathLengthDistance, &[member(b), member(a)]);
+        assert_eq!(m, Some(a));
+    }
+}

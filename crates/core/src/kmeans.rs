@@ -1,0 +1,434 @@
+//! The adapted k-means clustering algorithm (Algorithm 1 of the paper).
+//!
+//! ```text
+//! 1: initialize centroids
+//! 2: repeat
+//! 3:   for each mapping element do
+//! 4:     for each centroid do
+//! 5:       compute distance(mapping element, centroid)
+//! 6:     end for
+//! 7:     assign mapping element to nearest centroid
+//! 8:   end for
+//! 9:   compute new centroids for all clusters
+//! 10:  perform reclustering
+//! 11: until convergence criterion is met
+//! ```
+//!
+//! Elements are distinct repository nodes carrying their mapping elements; distance is
+//! the tree path length (or any [`ClusterDistance`]); centroids are medoids; the
+//! reclustering step joins nearby clusters and removes tiny ones. Complexity is
+//! `O(c · i · |ME|)` as the paper states.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use xsm_matcher::CandidateSet;
+use xsm_repo::SchemaRepository;
+use xsm_schema::GlobalNodeId;
+
+use crate::centroid::medoid;
+use crate::cluster::{collect_clustered_nodes, Cluster, ClusterSet, ClusteredNode};
+use crate::config::{ClusteringConfig, ReclusterStrategy};
+use crate::convergence::ConvergenceTracker;
+use crate::distance::{ClusterDistance, PathLengthDistance};
+use crate::init::{CentroidInit, MeMinSeeding};
+use crate::recluster::{join_clusters, remove_small_clusters};
+
+/// Statistics of one clustering run (reported by the experiments: clustering time,
+/// iteration count, moved-element history, cluster-count history).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KMeansStats {
+    /// Number of initial centroids seeded.
+    pub initial_centroids: usize,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Elements that switched clusters, per iteration.
+    pub moved_per_iteration: Vec<usize>,
+    /// Cluster count after reclustering, per iteration.
+    pub clusters_per_iteration: Vec<usize>,
+    /// Number of clusters in the final result.
+    pub final_clusters: usize,
+    /// Repository nodes that could not be assigned (their tree holds no centroid).
+    pub unassigned_nodes: usize,
+    /// Total number of distinct repository nodes clustered.
+    pub total_nodes: usize,
+    /// Wall-clock time of the clustering step (the `12.0 sec` style figure of Sec. 5).
+    #[serde(skip)]
+    pub elapsed: Duration,
+}
+
+/// The adapted k-means clusterer.
+pub struct KMeansClusterer {
+    config: ClusteringConfig,
+    distance: Box<dyn ClusterDistance>,
+    init: Box<dyn CentroidInit>,
+}
+
+impl KMeansClusterer {
+    /// Clusterer with the paper's defaults: path-length distance and `ME_min` seeding.
+    pub fn new(config: ClusteringConfig) -> Self {
+        KMeansClusterer {
+            config,
+            distance: Box::new(PathLengthDistance),
+            init: Box::new(MeMinSeeding),
+        }
+    }
+
+    /// Replace the distance measure (ablation / future-work hybrid measures).
+    pub fn with_distance(mut self, distance: Box<dyn ClusterDistance>) -> Self {
+        self.distance = distance;
+        self
+    }
+
+    /// Replace the centroid-initialisation strategy.
+    pub fn with_init(mut self, init: Box<dyn CentroidInit>) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ClusteringConfig {
+        &self.config
+    }
+
+    /// Cluster the mapping elements of `candidates` over `repo`.
+    pub fn cluster(&self, repo: &SchemaRepository, candidates: &CandidateSet) -> (ClusterSet, KMeansStats) {
+        let start = Instant::now();
+        let nodes = collect_clustered_nodes(candidates);
+        let mut stats = KMeansStats {
+            total_nodes: nodes.len(),
+            ..Default::default()
+        };
+        if nodes.is_empty() {
+            stats.elapsed = start.elapsed();
+            return (ClusterSet::default(), stats);
+        }
+
+        // Line 1: initialise centroids.
+        let mut centroids: Vec<GlobalNodeId> = self.init.seed(candidates);
+        centroids.sort();
+        centroids.dedup();
+        stats.initial_centroids = centroids.len();
+        if centroids.is_empty() {
+            // Nothing to anchor clusters on; report everything unassigned.
+            stats.unassigned_nodes = nodes.len();
+            stats.elapsed = start.elapsed();
+            return (
+                ClusterSet {
+                    clusters: Vec::new(),
+                    unassigned: nodes,
+                },
+                stats,
+            );
+        }
+
+        let mut tracker = ConvergenceTracker::new();
+        // previous assignment: node index → centroid node (for move counting).
+        let mut previous_assignment: Vec<Option<GlobalNodeId>> = vec![None; nodes.len()];
+
+        for _iteration in 0..self.config.max_iterations {
+            // Lines 3–8: assign every node to its nearest centroid (same tree only).
+            let (assignment, moved) =
+                self.assign(repo, &nodes, &centroids, &previous_assignment);
+
+            // Lines 9: group into clusters and compute new medoid centroids.
+            let mut clusters = self.build_clusters(repo, &nodes, &assignment, &centroids);
+
+            // Line 10: reclustering.
+            clusters = match self.config.recluster {
+                ReclusterStrategy::None => clusters,
+                ReclusterStrategy::Join => join_clusters(
+                    repo,
+                    self.distance.as_ref(),
+                    clusters,
+                    self.config.join_distance,
+                ),
+                ReclusterStrategy::JoinAndRemove => {
+                    let joined = join_clusters(
+                        repo,
+                        self.distance.as_ref(),
+                        clusters,
+                        self.config.join_distance,
+                    );
+                    let (kept, _freed) =
+                        remove_small_clusters(joined, self.config.remove_min_size);
+                    kept
+                }
+            };
+
+            centroids = clusters.iter().map(|c| c.centroid).collect();
+            centroids.sort();
+            centroids.dedup();
+            previous_assignment = assignment;
+            stats.iterations += 1;
+
+            // Line 11: convergence.
+            if tracker.observe(moved, nodes.len(), clusters.len(), &self.config) {
+                break;
+            }
+            if centroids.is_empty() {
+                break;
+            }
+        }
+        stats.moved_per_iteration = tracker.moved_history.clone();
+        stats.clusters_per_iteration = tracker.cluster_history.clone();
+
+        // Final pass: rebuild clusters from the final centroids so that members freed
+        // by a trailing `remove` step get one last chance to join a surviving cluster.
+        let (assignment, _) = self.assign(repo, &nodes, &centroids, &previous_assignment);
+        let clusters = {
+            let built = self.build_clusters(repo, &nodes, &assignment, &centroids);
+            // Preserve the reclustered granularity: a final join keeps the result
+            // consistent with the last reclustering step.
+            match self.config.recluster {
+                ReclusterStrategy::None => built,
+                _ => join_clusters(
+                    repo,
+                    self.distance.as_ref(),
+                    built,
+                    self.config.join_distance,
+                ),
+            }
+        };
+        let unassigned: Vec<ClusteredNode> = nodes
+            .iter()
+            .zip(&assignment)
+            .filter(|(_, a)| a.is_none())
+            .map(|(n, _)| n.clone())
+            .collect();
+        stats.unassigned_nodes = unassigned.len();
+        stats.final_clusters = clusters.len();
+        stats.elapsed = start.elapsed();
+        (
+            ClusterSet {
+                clusters,
+                unassigned,
+            },
+            stats,
+        )
+    }
+
+    /// Assign every node to the nearest centroid in its tree. Returns the assignment
+    /// (by centroid node id) and the number of nodes whose assignment changed relative
+    /// to `previous`.
+    fn assign(
+        &self,
+        repo: &SchemaRepository,
+        nodes: &[ClusteredNode],
+        centroids: &[GlobalNodeId],
+        previous: &[Option<GlobalNodeId>],
+    ) -> (Vec<Option<GlobalNodeId>>, usize) {
+        let mut assignment = Vec::with_capacity(nodes.len());
+        let mut moved = 0usize;
+        for (i, node) in nodes.iter().enumerate() {
+            let mut best: Option<(f64, GlobalNodeId)> = None;
+            for &c in centroids {
+                if c.tree != node.node.tree {
+                    continue;
+                }
+                if let Some(d) = self.distance.distance(repo, node.node, c) {
+                    let better = match best {
+                        None => true,
+                        Some((bd, bc)) => d < bd - 1e-12 || (d < bd + 1e-12 && c < bc),
+                    };
+                    if better {
+                        best = Some((d, c));
+                    }
+                }
+            }
+            let chosen = best.map(|(_, c)| c);
+            if previous.get(i).copied().flatten() != chosen {
+                moved += 1;
+            }
+            assignment.push(chosen);
+        }
+        (assignment, moved)
+    }
+
+    /// Group assigned nodes into clusters keyed by centroid and recompute medoids.
+    fn build_clusters(
+        &self,
+        repo: &SchemaRepository,
+        nodes: &[ClusteredNode],
+        assignment: &[Option<GlobalNodeId>],
+        centroids: &[GlobalNodeId],
+    ) -> Vec<Cluster> {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<GlobalNodeId, Vec<ClusteredNode>> = BTreeMap::new();
+        for (node, assigned) in nodes.iter().zip(assignment) {
+            if let Some(c) = assigned {
+                groups.entry(*c).or_default().push(node.clone());
+            }
+        }
+        let _ = centroids;
+        groups
+            .into_iter()
+            .filter_map(|(seed, members)| {
+                let tree = seed.tree;
+                let centroid = medoid(repo, self.distance.as_ref(), &members)?;
+                Some(Cluster::new(tree, centroid, members))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReclusterStrategy;
+    use xsm_matcher::element::{match_elements, ElementMatchConfig, NameElementMatcher};
+    use xsm_matcher::MatchingProblem;
+    use xsm_repo::{GeneratorConfig, RepositoryGenerator};
+
+    /// A small but realistic clustering scenario: synthetic repository + the paper's
+    /// name/address/email personal schema.
+    fn scenario() -> (MatchingProblem, SchemaRepository, CandidateSet) {
+        let problem = MatchingProblem::paper_experiment();
+        let repo = RepositoryGenerator::new(GeneratorConfig::small(21)).generate();
+        let candidates = match_elements(
+            &problem.personal,
+            &repo,
+            &NameElementMatcher,
+            &ElementMatchConfig::default().with_min_similarity(0.5),
+        );
+        (problem, repo, candidates)
+    }
+
+    #[test]
+    fn clustering_produces_clusters_and_stats() {
+        let (_, repo, candidates) = scenario();
+        let clusterer = KMeansClusterer::new(ClusteringConfig::default());
+        let (set, stats) = clusterer.cluster(&repo, &candidates);
+        assert!(!set.is_empty(), "no clusters formed");
+        assert!(stats.iterations >= 1);
+        assert!(stats.initial_centroids > 0);
+        assert_eq!(stats.final_clusters, set.len());
+        assert_eq!(stats.total_nodes, candidates.distinct_repo_nodes());
+        assert_eq!(
+            stats.moved_per_iteration.len(),
+            stats.iterations,
+            "one moved-count per iteration"
+        );
+    }
+
+    #[test]
+    fn every_cluster_is_within_one_tree_and_centroid_is_a_member() {
+        let (_, repo, candidates) = scenario();
+        let (set, _) = KMeansClusterer::new(ClusteringConfig::default()).cluster(&repo, &candidates);
+        for cluster in &set.clusters {
+            assert!(cluster.size() > 0);
+            assert!(
+                cluster.members.iter().all(|m| m.node.tree == cluster.tree),
+                "cluster spans trees"
+            );
+            assert!(
+                cluster.node_ids().contains(&cluster.centroid),
+                "centroid is not a member (medoid property violated)"
+            );
+        }
+    }
+
+    #[test]
+    fn assigned_plus_unassigned_covers_all_nodes_without_duplication() {
+        let (_, repo, candidates) = scenario();
+        let (set, stats) = KMeansClusterer::new(ClusteringConfig::default()).cluster(&repo, &candidates);
+        let mut covered: Vec<GlobalNodeId> = set
+            .clusters
+            .iter()
+            .flat_map(|c| c.node_ids())
+            .chain(set.unassigned.iter().map(|n| n.node))
+            .collect();
+        let total = covered.len();
+        covered.sort();
+        covered.dedup();
+        assert_eq!(covered.len(), total, "a node appears in two clusters");
+        assert_eq!(total, stats.total_nodes);
+    }
+
+    #[test]
+    fn no_reclustering_yields_at_least_as_many_clusters_as_join() {
+        let (_, repo, candidates) = scenario();
+        let none = KMeansClusterer::new(
+            ClusteringConfig::default().with_recluster(ReclusterStrategy::None),
+        )
+        .cluster(&repo, &candidates)
+        .0;
+        let join = KMeansClusterer::new(
+            ClusteringConfig::default().with_recluster(ReclusterStrategy::Join),
+        )
+        .cluster(&repo, &candidates)
+        .0;
+        let join_remove = KMeansClusterer::new(
+            ClusteringConfig::default().with_recluster(ReclusterStrategy::JoinAndRemove),
+        )
+        .cluster(&repo, &candidates)
+        .0;
+        // Fig. 4's ordering: no-reclustering ≥ join ≥ join&remove cluster counts.
+        assert!(none.len() >= join.len(), "{} < {}", none.len(), join.len());
+        assert!(
+            join.len() >= join_remove.len(),
+            "{} < {}",
+            join.len(),
+            join_remove.len()
+        );
+        // join&remove eliminates tiny clusters.
+        let min_size = join_remove.sizes().into_iter().min().unwrap_or(0);
+        assert!(min_size >= ClusteringConfig::default().remove_min_size);
+    }
+
+    #[test]
+    fn smaller_join_distance_gives_more_clusters() {
+        let (_, repo, candidates) = scenario();
+        let small = KMeansClusterer::new(ClusteringConfig::default().with_join_distance(2))
+            .cluster(&repo, &candidates)
+            .0;
+        let large = KMeansClusterer::new(ClusteringConfig::default().with_join_distance(5))
+            .cluster(&repo, &candidates)
+            .0;
+        assert!(
+            small.len() >= large.len(),
+            "small-threshold clustering produced fewer clusters ({} vs {})",
+            small.len(),
+            large.len()
+        );
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let (_, repo, candidates) = scenario();
+        let a = KMeansClusterer::new(ClusteringConfig::default()).cluster(&repo, &candidates);
+        let b = KMeansClusterer::new(ClusteringConfig::default()).cluster(&repo, &candidates);
+        assert_eq!(a.0.len(), b.0.len());
+        assert_eq!(a.0.sizes(), b.0.sizes());
+        assert_eq!(a.1.iterations, b.1.iterations);
+    }
+
+    #[test]
+    fn empty_candidates_produce_empty_result() {
+        let (_, repo, _) = scenario();
+        let empty = CandidateSet::new(vec![]);
+        let (set, stats) = KMeansClusterer::new(ClusteringConfig::default()).cluster(&repo, &empty);
+        assert!(set.is_empty());
+        assert_eq!(stats.total_nodes, 0);
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let (_, repo, candidates) = scenario();
+        let (_, stats) = KMeansClusterer::new(ClusteringConfig::default().with_max_iterations(2))
+            .cluster(&repo, &candidates);
+        assert!(stats.iterations <= 2);
+    }
+
+    #[test]
+    fn custom_init_and_distance_are_honoured() {
+        let (_, repo, candidates) = scenario();
+        let clusterer = KMeansClusterer::new(ClusteringConfig::default())
+            .with_init(Box::new(crate::init::RandomSeeding::new(20, 7)))
+            .with_distance(Box::new(crate::distance::HybridDistance::default()));
+        let (set, stats) = clusterer.cluster(&repo, &candidates);
+        assert!(stats.initial_centroids <= 20);
+        assert!(set.len() <= 20 || stats.initial_centroids == 20);
+    }
+}

@@ -1,0 +1,180 @@
+//! Effectiveness metrics: preserved-mapping curves (Figs. 5 and 6) and search-space
+//! reduction factors.
+//!
+//! The non-clustered matcher finds *all* mappings with `Δ ≥ δ`; the clustered matcher
+//! finds a subset. The *preservation percentage* at threshold `δ'` is the fraction of
+//! the reference mappings with `Δ ≥ δ'` that the clustered run also produced. The
+//! paper's central claim is that this fraction grows towards 1 as `δ'` grows — the
+//! mappings clustering loses are mostly the low-ranked ones.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use xsm_matcher::SchemaMapping;
+
+/// One point of a preservation curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreservationPoint {
+    /// The threshold δ this point is evaluated at.
+    pub threshold: f64,
+    /// Number of reference (non-clustered) mappings with `Δ ≥ threshold`.
+    pub reference_count: usize,
+    /// How many of those the clustered run preserved.
+    pub preserved_count: usize,
+    /// `preserved_count / reference_count` (1.0 when the reference set is empty).
+    pub fraction: f64,
+}
+
+/// A canonical identity key for a schema mapping: the sorted set of
+/// `(personal, repository)` node pairs. Scores are not part of the identity.
+fn mapping_key(mapping: &SchemaMapping) -> Vec<(u32, u32, u32)> {
+    let mut key: Vec<(u32, u32, u32)> = mapping
+        .pairs()
+        .iter()
+        .map(|p| (p.personal.0, p.repo.tree.0, p.repo.node.0))
+        .collect();
+    key.sort_unstable();
+    key
+}
+
+/// Compute the preservation curve of `clustered` against `reference` at the given
+/// thresholds (Fig. 5/6). Thresholds are evaluated independently; the returned points
+/// are in the order of `thresholds`.
+pub fn preservation_curve(
+    reference: &[SchemaMapping],
+    clustered: &[SchemaMapping],
+    thresholds: &[f64],
+) -> Vec<PreservationPoint> {
+    let clustered_keys: HashSet<Vec<(u32, u32, u32)>> =
+        clustered.iter().map(mapping_key).collect();
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let relevant: Vec<&SchemaMapping> = reference
+                .iter()
+                .filter(|m| m.score >= threshold)
+                .collect();
+            let preserved = relevant
+                .iter()
+                .filter(|m| clustered_keys.contains(&mapping_key(m)))
+                .count();
+            let fraction = if relevant.is_empty() {
+                1.0
+            } else {
+                preserved as f64 / relevant.len() as f64
+            };
+            PreservationPoint {
+                threshold,
+                reference_count: relevant.len(),
+                preserved_count: preserved,
+                fraction,
+            }
+        })
+        .collect()
+}
+
+/// The default threshold grid used by Figs. 5 and 6: 0.75 to 1.0 in steps of 0.025.
+pub fn default_threshold_grid() -> Vec<f64> {
+    (0..=10).map(|i| 0.75 + i as f64 * 0.025).collect()
+}
+
+/// Search-space reduction factor of a clustered run relative to the baseline
+/// (`baseline / clustered`); `None` when the clustered space is zero.
+pub fn search_space_reduction(baseline: u128, clustered: u128) -> Option<f64> {
+    if clustered == 0 {
+        None
+    } else {
+        Some(baseline as f64 / clustered as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsm_matcher::MappingElement;
+    use xsm_schema::{GlobalNodeId, NodeId, TreeId};
+
+    fn mapping(tree: u32, nodes: &[(u32, u32)], score: f64) -> SchemaMapping {
+        SchemaMapping::with_score(
+            nodes
+                .iter()
+                .map(|&(p, r)| {
+                    MappingElement::new(NodeId(p), GlobalNodeId::new(TreeId(tree), NodeId(r)), 1.0)
+                })
+                .collect(),
+            score,
+        )
+    }
+
+    #[test]
+    fn full_preservation_when_sets_match() {
+        let reference = vec![
+            mapping(0, &[(0, 1), (1, 2)], 0.9),
+            mapping(0, &[(0, 3), (1, 4)], 0.8),
+        ];
+        let curve = preservation_curve(&reference, &reference, &[0.75, 0.85]);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].reference_count, 2);
+        assert_eq!(curve[0].preserved_count, 2);
+        assert_eq!(curve[0].fraction, 1.0);
+        assert_eq!(curve[1].reference_count, 1);
+        assert_eq!(curve[1].fraction, 1.0);
+    }
+
+    #[test]
+    fn partial_preservation_counts_only_matching_pair_sets() {
+        let reference = vec![
+            mapping(0, &[(0, 1), (1, 2)], 0.95),
+            mapping(0, &[(0, 3), (1, 4)], 0.85),
+            mapping(1, &[(0, 1), (1, 2)], 0.80),
+        ];
+        // The clustered run kept only the first mapping (order of pairs differs —
+        // identity must not depend on pair order).
+        let clustered = vec![mapping(0, &[(1, 2), (0, 1)], 0.95)];
+        let curve = preservation_curve(&reference, &clustered, &[0.75, 0.9]);
+        assert_eq!(curve[0].reference_count, 3);
+        assert_eq!(curve[0].preserved_count, 1);
+        assert!((curve[0].fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(curve[1].reference_count, 1);
+        assert_eq!(curve[1].fraction, 1.0);
+    }
+
+    #[test]
+    fn empty_reference_yields_fraction_one() {
+        let curve = preservation_curve(&[], &[], &[0.75]);
+        assert_eq!(curve[0].reference_count, 0);
+        assert_eq!(curve[0].fraction, 1.0);
+    }
+
+    #[test]
+    fn preservation_is_monotone_in_practice_for_nested_sets() {
+        // Clustered keeps exactly the high-scoring half → fraction rises with δ.
+        let reference: Vec<SchemaMapping> = (0..10)
+            .map(|i| mapping(0, &[(0, i), (1, i + 100)], 0.75 + i as f64 * 0.025))
+            .collect();
+        let clustered: Vec<SchemaMapping> = reference
+            .iter()
+            .filter(|m| m.score >= 0.85)
+            .cloned()
+            .collect();
+        let grid = default_threshold_grid();
+        let curve = preservation_curve(&reference, &clustered, &grid);
+        for w in curve.windows(2) {
+            assert!(w[1].fraction >= w[0].fraction - 1e-12);
+        }
+        assert!(curve.last().unwrap().fraction >= 0.99);
+    }
+
+    #[test]
+    fn default_grid_spans_paper_range() {
+        let grid = default_threshold_grid();
+        assert_eq!(grid.len(), 11);
+        assert!((grid[0] - 0.75).abs() < 1e-12);
+        assert!((grid.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_factor() {
+        assert_eq!(search_space_reduction(100, 0), None);
+        assert!((search_space_reduction(11_962_741, 168_877).unwrap() - 70.8).abs() < 0.2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Reclustering: join and remove steps applied after each k-means iteration (Sec. 4).
+//!
+//! * **Join** — "unites clusters if the centroids of these clusters are near each
+//!   other", curing the *tiny cluster* problem caused by competing nearby seeds.
+//! * **Remove** — "removes all clusters with less than a certain number of mapping
+//!   elements. The mapping elements belonging to these clusters are free to join other
+//!   clusters in the neighborhood" (they are re-assigned in the next iteration).
+
+use crate::centroid::medoid;
+use crate::cluster::{Cluster, ClusteredNode};
+use crate::distance::ClusterDistance;
+use xsm_repo::SchemaRepository;
+
+/// Join clusters whose centroids lie within `join_distance` of each other (transitively,
+/// within one tree). Each merged cluster gets a freshly computed medoid centroid.
+pub fn join_clusters(
+    repo: &SchemaRepository,
+    distance: &dyn ClusterDistance,
+    clusters: Vec<Cluster>,
+    join_distance: u32,
+) -> Vec<Cluster> {
+    let n = clusters.len();
+    if n <= 1 {
+        return clusters;
+    }
+    // Union-find over cluster indices.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if clusters[i].tree != clusters[j].tree {
+                continue;
+            }
+            if let Some(d) = distance.distance(repo, clusters[i].centroid, clusters[j].centroid) {
+                if d <= join_distance as f64 {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[rj.max(ri)] = rj.min(ri);
+                    }
+                }
+            }
+        }
+    }
+    // Group members by root.
+    let mut groups: std::collections::BTreeMap<usize, Vec<ClusteredNode>> =
+        std::collections::BTreeMap::new();
+    let mut trees = std::collections::BTreeMap::new();
+    for (i, cluster) in clusters.into_iter().enumerate() {
+        let root = find(&mut parent, i);
+        trees.insert(root, cluster.tree);
+        groups.entry(root).or_default().extend(cluster.members);
+    }
+    groups
+        .into_iter()
+        .filter_map(|(root, mut members)| {
+            members.sort_by_key(|m| m.node);
+            members.dedup_by_key(|m| m.node);
+            let tree = trees[&root];
+            let centroid = medoid(repo, distance, &members)?;
+            Some(Cluster::new(tree, centroid, members))
+        })
+        .collect()
+}
+
+/// Remove clusters with fewer than `min_size` members. Returns the surviving clusters
+/// and the freed members (which the next k-means iteration re-assigns).
+pub fn remove_small_clusters(
+    clusters: Vec<Cluster>,
+    min_size: usize,
+) -> (Vec<Cluster>, Vec<ClusteredNode>) {
+    let mut kept = Vec::new();
+    let mut freed = Vec::new();
+    for cluster in clusters {
+        if cluster.size() < min_size {
+            freed.extend(cluster.members);
+        } else {
+            kept.push(cluster);
+        }
+    }
+    (kept, freed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::PathLengthDistance;
+    use xsm_matcher::MappingElement;
+    use xsm_schema::tree::paper_repository_fragment;
+    use xsm_schema::{GlobalNodeId, NodeId, TreeId};
+
+    fn fig1_repo() -> SchemaRepository {
+        SchemaRepository::from_trees(vec![paper_repository_fragment()])
+    }
+
+    fn member(node: GlobalNodeId) -> ClusteredNode {
+        ClusteredNode {
+            node,
+            elements: vec![MappingElement::new(NodeId(0), node, 0.5)],
+        }
+    }
+
+    fn named(repo: &SchemaRepository, name: &str) -> GlobalNodeId {
+        let tree = repo.tree(TreeId(0)).unwrap();
+        GlobalNodeId::new(TreeId(0), tree.find_by_name(name).unwrap())
+    }
+
+    #[test]
+    fn join_merges_nearby_clusters() {
+        let repo = fig1_repo();
+        let title = named(&repo, "title");
+        let author = named(&repo, "authorName");
+        let address = named(&repo, "address");
+        // title and authorName are 2 apart; address is 4 from title.
+        let clusters = vec![
+            Cluster::new(TreeId(0), title, vec![member(title)]),
+            Cluster::new(TreeId(0), author, vec![member(author)]),
+            Cluster::new(TreeId(0), address, vec![member(address)]),
+        ];
+        let joined = join_clusters(&repo, &PathLengthDistance, clusters, 2);
+        assert_eq!(joined.len(), 2);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = joined.iter().map(|c| c.size()).collect();
+            s.sort();
+            s
+        };
+        assert_eq!(sizes, vec![1, 2]);
+    }
+
+    #[test]
+    fn join_with_large_threshold_merges_everything_in_a_tree() {
+        let repo = fig1_repo();
+        let names = ["title", "authorName", "shelf", "address", "book"];
+        let clusters: Vec<Cluster> = names
+            .iter()
+            .map(|n| {
+                let g = named(&repo, n);
+                Cluster::new(TreeId(0), g, vec![member(g)])
+            })
+            .collect();
+        let joined = join_clusters(&repo, &PathLengthDistance, clusters, 10);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].size(), 5);
+        // The merged centroid is a member.
+        assert!(joined[0].node_ids().contains(&joined[0].centroid));
+    }
+
+    #[test]
+    fn join_never_merges_across_trees() {
+        let repo = SchemaRepository::from_trees(vec![
+            paper_repository_fragment(),
+            paper_repository_fragment(),
+        ]);
+        let a = GlobalNodeId::new(TreeId(0), NodeId(0));
+        let b = GlobalNodeId::new(TreeId(1), NodeId(0));
+        let clusters = vec![
+            Cluster::new(TreeId(0), a, vec![member(a)]),
+            Cluster::new(TreeId(1), b, vec![member(b)]),
+        ];
+        let joined = join_clusters(&repo, &PathLengthDistance, clusters, 100);
+        assert_eq!(joined.len(), 2);
+    }
+
+    #[test]
+    fn join_deduplicates_shared_members() {
+        let repo = fig1_repo();
+        let title = named(&repo, "title");
+        let author = named(&repo, "authorName");
+        let clusters = vec![
+            Cluster::new(TreeId(0), title, vec![member(title), member(author)]),
+            Cluster::new(TreeId(0), author, vec![member(author)]),
+        ];
+        let joined = join_clusters(&repo, &PathLengthDistance, clusters, 3);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].size(), 2);
+    }
+
+    #[test]
+    fn remove_small_frees_members() {
+        let repo = fig1_repo();
+        let title = named(&repo, "title");
+        let author = named(&repo, "authorName");
+        let shelf = named(&repo, "shelf");
+        let clusters = vec![
+            Cluster::new(TreeId(0), title, vec![member(title), member(author)]),
+            Cluster::new(TreeId(0), shelf, vec![member(shelf)]),
+        ];
+        let (kept, freed) = remove_small_clusters(clusters, 2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].size(), 2);
+        assert_eq!(freed.len(), 1);
+        assert_eq!(freed[0].node, shelf);
+        // Threshold 0/1 keeps everything.
+        let (kept2, freed2) = remove_small_clusters(kept, 1);
+        assert_eq!(kept2.len(), 1);
+        assert!(freed2.is_empty());
+    }
+
+    #[test]
+    fn join_of_zero_or_one_cluster_is_identity() {
+        let repo = fig1_repo();
+        assert!(join_clusters(&repo, &PathLengthDistance, vec![], 3).is_empty());
+        let title = named(&repo, "title");
+        let one = vec![Cluster::new(TreeId(0), title, vec![member(title)])];
+        let joined = join_clusters(&repo, &PathLengthDistance, one.clone(), 3);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].centroid, one[0].centroid);
+    }
+}

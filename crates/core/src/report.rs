@@ -1,0 +1,141 @@
+//! Report structures shared by the experiments: cluster-size histograms (Fig. 4) and
+//! the Tab. 1a cluster-statistics row.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram of cluster sizes over power-of-two buckets
+/// `[1,1], [2,3], [4,7], [8,15], …` — the x-axis of Fig. 4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeHistogram {
+    /// Inclusive bucket bounds `(lo, hi)`.
+    pub buckets: Vec<(usize, usize)>,
+    /// Number of clusters per bucket.
+    pub counts: Vec<usize>,
+    /// Clusters of size 0 (not shown in the paper's figure but tracked for sanity).
+    pub empty_clusters: usize,
+}
+
+impl SizeHistogram {
+    /// Build the histogram from a list of cluster sizes. The number of buckets adapts
+    /// to the largest size, with a minimum of the paper's eight buckets
+    /// (`[1,1] … [128,255]`).
+    pub fn from_sizes(sizes: &[usize]) -> Self {
+        let max = sizes.iter().copied().max().unwrap_or(0).max(255);
+        let mut buckets = Vec::new();
+        let mut lo = 1usize;
+        while lo <= max {
+            let hi = lo * 2 - 1;
+            buckets.push((lo, hi));
+            lo *= 2;
+        }
+        let mut counts = vec![0usize; buckets.len()];
+        let mut empty_clusters = 0usize;
+        for &s in sizes {
+            if s == 0 {
+                empty_clusters += 1;
+                continue;
+            }
+            let idx = usize::BITS as usize - 1 - s.leading_zeros() as usize;
+            counts[idx] += 1;
+        }
+        SizeHistogram {
+            buckets,
+            counts,
+            empty_clusters,
+        }
+    }
+
+    /// Total number of (non-empty) clusters counted.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Human-readable bucket labels (`"[1,1]"`, `"[2,3]"`, …).
+    pub fn labels(&self) -> Vec<String> {
+        self.buckets
+            .iter()
+            .map(|(lo, hi)| format!("[{lo},{hi}]"))
+            .collect()
+    }
+
+    /// Render as an aligned two-row table (labels / counts) for console output.
+    pub fn render(&self) -> String {
+        let labels = self.labels();
+        let mut header = String::new();
+        let mut row = String::new();
+        for (label, count) in labels.iter().zip(&self.counts) {
+            let width = label.len().max(count.to_string().len()) + 2;
+            header.push_str(&format!("{label:>width$}"));
+            row.push_str(&format!("{count:>width$}"));
+        }
+        format!("{header}\n{row}")
+    }
+}
+
+/// The Tab. 1a row: properties of the useful clusters produced by one variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ClusterStatsRow {
+    /// Number of useful clusters (clusters able to deliver complete mappings).
+    pub useful_clusters: usize,
+    /// Average number of mapping elements (distinct repository nodes) per useful cluster.
+    pub avg_mapping_elements: f64,
+    /// Total search-space size summed over the useful clusters
+    /// ("total # of schema mappings").
+    pub total_search_space: u128,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_assignment_matches_fig4_axes() {
+        let h = SizeHistogram::from_sizes(&[1, 1, 2, 3, 4, 7, 8, 15, 16, 200]);
+        assert_eq!(h.buckets[0], (1, 1));
+        assert_eq!(h.buckets[1], (2, 3));
+        assert_eq!(h.buckets[2], (4, 7));
+        assert_eq!(h.buckets[7], (128, 255));
+        assert_eq!(h.counts[0], 2); // two clusters of size 1
+        assert_eq!(h.counts[1], 2); // sizes 2 and 3
+        assert_eq!(h.counts[2], 2); // 4 and 7
+        assert_eq!(h.counts[3], 2); // 8 and 15
+        assert_eq!(h.counts[4], 1); // 16
+        assert_eq!(h.counts[7], 1); // 200
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.empty_clusters, 0);
+    }
+
+    #[test]
+    fn empty_sizes_and_zero_sized_clusters() {
+        let h = SizeHistogram::from_sizes(&[]);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.buckets.len(), 8); // minimum eight buckets like the figure
+        let h = SizeHistogram::from_sizes(&[0, 0, 5]);
+        assert_eq!(h.empty_clusters, 2);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn histogram_adapts_to_huge_clusters() {
+        let h = SizeHistogram::from_sizes(&[1000]);
+        assert!(h.buckets.len() > 8);
+        assert_eq!(h.total(), 1);
+        let idx = h
+            .buckets
+            .iter()
+            .position(|&(lo, hi)| lo <= 1000 && 1000 <= hi)
+            .unwrap();
+        assert_eq!(h.counts[idx], 1);
+    }
+
+    #[test]
+    fn labels_and_render() {
+        let h = SizeHistogram::from_sizes(&[1, 2, 4]);
+        let labels = h.labels();
+        assert_eq!(labels[0], "[1,1]");
+        assert_eq!(labels[2], "[4,7]");
+        let rendered = h.render();
+        assert_eq!(rendered.lines().count(), 2);
+        assert!(rendered.contains("[1,1]"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Element matchers (step ② of the paper's architecture).
+//!
+//! An [`ElementMatcher`] compares one personal-schema node with one repository node and
+//! returns a similarity in `[0,1]`. Bellflower uses a single *localized* matcher, the
+//! fuzzy name matcher; COMA-style systems combine several. Both styles are supported:
+//! [`NameElementMatcher`] is the paper's configuration, [`CompositeElementMatcher`]
+//! aggregates any number of matchers with a [`CombineStrategy`].
+//!
+//! [`match_elements`] runs the matchers over personal × repository and produces the
+//! [`CandidateSet`] of mapping elements — the input to both the clusterer and the
+//! mapping generators.
+
+use serde::{Deserialize, Serialize};
+use xsm_schema::{SchemaNode, SchemaTree};
+use xsm_similarity::{
+    compare_string_fuzzy, CombineStrategy, StringSimilarity, SynonymTable,
+};
+
+use crate::candidates::{CandidateSet, MappingElement};
+use xsm_repo::SchemaRepository;
+
+/// Compares a personal node with a repository node.
+pub trait ElementMatcher: Send + Sync {
+    /// Similarity of the two nodes in `[0,1]`.
+    fn compare(&self, personal: &SchemaNode, repo: &SchemaNode) -> f64;
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's matcher: fuzzy name similarity (`CompareStringFuzzy`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NameElementMatcher;
+
+impl ElementMatcher for NameElementMatcher {
+    fn compare(&self, personal: &SchemaNode, repo: &SchemaNode) -> f64 {
+        compare_string_fuzzy(&personal.name, &repo.name)
+    }
+    fn name(&self) -> &'static str {
+        "name(fuzzy)"
+    }
+}
+
+/// A name matcher parameterised by any string kernel from `xsm-similarity`.
+pub struct KernelNameMatcher<K: StringSimilarity> {
+    kernel: K,
+}
+
+impl<K: StringSimilarity> KernelNameMatcher<K> {
+    /// Wrap a string kernel as an element matcher.
+    pub fn new(kernel: K) -> Self {
+        KernelNameMatcher { kernel }
+    }
+}
+
+impl<K: StringSimilarity> ElementMatcher for KernelNameMatcher<K> {
+    fn compare(&self, personal: &SchemaNode, repo: &SchemaNode) -> f64 {
+        self.kernel.similarity(&personal.name, &repo.name)
+    }
+    fn name(&self) -> &'static str {
+        "name(kernel)"
+    }
+}
+
+/// Datatype compatibility matcher (COMA's "type" matcher). Nodes without a declared
+/// type score a neutral 0.5 against anything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DatatypeElementMatcher;
+
+impl ElementMatcher for DatatypeElementMatcher {
+    fn compare(&self, personal: &SchemaNode, repo: &SchemaNode) -> f64 {
+        match (personal.datatype, repo.datatype) {
+            (Some(a), Some(b)) => a.compatibility(b),
+            _ => 0.5,
+        }
+    }
+    fn name(&self) -> &'static str {
+        "datatype"
+    }
+}
+
+/// Synonym matcher: full marks for names the thesaurus declares synonymous, otherwise
+/// falls back to the fuzzy kernel.
+pub struct SynonymElementMatcher {
+    table: SynonymTable,
+}
+
+impl SynonymElementMatcher {
+    /// Use the built-in thesaurus.
+    pub fn builtin() -> Self {
+        SynonymElementMatcher {
+            table: SynonymTable::builtin(),
+        }
+    }
+
+    /// Use a custom thesaurus.
+    pub fn new(table: SynonymTable) -> Self {
+        SynonymElementMatcher { table }
+    }
+}
+
+impl ElementMatcher for SynonymElementMatcher {
+    fn compare(&self, personal: &SchemaNode, repo: &SchemaNode) -> f64 {
+        match self.table.similarity(&personal.name, &repo.name) {
+            Some(s) => s,
+            None => compare_string_fuzzy(&personal.name, &repo.name),
+        }
+    }
+    fn name(&self) -> &'static str {
+        "synonym"
+    }
+}
+
+/// Weighted combination of several element matchers.
+pub struct CompositeElementMatcher {
+    matchers: Vec<(f64, Box<dyn ElementMatcher>)>,
+    strategy: CombineStrategy,
+}
+
+impl CompositeElementMatcher {
+    /// Create an empty composite using the given combination strategy.
+    pub fn new(strategy: CombineStrategy) -> Self {
+        CompositeElementMatcher {
+            matchers: Vec::new(),
+            strategy,
+        }
+    }
+
+    /// Add a matcher with a weight (weights matter only for weighted averaging).
+    pub fn add(mut self, weight: f64, matcher: Box<dyn ElementMatcher>) -> Self {
+        self.matchers.push((weight, matcher));
+        self
+    }
+
+    /// A COMA-flavoured default: fuzzy name (weight 0.6), synonyms (0.25), datatype (0.15).
+    pub fn coma_like() -> Self {
+        CompositeElementMatcher::new(CombineStrategy::WeightedAverage)
+            .add(0.6, Box::new(NameElementMatcher))
+            .add(0.25, Box::new(SynonymElementMatcher::builtin()))
+            .add(0.15, Box::new(DatatypeElementMatcher))
+    }
+}
+
+impl ElementMatcher for CompositeElementMatcher {
+    fn compare(&self, personal: &SchemaNode, repo: &SchemaNode) -> f64 {
+        let values: Vec<(f64, f64)> = self
+            .matchers
+            .iter()
+            .map(|(w, m)| (*w, m.compare(personal, repo)))
+            .collect();
+        self.strategy.combine(&values)
+    }
+    fn name(&self) -> &'static str {
+        "composite"
+    }
+}
+
+/// Configuration of the element-matching pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElementMatchConfig {
+    /// Minimum element similarity for a pair to become a mapping element.
+    ///
+    /// The paper keeps every pair with a "non-zero similarity index"; with a graded
+    /// kernel that would admit almost everything, so Bellflower-style systems in
+    /// practice use a floor. 0.5 keeps every repository element whose name is at least
+    /// half-way similar to some personal-schema name, which reproduces the paper's
+    /// regime of thousands of mapping elements spread over most repository trees.
+    pub min_similarity: f64,
+    /// Optional cap on the number of mapping elements kept per personal node
+    /// (highest-similarity first); `None` keeps everything above the floor.
+    pub max_candidates_per_node: Option<usize>,
+}
+
+impl Default for ElementMatchConfig {
+    fn default() -> Self {
+        ElementMatchConfig {
+            min_similarity: 0.5,
+            max_candidates_per_node: None,
+        }
+    }
+}
+
+impl ElementMatchConfig {
+    /// Builder-style floor override (clamped to `[0,1]`).
+    pub fn with_min_similarity(mut self, floor: f64) -> Self {
+        self.min_similarity = floor.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder-style candidate cap.
+    pub fn with_max_candidates(mut self, cap: usize) -> Self {
+        self.max_candidates_per_node = Some(cap);
+        self
+    }
+}
+
+/// Run element matching: compare every node of `personal` against every node of `repo`
+/// and collect mapping elements with similarity ≥ `config.min_similarity`.
+///
+/// Complexity is `O(|N_s| · |N_R| · kernel)`; the q-gram index in `xsm-repo` can be
+/// used by callers to pre-filter, but the default path mirrors the paper's exhaustive
+/// element-matching step.
+pub fn match_elements(
+    personal: &SchemaTree,
+    repo: &SchemaRepository,
+    matcher: &dyn ElementMatcher,
+    config: &ElementMatchConfig,
+) -> CandidateSet {
+    let personal_nodes = personal.preorder();
+    let mut set = CandidateSet::new(personal_nodes.clone());
+    for &pnode in &personal_nodes {
+        let pdata = personal.node(pnode).expect("preorder yields valid ids");
+        for (rid, rdata) in repo.nodes() {
+            let sim = matcher.compare(pdata, rdata);
+            if sim >= config.min_similarity && sim > 0.0 {
+                set.push(MappingElement::new(pnode, rid, sim));
+            }
+        }
+    }
+    set.sort();
+    if let Some(cap) = config.max_candidates_per_node {
+        let mut capped = CandidateSet::new(personal_nodes);
+        for &pnode in capped.personal_nodes().to_vec().iter() {
+            for m in set.candidates_for(pnode).iter().take(cap) {
+                capped.push(*m);
+            }
+        }
+        capped.sort();
+        return capped;
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsm_schema::tree::{paper_personal_schema, paper_repository_fragment};
+    use xsm_schema::XsdType;
+
+    fn fig1_repo() -> SchemaRepository {
+        SchemaRepository::from_trees(vec![paper_repository_fragment()])
+    }
+
+    #[test]
+    fn name_matcher_is_the_fuzzy_kernel() {
+        let m = NameElementMatcher;
+        let a = SchemaNode::element("author");
+        let b = SchemaNode::element("authorName");
+        assert_eq!(m.compare(&a, &b), compare_string_fuzzy("author", "authorName"));
+        assert_eq!(m.name(), "name(fuzzy)");
+    }
+
+    #[test]
+    fn datatype_matcher_neutral_without_types() {
+        let m = DatatypeElementMatcher;
+        let untyped = SchemaNode::element("x");
+        let typed = SchemaNode::element("y").with_datatype(XsdType::Int);
+        assert_eq!(m.compare(&untyped, &typed), 0.5);
+        let typed2 = SchemaNode::element("z").with_datatype(XsdType::Long);
+        assert_eq!(m.compare(&typed, &typed2), 0.9);
+    }
+
+    #[test]
+    fn synonym_matcher_overrides_string_distance() {
+        let m = SynonymElementMatcher::builtin();
+        let a = SchemaNode::element("email");
+        let b = SchemaNode::element("mail");
+        assert_eq!(m.compare(&a, &b), 1.0);
+        // Unknown pair falls back to fuzzy.
+        let c = SchemaNode::element("shelf");
+        assert_eq!(m.compare(&a, &c), compare_string_fuzzy("email", "shelf"));
+    }
+
+    #[test]
+    fn composite_matcher_combines() {
+        let m = CompositeElementMatcher::coma_like();
+        let a = SchemaNode::element("email").with_datatype(XsdType::String);
+        let b = SchemaNode::element("mail").with_datatype(XsdType::String);
+        let s = m.compare(&a, &b);
+        // Name fuzzy(email,mail)=~0.8 * 0.6 + synonym 1.0*0.25 + type 1.0*0.15.
+        assert!(s > 0.75 && s <= 1.0, "{s}");
+        assert_eq!(m.name(), "composite");
+    }
+
+    #[test]
+    fn kernel_name_matcher_wraps_any_kernel() {
+        let m = KernelNameMatcher::new(xsm_similarity::TokenSetSimilarity);
+        let a = SchemaNode::element("firstName");
+        let b = SchemaNode::element("name_first");
+        assert_eq!(m.compare(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn match_elements_on_fig1() {
+        let personal = paper_personal_schema();
+        let repo = fig1_repo();
+        let set = match_elements(
+            &personal,
+            &repo,
+            &NameElementMatcher,
+            &ElementMatchConfig::default(),
+        );
+        // Personal node "book" must find repository node "book", "title" finds "title",
+        // "author" finds "authorName".
+        let book = personal.find_by_name("book").unwrap();
+        let title = personal.find_by_name("title").unwrap();
+        let author = personal.find_by_name("author").unwrap();
+        let names_for = |n| {
+            set.candidates_for(n)
+                .iter()
+                .map(|m| repo.name_of(m.repo).to_string())
+                .collect::<Vec<_>>()
+        };
+        assert!(names_for(book).contains(&"book".to_string()));
+        assert!(names_for(title).contains(&"title".to_string()));
+        assert!(names_for(author).contains(&"authorName".to_string()));
+        assert!(set.is_useful());
+        // Exact matches rank first.
+        assert_eq!(repo.name_of(set.candidates_for(title)[0].repo), "title");
+    }
+
+    #[test]
+    fn floor_filters_weak_pairs() {
+        let personal = paper_personal_schema();
+        let repo = fig1_repo();
+        let lenient = match_elements(
+            &personal,
+            &repo,
+            &NameElementMatcher,
+            &ElementMatchConfig::default().with_min_similarity(0.1),
+        );
+        let strict = match_elements(
+            &personal,
+            &repo,
+            &NameElementMatcher,
+            &ElementMatchConfig::default().with_min_similarity(0.9),
+        );
+        assert!(lenient.total_candidates() > strict.total_candidates());
+        assert!(strict.iter().all(|m| m.similarity >= 0.9));
+    }
+
+    #[test]
+    fn candidate_cap_limits_per_node() {
+        let personal = paper_personal_schema();
+        let repo = fig1_repo();
+        let capped = match_elements(
+            &personal,
+            &repo,
+            &NameElementMatcher,
+            &ElementMatchConfig::default()
+                .with_min_similarity(0.0)
+                .with_max_candidates(2),
+        );
+        for &n in capped.personal_nodes() {
+            assert!(capped.candidates_for(n).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn config_builders_clamp() {
+        let c = ElementMatchConfig::default().with_min_similarity(9.0);
+        assert_eq!(c.min_similarity, 1.0);
+        let c = ElementMatchConfig::default().with_min_similarity(-2.0);
+        assert_eq!(c.min_similarity, 0.0);
+    }
+}

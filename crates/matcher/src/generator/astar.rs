@@ -1,0 +1,226 @@
+//! A* (best-first) mapping generator — the strategy the paper attributes to LSD.
+//!
+//! Partial mappings are kept in a max-priority queue ordered by the admissible upper
+//! bound of their best completion (the same bound B&B uses, so the heuristic is
+//! admissible and the first complete mapping popped is optimal). The search keeps
+//! popping until the queue's best bound falls below δ, at which point every remaining
+//! mapping with `Δ ≥ δ` has already been emitted — so, like B&B, A* is exact for the
+//! "all mappings above δ" problem, it merely explores in a different order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use crate::candidates::CandidateSet;
+use crate::counters::GeneratorCounters;
+use crate::generator::{sort_mappings, GenerationOutcome, MappingGenerator};
+use crate::mapping::SchemaMapping;
+use crate::objective::Objective;
+use crate::problem::MatchingProblem;
+use xsm_repo::SchemaRepository;
+
+/// A* generator with a safety cap on queue pops.
+#[derive(Debug, Clone, Copy)]
+pub struct AStarGenerator {
+    /// Maximum number of queue expansions per single-tree scope.
+    pub max_expansions: u64,
+}
+
+impl Default for AStarGenerator {
+    fn default() -> Self {
+        AStarGenerator {
+            max_expansions: u64::MAX,
+        }
+    }
+}
+
+impl AStarGenerator {
+    /// Unbounded A* generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A* generator that stops after `cap` expansions.
+    pub fn with_cap(cap: u64) -> Self {
+        AStarGenerator {
+            max_expansions: cap,
+        }
+    }
+}
+
+/// Queue entry: partial mapping plus its bound and the next level to expand.
+struct Entry {
+    bound: f64,
+    depth: usize,
+    mapping: SchemaMapping,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.depth == other.depth
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on bound; deeper (more complete) first on ties for faster goal pops.
+        self.bound
+            .partial_cmp(&other.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(self.depth.cmp(&other.depth))
+    }
+}
+
+impl MappingGenerator for AStarGenerator {
+    fn generate_single_tree(
+        &self,
+        problem: &MatchingProblem,
+        repo: &SchemaRepository,
+        scope: &CandidateSet,
+    ) -> GenerationOutcome {
+        let start = Instant::now();
+        let mut counters = GeneratorCounters {
+            search_space: scope.search_space_size(),
+            ..Default::default()
+        };
+        let mut mappings = Vec::new();
+        let trees = scope.trees();
+        let (Some(&tree_id), true) = (trees.first(), scope.is_useful()) else {
+            counters.elapsed = start.elapsed();
+            return GenerationOutcome { mappings, counters };
+        };
+        let Some(labeling) = repo.labeling(tree_id) else {
+            counters.elapsed = start.elapsed();
+            return GenerationOutcome { mappings, counters };
+        };
+        let objective = Objective::for_problem(problem);
+
+        let mut order: Vec<usize> = (0..scope.node_count()).collect();
+        order.sort_by_key(|&i| scope.candidates_at(i).len());
+
+        let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
+        queue.push(Entry {
+            bound: 1.0,
+            depth: 0,
+            mapping: SchemaMapping::new(vec![]),
+        });
+        let mut expansions = 0u64;
+        while let Some(entry) = queue.pop() {
+            // Once the best remaining bound is below δ nothing else can qualify.
+            if entry.bound + 1e-12 < problem.threshold {
+                break;
+            }
+            if entry.depth == order.len() {
+                let score = objective.delta(&entry.mapping, labeling);
+                counters.complete_mappings += 1;
+                if score >= problem.threshold {
+                    counters.retained_mappings += 1;
+                    mappings.push(SchemaMapping::with_score(
+                        entry.mapping.pairs().to_vec(),
+                        score,
+                    ));
+                }
+                continue;
+            }
+            expansions += 1;
+            if expansions > self.max_expansions {
+                break;
+            }
+            let node_index = order[entry.depth];
+            for candidate in scope.candidates_at(node_index) {
+                if entry.mapping.repo_nodes().contains(&candidate.repo) {
+                    continue;
+                }
+                let mut pairs = entry.mapping.pairs().to_vec();
+                pairs.push(*candidate);
+                let extended = SchemaMapping::new(pairs);
+                counters.partial_mappings += 1;
+                let bound = objective.upper_bound(&extended, labeling, scope);
+                if bound + 1e-12 < problem.threshold {
+                    counters.pruned_branches += 1;
+                    continue;
+                }
+                queue.push(Entry {
+                    bound,
+                    depth: entry.depth + 1,
+                    mapping: extended,
+                });
+            }
+        }
+        counters.elapsed = start.elapsed();
+        sort_mappings(&mut mappings);
+        GenerationOutcome { mappings, counters }
+    }
+
+    fn name(&self) -> &'static str {
+        "a-star"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{match_elements, ElementMatchConfig, NameElementMatcher};
+    use crate::generator::branch_and_bound::BranchAndBoundGenerator;
+    use xsm_schema::tree::paper_repository_fragment;
+
+    fn setup(threshold: f64) -> (MatchingProblem, SchemaRepository, CandidateSet) {
+        let problem = MatchingProblem::new(
+            xsm_schema::tree::paper_personal_schema(),
+            crate::objective::ObjectiveConfig::default(),
+            threshold,
+        );
+        let repo = SchemaRepository::from_trees(vec![paper_repository_fragment()]);
+        let scope = match_elements(
+            &problem.personal,
+            &repo,
+            &NameElementMatcher,
+            &ElementMatchConfig::default().with_min_similarity(0.2),
+        );
+        (problem, repo, scope)
+    }
+
+    #[test]
+    fn astar_matches_branch_and_bound_results() {
+        for threshold in [0.6, 0.75, 0.9] {
+            let (problem, repo, scope) = setup(threshold);
+            let astar = AStarGenerator::new().generate(&problem, &repo, &scope);
+            let bb = BranchAndBoundGenerator::new().generate(&problem, &repo, &scope);
+            assert_eq!(astar.mappings.len(), bb.mappings.len(), "δ = {threshold}");
+            for (a, b) in astar.mappings.iter().zip(bb.mappings.iter()) {
+                assert!((a.score - b.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn first_emitted_mapping_is_optimal() {
+        let (problem, repo, scope) = setup(0.5);
+        let astar = AStarGenerator::new().generate(&problem, &repo, &scope);
+        assert!(!astar.mappings.is_empty());
+        let best = astar.mappings[0].score;
+        assert!(astar.mappings.iter().all(|m| m.score <= best + 1e-12));
+    }
+
+    #[test]
+    fn expansion_cap_limits_work() {
+        let (problem, repo, scope) = setup(0.0);
+        let capped = AStarGenerator::with_cap(5).generate(&problem, &repo, &scope);
+        let full = AStarGenerator::new().generate(&problem, &repo, &scope);
+        assert!(capped.counters.partial_mappings <= full.counters.partial_mappings);
+    }
+
+    #[test]
+    fn high_threshold_terminates_early() {
+        let (problem, repo, scope) = setup(0.99);
+        let outcome = AStarGenerator::new().generate(&problem, &repo, &scope);
+        // Nothing in Fig. 1 reaches 0.99 (author/authorName is not exact), and the
+        // queue should be cut off quickly.
+        assert!(outcome.mappings.is_empty());
+    }
+}

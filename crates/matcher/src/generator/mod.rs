@@ -1,0 +1,166 @@
+//! Schema-mapping generators (step ④ of the paper's architecture).
+//!
+//! A generator receives a *scope* — a [`CandidateSet`] of mapping elements — and
+//! enumerates schema mappings built from it, returning every mapping with
+//! `Δ(s,t) ≥ δ` plus the performance counters Tab. 1 reports. Because a schema
+//! mapping's images must all come from one repository tree (Def. 2 restricted to the
+//! forest model), every generator first splits the scope per tree and then searches
+//! each single-tree sub-scope independently.
+//!
+//! Implementations:
+//!
+//! * [`branch_and_bound`] — the paper's generator (Kreher & Stinson B&B with the
+//!   admissible bound from [`crate::objective::Objective::upper_bound`]),
+//! * [`exhaustive`] — naive full enumeration (the yardstick the paper compares B&B
+//!   against: "Instead of generating and testing all 11 962 741 mappings, B&B tested
+//!   30 times less partial mappings"),
+//! * [`beam`] — beam search as used by iMap,
+//! * [`astar`] — A* best-first search as used by LSD.
+
+pub mod astar;
+pub mod beam;
+pub mod branch_and_bound;
+pub mod exhaustive;
+
+use crate::candidates::CandidateSet;
+use crate::counters::GeneratorCounters;
+use crate::mapping::SchemaMapping;
+use crate::problem::MatchingProblem;
+use xsm_repo::SchemaRepository;
+
+/// The result of one generator run: retained mappings (sorted by descending score) and
+/// the counters accumulated while producing them.
+#[derive(Debug, Clone, Default)]
+pub struct GenerationOutcome {
+    /// Mappings with `Δ ≥ δ`, best first.
+    pub mappings: Vec<SchemaMapping>,
+    /// Search-effort counters.
+    pub counters: GeneratorCounters,
+}
+
+impl GenerationOutcome {
+    /// Merge another outcome into this one, keeping the global score order.
+    pub fn absorb(&mut self, other: GenerationOutcome) {
+        self.mappings.extend(other.mappings);
+        self.counters = self.counters.merge(&other.counters);
+        sort_mappings(&mut self.mappings);
+    }
+
+    /// The best `n` mappings.
+    pub fn top(&self, n: usize) -> &[SchemaMapping] {
+        &self.mappings[..n.min(self.mappings.len())]
+    }
+}
+
+/// Sort mappings by descending score with a deterministic tie-break.
+pub fn sort_mappings(mappings: &mut [SchemaMapping]) {
+    mappings.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.repo_nodes().cmp(&b.repo_nodes()))
+    });
+}
+
+/// A schema-mapping generator.
+pub trait MappingGenerator: Send + Sync {
+    /// Enumerate mappings within a *single-tree* scope. `scope` must contain
+    /// candidates from at most one repository tree; [`MappingGenerator::generate`]
+    /// handles the general case.
+    fn generate_single_tree(
+        &self,
+        problem: &MatchingProblem,
+        repo: &SchemaRepository,
+        scope: &CandidateSet,
+    ) -> GenerationOutcome;
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Enumerate mappings within an arbitrary scope by splitting it per repository
+    /// tree, skipping non-useful sub-scopes ("clusters which cannot deliver schema
+    /// mappings"), and merging the results.
+    fn generate(
+        &self,
+        problem: &MatchingProblem,
+        repo: &SchemaRepository,
+        scope: &CandidateSet,
+    ) -> GenerationOutcome {
+        let mut outcome = GenerationOutcome::default();
+        for tree in scope.trees() {
+            let sub = scope.restrict_to_tree(tree);
+            if !sub.is_useful() {
+                continue;
+            }
+            outcome.absorb(self.generate_single_tree(problem, repo, &sub));
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::MappingElement;
+    use xsm_schema::{GlobalNodeId, NodeId, TreeId};
+
+    #[test]
+    fn outcome_absorb_merges_and_sorts() {
+        let m1 = SchemaMapping::with_score(
+            vec![MappingElement::new(
+                NodeId(0),
+                GlobalNodeId::new(TreeId(0), NodeId(1)),
+                1.0,
+            )],
+            0.8,
+        );
+        let m2 = SchemaMapping::with_score(
+            vec![MappingElement::new(
+                NodeId(0),
+                GlobalNodeId::new(TreeId(1), NodeId(2)),
+                1.0,
+            )],
+            0.9,
+        );
+        let mut a = GenerationOutcome {
+            mappings: vec![m1],
+            counters: GeneratorCounters {
+                partial_mappings: 3,
+                ..Default::default()
+            },
+        };
+        let b = GenerationOutcome {
+            mappings: vec![m2],
+            counters: GeneratorCounters {
+                partial_mappings: 4,
+                ..Default::default()
+            },
+        };
+        a.absorb(b);
+        assert_eq!(a.mappings.len(), 2);
+        assert_eq!(a.counters.partial_mappings, 7);
+        assert!(a.mappings[0].score >= a.mappings[1].score);
+        assert_eq!(a.top(1).len(), 1);
+        assert_eq!(a.top(10).len(), 2);
+    }
+
+    #[test]
+    fn sort_mappings_is_deterministic_on_ties() {
+        let mk = |tree: u32, score: f64| {
+            SchemaMapping::with_score(
+                vec![MappingElement::new(
+                    NodeId(0),
+                    GlobalNodeId::new(TreeId(tree), NodeId(0)),
+                    1.0,
+                )],
+                score,
+            )
+        };
+        let mut v1 = vec![mk(2, 0.5), mk(1, 0.5), mk(3, 0.9)];
+        let mut v2 = vec![mk(1, 0.5), mk(3, 0.9), mk(2, 0.5)];
+        sort_mappings(&mut v1);
+        sort_mappings(&mut v2);
+        assert_eq!(v1, v2);
+        assert_eq!(v1[0].score, 0.9);
+    }
+}

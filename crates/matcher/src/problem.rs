@@ -1,0 +1,134 @@
+//! The schema-matching problem quadruple `P = (s, R, Δ, δ)` (Def. 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+use xsm_schema::{SchemaTree, TreeLabeling};
+
+use crate::objective::ObjectiveConfig;
+
+/// A schema-matching problem: the personal schema, the objective configuration and the
+/// acceptance threshold δ. The repository `R` is passed separately to the matching
+/// functions (it is large and shared across problems).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchingProblem {
+    /// The personal schema `s` (a small tree authored by the user).
+    pub personal: SchemaTree,
+    /// Objective-function configuration (α, K).
+    pub objective: ObjectiveConfig,
+    /// Threshold δ: only mappings with `Δ(s,t) ≥ δ` are part of the solution.
+    pub threshold: f64,
+    /// Labelling of the personal schema (built on construction).
+    #[serde(skip)]
+    labeling: Option<TreeLabeling>,
+}
+
+impl MatchingProblem {
+    /// Create a problem; `threshold` is clamped to `[0,1]`.
+    pub fn new(personal: SchemaTree, objective: ObjectiveConfig, threshold: f64) -> Self {
+        let labeling = Some(TreeLabeling::build(&personal));
+        MatchingProblem {
+            personal,
+            objective,
+            threshold: threshold.clamp(0.0, 1.0),
+            labeling,
+        }
+    }
+
+    /// The paper's Sec. 5 experiment problem: "the personal schema has nodes 'name',
+    /// 'address', and 'email', and a structure similar to schema s in Fig. 1" — i.e.
+    /// a three-node tree with `name` as the root and `address`, `email` as children.
+    /// δ = 0.75, α = 0.5.
+    pub fn paper_experiment() -> Self {
+        use xsm_schema::{SchemaNode, TreeBuilder};
+        let personal = TreeBuilder::new("personal:contact")
+            .root(SchemaNode::element("name"))
+            .child(SchemaNode::element("address"))
+            .sibling(SchemaNode::element("email"))
+            .build();
+        MatchingProblem::new(personal, ObjectiveConfig::default(), 0.75)
+    }
+
+    /// The Fig. 1 running-example problem: `book(title, author)`, δ = 0.6.
+    pub fn fig1_example() -> Self {
+        MatchingProblem::new(
+            xsm_schema::tree::paper_personal_schema(),
+            ObjectiveConfig::default(),
+            0.6,
+        )
+    }
+
+    /// Number of nodes in the personal schema (`|N_s|`).
+    pub fn personal_size(&self) -> usize {
+        self.personal.len()
+    }
+
+    /// Number of edges in the personal schema (`|E_s|`).
+    pub fn personal_edges(&self) -> usize {
+        self.personal.edge_count()
+    }
+
+    /// Labelling of the personal schema (rebuilt lazily after deserialization).
+    pub fn labeling(&mut self) -> &TreeLabeling {
+        if self.labeling.is_none() {
+            self.labeling = Some(TreeLabeling::build(&self.personal));
+        }
+        self.labeling.as_ref().unwrap()
+    }
+
+    /// Personal-schema node ids in pre-order (the canonical iteration order used by
+    /// candidate sets and generators).
+    pub fn personal_nodes(&self) -> Vec<xsm_schema::NodeId> {
+        self.personal.preorder()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_experiment_shape() {
+        let p = MatchingProblem::paper_experiment();
+        assert_eq!(p.personal_size(), 3);
+        assert_eq!(p.personal_edges(), 2);
+        assert_eq!(p.threshold, 0.75);
+        let names: Vec<&str> = p
+            .personal_nodes()
+            .iter()
+            .map(|&n| p.personal.name_of(n))
+            .collect();
+        assert_eq!(names, vec!["name", "address", "email"]);
+    }
+
+    #[test]
+    fn fig1_example_shape() {
+        let p = MatchingProblem::fig1_example();
+        assert_eq!(p.personal_size(), 3);
+        assert_eq!(p.personal.name_of(p.personal.root().unwrap()), "book");
+    }
+
+    #[test]
+    fn threshold_is_clamped() {
+        let p = MatchingProblem::new(
+            xsm_schema::tree::paper_personal_schema(),
+            ObjectiveConfig::default(),
+            7.5,
+        );
+        assert_eq!(p.threshold, 1.0);
+        let q = MatchingProblem::new(
+            xsm_schema::tree::paper_personal_schema(),
+            ObjectiveConfig::default(),
+            -3.0,
+        );
+        assert_eq!(q.threshold, 0.0);
+    }
+
+    #[test]
+    fn labeling_available_and_rebuildable() {
+        let mut p = MatchingProblem::fig1_example();
+        let root = p.personal.root().unwrap();
+        assert_eq!(p.labeling().depth(root), Some(0));
+        // Simulate deserialization losing the labelling.
+        p.labeling = None;
+        assert_eq!(p.labeling().depth(root), Some(0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Loading a real schema corpus (DTD / XSD files) from disk.
+//!
+//! When a user has an actual crawled corpus (as the paper's authors did), this module
+//! turns a directory of `.dtd` / `.xsd` files into a [`SchemaRepository`]. Files that
+//! fail to parse are skipped and reported, mirroring how a web crawl inevitably
+//! contains broken schemas.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use xsm_schema::parser::parse_schema;
+
+use crate::repository::SchemaRepository;
+
+/// The result of loading a corpus directory.
+#[derive(Debug, Default)]
+pub struct CorpusLoadReport {
+    /// Files successfully parsed.
+    pub loaded_files: Vec<PathBuf>,
+    /// Files skipped, with the reason.
+    pub skipped_files: Vec<(PathBuf, String)>,
+    /// Number of trees added to the repository.
+    pub tree_count: usize,
+    /// Number of nodes added to the repository.
+    pub node_count: usize,
+}
+
+/// Load every `.dtd`, `.xsd` and `.xml` file under `dir` (non-recursive) into a
+/// repository. Returns the repository and a load report.
+pub fn load_directory(dir: &Path) -> io::Result<(SchemaRepository, CorpusLoadReport)> {
+    let mut repo = SchemaRepository::new();
+    let mut report = CorpusLoadReport::default();
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .and_then(|e| e.to_str())
+                .map(|e| matches!(e.to_ascii_lowercase().as_str(), "dtd" | "xsd" | "xml"))
+                .unwrap_or(false)
+        })
+        .collect();
+    entries.sort();
+    for path in entries {
+        match fs::read_to_string(&path) {
+            Ok(content) => {
+                let name = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or("schema")
+                    .to_string();
+                match parse_schema(&name, &content) {
+                    Ok(forest) => {
+                        for tree in forest {
+                            report.node_count += tree.len();
+                            report.tree_count += 1;
+                            repo.add_tree(tree);
+                        }
+                        report.loaded_files.push(path);
+                    }
+                    Err(e) => report.skipped_files.push((path, e.to_string())),
+                }
+            }
+            Err(e) => report.skipped_files.push((path, e.to_string())),
+        }
+    }
+    Ok((repo, report))
+}
+
+/// Parse a list of in-memory documents (name, content) into a repository; broken
+/// documents are skipped. Useful for embedding small corpora in tests and examples.
+pub fn load_documents<'a, I>(docs: I) -> (SchemaRepository, CorpusLoadReport)
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut repo = SchemaRepository::new();
+    let mut report = CorpusLoadReport::default();
+    for (name, content) in docs {
+        match parse_schema(name, content) {
+            Ok(forest) => {
+                for tree in forest {
+                    report.node_count += tree.len();
+                    report.tree_count += 1;
+                    repo.add_tree(tree);
+                }
+                report.loaded_files.push(PathBuf::from(name));
+            }
+            Err(e) => report.skipped_files.push((PathBuf::from(name), e.to_string())),
+        }
+    }
+    (repo, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_DTD: &str = "<!ELEMENT person (name, email)> <!ELEMENT name (#PCDATA)> <!ELEMENT email (#PCDATA)>";
+    const GOOD_XSD: &str = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+        <xs:element name="order"><xs:complexType><xs:sequence>
+            <xs:element name="item" type="xs:string" maxOccurs="unbounded"/>
+            <xs:element name="total" type="xs:decimal"/>
+        </xs:sequence></xs:complexType></xs:element>
+    </xs:schema>"#;
+    const BROKEN: &str = "<xs:schema><xs:element name='a'>"; // unbalanced
+
+    #[test]
+    fn load_documents_mixes_dialects_and_skips_broken() {
+        let (repo, report) = load_documents([
+            ("people.dtd", GOOD_DTD),
+            ("orders.xsd", GOOD_XSD),
+            ("broken.xsd", BROKEN),
+        ]);
+        assert_eq!(report.loaded_files.len(), 2);
+        assert_eq!(report.skipped_files.len(), 1);
+        assert_eq!(repo.tree_count(), 2);
+        assert_eq!(report.tree_count, 2);
+        assert_eq!(repo.total_nodes(), report.node_count);
+        assert!(repo.total_nodes() >= 6);
+    }
+
+    #[test]
+    fn load_directory_reads_files_from_disk() {
+        let dir = std::env::temp_dir().join(format!("xsm_corpus_test_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("a.dtd"), GOOD_DTD).unwrap();
+        fs::write(dir.join("b.xsd"), GOOD_XSD).unwrap();
+        fs::write(dir.join("c.xsd"), BROKEN).unwrap();
+        fs::write(dir.join("ignored.txt"), "not a schema").unwrap();
+
+        let (repo, report) = load_directory(&dir).unwrap();
+        assert_eq!(report.loaded_files.len(), 2);
+        assert_eq!(report.skipped_files.len(), 1);
+        assert_eq!(repo.tree_count(), 2);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_directory_missing_path_errors() {
+        let missing = Path::new("/definitely/not/a/path/xsm");
+        assert!(load_directory(missing).is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! Synthetic web-schema corpus generator.
+//!
+//! The paper's repository was crawled from the web (1 700 DTD/XSDs, 178 252 nodes,
+//! 3 889 trees). That corpus is not available, so this module generates a synthetic
+//! corpus with the same *statistical shape* (DESIGN.md, substitution 1):
+//!
+//! * a forest of many small-to-medium trees (configurable mean size, skewed
+//!   distribution — most web schemas are small, a few are large),
+//! * element names drawn from realistic **domain vocabularies** (contacts, library,
+//!   commerce, organisation, publications, generic web data) so that a personal schema
+//!   like `name / address / email` finds many approximately matching elements spread
+//!   over many trees — which is precisely the regime the clustered matcher targets,
+//! * name **mutations** (typos, abbreviations, synonyms, compounding with qualifiers,
+//!   case-style changes) so that name similarity is graded rather than exact,
+//! * optional attribute nodes with datatypes.
+//!
+//! Everything is driven by a single seed, so experiments are exactly reproducible.
+
+pub mod mutate;
+pub mod vocabulary;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use xsm_schema::{Cardinality, NodeId, SchemaNode, SchemaTree, XsdType};
+
+use crate::repository::SchemaRepository;
+use mutate::NameMutator;
+use vocabulary::Domain;
+
+/// Configuration of the synthetic repository generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// RNG seed; equal seeds produce byte-identical repositories.
+    pub seed: u64,
+    /// Stop adding trees once the total node count reaches this value.
+    pub target_elements: usize,
+    /// Smallest tree size the generator will draw.
+    pub min_tree_size: usize,
+    /// Largest tree size the generator will draw.
+    pub max_tree_size: usize,
+    /// Maximum node depth within a tree (root = 0).
+    pub max_depth: u32,
+    /// Probability that a generated node is an attribute (with a datatype) rather
+    /// than an element.
+    pub attribute_probability: f64,
+    /// Probability that a vocabulary name is mutated (typo, abbreviation, synonym,
+    /// compounding) before being used.
+    pub mutation_probability: f64,
+    /// Probability that a non-root node name is compounded with a domain qualifier
+    /// (e.g. `name` → `customerName`).
+    pub compound_probability: f64,
+    /// Probability that a tree is drawn from the *large-schema* size range instead of
+    /// the regular `[min_tree_size, max_tree_size]` range. Web-crawled schema
+    /// collections are dominated by small schemas but contain a long tail of large
+    /// industrial schemas (hundreds of elements); those large trees are where the
+    /// mapping-generation search space explodes and clustering pays off.
+    pub large_tree_probability: f64,
+    /// Size range `[lo, hi]` of large trees.
+    pub large_tree_size: (usize, usize),
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 42,
+            target_elements: 10_000,
+            min_tree_size: 8,
+            max_tree_size: 120,
+            max_depth: 8,
+            attribute_probability: 0.12,
+            mutation_probability: 0.35,
+            compound_probability: 0.25,
+            large_tree_probability: 0.06,
+            large_tree_size: (120, 400),
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// The configuration used by the paper-scale experiments: ≈ 9 759 elements spread
+    /// over a few hundred trees (the paper's default experiment repository has 9 759
+    /// elements over 262 trees, i.e. mean tree size ≈ 37).
+    pub fn paper_default() -> Self {
+        GeneratorConfig {
+            seed: 2006,
+            target_elements: 9_759,
+            min_tree_size: 8,
+            max_tree_size: 60,
+            max_depth: 14,
+            attribute_probability: 0.10,
+            mutation_probability: 0.35,
+            compound_probability: 0.25,
+            large_tree_probability: 0.10,
+            large_tree_size: (150, 600),
+        }
+    }
+
+    /// A small configuration for unit tests and the quickstart example.
+    pub fn small(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            target_elements: 600,
+            min_tree_size: 6,
+            max_tree_size: 40,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style target size override.
+    pub fn with_target_elements(mut self, n: usize) -> Self {
+        self.target_elements = n;
+        self
+    }
+}
+
+/// The generator itself. Create with a config, call [`RepositoryGenerator::generate`].
+#[derive(Debug)]
+pub struct RepositoryGenerator {
+    config: GeneratorConfig,
+}
+
+impl RepositoryGenerator {
+    /// Create a generator for the given configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        RepositoryGenerator { config }
+    }
+
+    /// Generate a repository according to the configuration.
+    pub fn generate(&self) -> SchemaRepository {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mutator = NameMutator::new(self.config.mutation_probability);
+        let domains = vocabulary::all_domains();
+        let mut trees = Vec::new();
+        let mut total = 0usize;
+        let mut tree_index = 0usize;
+        while total < self.config.target_elements {
+            let domain = domains[rng.gen_range(0..domains.len())];
+            let remaining = self.config.target_elements - total;
+            let size = self.draw_tree_size(&mut rng).min(remaining.max(self.config.min_tree_size));
+            let tree = self.generate_tree(&mut rng, domain, size, tree_index, &mutator);
+            total += tree.len();
+            trees.push(tree);
+            tree_index += 1;
+        }
+        SchemaRepository::from_trees(trees)
+    }
+
+    /// Draw a tree size. With probability `large_tree_probability` the size comes from
+    /// the large-schema range (uniformly); otherwise from a right-skewed distribution
+    /// over `[min, max]` (the square of a uniform variate, so small trees dominate) —
+    /// matching collections of schemas crawled from the web.
+    fn draw_tree_size(&self, rng: &mut StdRng) -> usize {
+        if self.config.large_tree_probability > 0.0
+            && rng.gen_bool(self.config.large_tree_probability.clamp(0.0, 1.0))
+        {
+            let (lo, hi) = self.config.large_tree_size;
+            let (lo, hi) = (lo.max(2), hi.max(lo.max(2)));
+            return rng.gen_range(lo..=hi);
+        }
+        let lo = self.config.min_tree_size as f64;
+        let hi = self.config.max_tree_size as f64;
+        let u: f64 = rng.gen();
+        let skewed = u * u; // bias towards 0
+        (lo + skewed * (hi - lo)).round() as usize
+    }
+
+    /// Generate one tree of roughly `size` nodes from `domain`.
+    fn generate_tree(
+        &self,
+        rng: &mut StdRng,
+        domain: &Domain,
+        size: usize,
+        index: usize,
+        mutator: &NameMutator,
+    ) -> SchemaTree {
+        let root_name = domain.roots[rng.gen_range(0..domain.roots.len())];
+        let mut tree = SchemaTree::new(format!("synthetic/{}-{index}", domain.name));
+        let root = tree
+            .add_root(SchemaNode::element(root_name))
+            .expect("fresh tree has no root");
+
+        // Candidate parents. Uniform selection over the existing element nodes yields a
+        // random-recursive-tree shape: logarithmic depth, realistic mix of wide and
+        // deep regions, and pairwise path distances that grow with the schema size —
+        // the regime in which distance-based clustering meaningfully partitions a tree.
+        let mut parents: Vec<NodeId> = vec![root];
+        while tree.len() < size {
+            let idx = rng.gen_range(0..parents.len());
+            let parent = parents[idx];
+            if tree.depth(parent) >= self.config.max_depth {
+                // Replace this pick with the root to avoid exceeding the depth bound.
+                continue;
+            }
+            let is_attribute = rng.gen_bool(self.config.attribute_probability);
+            let base = domain.vocabulary[rng.gen_range(0..domain.vocabulary.len())];
+            let mut name = mutator.mutate(base, rng);
+            if !is_attribute && rng.gen_bool(self.config.compound_probability) {
+                let qualifier = domain.qualifiers[rng.gen_range(0..domain.qualifiers.len())];
+                name = mutate::compound(qualifier, &name, rng);
+            }
+            let node = if is_attribute {
+                let ty = pick_datatype(rng);
+                SchemaNode::attribute(name).with_datatype(ty)
+            } else {
+                let card = pick_cardinality(rng);
+                let mut n = SchemaNode::element(name).with_cardinality(card);
+                if rng.gen_bool(0.5) {
+                    n.datatype = Some(pick_datatype(rng));
+                }
+                n
+            };
+            let id = tree.add_child(parent, node).expect("parent exists");
+            // Attributes never get children.
+            if !is_attribute {
+                parents.push(id);
+            }
+        }
+        tree
+    }
+}
+
+fn pick_datatype(rng: &mut StdRng) -> XsdType {
+    // Web schemas are overwhelmingly string-typed.
+    let roll: f64 = rng.gen();
+    if roll < 0.55 {
+        XsdType::String
+    } else if roll < 0.70 {
+        XsdType::Int
+    } else if roll < 0.80 {
+        XsdType::Date
+    } else if roll < 0.87 {
+        XsdType::Decimal
+    } else if roll < 0.93 {
+        XsdType::Boolean
+    } else if roll < 0.97 {
+        XsdType::AnyUri
+    } else {
+        XsdType::Id
+    }
+}
+
+fn pick_cardinality(rng: &mut StdRng) -> Cardinality {
+    let roll: f64 = rng.gen();
+    if roll < 0.6 {
+        Cardinality::One
+    } else if roll < 0.8 {
+        Cardinality::Optional
+    } else if roll < 0.92 {
+        Cardinality::ZeroOrMore
+    } else {
+        Cardinality::OneOrMore
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_for_equal_seeds() {
+        let cfg = GeneratorConfig::small(7);
+        let a = RepositoryGenerator::new(cfg.clone()).generate();
+        let b = RepositoryGenerator::new(cfg).generate();
+        assert_eq!(a.tree_count(), b.tree_count());
+        assert_eq!(a.total_nodes(), b.total_nodes());
+        let names_a: Vec<String> = a.nodes().map(|(_, n)| n.name.clone()).collect();
+        let names_b: Vec<String> = b.nodes().map(|(_, n)| n.name.clone()).collect();
+        assert_eq!(names_a, names_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RepositoryGenerator::new(GeneratorConfig::small(1)).generate();
+        let b = RepositoryGenerator::new(GeneratorConfig::small(2)).generate();
+        let names_a: Vec<String> = a.nodes().map(|(_, n)| n.name.clone()).collect();
+        let names_b: Vec<String> = b.nodes().map(|(_, n)| n.name.clone()).collect();
+        assert_ne!(names_a, names_b);
+    }
+
+    #[test]
+    fn respects_target_size_and_bounds() {
+        let cfg = GeneratorConfig::small(3);
+        let repo = RepositoryGenerator::new(cfg.clone()).generate();
+        assert!(repo.total_nodes() >= cfg.target_elements);
+        // Overshoot is bounded by one tree.
+        assert!(repo.total_nodes() < cfg.target_elements + cfg.max_tree_size + 1);
+        for (_, tree) in repo.trees() {
+            assert!(tree.len() >= 2, "degenerate tree generated");
+            assert!(tree.max_depth() <= cfg.max_depth);
+            assert!(tree.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn paper_default_reaches_paper_scale() {
+        let repo = RepositoryGenerator::new(GeneratorConfig::paper_default()).generate();
+        assert!(repo.total_nodes() >= 9_759);
+        // A few hundred trees, like the paper's 262.
+        assert!(repo.tree_count() > 50, "only {} trees", repo.tree_count());
+        assert!(repo.tree_count() < 1000);
+    }
+
+    #[test]
+    fn vocabulary_names_appear_widely() {
+        let repo = RepositoryGenerator::new(GeneratorConfig::small(11)).generate();
+        // Names similar to the personal-schema terms of the paper's experiment should
+        // exist in the corpus ("name", "address", "email" and their variants).
+        let mut name_hits = 0usize;
+        let mut addr_hits = 0usize;
+        let mut mail_hits = 0usize;
+        for (_, node) in repo.nodes() {
+            let lower = node.name.to_lowercase();
+            if lower.contains("name") {
+                name_hits += 1;
+            }
+            if lower.contains("addr") {
+                addr_hits += 1;
+            }
+            if lower.contains("mail") {
+                mail_hits += 1;
+            }
+        }
+        assert!(name_hits > 5, "name-like nodes: {name_hits}");
+        assert!(addr_hits > 2, "address-like nodes: {addr_hits}");
+        assert!(mail_hits > 1, "email-like nodes: {mail_hits}");
+    }
+
+    #[test]
+    fn attributes_are_leaves_with_datatypes() {
+        let repo = RepositoryGenerator::new(GeneratorConfig::small(5)).generate();
+        let mut attr_count = 0usize;
+        for (tid, tree) in repo.trees() {
+            for (nid, node) in tree.nodes() {
+                if node.kind == xsm_schema::NodeKind::Attribute {
+                    attr_count += 1;
+                    assert!(tree.is_leaf(nid), "attribute with children in {tid}");
+                    assert!(node.datatype.is_some());
+                }
+            }
+        }
+        assert!(attr_count > 0, "no attributes generated at 12% probability");
+    }
+}

@@ -1,0 +1,275 @@
+//! Name mutation: the generator's model of how real-world schema designers vary names.
+//!
+//! The element matcher's whole reason to exist is that two schemas "even if they have
+//! an identical meaning, can be quite different on the syntactic level". The mutator
+//! reproduces the common sources of that variation: typos (substitution, deletion,
+//! transposition — the same operations `CompareStringFuzzy` scores), abbreviation,
+//! synonym substitution, case-style changes and compounding.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use xsm_similarity::synonym::builtin_groups;
+
+/// Applies a randomly chosen mutation to vocabulary names with a configured probability.
+#[derive(Debug, Clone)]
+pub struct NameMutator {
+    probability: f64,
+    synonym_groups: Vec<Vec<&'static str>>,
+}
+
+impl NameMutator {
+    /// Create a mutator that mutates each name with probability `probability`
+    /// (clamped to `[0,1]`).
+    pub fn new(probability: f64) -> Self {
+        NameMutator {
+            probability: probability.clamp(0.0, 1.0),
+            synonym_groups: builtin_groups(),
+        }
+    }
+
+    /// Possibly mutate `name`. Returns the (possibly unchanged) name.
+    pub fn mutate(&self, name: &str, rng: &mut StdRng) -> String {
+        if name.is_empty() || !rng.gen_bool(self.probability) {
+            return name.to_string();
+        }
+        match rng.gen_range(0..6u8) {
+            0 => typo_substitution(name, rng),
+            1 => typo_deletion(name, rng),
+            2 => typo_transposition(name, rng),
+            3 => abbreviate(name),
+            4 => self.synonym(name, rng).unwrap_or_else(|| case_style(name, rng)),
+            _ => case_style(name, rng),
+        }
+    }
+
+    /// Replace the name with a random member of its synonym group, when one exists.
+    fn synonym(&self, name: &str, rng: &mut StdRng) -> Option<String> {
+        let lower = name.to_lowercase();
+        for group in &self.synonym_groups {
+            if group.iter().any(|&g| g.eq_ignore_ascii_case(&lower)) {
+                let choice = group[rng.gen_range(0..group.len())];
+                return Some(choice.to_string());
+            }
+        }
+        None
+    }
+}
+
+/// Substitute one interior character with a nearby letter.
+fn typo_substitution(name: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = name.chars().collect();
+    if chars.len() < 3 {
+        return name.to_string();
+    }
+    let pos = rng.gen_range(1..chars.len() - 1);
+    let replacement = (b'a' + rng.gen_range(0..26)) as char;
+    chars[pos] = replacement;
+    chars.into_iter().collect()
+}
+
+/// Delete one interior character (`address` → `adress`).
+fn typo_deletion(name: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() < 4 {
+        return name.to_string();
+    }
+    let pos = rng.gen_range(1..chars.len() - 1);
+    chars
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != pos)
+        .map(|(_, &c)| c)
+        .collect()
+}
+
+/// Swap two adjacent interior characters (`author` → `auhtor`).
+fn typo_transposition(name: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = name.chars().collect();
+    if chars.len() < 4 {
+        return name.to_string();
+    }
+    let pos = rng.gen_range(1..chars.len() - 2);
+    chars.swap(pos, pos + 1);
+    chars.into_iter().collect()
+}
+
+/// Crude abbreviation: keep the first syllable-ish prefix and drop vowels from the rest
+/// (`description` → `descrptn` style), or truncate short names.
+fn abbreviate(name: &str) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() <= 4 {
+        return name.to_string();
+    }
+    let keep = 3usize;
+    let mut out: String = chars[..keep].iter().collect();
+    for &c in &chars[keep..] {
+        if !"aeiouAEIOU".contains(c) {
+            out.push(c);
+        }
+    }
+    if out.len() < 3 {
+        name.chars().take(4).collect()
+    } else {
+        out
+    }
+}
+
+/// Re-render the name in a different case style (snake_case, kebab-case, PascalCase,
+/// lowercase).
+fn case_style(name: &str, rng: &mut StdRng) -> String {
+    let tokens = xsm_similarity::token::tokenize(name);
+    if tokens.is_empty() {
+        return name.to_string();
+    }
+    match rng.gen_range(0..4u8) {
+        0 => tokens.join("_"),
+        1 => tokens.join("-"),
+        2 => tokens
+            .iter()
+            .map(|t| {
+                let mut c = t.chars();
+                match c.next() {
+                    Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                    None => String::new(),
+                }
+            })
+            .collect::<String>(),
+        _ => tokens.concat(),
+    }
+}
+
+/// Compound a qualifier and a base name in camelCase (`shipping` + `address` →
+/// `shippingAddress`) or snake_case, chosen at random.
+pub fn compound(qualifier: &str, base: &str, rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.5) {
+        let mut c = base.chars();
+        let capitalized = match c.next() {
+            Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+            None => String::new(),
+        };
+        format!("{qualifier}{capitalized}")
+    } else {
+        format!("{qualifier}_{base}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use xsm_similarity::compare_string_fuzzy;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn zero_probability_never_mutates() {
+        let m = NameMutator::new(0.0);
+        let mut r = rng();
+        for _ in 0..20 {
+            assert_eq!(m.mutate("address", &mut r), "address");
+        }
+    }
+
+    #[test]
+    fn full_probability_usually_changes_long_names() {
+        let m = NameMutator::new(1.0);
+        let mut r = rng();
+        let mut changed = 0;
+        for _ in 0..50 {
+            if m.mutate("description", &mut r) != "description" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 25, "only {changed}/50 mutations changed the name");
+    }
+
+    #[test]
+    fn mutations_stay_recognisable_by_the_fuzzy_kernel() {
+        // The point of the mutation model: mutated names must remain *similar* to the
+        // original under the matcher's kernel (otherwise matching would be impossible,
+        // in the paper as well). Synonym substitution is the exception by design.
+        let m = NameMutator::new(1.0);
+        let mut r = rng();
+        let mut similar = 0usize;
+        let mut total = 0usize;
+        for base in ["address", "customerName", "publicationYear", "telephone"] {
+            for _ in 0..25 {
+                let mutated = m.mutate(base, &mut r);
+                total += 1;
+                if compare_string_fuzzy(base, &mutated) >= 0.5
+                    || xsm_similarity::token::token_set_similarity(base, &mutated) >= 0.5
+                {
+                    similar += 1;
+                }
+            }
+        }
+        assert!(
+            similar as f64 / total as f64 > 0.7,
+            "only {similar}/{total} mutations stayed similar"
+        );
+    }
+
+    #[test]
+    fn typo_helpers_produce_expected_edit_distance() {
+        let mut r = rng();
+        let sub = typo_substitution("address", &mut r);
+        assert_eq!(sub.len(), "address".len());
+        let del = typo_deletion("address", &mut r);
+        assert_eq!(del.len(), "address".len() - 1);
+        let tr = typo_transposition("address", &mut r);
+        assert_eq!(tr.len(), "address".len());
+        // Short names pass through unchanged.
+        assert_eq!(typo_deletion("ab", &mut r), "ab");
+        assert_eq!(typo_transposition("abc", &mut r), "abc");
+        assert_eq!(typo_substitution("ab", &mut r), "ab");
+    }
+
+    #[test]
+    fn abbreviation_shortens_long_names() {
+        assert!(abbreviate("description").len() < "description".len());
+        assert_eq!(abbreviate("id"), "id");
+        assert_eq!(abbreviate("name"), "name");
+    }
+
+    #[test]
+    fn compound_joins_qualifier_and_base() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let c = compound("shipping", "address", &mut r);
+            assert!(c == "shippingAddress" || c == "shipping_address", "{c}");
+        }
+    }
+
+    #[test]
+    fn case_style_preserves_tokens() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let styled = case_style("customerName", &mut r);
+            let flattened: String = styled
+                .chars()
+                .filter(|c| c.is_alphanumeric())
+                .flat_map(|c| c.to_lowercase())
+                .collect();
+            assert_eq!(flattened, "customername", "styled = {styled}");
+        }
+    }
+
+    #[test]
+    fn synonym_mutation_uses_builtin_groups() {
+        let m = NameMutator::new(1.0);
+        let mut r = rng();
+        let mut saw_synonym = false;
+        for _ in 0..200 {
+            let out = m.mutate("email", &mut r);
+            if out != "email"
+                && ["mail", "e-mail", "electronicmail"].contains(&out.to_lowercase().as_str())
+            {
+                saw_synonym = true;
+                break;
+            }
+        }
+        assert!(saw_synonym, "synonym branch never produced a group member");
+    }
+}

@@ -1,0 +1,169 @@
+//! Domain vocabularies for the synthetic corpus.
+//!
+//! Six domains whose element names mirror what the paper's crawled web schemas contain.
+//! The personal schemas used in the experiments (`book/title/author` from Fig. 1 and
+//! `name/address/email` from Sec. 5) must find many graded matches, so contact- and
+//! bibliography-flavoured terms are deliberately spread across several domains —
+//! exactly the situation that makes exhaustive matching expensive and clustering
+//! worthwhile.
+
+/// A vocabulary domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Domain {
+    /// Short domain name (also used in generated tree names).
+    pub name: &'static str,
+    /// Candidate root-element names.
+    pub roots: &'static [&'static str],
+    /// Element/attribute base names.
+    pub vocabulary: &'static [&'static str],
+    /// Qualifiers used when compounding (e.g. `shipping` + `address`).
+    pub qualifiers: &'static [&'static str],
+}
+
+/// The contacts / person domain.
+pub static CONTACTS: Domain = Domain {
+    name: "contacts",
+    roots: &["person", "contact", "addressBook", "profile", "member", "user"],
+    vocabulary: &[
+        "name", "firstName", "lastName", "middleName", "nickname", "title", "address",
+        "street", "city", "state", "zip", "postalCode", "country", "email", "emailAddress",
+        "phone", "telephone", "mobile", "fax", "homepage", "url", "birthDate", "age",
+        "gender", "company", "organization", "department", "jobTitle", "note", "photo",
+    ],
+    qualifiers: &["home", "work", "primary", "secondary", "billing", "shipping", "personal"],
+};
+
+/// The library / bibliography domain (the paper's Fig. 1 world).
+pub static LIBRARY: Domain = Domain {
+    name: "library",
+    roots: &["lib", "library", "catalog", "bibliography", "collection", "bookstore"],
+    vocabulary: &[
+        "book", "title", "subtitle", "author", "authorName", "editor", "publisher",
+        "publicationYear", "year", "isbn", "edition", "volume", "series", "chapter",
+        "page", "pages", "abstract", "keyword", "subject", "language", "shelf", "data",
+        "address", "genre", "format", "price", "copy", "barcode", "dueDate", "borrower",
+        "name", "email",
+    ],
+    qualifiers: &["main", "original", "translated", "first", "last", "co"],
+};
+
+/// The commerce / orders domain.
+pub static COMMERCE: Domain = Domain {
+    name: "commerce",
+    roots: &["order", "invoice", "purchaseOrder", "cart", "shipment", "catalog"],
+    vocabulary: &[
+        "orderId", "orderDate", "customer", "customerName", "item", "product",
+        "productName", "sku", "quantity", "qty", "price", "unitPrice", "total",
+        "totalAmount", "currency", "discount", "tax", "address", "shippingAddress",
+        "billingAddress", "deliveryDate", "status", "payment", "cardNumber", "email",
+        "phone", "name", "description", "category", "weight", "vendor", "supplier",
+    ],
+    qualifiers: &["shipping", "billing", "line", "net", "gross", "unit", "ordered"],
+};
+
+/// The organisation / HR domain.
+pub static ORGANIZATION: Domain = Domain {
+    name: "organization",
+    roots: &["company", "organization", "department", "employeeList", "staff", "directory"],
+    vocabulary: &[
+        "employee", "employeeId", "name", "firstName", "lastName", "position", "role",
+        "salary", "manager", "department", "division", "office", "location", "address",
+        "email", "phone", "extension", "hireDate", "birthDate", "skill", "project",
+        "team", "budget", "headcount", "title", "grade", "contract", "status",
+    ],
+    qualifiers: &["line", "senior", "acting", "deputy", "regional", "head"],
+};
+
+/// The publications / news domain.
+pub static PUBLICATIONS: Domain = Domain {
+    name: "publications",
+    roots: &["article", "journal", "proceedings", "newsFeed", "magazine", "paper"],
+    vocabulary: &[
+        "title", "headline", "author", "byline", "abstract", "body", "section",
+        "paragraph", "date", "publicationDate", "volume", "issue", "page", "doi",
+        "keyword", "reference", "citation", "affiliation", "email", "conference",
+        "editor", "reviewer", "category", "summary", "link", "image", "caption", "name",
+    ],
+    qualifiers: &["corresponding", "first", "last", "lead", "guest"],
+};
+
+/// A generic "web data" domain: configuration files, feeds, measurements.
+pub static WEBDATA: Domain = Domain {
+    name: "webdata",
+    roots: &["record", "dataset", "entry", "document", "resource", "config", "feed"],
+    vocabulary: &[
+        "id", "identifier", "name", "label", "value", "type", "description", "created",
+        "modified", "timestamp", "owner", "source", "target", "url", "link", "size",
+        "count", "version", "status", "tag", "property", "attribute", "field", "format",
+        "encoding", "checksum", "parent", "child", "comment", "metadata",
+    ],
+    qualifiers: &["min", "max", "default", "current", "previous", "next"],
+};
+
+/// All built-in domains.
+pub fn all_domains() -> &'static [&'static Domain] {
+    static ALL: [&Domain; 6] = [
+        &CONTACTS,
+        &LIBRARY,
+        &COMMERCE,
+        &ORGANIZATION,
+        &PUBLICATIONS,
+        &WEBDATA,
+    ];
+    &ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_domains_are_nonempty() {
+        for d in all_domains() {
+            assert!(!d.roots.is_empty(), "{}", d.name);
+            assert!(d.vocabulary.len() >= 25, "{}", d.name);
+            assert!(!d.qualifiers.is_empty(), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn personal_schema_terms_are_reachable_in_multiple_domains() {
+        // The paper's Sec. 5 personal schema is name / address / email; those terms or
+        // close variants must appear in several domains for the experiment to make sense.
+        let mut name_domains = 0;
+        let mut addr_domains = 0;
+        let mut mail_domains = 0;
+        for d in all_domains() {
+            if d.vocabulary.iter().any(|w| w.to_lowercase().contains("name")) {
+                name_domains += 1;
+            }
+            if d.vocabulary.iter().any(|w| w.to_lowercase().contains("addr")) {
+                addr_domains += 1;
+            }
+            if d.vocabulary.iter().any(|w| w.to_lowercase().contains("mail")) {
+                mail_domains += 1;
+            }
+        }
+        assert!(name_domains >= 4, "name in {name_domains} domains");
+        assert!(addr_domains >= 3, "address in {addr_domains} domains");
+        assert!(mail_domains >= 3, "email in {mail_domains} domains");
+    }
+
+    #[test]
+    fn fig1_terms_exist_in_library_domain() {
+        for term in ["book", "title", "author", "shelf", "data", "address"] {
+            assert!(
+                LIBRARY.vocabulary.contains(&term) || LIBRARY.roots.contains(&term),
+                "missing {term}"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_names_are_unique() {
+        let mut names: Vec<&str> = all_domains().iter().map(|d| d.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all_domains().len());
+    }
+}

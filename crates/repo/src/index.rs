@@ -1,0 +1,197 @@
+//! Name indexes over a repository: exact lookup and q-gram approximate lookup.
+//!
+//! Bellflower's element matcher conceptually compares *every* personal-schema element
+//! with *every* repository element. The paper points to "approximate string joins"
+//! (Gravano et al.) as the standard way to implement such matchers efficiently; the
+//! [`NameIndex`] is that substrate: an inverted index from lowercased names (exact) and
+//! from character q-grams (approximate candidate retrieval with a count filter).
+
+use std::collections::HashMap;
+use xsm_schema::GlobalNodeId;
+use xsm_similarity::ngram::qgrams;
+
+use crate::repository::SchemaRepository;
+
+/// Inverted indexes from names and q-grams to repository nodes.
+#[derive(Debug, Clone, Default)]
+pub struct NameIndex {
+    /// lowercase name → nodes carrying exactly that name.
+    exact: HashMap<String, Vec<GlobalNodeId>>,
+    /// q-gram → nodes whose name contains the gram.
+    grams: HashMap<String, Vec<GlobalNodeId>>,
+    /// node → number of q-grams of its name (needed by the count filter).
+    gram_counts: HashMap<GlobalNodeId, usize>,
+    q: usize,
+}
+
+impl NameIndex {
+    /// Build the index over all nodes of a repository with the default `q = 3`.
+    pub fn build(repo: &SchemaRepository) -> Self {
+        Self::build_with_q(repo, 3)
+    }
+
+    /// Build with an explicit q-gram length (`q >= 1`).
+    pub fn build_with_q(repo: &SchemaRepository, q: usize) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        let mut exact: HashMap<String, Vec<GlobalNodeId>> = HashMap::new();
+        let mut grams: HashMap<String, Vec<GlobalNodeId>> = HashMap::new();
+        let mut gram_counts = HashMap::new();
+        for (id, node) in repo.nodes() {
+            let lower = node.name.to_lowercase();
+            exact.entry(lower.clone()).or_default().push(id);
+            let gs = qgrams(&lower, q);
+            gram_counts.insert(id, gs.len());
+            let mut seen = std::collections::HashSet::new();
+            for g in gs {
+                if seen.insert(g.clone()) {
+                    grams.entry(g).or_default().push(id);
+                }
+            }
+        }
+        NameIndex {
+            exact,
+            grams,
+            gram_counts,
+            q,
+        }
+    }
+
+    /// Number of distinct names indexed.
+    pub fn distinct_names(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Nodes whose name equals `name` (case-insensitive).
+    pub fn lookup_exact(&self, name: &str) -> &[GlobalNodeId] {
+        self.exact
+            .get(&name.to_lowercase())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Candidate nodes whose name shares at least `min_overlap_fraction` of the query
+    /// name's q-grams (a conservative pre-filter: every node with fuzzy similarity
+    /// above a moderate threshold shares a large q-gram fraction, so the exact kernel
+    /// only has to be run on the returned candidates).
+    pub fn lookup_approximate(
+        &self,
+        name: &str,
+        min_overlap_fraction: f64,
+    ) -> Vec<GlobalNodeId> {
+        let lower = name.to_lowercase();
+        let query_grams: Vec<String> = {
+            let mut v = qgrams(&lower, self.q);
+            v.sort();
+            v.dedup();
+            v
+        };
+        if query_grams.is_empty() {
+            return Vec::new();
+        }
+        let mut counts: HashMap<GlobalNodeId, usize> = HashMap::new();
+        for g in &query_grams {
+            if let Some(list) = self.grams.get(g) {
+                for &id in list {
+                    *counts.entry(id).or_default() += 1;
+                }
+            }
+        }
+        let needed = (min_overlap_fraction * query_grams.len() as f64).ceil() as usize;
+        let needed = needed.max(1);
+        let mut out: Vec<GlobalNodeId> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= needed)
+            .map(|(id, _)| id)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The q used when the index was built.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of q-grams the indexed node's name produced (0 for unknown nodes).
+    pub fn gram_count(&self, id: GlobalNodeId) -> usize {
+        self.gram_counts.get(&id).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsm_schema::tree::paper_repository_fragment;
+    use xsm_schema::{SchemaNode, TreeBuilder};
+
+    fn small_repo() -> SchemaRepository {
+        let other = TreeBuilder::new("contacts")
+            .root(SchemaNode::element("person"))
+            .child(SchemaNode::element("name"))
+            .sibling(SchemaNode::element("emailAddress"))
+            .sibling(SchemaNode::element("address"))
+            .build();
+        SchemaRepository::from_trees(vec![paper_repository_fragment(), other])
+    }
+
+    #[test]
+    fn exact_lookup_is_case_insensitive() {
+        let repo = small_repo();
+        let idx = NameIndex::build(&repo);
+        assert_eq!(idx.lookup_exact("ADDRESS").len(), 2);
+        assert_eq!(idx.lookup_exact("title").len(), 1);
+        assert_eq!(idx.lookup_exact("nosuchname").len(), 0);
+        assert!(idx.distinct_names() >= 9);
+    }
+
+    #[test]
+    fn approximate_lookup_finds_related_names() {
+        let repo = small_repo();
+        let idx = NameIndex::build(&repo);
+        let candidates = idx.lookup_approximate("email", 0.3);
+        let names: Vec<&str> = candidates.iter().map(|&id| repo.name_of(id)).collect();
+        assert!(
+            names.contains(&"emailAddress"),
+            "expected emailAddress among {names:?}"
+        );
+        // A strict overlap requirement excludes loosely related names.
+        let strict = idx.lookup_approximate("email", 0.99);
+        assert!(strict.len() <= candidates.len());
+    }
+
+    #[test]
+    fn approximate_lookup_of_exact_name_contains_it() {
+        let repo = small_repo();
+        let idx = NameIndex::build(&repo);
+        let candidates = idx.lookup_approximate("address", 0.9);
+        let names: Vec<&str> = candidates.iter().map(|&id| repo.name_of(id)).collect();
+        assert!(names.iter().filter(|&&n| n == "address").count() >= 2);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let repo = small_repo();
+        let idx = NameIndex::build(&repo);
+        // q-gram padding means even "" produces grams, but sanity: tiny queries work.
+        let v = idx.lookup_approximate("x", 0.5);
+        // No name contains 'x' grams in this repo.
+        assert!(v.is_empty() || v.iter().all(|&id| repo.name_of(id).contains('x')));
+    }
+
+    #[test]
+    fn gram_counts_recorded_per_node() {
+        let repo = small_repo();
+        let idx = NameIndex::build_with_q(&repo, 2);
+        assert_eq!(idx.q(), 2);
+        for (id, node) in repo.nodes() {
+            assert_eq!(idx.gram_count(id), qgrams(&node.name.to_lowercase(), 2).len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be at least 1")]
+    fn zero_q_panics() {
+        let repo = small_repo();
+        NameIndex::build_with_q(&repo, 0);
+    }
+}

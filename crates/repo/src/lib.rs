@@ -1,0 +1,32 @@
+//! # xsm-repo — schema repository, indexes and the synthetic corpus generator
+//!
+//! The paper's Bellflower system matches a small *personal schema* against a large
+//! *schema repository*: "GoogleTM search engine was used to discover 1700 non-recursive
+//! DTDs and XML schemas with a total number of 178252 element (attribute) nodes
+//! distributed over 3889 trees", from which sub-repositories of 2 500 – 10 200 elements
+//! were sampled for the experiments.
+//!
+//! This crate provides:
+//!
+//! * [`SchemaRepository`] — the forest store with per-tree node labellings,
+//! * [`index::NameIndex`] — exact and q-gram approximate name lookup across the forest,
+//! * [`generator`] — a seeded synthetic corpus generator that substitutes for the
+//!   crawled corpus (see DESIGN.md, substitution 1): domain vocabularies, realistic
+//!   tree shapes and name mutations give the same *statistical* behaviour that the
+//!   matching and clustering algorithms depend on,
+//! * [`corpus`] — loading real DTD/XSD files from disk through the `xsm-schema` parsers,
+//! * [`sampling`] — drawing sub-repositories of a target element count, as the paper
+//!   does for its experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod generator;
+pub mod index;
+pub mod repository;
+pub mod sampling;
+
+pub use generator::{GeneratorConfig, RepositoryGenerator};
+pub use index::NameIndex;
+pub use repository::SchemaRepository;

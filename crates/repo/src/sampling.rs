@@ -1,0 +1,133 @@
+//! Sub-repository sampling.
+//!
+//! "A repository of such size proved to be too big for our experimental framework, and
+//! we built several smaller repositories with sizes from 2500 to 10200 elements, by
+//! randomly selecting schemas from the collection." This module reproduces that step:
+//! given a (large) repository, draw a random subset of whole trees until a target
+//! element count is reached.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::repository::SchemaRepository;
+
+/// Randomly select whole trees from `source` until the sampled repository holds at
+/// least `target_elements` nodes (or every tree has been taken). Selection order is
+/// a seeded shuffle, so equal seeds give equal samples.
+pub fn sample_by_elements(
+    source: &SchemaRepository,
+    target_elements: usize,
+    seed: u64,
+) -> SchemaRepository {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..source.tree_count()).collect();
+    order.shuffle(&mut rng);
+    let mut trees = Vec::new();
+    let mut total = 0usize;
+    for idx in order {
+        if total >= target_elements {
+            break;
+        }
+        let tree = source
+            .tree(xsm_schema::TreeId(idx as u32))
+            .expect("index within tree_count")
+            .clone();
+        total += tree.len();
+        trees.push(tree);
+    }
+    SchemaRepository::from_trees(trees)
+}
+
+/// Select a fixed number of trees at random.
+pub fn sample_by_trees(source: &SchemaRepository, tree_count: usize, seed: u64) -> SchemaRepository {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..source.tree_count()).collect();
+    order.shuffle(&mut rng);
+    let trees = order
+        .into_iter()
+        .take(tree_count)
+        .map(|idx| {
+            source
+                .tree(xsm_schema::TreeId(idx as u32))
+                .expect("index within tree_count")
+                .clone()
+        })
+        .collect();
+    SchemaRepository::from_trees(trees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, RepositoryGenerator};
+
+    fn base_repo() -> SchemaRepository {
+        RepositoryGenerator::new(GeneratorConfig::small(17).with_target_elements(2000)).generate()
+    }
+
+    #[test]
+    fn sample_by_elements_hits_target() {
+        let source = base_repo();
+        let sample = sample_by_elements(&source, 500, 3);
+        assert!(sample.total_nodes() >= 500);
+        assert!(sample.tree_count() < source.tree_count());
+        // Overshoot bounded by one tree.
+        let max_tree = source
+            .trees()
+            .map(|(_, t)| t.len())
+            .max()
+            .unwrap_or(0);
+        assert!(sample.total_nodes() <= 500 + max_tree);
+    }
+
+    #[test]
+    fn sample_larger_than_source_takes_everything() {
+        let source = base_repo();
+        let sample = sample_by_elements(&source, source.total_nodes() * 2, 3);
+        assert_eq!(sample.tree_count(), source.tree_count());
+        assert_eq!(sample.total_nodes(), source.total_nodes());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let source = base_repo();
+        let a = sample_by_elements(&source, 700, 9);
+        let b = sample_by_elements(&source, 700, 9);
+        let c = sample_by_elements(&source, 700, 10);
+        assert_eq!(a.total_nodes(), b.total_nodes());
+        assert_eq!(a.tree_count(), b.tree_count());
+        let names_a: Vec<String> = a.trees().map(|(_, t)| t.name().to_string()).collect();
+        let names_b: Vec<String> = b.trees().map(|(_, t)| t.name().to_string()).collect();
+        assert_eq!(names_a, names_b);
+        // Different seed very likely picks a different set of trees.
+        let names_c: Vec<String> = c.trees().map(|(_, t)| t.name().to_string()).collect();
+        assert_ne!(names_a, names_c);
+    }
+
+    #[test]
+    fn sample_by_trees_takes_exact_count() {
+        let source = base_repo();
+        let sample = sample_by_trees(&source, 5, 1);
+        assert_eq!(sample.tree_count(), 5);
+        let all = sample_by_trees(&source, source.tree_count() + 10, 1);
+        assert_eq!(all.tree_count(), source.tree_count());
+    }
+
+    #[test]
+    fn sampled_trees_have_working_labelings() {
+        let source = base_repo();
+        let sample = sample_by_trees(&source, 3, 8);
+        for (tid, tree) in sample.trees() {
+            let root = tree.root().unwrap();
+            for nid in tree.node_ids() {
+                let d = sample
+                    .distance(
+                        xsm_schema::GlobalNodeId::new(tid, root),
+                        xsm_schema::GlobalNodeId::new(tid, nid),
+                    )
+                    .unwrap();
+                assert_eq!(d, tree.depth(nid));
+            }
+        }
+    }
+}

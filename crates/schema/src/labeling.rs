@@ -1,0 +1,325 @@
+//! Node labelling for fast tree-distance queries.
+//!
+//! The paper (Sec. 4, "Distance measure") notes that distances are computed very often
+//! during k-means clustering and that Bellflower "uses node labeling techniques
+//! \[Kaplan & Milo\] to provide low-cost computation of path lengths". We implement the
+//! standard Euler-tour + sparse-table LCA labelling: after an `O(n log n)` preprocessing
+//! pass, the path length between any two nodes of the same tree is answered in `O(1)`.
+//!
+//! The labelling also exposes pre/post order intervals, which give `O(1)`
+//! ancestor/descendant tests — used by the structural element matchers.
+
+use crate::node::NodeId;
+use crate::tree::SchemaTree;
+use serde::{Deserialize, Serialize};
+
+/// Precomputed labels for one [`SchemaTree`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeLabeling {
+    /// depth[node] — number of edges from the root.
+    depth: Vec<u32>,
+    /// First index of each node in the Euler tour.
+    first_occurrence: Vec<u32>,
+    /// Euler tour of node indices.
+    euler: Vec<u32>,
+    /// Sparse table over the Euler tour: `sparse[k][i]` is the index (into `euler`) of
+    /// the minimum-depth node in the window `[i, i + 2^k)`.
+    sparse: Vec<Vec<u32>>,
+    /// Pre-order entry numbers (for ancestor tests).
+    pre: Vec<u32>,
+    /// Pre-order exit numbers (size of subtree encoded as interval end).
+    post: Vec<u32>,
+    node_count: usize,
+}
+
+impl TreeLabeling {
+    /// Build the labelling for a tree. Empty trees produce an empty labelling whose
+    /// queries all return `None`.
+    pub fn build(tree: &SchemaTree) -> Self {
+        let n = tree.len();
+        let mut depth = vec![0u32; n];
+        let mut first_occurrence = vec![u32::MAX; n];
+        let mut euler = Vec::with_capacity(2 * n);
+        let mut pre = vec![0u32; n];
+        let mut post = vec![0u32; n];
+
+        if let Some(root) = tree.root() {
+            // Iterative DFS producing the Euler tour and pre/post numbers.
+            #[derive(Debug)]
+            enum Step {
+                Enter(NodeId),
+                Return(NodeId),
+            }
+            let mut counter = 0u32;
+            let mut stack = vec![Step::Enter(root)];
+            while let Some(step) = stack.pop() {
+                match step {
+                    Step::Enter(id) => {
+                        let d = tree.depth(id);
+                        depth[id.index()] = d;
+                        pre[id.index()] = counter;
+                        counter += 1;
+                        first_occurrence[id.index()] = euler.len() as u32;
+                        euler.push(id.0);
+                        let children = tree.children(id);
+                        // Interleave: after each child subtree, revisit the parent.
+                        for &c in children.iter().rev() {
+                            stack.push(Step::Return(id));
+                            stack.push(Step::Enter(c));
+                        }
+                    }
+                    Step::Return(id) => {
+                        euler.push(id.0);
+                    }
+                }
+            }
+            // Post numbers: a node's interval is [pre, post]; compute by DFS sizes.
+            // Since ids are appended in pre-order by the builder we can compute post
+            // from the pre-order traversal directly.
+            let order = tree.preorder();
+            // post[v] = pre[v] + size(subtree(v)) - 1; compute sizes bottom-up.
+            let mut size = vec![1u32; n];
+            for &id in order.iter().rev() {
+                if let Some(p) = tree.parent(id) {
+                    size[p.index()] += size[id.index()];
+                }
+            }
+            for &id in &order {
+                post[id.index()] = pre[id.index()] + size[id.index()] - 1;
+            }
+        }
+
+        let sparse = build_sparse_table(&euler, &depth);
+        TreeLabeling {
+            depth,
+            first_occurrence,
+            euler,
+            sparse,
+            pre,
+            post,
+            node_count: n,
+        }
+    }
+
+    /// Number of nodes covered by this labelling.
+    pub fn len(&self) -> usize {
+        self.node_count
+    }
+
+    /// True when the labelling covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_count == 0
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, id: NodeId) -> Option<u32> {
+        self.depth.get(id.index()).copied()
+    }
+
+    /// Lowest common ancestor in `O(1)`.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> Option<NodeId> {
+        let fa = *self.first_occurrence.get(a.index())? as usize;
+        let fb = *self.first_occurrence.get(b.index())? as usize;
+        if fa == usize::from(u16::MAX) && self.euler.is_empty() {
+            return None;
+        }
+        let (lo, hi) = if fa <= fb { (fa, fb) } else { (fb, fa) };
+        let idx = self.range_min(lo, hi)?;
+        Some(NodeId(self.euler[idx]))
+    }
+
+    /// Path length (number of edges) between two nodes, in `O(1)`.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        let l = self.lca(a, b)?;
+        Some(self.depth[a.index()] + self.depth[b.index()] - 2 * self.depth[l.index()])
+    }
+
+    /// `true` if `ancestor` is an ancestor of (or equal to) `descendant`.
+    pub fn is_ancestor(&self, ancestor: NodeId, descendant: NodeId) -> Option<bool> {
+        let pa = *self.pre.get(ancestor.index())?;
+        let qa = *self.post.get(ancestor.index())?;
+        let pd = *self.pre.get(descendant.index())?;
+        Some(pa <= pd && pd <= qa)
+    }
+
+    /// Pre-order rank of a node.
+    pub fn preorder_rank(&self, id: NodeId) -> Option<u32> {
+        self.pre.get(id.index()).copied()
+    }
+
+    /// Size of the subtree rooted at `id`.
+    pub fn subtree_size(&self, id: NodeId) -> Option<u32> {
+        let p = *self.pre.get(id.index())?;
+        let q = *self.post.get(id.index())?;
+        Some(q - p + 1)
+    }
+
+    /// Index (into the euler tour) of the minimum-depth entry in `[lo, hi]`.
+    fn range_min(&self, lo: usize, hi: usize) -> Option<usize> {
+        if self.euler.is_empty() || hi >= self.euler.len() {
+            return None;
+        }
+        let span = hi - lo + 1;
+        let k = usize::BITS as usize - 1 - span.leading_zeros() as usize;
+        let left = self.sparse[k][lo] as usize;
+        let right = self.sparse[k][hi + 1 - (1 << k)] as usize;
+        let dl = self.depth[self.euler[left] as usize];
+        let dr = self.depth[self.euler[right] as usize];
+        Some(if dl <= dr { left } else { right })
+    }
+}
+
+/// Build the sparse table for range-minimum (by depth) queries over the Euler tour.
+fn build_sparse_table(euler: &[u32], depth: &[u32]) -> Vec<Vec<u32>> {
+    let m = euler.len();
+    if m == 0 {
+        return vec![];
+    }
+    let levels = (usize::BITS - m.leading_zeros()) as usize;
+    let mut sparse: Vec<Vec<u32>> = Vec::with_capacity(levels);
+    sparse.push((0..m as u32).collect());
+    let mut k = 1usize;
+    while (1 << k) <= m {
+        let prev = &sparse[k - 1];
+        let width = 1 << (k - 1);
+        let mut row = Vec::with_capacity(m + 1 - (1 << k));
+        for i in 0..=(m - (1 << k)) {
+            let a = prev[i] as usize;
+            let b = prev[i + width] as usize;
+            let da = depth[euler[a] as usize];
+            let db = depth[euler[b] as usize];
+            row.push(if da <= db { a as u32 } else { b as u32 });
+        }
+        sparse.push(row);
+        k += 1;
+    }
+    sparse
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::SchemaNode;
+    use crate::tree::{paper_repository_fragment, SchemaTree, TreeBuilder};
+
+    fn labeled_fig1() -> (SchemaTree, TreeLabeling) {
+        let t = paper_repository_fragment();
+        let l = TreeLabeling::build(&t);
+        (t, l)
+    }
+
+    #[test]
+    fn empty_tree_labeling() {
+        let t = SchemaTree::new("empty");
+        let l = TreeLabeling::build(&t);
+        assert!(l.is_empty());
+        assert_eq!(l.distance(NodeId(0), NodeId(1)), None);
+        assert_eq!(l.lca(NodeId(0), NodeId(0)), None);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = TreeBuilder::new("one")
+            .root(SchemaNode::element("only"))
+            .build();
+        let l = TreeLabeling::build(&t);
+        let r = t.root().unwrap();
+        assert_eq!(l.distance(r, r), Some(0));
+        assert_eq!(l.lca(r, r), Some(r));
+        assert_eq!(l.subtree_size(r), Some(1));
+        assert_eq!(l.is_ancestor(r, r), Some(true));
+    }
+
+    #[test]
+    fn distances_agree_with_naive_tree_distance() {
+        let (t, l) = labeled_fig1();
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                assert_eq!(
+                    l.distance(a, b),
+                    t.distance(a, b),
+                    "distance mismatch for {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lca_agrees_with_naive() {
+        let (t, l) = labeled_fig1();
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                assert_eq!(l.lca(a, b), t.lca(a, b), "lca mismatch for {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_tests() {
+        let (t, l) = labeled_fig1();
+        let lib = t.root().unwrap();
+        let title = t.find_by_name("title").unwrap();
+        let address = t.find_by_name("address").unwrap();
+        assert_eq!(l.is_ancestor(lib, title), Some(true));
+        assert_eq!(l.is_ancestor(title, lib), Some(false));
+        assert_eq!(l.is_ancestor(address, title), Some(false));
+        assert_eq!(l.is_ancestor(title, title), Some(true));
+    }
+
+    #[test]
+    fn subtree_sizes() {
+        let (t, l) = labeled_fig1();
+        let lib = t.root().unwrap();
+        let book = t.find_by_name("book").unwrap();
+        let data = t.find_by_name("data").unwrap();
+        assert_eq!(l.subtree_size(lib), Some(7));
+        assert_eq!(l.subtree_size(book), Some(5));
+        assert_eq!(l.subtree_size(data), Some(3));
+    }
+
+    #[test]
+    fn distance_symmetric_and_triangle_on_random_tree() {
+        // Build a deterministic "comb" tree with some branching to stress the LCA.
+        let mut t = SchemaTree::new("comb");
+        let root = t.add_root(SchemaNode::element("r")).unwrap();
+        let mut spine = root;
+        let mut all = vec![root];
+        for i in 0..50 {
+            let s = t
+                .add_child(spine, SchemaNode::element(format!("s{i}")))
+                .unwrap();
+            let leaf = t
+                .add_child(spine, SchemaNode::element(format!("l{i}")))
+                .unwrap();
+            all.push(s);
+            all.push(leaf);
+            spine = s;
+        }
+        let l = TreeLabeling::build(&t);
+        for (i, &a) in all.iter().enumerate().step_by(7) {
+            for &b in all.iter().skip(i).step_by(11) {
+                let d_ab = l.distance(a, b).unwrap();
+                let d_ba = l.distance(b, a).unwrap();
+                assert_eq!(d_ab, d_ba);
+                assert_eq!(l.distance(a, b), t.distance(a, b));
+                for &c in all.iter().step_by(13) {
+                    let d_ac = l.distance(a, c).unwrap();
+                    let d_cb = l.distance(c, b).unwrap();
+                    assert!(d_ab <= d_ac + d_cb, "triangle inequality violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preorder_rank_is_dense_permutation() {
+        let (t, l) = labeled_fig1();
+        let mut ranks: Vec<u32> = t
+            .node_ids()
+            .map(|id| l.preorder_rank(id).unwrap())
+            .collect();
+        ranks.sort_unstable();
+        let expected: Vec<u32> = (0..t.len() as u32).collect();
+        assert_eq!(ranks, expected);
+    }
+}

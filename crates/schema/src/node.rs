@@ -1,0 +1,269 @@
+//! Node types of a schema tree: identifiers, kinds, cardinalities and properties.
+
+use crate::datatype::XsdType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node inside a single [`crate::SchemaTree`].
+///
+/// Node ids are dense indices into the tree's arena; they are assigned in insertion
+/// order, which for trees built by the parsers and the builder corresponds to a
+/// pre-order traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index form for vector-indexed storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build a node id from an arena index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Whether a schema node came from an element declaration or an attribute declaration.
+///
+/// The paper counts "element (attribute) nodes" together; both participate in matching
+/// identically, but the distinction is kept because datatype information is far more
+/// common on attributes and because structural matchers may want to treat attribute
+/// edges differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An XML element declaration.
+    Element,
+    /// An XML attribute declaration.
+    Attribute,
+}
+
+impl NodeKind {
+    /// Short lowercase label used in debugging output.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeKind::Element => "element",
+            NodeKind::Attribute => "attribute",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Occurrence constraint of a node under its parent (a simplified `minOccurs`/`maxOccurs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Cardinality {
+    /// Exactly one occurrence (`minOccurs=1, maxOccurs=1`, the XSD default).
+    #[default]
+    One,
+    /// Optional occurrence (`?` in DTD, `minOccurs=0, maxOccurs=1`).
+    Optional,
+    /// One or more (`+` in DTD).
+    OneOrMore,
+    /// Zero or more (`*` in DTD, `maxOccurs=unbounded`).
+    ZeroOrMore,
+}
+
+impl Cardinality {
+    /// Parse from min/max occurs values; `None` for max means `unbounded`.
+    pub fn from_occurs(min: u32, max: Option<u32>) -> Self {
+        match (min, max) {
+            (0, Some(0)) => Cardinality::Optional,
+            (0, Some(1)) => Cardinality::Optional,
+            (0, _) => Cardinality::ZeroOrMore,
+            (_, Some(1)) => Cardinality::One,
+            (_, _) => Cardinality::OneOrMore,
+        }
+    }
+
+    /// The DTD occurrence-indicator character for this cardinality, if any.
+    pub fn dtd_indicator(self) -> Option<char> {
+        match self {
+            Cardinality::One => None,
+            Cardinality::Optional => Some('?'),
+            Cardinality::OneOrMore => Some('+'),
+            Cardinality::ZeroOrMore => Some('*'),
+        }
+    }
+
+    /// Whether the node may repeat under its parent.
+    pub fn repeatable(self) -> bool {
+        matches!(self, Cardinality::OneOrMore | Cardinality::ZeroOrMore)
+    }
+
+    /// Whether the node may be absent.
+    pub fn optional(self) -> bool {
+        matches!(self, Cardinality::Optional | Cardinality::ZeroOrMore)
+    }
+}
+
+/// A node of a schema tree: the `H` property function of Def. 1 materialised as a struct.
+///
+/// Every node carries a `name` (the property the Bellflower element matcher uses), an
+/// optional datatype, a kind and a cardinality. Arbitrary extra `(property, value)`
+/// pairs can be attached through [`SchemaNode::set_property`]; they are preserved but
+/// not interpreted by the core system, mirroring the open-ended `H` function of the
+/// paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemaNode {
+    /// Element or attribute name (local name, prefix stripped).
+    pub name: String,
+    /// Element vs attribute.
+    pub kind: NodeKind,
+    /// Declared simple type, when known.
+    pub datatype: Option<XsdType>,
+    /// Occurrence constraint under the parent.
+    pub cardinality: Cardinality,
+    /// Additional uninterpreted properties (annotation text, namespace, …).
+    properties: Vec<(String, String)>,
+}
+
+impl SchemaNode {
+    /// Create an element node with the given name and default properties.
+    pub fn element(name: impl Into<String>) -> Self {
+        SchemaNode {
+            name: name.into(),
+            kind: NodeKind::Element,
+            datatype: None,
+            cardinality: Cardinality::One,
+            properties: Vec::new(),
+        }
+    }
+
+    /// Create an attribute node with the given name.
+    pub fn attribute(name: impl Into<String>) -> Self {
+        SchemaNode {
+            name: name.into(),
+            kind: NodeKind::Attribute,
+            datatype: None,
+            cardinality: Cardinality::Optional,
+            properties: Vec::new(),
+        }
+    }
+
+    /// Builder-style setter for the datatype.
+    pub fn with_datatype(mut self, t: XsdType) -> Self {
+        self.datatype = Some(t);
+        self
+    }
+
+    /// Builder-style setter for the cardinality.
+    pub fn with_cardinality(mut self, c: Cardinality) -> Self {
+        self.cardinality = c;
+        self
+    }
+
+    /// Attach or overwrite an uninterpreted `(property, value)` pair.
+    pub fn set_property(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        if let Some(slot) = self.properties.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value.into();
+        } else {
+            self.properties.push((key, value.into()));
+        }
+    }
+
+    /// Look up an uninterpreted property.
+    pub fn property(&self, key: &str) -> Option<&str> {
+        self.properties
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All extra properties in insertion order.
+    pub fn properties(&self) -> &[(String, String)] {
+        &self.properties
+    }
+
+    /// Whether this node is a leaf-typed node (has a simple datatype).
+    pub fn is_typed(&self) -> bool {
+        self.datatype.is_some()
+    }
+}
+
+impl fmt::Display for SchemaNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            NodeKind::Element => write!(f, "<{}>", self.name),
+            NodeKind::Attribute => write!(f, "@{}", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn cardinality_from_occurs_matrix() {
+        assert_eq!(Cardinality::from_occurs(1, Some(1)), Cardinality::One);
+        assert_eq!(Cardinality::from_occurs(0, Some(1)), Cardinality::Optional);
+        assert_eq!(Cardinality::from_occurs(0, None), Cardinality::ZeroOrMore);
+        assert_eq!(Cardinality::from_occurs(0, Some(5)), Cardinality::ZeroOrMore);
+        assert_eq!(Cardinality::from_occurs(1, None), Cardinality::OneOrMore);
+        assert_eq!(Cardinality::from_occurs(2, Some(7)), Cardinality::OneOrMore);
+    }
+
+    #[test]
+    fn cardinality_predicates() {
+        assert!(Cardinality::ZeroOrMore.repeatable());
+        assert!(Cardinality::ZeroOrMore.optional());
+        assert!(Cardinality::OneOrMore.repeatable());
+        assert!(!Cardinality::OneOrMore.optional());
+        assert!(!Cardinality::One.repeatable());
+        assert_eq!(Cardinality::Optional.dtd_indicator(), Some('?'));
+        assert_eq!(Cardinality::One.dtd_indicator(), None);
+    }
+
+    #[test]
+    fn element_and_attribute_constructors() {
+        let e = SchemaNode::element("book");
+        assert_eq!(e.kind, NodeKind::Element);
+        assert_eq!(e.cardinality, Cardinality::One);
+        assert_eq!(e.to_string(), "<book>");
+
+        let a = SchemaNode::attribute("isbn").with_datatype(XsdType::String);
+        assert_eq!(a.kind, NodeKind::Attribute);
+        assert_eq!(a.cardinality, Cardinality::Optional);
+        assert!(a.is_typed());
+        assert_eq!(a.to_string(), "@isbn");
+    }
+
+    #[test]
+    fn properties_set_get_overwrite() {
+        let mut n = SchemaNode::element("author");
+        assert_eq!(n.property("ns"), None);
+        n.set_property("ns", "http://example.org/a");
+        n.set_property("doc", "the author of the book");
+        assert_eq!(n.property("ns"), Some("http://example.org/a"));
+        n.set_property("ns", "http://example.org/b");
+        assert_eq!(n.property("ns"), Some("http://example.org/b"));
+        assert_eq!(n.properties().len(), 2);
+    }
+
+    #[test]
+    fn node_kind_labels() {
+        assert_eq!(NodeKind::Element.to_string(), "element");
+        assert_eq!(NodeKind::Attribute.to_string(), "attribute");
+    }
+}

@@ -1,0 +1,471 @@
+//! Parser for a pragmatic subset of DTDs.
+//!
+//! Supports `<!ELEMENT name (content-model)>` with sequences, choices, nesting,
+//! occurrence indicators (`?`, `*`, `+`), `#PCDATA`, `EMPTY` and `ANY`, plus
+//! `<!ATTLIST name attr TYPE default>` declarations. Entities and conditional sections
+//! are ignored. Parameter entities are textually expanded when declared inline with
+//! `<!ENTITY % name "replacement">`.
+//!
+//! Trees are produced by expanding the element declarations starting from every *root
+//! candidate*: an element that is declared but never referenced by another element's
+//! content model. Recursive models are cut at [`super::MAX_EXPANSION_DEPTH`].
+
+use super::MAX_EXPANSION_DEPTH;
+use crate::error::{Result, SchemaError};
+use crate::node::{Cardinality, SchemaNode};
+use crate::tree::SchemaTree;
+use crate::XsdType;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One parsed `<!ELEMENT>` declaration.
+#[derive(Debug, Clone, PartialEq)]
+struct ElementDecl {
+    name: String,
+    children: Vec<ChildRef>,
+    /// Whether the content model allows character data (`#PCDATA`, `ANY`).
+    has_text: bool,
+}
+
+/// A child reference inside a content model, with its effective cardinality.
+#[derive(Debug, Clone, PartialEq)]
+struct ChildRef {
+    name: String,
+    cardinality: Cardinality,
+}
+
+/// One parsed `<!ATTLIST>` attribute.
+#[derive(Debug, Clone, PartialEq)]
+struct AttrDecl {
+    element: String,
+    name: String,
+    datatype: XsdType,
+    required: bool,
+}
+
+/// Parse a DTD document into a forest of schema trees (one per root candidate).
+pub fn parse_dtd(schema_name: &str, input: &str) -> Result<Vec<SchemaTree>> {
+    let expanded = expand_parameter_entities(input);
+    let (elements, attributes) = parse_declarations(&expanded)?;
+    if elements.is_empty() {
+        return Err(SchemaError::EmptyDocument);
+    }
+
+    // Attribute index by owning element.
+    let mut attrs_by_element: BTreeMap<&str, Vec<&AttrDecl>> = BTreeMap::new();
+    for a in &attributes {
+        attrs_by_element.entry(a.element.as_str()).or_default().push(a);
+    }
+
+    // Root candidates: declared elements never referenced as a child.
+    let declared: BTreeSet<&str> = elements.keys().map(|s| s.as_str()).collect();
+    let mut referenced: BTreeSet<&str> = BTreeSet::new();
+    for decl in elements.values() {
+        for c in &decl.children {
+            referenced.insert(c.name.as_str());
+        }
+    }
+    let mut roots: Vec<&str> = declared.difference(&referenced).copied().collect();
+    if roots.is_empty() {
+        // Fully cyclic DTD: fall back on the first declared element.
+        roots.push(elements.keys().next().unwrap().as_str());
+    }
+
+    let mut forest = Vec::with_capacity(roots.len());
+    for (i, root) in roots.iter().enumerate() {
+        let tree_name = if roots.len() == 1 {
+            schema_name.to_string()
+        } else {
+            format!("{schema_name}#{i}")
+        };
+        let mut tree = SchemaTree::new(tree_name);
+        let root_id = tree.add_root(SchemaNode::element(root.to_string()))?;
+        expand_element(&mut tree, root_id, root, &elements, &attrs_by_element, 0)?;
+        forest.push(tree);
+    }
+    Ok(forest)
+}
+
+/// Recursively expand an element declaration into the tree.
+fn expand_element(
+    tree: &mut SchemaTree,
+    parent: crate::NodeId,
+    name: &str,
+    elements: &BTreeMap<String, ElementDecl>,
+    attrs: &BTreeMap<&str, Vec<&AttrDecl>>,
+    depth: usize,
+) -> Result<()> {
+    if depth > MAX_EXPANSION_DEPTH {
+        return Err(SchemaError::RecursionLimit { name: name.into() });
+    }
+    // Attributes first (document-order convention: attributes precede children).
+    if let Some(list) = attrs.get(name) {
+        for a in list {
+            let mut node = SchemaNode::attribute(a.name.clone()).with_datatype(a.datatype);
+            node.cardinality = if a.required {
+                Cardinality::One
+            } else {
+                Cardinality::Optional
+            };
+            tree.add_child(parent, node)?;
+        }
+    }
+    if let Some(decl) = elements.get(name) {
+        for child in &decl.children {
+            let mut node = SchemaNode::element(child.name.clone())
+                .with_cardinality(child.cardinality);
+            // Leaf-with-text elements get a string datatype.
+            let grandchildren_known = elements.contains_key(&child.name);
+            if !grandchildren_known {
+                node.datatype = Some(XsdType::String);
+            }
+            let child_id = tree.add_child(parent, node)?;
+            if grandchildren_known {
+                // Cut recursion instead of erroring for self-referencing models: a
+                // schema that mentions itself deeper than the limit is truncated.
+                if depth + 1 > MAX_EXPANSION_DEPTH {
+                    continue;
+                }
+                // Avoid trivially infinite expansion: if the child equals any ancestor
+                // name on the current expansion path we still expand, but the depth
+                // limit bounds it. (The paper restricts itself to non-recursive
+                // schemas; recursive inputs are handled gracefully rather than exactly.)
+                expand_element(tree, child_id, &child.name, elements, attrs, depth + 1)?;
+                // Mark text-bearing interior nodes.
+                if elements.get(&child.name).map(|d| d.has_text).unwrap_or(false)
+                    && tree.children(child_id).is_empty()
+                {
+                    if let Some(n) = tree.node_mut(child_id) {
+                        n.datatype = Some(XsdType::String);
+                    }
+                }
+            }
+        }
+        if decl.children.is_empty() && decl.has_text {
+            if let Some(n) = tree.node_mut(parent) {
+                if n.datatype.is_none() {
+                    n.datatype = Some(XsdType::String);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Expand inline parameter entities (`<!ENTITY % x "…"> … %x;`).
+fn expand_parameter_entities(input: &str) -> String {
+    let mut entities: Vec<(String, String)> = Vec::new();
+    let mut rest = input;
+    while let Some(pos) = rest.find("<!ENTITY") {
+        let after = &rest[pos + 8..];
+        if let Some(end) = after.find('>') {
+            let decl = &after[..end];
+            let decl = decl.trim();
+            if let Some(stripped) = decl.strip_prefix('%') {
+                let mut parts = stripped.trim().splitn(2, char::is_whitespace);
+                if let (Some(name), Some(val)) = (parts.next(), parts.next()) {
+                    let val = val.trim().trim_matches('"').trim_matches('\'');
+                    entities.push((name.trim().to_string(), val.to_string()));
+                }
+            }
+            rest = &after[end + 1..];
+        } else {
+            break;
+        }
+    }
+    let mut out = input.to_string();
+    // Iterate a few times so nested entities resolve.
+    for _ in 0..4 {
+        let mut changed = false;
+        for (name, val) in &entities {
+            let pat = format!("%{name};");
+            if out.contains(&pat) {
+                out = out.replace(&pat, val);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
+/// Parse all `<!ELEMENT>` and `<!ATTLIST>` declarations.
+fn parse_declarations(input: &str) -> Result<(BTreeMap<String, ElementDecl>, Vec<AttrDecl>)> {
+    let mut elements = BTreeMap::new();
+    let mut attributes = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if input[i..].starts_with("<!ELEMENT") {
+            let end = find_decl_end(input, i)?;
+            let body = &input[i + "<!ELEMENT".len()..end];
+            if let Some(decl) = parse_element_decl(body) {
+                elements.insert(decl.name.clone(), decl);
+            }
+            i = end + 1;
+        } else if input[i..].starts_with("<!ATTLIST") {
+            let end = find_decl_end(input, i)?;
+            let body = &input[i + "<!ATTLIST".len()..end];
+            attributes.extend(parse_attlist_decl(body));
+            i = end + 1;
+        } else if input[i..].starts_with("<!--") {
+            match input[i + 4..].find("-->") {
+                Some(e) => i = i + 4 + e + 3,
+                None => return Err(SchemaError::parse(i, "unterminated comment")),
+            }
+        } else {
+            i += 1;
+        }
+    }
+    Ok((elements, attributes))
+}
+
+/// Find the closing `>` of a declaration starting at `start`.
+fn find_decl_end(input: &str, start: usize) -> Result<usize> {
+    let mut depth = 0i32;
+    for (off, c) in input[start..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            '>' if depth <= 0 => return Ok(start + off),
+            _ => {}
+        }
+    }
+    Err(SchemaError::parse(start, "unterminated declaration"))
+}
+
+/// Parse the body of an `<!ELEMENT name model>` declaration.
+fn parse_element_decl(body: &str) -> Option<ElementDecl> {
+    let body = body.trim();
+    let mut parts = body.splitn(2, char::is_whitespace);
+    let name = parts.next()?.trim().to_string();
+    if name.is_empty() {
+        return None;
+    }
+    let model = parts.next().unwrap_or("EMPTY").trim();
+    let mut children = Vec::new();
+    let mut has_text = false;
+    let upper = model.to_ascii_uppercase();
+    if upper.starts_with("EMPTY") {
+        // no children
+    } else if upper.starts_with("ANY") {
+        has_text = true;
+    } else {
+        // Content model: collect identifiers and their trailing occurrence indicators.
+        has_text = model.contains("#PCDATA");
+        let mut seen = BTreeSet::new();
+        let mut ident = String::new();
+        let chars: Vec<char> = model.chars().collect();
+        let mut k = 0usize;
+        while k < chars.len() {
+            let c = chars[k];
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':' {
+                ident.push(c);
+            } else {
+                if !ident.is_empty() && !ident.starts_with('#') {
+                    // Occurrence indicator immediately after the identifier.
+                    let card = match c {
+                        '?' => Cardinality::Optional,
+                        '*' => Cardinality::ZeroOrMore,
+                        '+' => Cardinality::OneOrMore,
+                        _ => Cardinality::One,
+                    };
+                    if seen.insert(ident.clone()) {
+                        children.push(ChildRef {
+                            name: ident.clone(),
+                            cardinality: card,
+                        });
+                    }
+                }
+                ident.clear();
+                if c == '#' {
+                    ident.push('#');
+                }
+            }
+            k += 1;
+        }
+        if !ident.is_empty() && !ident.starts_with('#') && seen.insert(ident.clone()) {
+            children.push(ChildRef {
+                name: ident,
+                cardinality: Cardinality::One,
+            });
+        }
+    }
+    Some(ElementDecl {
+        name,
+        children,
+        has_text,
+    })
+}
+
+/// Parse the body of an `<!ATTLIST element attr TYPE default …>` declaration.
+fn parse_attlist_decl(body: &str) -> Vec<AttrDecl> {
+    let mut out = Vec::new();
+    let tokens: Vec<&str> = body.split_whitespace().collect();
+    if tokens.is_empty() {
+        return out;
+    }
+    let element = tokens[0].to_string();
+    let mut i = 1usize;
+    while i < tokens.len() {
+        let name = tokens[i].to_string();
+        let ty = tokens.get(i + 1).copied().unwrap_or("CDATA");
+        // Enumerated types look like "(a|b|c)": possibly split across tokens; collapse.
+        let (datatype, mut consumed) = if ty.starts_with('(') {
+            // Skip until token containing ')'.
+            let mut j = i + 1;
+            while j < tokens.len() && !tokens[j].contains(')') {
+                j += 1;
+            }
+            (XsdType::Enumeration, j - i)
+        } else {
+            (ty.parse().unwrap_or(XsdType::String), 1)
+        };
+        let default = tokens.get(i + 1 + consumed).copied().unwrap_or("#IMPLIED");
+        let required = default.eq_ignore_ascii_case("#REQUIRED");
+        // #FIXED is followed by a value token.
+        if default.eq_ignore_ascii_case("#FIXED") {
+            consumed += 1;
+        }
+        out.push(AttrDecl {
+            element: element.clone(),
+            name,
+            datatype,
+            required,
+        });
+        i += 2 + consumed;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    const BOOK_DTD: &str = r#"
+        <!-- a small library schema -->
+        <!ELEMENT lib (book*, address)>
+        <!ELEMENT book (data, shelf?)>
+        <!ELEMENT data (title, authorName+)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT authorName (#PCDATA)>
+        <!ELEMENT shelf (#PCDATA)>
+        <!ELEMENT address (#PCDATA)>
+        <!ATTLIST book isbn CDATA #REQUIRED year CDATA #IMPLIED>
+    "#;
+
+    #[test]
+    fn parses_paper_like_library_dtd() {
+        let forest = parse_dtd("lib.dtd", BOOK_DTD).unwrap();
+        assert_eq!(forest.len(), 1);
+        let t = &forest[0];
+        assert_eq!(t.name_of(t.root().unwrap()), "lib");
+        // lib + book + isbn + year + data + title + authorName + shelf + address = 9
+        assert_eq!(t.len(), 9);
+        let title = t.find_by_name("title").unwrap();
+        assert_eq!(t.absolute_path(title), "/lib/book/data/title");
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn attributes_become_attribute_nodes_with_types() {
+        let forest = parse_dtd("lib.dtd", BOOK_DTD).unwrap();
+        let t = &forest[0];
+        let isbn = t.find_by_name("isbn").unwrap();
+        let node = t.node(isbn).unwrap();
+        assert_eq!(node.kind, NodeKind::Attribute);
+        assert_eq!(node.datatype, Some(XsdType::String));
+        assert_eq!(node.cardinality, Cardinality::One); // #REQUIRED
+        let year = t.find_by_name("year").unwrap();
+        assert_eq!(t.node(year).unwrap().cardinality, Cardinality::Optional);
+    }
+
+    #[test]
+    fn cardinalities_from_occurrence_indicators() {
+        let forest = parse_dtd("lib.dtd", BOOK_DTD).unwrap();
+        let t = &forest[0];
+        let book = t.find_by_name("book").unwrap();
+        assert_eq!(t.node(book).unwrap().cardinality, Cardinality::ZeroOrMore);
+        let shelf = t.find_by_name("shelf").unwrap();
+        assert_eq!(t.node(shelf).unwrap().cardinality, Cardinality::Optional);
+        let author = t.find_by_name("authorName").unwrap();
+        assert_eq!(t.node(author).unwrap().cardinality, Cardinality::OneOrMore);
+    }
+
+    #[test]
+    fn multiple_roots_produce_a_forest() {
+        let dtd = r#"
+            <!ELEMENT person (name, email)>
+            <!ELEMENT name (#PCDATA)>
+            <!ELEMENT email (#PCDATA)>
+            <!ELEMENT company (name, address)>
+            <!ELEMENT address (#PCDATA)>
+        "#;
+        let forest = parse_dtd("multi.dtd", dtd).unwrap();
+        assert_eq!(forest.len(), 2);
+        let roots: Vec<&str> = forest
+            .iter()
+            .map(|t| t.name_of(t.root().unwrap()))
+            .collect();
+        assert!(roots.contains(&"person"));
+        assert!(roots.contains(&"company"));
+        // Tree names disambiguate roots.
+        assert!(forest[0].name().starts_with("multi.dtd#"));
+    }
+
+    #[test]
+    fn recursive_dtd_is_truncated_not_infinite() {
+        let dtd = r#"
+            <!ELEMENT part (name, part*)>
+            <!ELEMENT name (#PCDATA)>
+        "#;
+        let forest = parse_dtd("rec.dtd", dtd).unwrap();
+        assert_eq!(forest.len(), 1);
+        // Should terminate and be bounded.
+        assert!(forest[0].len() < 100);
+        assert!(forest[0].max_depth() as usize <= MAX_EXPANSION_DEPTH + 1);
+    }
+
+    #[test]
+    fn empty_and_any_content_models() {
+        let dtd = "<!ELEMENT img EMPTY> <!ELEMENT note ANY> <!ELEMENT root (img, note)>";
+        let forest = parse_dtd("x.dtd", dtd).unwrap();
+        let t = &forest[0];
+        assert_eq!(t.name_of(t.root().unwrap()), "root");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn parameter_entities_expand() {
+        let dtd = r#"
+            <!ENTITY % common "name, email">
+            <!ELEMENT person (%common;)>
+            <!ELEMENT name (#PCDATA)>
+            <!ELEMENT email (#PCDATA)>
+        "#;
+        let forest = parse_dtd("pe.dtd", dtd).unwrap();
+        let t = &forest[0];
+        assert!(t.find_by_name("name").is_some());
+        assert!(t.find_by_name("email").is_some());
+    }
+
+    #[test]
+    fn document_without_declarations_errors() {
+        assert_eq!(parse_dtd("x", "just text"), Err(SchemaError::EmptyDocument));
+    }
+
+    #[test]
+    fn enumerated_attribute_types() {
+        let dtd = r#"
+            <!ELEMENT task EMPTY>
+            <!ATTLIST task status (open|closed) "open" owner CDATA #IMPLIED>
+        "#;
+        let forest = parse_dtd("t.dtd", dtd).unwrap();
+        let t = &forest[0];
+        let status = t.find_by_name("status").unwrap();
+        assert_eq!(t.node(status).unwrap().datatype, Some(XsdType::Enumeration));
+        assert!(t.find_by_name("owner").is_some());
+    }
+}

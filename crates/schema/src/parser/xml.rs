@@ -1,0 +1,310 @@
+//! A minimal, dependency-free XML tokenizer.
+//!
+//! Produces a stream of [`XmlEvent`]s (start tag with attributes, end tag, empty tag,
+//! text, comments are skipped). It supports exactly what well-formed XSD documents
+//! need: elements, attributes with single- or double-quoted values, comments,
+//! processing instructions, CDATA and character data. It does not resolve entities
+//! beyond the five predefined ones and does not validate.
+
+use crate::error::{Result, SchemaError};
+
+/// One event produced by the tokenizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" …>` — `self_closing` is true for `<name …/>`.
+    StartElement {
+        /// Qualified tag name as written (prefix preserved).
+        name: String,
+        /// Attribute `(name, value)` pairs in document order.
+        attributes: Vec<(String, String)>,
+        /// Whether the element closed itself (`/>`).
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndElement {
+        /// Qualified tag name as written.
+        name: String,
+    },
+    /// Character data between tags (whitespace-only text is skipped).
+    Text(String),
+}
+
+/// Tokenize an XML document into events.
+pub fn tokenize(input: &str) -> Result<Vec<XmlEvent>> {
+    let bytes = input.as_bytes();
+    let mut events = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    while i < n {
+        if bytes[i] == b'<' {
+            if input[i..].starts_with("<!--") {
+                // Comment.
+                match input[i + 4..].find("-->") {
+                    Some(end) => i = i + 4 + end + 3,
+                    None => return Err(SchemaError::parse(i, "unterminated comment")),
+                }
+            } else if input[i..].starts_with("<![CDATA[") {
+                match input[i + 9..].find("]]>") {
+                    Some(end) => {
+                        let text = &input[i + 9..i + 9 + end];
+                        if !text.trim().is_empty() {
+                            events.push(XmlEvent::Text(unescape(text)));
+                        }
+                        i = i + 9 + end + 3;
+                    }
+                    None => return Err(SchemaError::parse(i, "unterminated CDATA section")),
+                }
+            } else if input[i..].starts_with("<?") {
+                match input[i + 2..].find("?>") {
+                    Some(end) => i = i + 2 + end + 2,
+                    None => return Err(SchemaError::parse(i, "unterminated processing instruction")),
+                }
+            } else if input[i..].starts_with("<!") {
+                // DOCTYPE or other declaration: skip to matching '>', tracking nesting
+                // of '[' … ']' for internal DTD subsets.
+                let mut depth = 0i32;
+                let mut j = i + 2;
+                loop {
+                    if j >= n {
+                        return Err(SchemaError::parse(i, "unterminated declaration"));
+                    }
+                    match bytes[j] {
+                        b'[' => depth += 1,
+                        b']' => depth -= 1,
+                        b'>' if depth <= 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+            } else if input[i..].starts_with("</") {
+                let close = input[i..]
+                    .find('>')
+                    .ok_or_else(|| SchemaError::parse(i, "unterminated end tag"))?;
+                let name = input[i + 2..i + close].trim().to_string();
+                if name.is_empty() {
+                    return Err(SchemaError::parse(i, "empty end tag name"));
+                }
+                events.push(XmlEvent::EndElement { name });
+                i += close + 1;
+            } else {
+                // Start tag.
+                let (event, consumed) = parse_start_tag(&input[i..], i)?;
+                events.push(event);
+                i += consumed;
+            }
+        } else {
+            // Text run until next '<'.
+            let next = input[i..].find('<').map(|p| i + p).unwrap_or(n);
+            let text = &input[i..next];
+            if !text.trim().is_empty() {
+                events.push(XmlEvent::Text(unescape(text.trim())));
+            }
+            i = next;
+        }
+    }
+    Ok(events)
+}
+
+/// Parse one start tag beginning at `input[0] == '<'`; returns the event and the
+/// number of bytes consumed.
+fn parse_start_tag(input: &str, global_offset: usize) -> Result<(XmlEvent, usize)> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes[0], b'<');
+    let mut i = 1usize;
+    let n = bytes.len();
+
+    // Tag name.
+    let name_start = i;
+    while i < n && !bytes[i].is_ascii_whitespace() && bytes[i] != b'>' && bytes[i] != b'/' {
+        i += 1;
+    }
+    let name = input[name_start..i].to_string();
+    if name.is_empty() {
+        return Err(SchemaError::parse(global_offset, "empty start tag name"));
+    }
+
+    let mut attributes = Vec::new();
+    loop {
+        // Skip whitespace.
+        while i < n && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= n {
+            return Err(SchemaError::parse(global_offset, "unterminated start tag"));
+        }
+        if bytes[i] == b'>' {
+            return Ok((
+                XmlEvent::StartElement {
+                    name,
+                    attributes,
+                    self_closing: false,
+                },
+                i + 1,
+            ));
+        }
+        if bytes[i] == b'/' {
+            // Expect '/>'.
+            if i + 1 < n && bytes[i + 1] == b'>' {
+                return Ok((
+                    XmlEvent::StartElement {
+                        name,
+                        attributes,
+                        self_closing: true,
+                    },
+                    i + 2,
+                ));
+            }
+            return Err(SchemaError::parse(global_offset + i, "expected '/>'"));
+        }
+        // Attribute name.
+        let attr_start = i;
+        while i < n && bytes[i] != b'=' && !bytes[i].is_ascii_whitespace() && bytes[i] != b'>' {
+            i += 1;
+        }
+        let attr_name = input[attr_start..i].to_string();
+        while i < n && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= n || bytes[i] != b'=' {
+            // Attribute without value (not standard XML but seen in the wild); record empty.
+            attributes.push((attr_name, String::new()));
+            continue;
+        }
+        i += 1; // consume '='
+        while i < n && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= n || (bytes[i] != b'"' && bytes[i] != b'\'') {
+            return Err(SchemaError::parse(
+                global_offset + i.min(n),
+                "expected quoted attribute value",
+            ));
+        }
+        let quote = bytes[i];
+        i += 1;
+        let val_start = i;
+        while i < n && bytes[i] != quote {
+            i += 1;
+        }
+        if i >= n {
+            return Err(SchemaError::parse(
+                global_offset + val_start,
+                "unterminated attribute value",
+            ));
+        }
+        attributes.push((attr_name, unescape(&input[val_start..i])));
+        i += 1; // closing quote
+    }
+}
+
+/// Replace the five predefined XML entities.
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Strip a namespace prefix from a qualified name (`xs:element` → `element`).
+pub fn local_name(qname: &str) -> &str {
+    qname.rsplit(':').next().unwrap_or(qname)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_simple_document() {
+        let events = tokenize("<a x=\"1\"><b/>text</a>").unwrap();
+        assert_eq!(
+            events,
+            vec![
+                XmlEvent::StartElement {
+                    name: "a".into(),
+                    attributes: vec![("x".into(), "1".into())],
+                    self_closing: false
+                },
+                XmlEvent::StartElement {
+                    name: "b".into(),
+                    attributes: vec![],
+                    self_closing: true
+                },
+                XmlEvent::Text("text".into()),
+                XmlEvent::EndElement { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_pis_and_doctype_are_skipped() {
+        let doc = "<?xml version=\"1.0\"?><!-- hi --><!DOCTYPE r [ <!ELEMENT r EMPTY> ]><r/>";
+        let events = tokenize(doc).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0], XmlEvent::StartElement { name, .. } if name == "r"));
+    }
+
+    #[test]
+    fn attributes_single_and_double_quoted() {
+        let events = tokenize("<e a='x' b=\"y\" />").unwrap();
+        match &events[0] {
+            XmlEvent::StartElement {
+                attributes,
+                self_closing,
+                ..
+            } => {
+                assert_eq!(
+                    attributes,
+                    &vec![("a".to_string(), "x".to_string()), ("b".to_string(), "y".to_string())]
+                );
+                assert!(self_closing);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_are_unescaped() {
+        let events = tokenize("<e a=\"a &amp; b\">&lt;x&gt;</e>").unwrap();
+        match &events[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].1, "a & b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(events[1], XmlEvent::Text("<x>".into()));
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        let events = tokenize("<e><![CDATA[a < b]]></e>").unwrap();
+        assert_eq!(events[1], XmlEvent::Text("a < b".into()));
+    }
+
+    #[test]
+    fn errors_are_reported_with_offsets() {
+        assert!(tokenize("<a").is_err());
+        assert!(tokenize("<a b=>").is_err());
+        assert!(tokenize("<!-- never closed").is_err());
+        assert!(tokenize("<a b='x></a>").is_err());
+    }
+
+    #[test]
+    fn local_name_strips_prefix() {
+        assert_eq!(local_name("xs:element"), "element");
+        assert_eq!(local_name("element"), "element");
+        assert_eq!(local_name("a:b:c"), "c");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let events = tokenize("<a>\n   \t</a>").unwrap();
+        assert_eq!(events.len(), 2);
+    }
+}

@@ -1,0 +1,512 @@
+//! Parser for a pragmatic subset of W3C XML Schema (XSD).
+//!
+//! Supports global and local `xs:element`, named and anonymous `xs:complexType`,
+//! `xs:sequence` / `xs:choice` / `xs:all`, `xs:attribute`, `type="…"` references to
+//! both built-in simple types and named complex types, `ref="…"` element references,
+//! and `minOccurs` / `maxOccurs`. `xs:extension` / `xs:restriction` bases are followed
+//! one level (the extended content is appended after the base's). Imports, includes,
+//! groups, substitution groups and identity constraints are ignored.
+//!
+//! Each top-level `xs:element` becomes the root of one [`SchemaTree`] ("one schema can
+//! have multiple roots, each represented with one tree").
+
+use super::xml::{local_name, tokenize, XmlEvent};
+use super::MAX_EXPANSION_DEPTH;
+use crate::error::{Result, SchemaError};
+use crate::node::{Cardinality, SchemaNode};
+use crate::tree::SchemaTree;
+use crate::XsdType;
+use std::collections::BTreeMap;
+
+/// An in-memory element of the raw XSD document tree (before semantic interpretation).
+#[derive(Debug, Clone)]
+struct RawElem {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<RawElem>,
+}
+
+impl RawElem {
+    fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| local_name(k) == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a RawElem> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+}
+
+/// Build the raw document tree from the tokenizer events.
+fn build_raw_tree(input: &str) -> Result<RawElem> {
+    let events = tokenize(input)?;
+    let mut stack: Vec<RawElem> = vec![RawElem {
+        name: "#document".into(),
+        attrs: vec![],
+        children: vec![],
+    }];
+    for ev in events {
+        match ev {
+            XmlEvent::StartElement {
+                name,
+                attributes,
+                self_closing,
+            } => {
+                let elem = RawElem {
+                    name: local_name(&name).to_string(),
+                    attrs: attributes,
+                    children: vec![],
+                };
+                if self_closing {
+                    stack.last_mut().unwrap().children.push(elem);
+                } else {
+                    stack.push(elem);
+                }
+            }
+            XmlEvent::EndElement { name } => {
+                let done = stack
+                    .pop()
+                    .ok_or_else(|| SchemaError::parse(0, "unbalanced end tag"))?;
+                if done.name != local_name(&name) {
+                    return Err(SchemaError::parse(
+                        0,
+                        format!("mismatched end tag </{}> for <{}>", name, done.name),
+                    ));
+                }
+                stack
+                    .last_mut()
+                    .ok_or_else(|| SchemaError::parse(0, "end tag after document root"))?
+                    .children
+                    .push(done);
+            }
+            XmlEvent::Text(_) => {}
+        }
+    }
+    if stack.len() != 1 {
+        return Err(SchemaError::parse(0, "unclosed elements at end of document"));
+    }
+    Ok(stack.pop().unwrap())
+}
+
+/// The interpretation context: named global declarations.
+struct XsdContext {
+    complex_types: BTreeMap<String, RawElem>,
+    global_elements: BTreeMap<String, RawElem>,
+}
+
+/// Parse an XSD document into a forest of schema trees.
+pub fn parse_xsd(schema_name: &str, input: &str) -> Result<Vec<SchemaTree>> {
+    let doc = build_raw_tree(input)?;
+    let schema = doc
+        .children
+        .iter()
+        .find(|c| c.name == "schema")
+        .ok_or(SchemaError::EmptyDocument)?;
+
+    let mut ctx = XsdContext {
+        complex_types: BTreeMap::new(),
+        global_elements: BTreeMap::new(),
+    };
+    for child in &schema.children {
+        match child.name.as_str() {
+            "complexType" => {
+                if let Some(name) = child.attr("name") {
+                    ctx.complex_types.insert(name.to_string(), child.clone());
+                }
+            }
+            "element" => {
+                if let Some(name) = child.attr("name") {
+                    ctx.global_elements.insert(name.to_string(), child.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    if ctx.global_elements.is_empty() {
+        return Err(SchemaError::EmptyDocument);
+    }
+
+    // Roots: global elements that are not referenced (`ref=`) by any other declaration.
+    let mut referenced: Vec<String> = Vec::new();
+    collect_refs(schema, &mut referenced);
+    let mut forest = Vec::new();
+    let multi = ctx
+        .global_elements
+        .keys()
+        .filter(|n| !referenced.contains(n))
+        .count()
+        > 1;
+    let mut index = 0usize;
+    for (name, raw) in &ctx.global_elements {
+        if referenced.contains(name) {
+            continue;
+        }
+        let tree_name = if multi {
+            format!("{schema_name}#{index}")
+        } else {
+            schema_name.to_string()
+        };
+        index += 1;
+        let mut tree = SchemaTree::new(tree_name);
+        let root_node = element_node(raw);
+        let root_id = tree.add_root(root_node)?;
+        expand_element(&mut tree, root_id, raw, &ctx, 0)?;
+        forest.push(tree);
+    }
+    if forest.is_empty() {
+        // Everything referenced (cyclic refs): take the first global element anyway.
+        let (_, raw) = ctx.global_elements.iter().next().unwrap();
+        let mut tree = SchemaTree::new(schema_name.to_string());
+        let root_id = tree.add_root(element_node(raw))?;
+        expand_element(&mut tree, root_id, raw, &ctx, 0)?;
+        forest.push(tree);
+    }
+    Ok(forest)
+}
+
+/// Record every `ref="…"` attribute value under `elem`.
+fn collect_refs(elem: &RawElem, out: &mut Vec<String>) {
+    for c in &elem.children {
+        if c.name == "element" {
+            if let Some(r) = c.attr("ref") {
+                out.push(local_name(r).to_string());
+            }
+        }
+        collect_refs(c, out);
+    }
+}
+
+/// Build the [`SchemaNode`] for an `xs:element` declaration.
+fn element_node(raw: &RawElem) -> SchemaNode {
+    let name = raw
+        .attr("name")
+        .or_else(|| raw.attr("ref").map(local_name))
+        .unwrap_or("anonymous");
+    let mut node = SchemaNode::element(name);
+    node.cardinality = occurs(raw);
+    if let Some(ty) = raw.attr("type") {
+        if let Ok(t) = ty.parse::<XsdType>() {
+            node.datatype = Some(t);
+        }
+    }
+    node
+}
+
+/// Effective cardinality from `minOccurs` / `maxOccurs`.
+fn occurs(raw: &RawElem) -> Cardinality {
+    let min: u32 = raw
+        .attr("minOccurs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let max: Option<u32> = match raw.attr("maxOccurs") {
+        Some("unbounded") => None,
+        Some(v) => v.parse().ok(),
+        None => Some(1),
+    };
+    Cardinality::from_occurs(min, max)
+}
+
+/// Expand the content of an `xs:element` declaration under `parent`.
+fn expand_element(
+    tree: &mut SchemaTree,
+    parent: crate::NodeId,
+    raw: &RawElem,
+    ctx: &XsdContext,
+    depth: usize,
+) -> Result<()> {
+    if depth > MAX_EXPANSION_DEPTH {
+        return Ok(()); // truncate gracefully, like the DTD parser
+    }
+    // Case 1: element with a named complex type.
+    if let Some(ty) = raw.attr("type") {
+        let local = local_name(ty);
+        if let Some(ct) = ctx.complex_types.get(local) {
+            expand_complex_type(tree, parent, ct, ctx, depth + 1)?;
+            return Ok(());
+        }
+        // Simple/built-in type: nothing further to expand.
+        return Ok(());
+    }
+    // Case 2: element referencing a global element.
+    if let Some(r) = raw.attr("ref") {
+        let local = local_name(r);
+        if let Some(global) = ctx.global_elements.get(local) {
+            expand_element(tree, parent, global, ctx, depth + 1)?;
+        }
+        return Ok(());
+    }
+    // Case 3: inline anonymous complexType.
+    for ct in raw.children_named("complexType") {
+        expand_complex_type(tree, parent, ct, ctx, depth + 1)?;
+    }
+    // Inline simpleType: record as string-ish datatype if none set.
+    if raw.children_named("simpleType").next().is_some() {
+        if let Some(n) = tree.node_mut(parent) {
+            if n.datatype.is_none() {
+                n.datatype = Some(XsdType::String);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Expand a complexType body (attributes + particles) under `parent`.
+fn expand_complex_type(
+    tree: &mut SchemaTree,
+    parent: crate::NodeId,
+    ct: &RawElem,
+    ctx: &XsdContext,
+    depth: usize,
+) -> Result<()> {
+    if depth > MAX_EXPANSION_DEPTH {
+        return Ok(());
+    }
+    for child in &ct.children {
+        match child.name.as_str() {
+            "attribute" => add_attribute(tree, parent, child)?,
+            "sequence" | "choice" | "all" => expand_particle(tree, parent, child, ctx, depth + 1)?,
+            "complexContent" | "simpleContent" => {
+                for ext in &child.children {
+                    if ext.name == "extension" || ext.name == "restriction" {
+                        // Follow the base type one level.
+                        if let Some(base) = ext.attr("base") {
+                            if let Some(base_ct) = ctx.complex_types.get(local_name(base)) {
+                                expand_complex_type(tree, parent, base_ct, ctx, depth + 1)?;
+                            } else if let Ok(t) = base.parse::<XsdType>() {
+                                if let Some(n) = tree.node_mut(parent) {
+                                    if n.datatype.is_none() {
+                                        n.datatype = Some(t);
+                                    }
+                                }
+                            }
+                        }
+                        expand_complex_type(tree, parent, ext, ctx, depth + 1)?;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Expand an `xs:sequence` / `xs:choice` / `xs:all` particle under `parent`.
+fn expand_particle(
+    tree: &mut SchemaTree,
+    parent: crate::NodeId,
+    particle: &RawElem,
+    ctx: &XsdContext,
+    depth: usize,
+) -> Result<()> {
+    if depth > MAX_EXPANSION_DEPTH {
+        return Ok(());
+    }
+    // In a choice, every branch is effectively optional.
+    let in_choice = particle.name == "choice";
+    for child in &particle.children {
+        match child.name.as_str() {
+            "element" => {
+                let mut node = element_node(child);
+                if in_choice && node.cardinality == Cardinality::One {
+                    node.cardinality = Cardinality::Optional;
+                }
+                let id = tree.add_child(parent, node)?;
+                expand_element(tree, id, child, ctx, depth + 1)?;
+            }
+            "sequence" | "choice" | "all" => {
+                expand_particle(tree, parent, child, ctx, depth + 1)?;
+            }
+            "attribute" => add_attribute(tree, parent, child)?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Add an `xs:attribute` declaration as an attribute node.
+fn add_attribute(tree: &mut SchemaTree, parent: crate::NodeId, attr: &RawElem) -> Result<()> {
+    let name = attr
+        .attr("name")
+        .or_else(|| attr.attr("ref").map(local_name))
+        .unwrap_or("anonymous");
+    let mut node = SchemaNode::attribute(name);
+    if let Some(ty) = attr.attr("type") {
+        node.datatype = ty.parse().ok().or(Some(XsdType::String));
+    } else {
+        node.datatype = Some(XsdType::String);
+    }
+    node.cardinality = match attr.attr("use") {
+        Some("required") => Cardinality::One,
+        _ => Cardinality::Optional,
+    };
+    tree.add_child(parent, node)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    const LIB_XSD: &str = r#"
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="lib">
+        <xs:complexType>
+          <xs:sequence>
+            <xs:element name="book" maxOccurs="unbounded">
+              <xs:complexType>
+                <xs:sequence>
+                  <xs:element name="data" type="DataType"/>
+                  <xs:element name="shelf" type="xs:string" minOccurs="0"/>
+                </xs:sequence>
+                <xs:attribute name="isbn" type="xs:ID" use="required"/>
+              </xs:complexType>
+            </xs:element>
+            <xs:element name="address" type="xs:string"/>
+          </xs:sequence>
+        </xs:complexType>
+      </xs:element>
+      <xs:complexType name="DataType">
+        <xs:sequence>
+          <xs:element name="title" type="xs:string"/>
+          <xs:element name="authorName" type="xs:string" maxOccurs="unbounded"/>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:schema>"#;
+
+    #[test]
+    fn parses_library_xsd() {
+        let forest = parse_xsd("lib.xsd", LIB_XSD).unwrap();
+        assert_eq!(forest.len(), 1);
+        let t = &forest[0];
+        assert_eq!(t.name_of(t.root().unwrap()), "lib");
+        let title = t.find_by_name("title").unwrap();
+        assert_eq!(t.absolute_path(title), "/lib/book/data/title");
+        assert!(t.validate().is_ok());
+        // lib, book, data, title, authorName, shelf, isbn, address = 8 nodes.
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn named_complex_type_reference_is_followed() {
+        let forest = parse_xsd("lib.xsd", LIB_XSD).unwrap();
+        let t = &forest[0];
+        let data = t.find_by_name("data").unwrap();
+        assert_eq!(t.children(data).len(), 2);
+    }
+
+    #[test]
+    fn attribute_use_and_types() {
+        let forest = parse_xsd("lib.xsd", LIB_XSD).unwrap();
+        let t = &forest[0];
+        let isbn = t.find_by_name("isbn").unwrap();
+        let n = t.node(isbn).unwrap();
+        assert_eq!(n.kind, NodeKind::Attribute);
+        assert_eq!(n.datatype, Some(XsdType::Id));
+        assert_eq!(n.cardinality, Cardinality::One);
+    }
+
+    #[test]
+    fn min_max_occurs_to_cardinality() {
+        let forest = parse_xsd("lib.xsd", LIB_XSD).unwrap();
+        let t = &forest[0];
+        let book = t.find_by_name("book").unwrap();
+        assert_eq!(t.node(book).unwrap().cardinality, Cardinality::OneOrMore);
+        let shelf = t.find_by_name("shelf").unwrap();
+        assert_eq!(t.node(shelf).unwrap().cardinality, Cardinality::Optional);
+        let author = t.find_by_name("authorName").unwrap();
+        assert_eq!(t.node(author).unwrap().cardinality, Cardinality::OneOrMore);
+    }
+
+    #[test]
+    fn multiple_global_elements_produce_forest() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="person"><xs:complexType><xs:sequence>
+            <xs:element name="name" type="xs:string"/>
+          </xs:sequence></xs:complexType></xs:element>
+          <xs:element name="company"><xs:complexType><xs:sequence>
+            <xs:element name="name" type="xs:string"/>
+            <xs:element name="address" type="xs:string"/>
+          </xs:sequence></xs:complexType></xs:element>
+        </xs:schema>"#;
+        let forest = parse_xsd("multi.xsd", xsd).unwrap();
+        assert_eq!(forest.len(), 2);
+    }
+
+    #[test]
+    fn element_ref_resolves_to_global_element() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="order"><xs:complexType><xs:sequence>
+            <xs:element ref="item" maxOccurs="unbounded"/>
+          </xs:sequence></xs:complexType></xs:element>
+          <xs:element name="item"><xs:complexType><xs:sequence>
+            <xs:element name="sku" type="xs:string"/>
+            <xs:element name="qty" type="xs:int"/>
+          </xs:sequence></xs:complexType></xs:element>
+        </xs:schema>"#;
+        let forest = parse_xsd("order.xsd", xsd).unwrap();
+        // 'item' is referenced, so only 'order' is a root.
+        assert_eq!(forest.len(), 1);
+        let t = &forest[0];
+        let sku = t.find_by_name("sku").unwrap();
+        assert_eq!(t.absolute_path(sku), "/order/item/sku");
+        let qty = t.find_by_name("qty").unwrap();
+        assert_eq!(t.node(qty).unwrap().datatype, Some(XsdType::Int));
+    }
+
+    #[test]
+    fn choice_children_are_optional() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="contact"><xs:complexType><xs:choice>
+            <xs:element name="phone" type="xs:string"/>
+            <xs:element name="email" type="xs:string"/>
+          </xs:choice></xs:complexType></xs:element>
+        </xs:schema>"#;
+        let forest = parse_xsd("c.xsd", xsd).unwrap();
+        let t = &forest[0];
+        let phone = t.find_by_name("phone").unwrap();
+        assert_eq!(t.node(phone).unwrap().cardinality, Cardinality::Optional);
+    }
+
+    #[test]
+    fn extension_appends_base_content() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:complexType name="Base"><xs:sequence>
+            <xs:element name="id" type="xs:int"/>
+          </xs:sequence></xs:complexType>
+          <xs:element name="thing"><xs:complexType><xs:complexContent>
+            <xs:extension base="Base"><xs:sequence>
+              <xs:element name="label" type="xs:string"/>
+            </xs:sequence></xs:extension>
+          </xs:complexContent></xs:complexType></xs:element>
+        </xs:schema>"#;
+        let forest = parse_xsd("e.xsd", xsd).unwrap();
+        let t = &forest[0];
+        assert!(t.find_by_name("id").is_some());
+        assert!(t.find_by_name("label").is_some());
+    }
+
+    #[test]
+    fn schema_without_elements_errors() {
+        let xsd = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:complexType name="Orphan"><xs:sequence/></xs:complexType>
+        </xs:schema>"#;
+        assert!(matches!(
+            parse_xsd("o.xsd", xsd),
+            Err(SchemaError::EmptyDocument)
+        ));
+    }
+
+    #[test]
+    fn non_schema_document_errors() {
+        assert!(parse_xsd("x", "<html><body/></html>").is_err());
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let xsd = "<xs:schema><xs:element name=\"a\"></xs:schema>";
+        assert!(parse_xsd("bad.xsd", xsd).is_err());
+    }
+}

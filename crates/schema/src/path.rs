@@ -1,0 +1,140 @@
+//! Paths through a schema tree.
+//!
+//! Def. 1 of the paper defines a *path* as an alternating sequence of nodes and edges;
+//! because our trees represent edges implicitly, a [`NodePath`] stores only the node
+//! sequence. Def. 2 maps each personal-schema *edge* to a repository *path*, so paths
+//! (and their lengths) are the structural currency of the whole system: the `Δ_path`
+//! objective term and the clustering distance measure are both defined on path lengths.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A simple path in a schema tree, stored as the sequence of nodes it visits.
+///
+/// Invariant: consecutive nodes are adjacent in the originating tree. The type itself
+/// cannot check this (it does not hold a tree reference); [`crate::SchemaTree::path_between`]
+/// is the canonical constructor and upholds the invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct NodePath {
+    nodes: Vec<NodeId>,
+}
+
+impl NodePath {
+    /// Wrap a node sequence as a path.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        NodePath { nodes }
+    }
+
+    /// The empty path.
+    pub fn empty() -> Self {
+        NodePath { nodes: Vec::new() }
+    }
+
+    /// Nodes visited, in order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of nodes on the path.
+    pub fn len_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges on the path (`max(len_nodes - 1, 0)`); this is the *path
+    /// length* used by `Δ_path` and by the clustering distance measure.
+    pub fn len_edges(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// True if the path visits no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The incidence of the path (`I(p) = (source, target)`), when non-empty.
+    pub fn endpoints(&self) -> Option<(NodeId, NodeId)> {
+        match (self.nodes.first(), self.nodes.last()) {
+            (Some(&a), Some(&b)) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Whether the path contains the given node.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains(&id)
+    }
+
+    /// Reverse the path in place (paths are undirected in the tree sense, but the
+    /// mapping generator sometimes needs a specific orientation).
+    pub fn reverse(&mut self) {
+        self.nodes.reverse();
+    }
+
+    /// A reversed copy.
+    pub fn reversed(&self) -> Self {
+        let mut p = self.clone();
+        p.reverse();
+        p
+    }
+}
+
+impl From<Vec<NodeId>> for NodePath {
+    fn from(nodes: Vec<NodeId>) -> Self {
+        NodePath::new(nodes)
+    }
+}
+
+impl std::fmt::Display for NodePath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for n in &self.nodes {
+            if !first {
+                write!(f, "-")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_path_properties() {
+        let p = NodePath::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.len_nodes(), 0);
+        assert_eq!(p.len_edges(), 0);
+        assert_eq!(p.endpoints(), None);
+        assert_eq!(p.to_string(), "");
+    }
+
+    #[test]
+    fn single_node_path_has_zero_edges() {
+        let p = NodePath::new(vec![NodeId(3)]);
+        assert_eq!(p.len_nodes(), 1);
+        assert_eq!(p.len_edges(), 0);
+        assert_eq!(p.endpoints(), Some((NodeId(3), NodeId(3))));
+    }
+
+    #[test]
+    fn multi_node_path_edges_and_contains() {
+        let p: NodePath = vec![NodeId(0), NodeId(4), NodeId(2)].into();
+        assert_eq!(p.len_edges(), 2);
+        assert!(p.contains(NodeId(4)));
+        assert!(!p.contains(NodeId(9)));
+        assert_eq!(p.to_string(), "n0-n4-n2");
+    }
+
+    #[test]
+    fn reverse_swaps_endpoints() {
+        let p = NodePath::new(vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let r = p.reversed();
+        assert_eq!(p.endpoints(), Some((NodeId(1), NodeId(3))));
+        assert_eq!(r.endpoints(), Some((NodeId(3), NodeId(1))));
+        assert_eq!(r.len_edges(), p.len_edges());
+    }
+}

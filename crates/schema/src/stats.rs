@@ -1,0 +1,186 @@
+//! Descriptive statistics over schema trees and forests.
+//!
+//! Used to characterise generated repositories (so EXPERIMENTS.md can show that a
+//! synthetic corpus has the same shape as the paper's crawled corpus) and by tests.
+
+use crate::node::NodeKind;
+use crate::tree::SchemaTree;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one schema tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Total nodes (elements + attributes).
+    pub node_count: usize,
+    /// Element nodes.
+    pub element_count: usize,
+    /// Attribute nodes.
+    pub attribute_count: usize,
+    /// Leaf nodes.
+    pub leaf_count: usize,
+    /// Maximum depth (root = 0).
+    pub max_depth: u32,
+    /// Average depth over all nodes.
+    pub avg_depth: f64,
+    /// Average number of children over internal (non-leaf) nodes.
+    pub avg_fanout: f64,
+    /// Number of distinct node names.
+    pub distinct_names: usize,
+}
+
+impl TreeStats {
+    /// Compute statistics for one tree.
+    pub fn of(tree: &SchemaTree) -> Self {
+        let node_count = tree.len();
+        let mut element_count = 0usize;
+        let mut attribute_count = 0usize;
+        let mut leaf_count = 0usize;
+        let mut depth_sum = 0u64;
+        let mut internal = 0usize;
+        let mut fanout_sum = 0u64;
+        let mut names = std::collections::BTreeSet::new();
+        for (id, node) in tree.nodes() {
+            match node.kind {
+                NodeKind::Element => element_count += 1,
+                NodeKind::Attribute => attribute_count += 1,
+            }
+            if tree.is_leaf(id) {
+                leaf_count += 1;
+            } else {
+                internal += 1;
+                fanout_sum += tree.children(id).len() as u64;
+            }
+            depth_sum += tree.depth(id) as u64;
+            names.insert(node.name.to_ascii_lowercase());
+        }
+        TreeStats {
+            node_count,
+            element_count,
+            attribute_count,
+            leaf_count,
+            max_depth: tree.max_depth(),
+            avg_depth: if node_count == 0 {
+                0.0
+            } else {
+                depth_sum as f64 / node_count as f64
+            },
+            avg_fanout: if internal == 0 {
+                0.0
+            } else {
+                fanout_sum as f64 / internal as f64
+            },
+            distinct_names: names.len(),
+        }
+    }
+}
+
+/// Aggregate statistics over a forest of trees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestStats {
+    /// Number of trees.
+    pub tree_count: usize,
+    /// Total node count over all trees.
+    pub total_nodes: usize,
+    /// Smallest tree size.
+    pub min_tree_size: usize,
+    /// Largest tree size.
+    pub max_tree_size: usize,
+    /// Mean tree size.
+    pub avg_tree_size: f64,
+    /// Mean of the per-tree maximum depths.
+    pub avg_max_depth: f64,
+    /// Number of distinct names across the forest.
+    pub distinct_names: usize,
+}
+
+impl ForestStats {
+    /// Compute statistics for a forest.
+    pub fn of<'a>(trees: impl IntoIterator<Item = &'a SchemaTree>) -> Self {
+        let mut tree_count = 0usize;
+        let mut total_nodes = 0usize;
+        let mut min_tree_size = usize::MAX;
+        let mut max_tree_size = 0usize;
+        let mut depth_sum = 0f64;
+        let mut names = std::collections::BTreeSet::new();
+        for t in trees {
+            tree_count += 1;
+            let n = t.len();
+            total_nodes += n;
+            min_tree_size = min_tree_size.min(n);
+            max_tree_size = max_tree_size.max(n);
+            depth_sum += t.max_depth() as f64;
+            for (_, node) in t.nodes() {
+                names.insert(node.name.to_ascii_lowercase());
+            }
+        }
+        ForestStats {
+            tree_count,
+            total_nodes,
+            min_tree_size: if tree_count == 0 { 0 } else { min_tree_size },
+            max_tree_size,
+            avg_tree_size: if tree_count == 0 {
+                0.0
+            } else {
+                total_nodes as f64 / tree_count as f64
+            },
+            avg_max_depth: if tree_count == 0 {
+                0.0
+            } else {
+                depth_sum / tree_count as f64
+            },
+            distinct_names: names.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{paper_personal_schema, paper_repository_fragment};
+
+    #[test]
+    fn tree_stats_of_paper_fragment() {
+        let t = paper_repository_fragment();
+        let s = TreeStats::of(&t);
+        assert_eq!(s.node_count, 7);
+        assert_eq!(s.element_count, 7);
+        assert_eq!(s.attribute_count, 0);
+        assert_eq!(s.leaf_count, 4);
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.distinct_names, 7);
+        assert!(s.avg_depth > 0.0 && s.avg_depth < 3.0);
+        assert!(s.avg_fanout >= 1.0);
+    }
+
+    #[test]
+    fn empty_tree_stats_are_zero() {
+        let t = SchemaTree::new("empty");
+        let s = TreeStats::of(&t);
+        assert_eq!(s.node_count, 0);
+        assert_eq!(s.avg_depth, 0.0);
+        assert_eq!(s.avg_fanout, 0.0);
+    }
+
+    #[test]
+    fn forest_stats_aggregate() {
+        let f = vec![paper_personal_schema(), paper_repository_fragment()];
+        let s = ForestStats::of(&f);
+        assert_eq!(s.tree_count, 2);
+        assert_eq!(s.total_nodes, 10);
+        assert_eq!(s.min_tree_size, 3);
+        assert_eq!(s.max_tree_size, 7);
+        assert_eq!(s.avg_tree_size, 5.0);
+        // "book", "title", "author" overlap partially with the repository fragment.
+        assert!(s.distinct_names >= 7);
+    }
+
+    #[test]
+    fn forest_stats_of_empty_iterator() {
+        let s = ForestStats::of(std::iter::empty());
+        assert_eq!(s.tree_count, 0);
+        assert_eq!(s.min_tree_size, 0);
+        assert_eq!(s.avg_tree_size, 0.0);
+    }
+
+    use crate::tree::SchemaTree;
+}

@@ -1,0 +1,115 @@
+//! Common-prefix / common-suffix similarity (COMA's "Prefix"/"Suffix" matchers).
+//!
+//! Schema names are frequently related by affixing: `name` vs `authorName`
+//! (suffix), `address` vs `addressLine` (prefix). These kernels score such pairs
+//! higher than pure edit distance would.
+
+/// Length (in characters) of the longest common prefix, case-insensitive.
+pub fn common_prefix_len(a: &str, b: &str) -> usize {
+    a.to_lowercase()
+        .chars()
+        .zip(b.to_lowercase().chars())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
+/// Length (in characters) of the longest common suffix, case-insensitive.
+pub fn common_suffix_len(a: &str, b: &str) -> usize {
+    let ra: Vec<char> = a.to_lowercase().chars().rev().collect();
+    let rb: Vec<char> = b.to_lowercase().chars().rev().collect();
+    ra.iter().zip(rb.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// Prefix similarity: `common_prefix / min(len)`; 1.0 when one name is a prefix of the
+/// other (ignoring case), 1.0 for two empty strings.
+pub fn prefix_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let min_len = la.min(lb);
+    if min_len == 0 {
+        return if la == lb { 1.0 } else { 0.0 };
+    }
+    common_prefix_len(a, b) as f64 / min_len as f64
+}
+
+/// Suffix similarity: `common_suffix / min(len)`.
+pub fn suffix_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let min_len = la.min(lb);
+    if min_len == 0 {
+        return if la == lb { 1.0 } else { 0.0 };
+    }
+    common_suffix_len(a, b) as f64 / min_len as f64
+}
+
+/// Affix similarity: maximum of prefix and suffix similarity, scaled by the length
+/// ratio so that `a` vs a much longer string containing it is penalised mildly.
+pub fn affix_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    let best = prefix_similarity(a, b).max(suffix_similarity(a, b));
+    let ratio = la.min(lb) as f64 / la.max(lb) as f64;
+    // Half the weight on containment, half on comparable length.
+    best * (0.5 + 0.5 * ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prefix_and_suffix_lengths() {
+        assert_eq!(common_prefix_len("address", "addressLine"), 7);
+        assert_eq!(common_suffix_len("name", "authorName"), 4);
+        assert_eq!(common_prefix_len("abc", "xyz"), 0);
+        assert_eq!(common_suffix_len("", ""), 0);
+    }
+
+    #[test]
+    fn containment_scores_one_before_scaling() {
+        assert_eq!(prefix_similarity("address", "addressLine"), 1.0);
+        assert_eq!(suffix_similarity("name", "authorName"), 1.0);
+    }
+
+    #[test]
+    fn affix_similarity_penalises_length_mismatch() {
+        let same = affix_similarity("title", "title");
+        let contained = affix_similarity("name", "authorName");
+        let unrelated = affix_similarity("title", "shelf");
+        assert_eq!(same, 1.0);
+        assert!(contained > 0.6 && contained < 1.0, "{contained}");
+        assert!(unrelated < 0.35, "{unrelated}");
+    }
+
+    #[test]
+    fn empty_string_conventions() {
+        assert_eq!(affix_similarity("", ""), 1.0);
+        assert_eq!(affix_similarity("", "abc"), 0.0);
+        assert_eq!(prefix_similarity("", ""), 1.0);
+        assert_eq!(suffix_similarity("", "x"), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn unit_interval_and_symmetry(a in "[a-zA-Z]{0,12}", b in "[a-zA-Z]{0,12}") {
+            for f in [prefix_similarity, suffix_similarity, affix_similarity] {
+                let s = f(&a, &b);
+                prop_assert!((0.0..=1.0).contains(&s));
+                prop_assert!((s - f(&b, &a)).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn identity_scores_one(a in "[a-zA-Z]{1,12}") {
+            prop_assert_eq!(affix_similarity(&a, &a), 1.0);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Memoization cache for name-pair similarities.
+//!
+//! Element matching compares every personal-schema name against every repository name;
+//! repository names repeat heavily (every schema has a `name`, `id`, `date` …), so
+//! caching by *name pair* rather than node pair removes most of the string-kernel work.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A thread-safe `(name, name) → similarity` cache.
+///
+/// The key is order-normalised so `("a","b")` and `("b","a")` share an entry, matching
+/// the symmetry of every kernel in this crate.
+#[derive(Debug, Default)]
+pub struct SimilarityCache {
+    map: Mutex<HashMap<(String, String), f64>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl SimilarityCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get the cached value for a pair, or compute and insert it.
+    pub fn get_or_compute<F>(&self, a: &str, b: &str, compute: F) -> f64
+    where
+        F: FnOnce() -> f64,
+    {
+        let key = if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        };
+        {
+            let map = self.map.lock().unwrap();
+            if let Some(&v) = map.get(&key) {
+                *self.hits.lock().unwrap() += 1;
+                return v;
+            }
+        }
+        let v = compute();
+        *self.misses.lock().unwrap() += 1;
+        self.map.lock().unwrap().insert(key, v);
+        v
+    }
+
+    /// Number of cached pairs.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since construction or the last [`SimilarityCache::clear`].
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock().unwrap(), *self.misses.lock().unwrap())
+    }
+
+    /// Drop all cached entries and reset the counters.
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+        *self.hits.lock().unwrap() = 0;
+        *self.misses.lock().unwrap() = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare_string_fuzzy;
+
+    #[test]
+    fn caches_and_counts() {
+        let cache = SimilarityCache::new();
+        assert!(cache.is_empty());
+        let v1 = cache.get_or_compute("author", "authorName", || {
+            compare_string_fuzzy("author", "authorName")
+        });
+        let v2 = cache.get_or_compute("authorName", "author", || panic!("must be cached"));
+        assert_eq!(v1, v2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn symmetric_key_normalisation() {
+        let cache = SimilarityCache::new();
+        cache.get_or_compute("b", "a", || 0.5);
+        cache.get_or_compute("a", "b", || 0.9);
+        assert_eq!(cache.len(), 1);
+        // First value wins.
+        assert_eq!(cache.get_or_compute("a", "b", || 0.1), 0.5);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = SimilarityCache::new();
+        cache.get_or_compute("x", "y", || 0.3);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn usable_across_threads() {
+        use std::sync::Arc;
+        let cache = Arc::new(SimilarityCache::new());
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let c = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..50 {
+                    let a = format!("name{}", j % 10);
+                    let b = format!("label{}", (j + i) % 10);
+                    c.get_or_compute(&a, &b, || compare_string_fuzzy(&a, &b));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(cache.len() as u64, misses);
+        assert_eq!(hits + misses, 200);
+    }
+}

@@ -1,0 +1,131 @@
+//! Strategies for combining the similarity values produced by several matchers.
+//!
+//! The paper: "For every element pair being compared, each matcher produces a different
+//! similarity index. These indexes are combined into a single similarity index by means
+//! of weighed average or other combining techniques" (citing COMA and LSD). The
+//! strategies here are COMA's standard aggregation set.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregation strategy for a list of `(weight, similarity)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CombineStrategy {
+    /// Weighted arithmetic mean (the paper's Eq. 3 is the two-matcher special case).
+    #[default]
+    WeightedAverage,
+    /// Maximum of the similarities (optimistic).
+    Max,
+    /// Minimum of the similarities (pessimistic).
+    Min,
+    /// Unweighted arithmetic mean.
+    Average,
+    /// Harmonic mean — punishes disagreement between matchers.
+    HarmonicMean,
+}
+
+impl CombineStrategy {
+    /// Combine `(weight, similarity)` pairs into a single `[0,1]` value.
+    ///
+    /// Weights are only consulted by [`CombineStrategy::WeightedAverage`]; zero or
+    /// negative total weight degenerates to the unweighted mean. An empty slice
+    /// combines to 0.0.
+    pub fn combine(self, values: &[(f64, f64)]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        let out = match self {
+            CombineStrategy::WeightedAverage => {
+                let total: f64 = values.iter().map(|(w, _)| w.max(0.0)).sum();
+                if total <= 0.0 {
+                    values.iter().map(|(_, s)| s).sum::<f64>() / values.len() as f64
+                } else {
+                    values.iter().map(|(w, s)| w.max(0.0) * s).sum::<f64>() / total
+                }
+            }
+            CombineStrategy::Max => values.iter().map(|(_, s)| *s).fold(f64::MIN, f64::max),
+            CombineStrategy::Min => values.iter().map(|(_, s)| *s).fold(f64::MAX, f64::min),
+            CombineStrategy::Average => {
+                values.iter().map(|(_, s)| s).sum::<f64>() / values.len() as f64
+            }
+            CombineStrategy::HarmonicMean => {
+                if values.iter().any(|(_, s)| *s <= 0.0) {
+                    0.0
+                } else {
+                    values.len() as f64 / values.iter().map(|(_, s)| 1.0 / s).sum::<f64>()
+                }
+            }
+        };
+        out.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weighted_average_matches_eq3() {
+        // Δ = α·Δsim + (1-α)·Δpath with α = 0.25.
+        let alpha = 0.25;
+        let sim = 0.8;
+        let path = 0.6;
+        let combined =
+            CombineStrategy::WeightedAverage.combine(&[(alpha, sim), (1.0 - alpha, path)]);
+        assert!((combined - (alpha * sim + (1.0 - alpha) * path)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(CombineStrategy::WeightedAverage.combine(&[]), 0.0);
+        assert_eq!(CombineStrategy::Max.combine(&[]), 0.0);
+        // All-zero weights fall back to plain average.
+        let v = [(0.0, 0.4), (0.0, 0.8)];
+        assert!((CombineStrategy::WeightedAverage.combine(&v) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategy_orderings() {
+        let v = [(1.0, 0.2), (1.0, 0.8)];
+        let max = CombineStrategy::Max.combine(&v);
+        let min = CombineStrategy::Min.combine(&v);
+        let avg = CombineStrategy::Average.combine(&v);
+        let har = CombineStrategy::HarmonicMean.combine(&v);
+        assert_eq!(max, 0.8);
+        assert_eq!(min, 0.2);
+        assert_eq!(avg, 0.5);
+        assert!(har < avg && har > min);
+    }
+
+    #[test]
+    fn harmonic_mean_with_zero_is_zero() {
+        assert_eq!(
+            CombineStrategy::HarmonicMean.combine(&[(1.0, 0.0), (1.0, 0.9)]),
+            0.0
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn combined_value_is_within_input_range(
+            sims in proptest::collection::vec((0.1f64..1.0, 0.0f64..1.0), 1..6)
+        ) {
+            let lo = sims.iter().map(|(_, s)| *s).fold(f64::MAX, f64::min);
+            let hi = sims.iter().map(|(_, s)| *s).fold(f64::MIN, f64::max);
+            for strat in [
+                CombineStrategy::WeightedAverage,
+                CombineStrategy::Max,
+                CombineStrategy::Min,
+                CombineStrategy::Average,
+                CombineStrategy::HarmonicMean,
+            ] {
+                let c = strat.combine(&sims);
+                prop_assert!((0.0..=1.0).contains(&c));
+                prop_assert!(c <= hi + 1e-12, "{strat:?}");
+                if !matches!(strat, CombineStrategy::HarmonicMean) {
+                    prop_assert!(c >= lo - 1e-12, "{strat:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Edit-distance measures: Levenshtein and Damerau–Levenshtein (OSA variant).
+
+/// Levenshtein distance (substitution, insertion, deletion) between two strings,
+/// computed over Unicode scalar values with the classic two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Damerau–Levenshtein distance in its *optimal string alignment* (OSA) form:
+/// substitution, insertion, deletion and transposition of two adjacent characters.
+/// These are exactly the four edit operations the paper attributes to
+/// `CompareStringFuzzy`.
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rows: i-2, i-1, i.
+    let mut row0: Vec<usize> = vec![0; m + 1];
+    let mut row1: Vec<usize> = (0..=m).collect();
+    let mut row2: Vec<usize> = vec![0; m + 1];
+    for i in 1..=n {
+        row2[0] = i;
+        for j in 1..=m {
+            let cost = if a[i - 1] == b[j - 1] { 0 } else { 1 };
+            let mut best = (row1[j] + 1).min(row2[j - 1] + 1).min(row1[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(row0[j - 2] + 1);
+            }
+            row2[j] = best;
+        }
+        std::mem::swap(&mut row0, &mut row1);
+        std::mem::swap(&mut row1, &mut row2);
+    }
+    row1[m]
+}
+
+/// Normalize an edit distance to a similarity in `[0,1]`:
+/// `1 - distance / max(len_a, len_b)`, with identical empty strings scoring 1.
+pub fn normalized_similarity(distance: usize, len_a: usize, len_b: usize) -> f64 {
+    let max_len = len_a.max(len_b);
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - (distance as f64 / max_len as f64)
+}
+
+/// Normalized Levenshtein similarity (case-sensitive).
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    normalized_similarity(levenshtein(a, b), a.chars().count(), b.chars().count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("book", "book"), 0);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_as_one() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(damerau_levenshtein("author", "auhtor"), 1);
+        assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+        assert_eq!(damerau_levenshtein("", "xyz"), 3);
+    }
+
+    #[test]
+    fn damerau_never_exceeds_levenshtein() {
+        let pairs = [
+            ("title", "titel"),
+            ("address", "adress"),
+            ("authorName", "author_name"),
+            ("shelf", "bookshelf"),
+        ];
+        for (a, b) in pairs {
+            assert!(damerau_levenshtein(a, b) <= levenshtein(a, b), "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn normalized_similarity_bounds() {
+        assert_eq!(normalized_similarity(0, 0, 0), 1.0);
+        assert_eq!(normalized_similarity(0, 4, 4), 1.0);
+        assert_eq!(normalized_similarity(4, 4, 4), 0.0);
+        assert_eq!(normalized_similarity(2, 4, 4), 0.5);
+    }
+
+    #[test]
+    fn levenshtein_similarity_examples() {
+        assert_eq!(levenshtein_similarity("book", "book"), 1.0);
+        assert!(levenshtein_similarity("book", "boot") > 0.7);
+        assert!(levenshtein_similarity("book", "zzzz") < 0.01);
+    }
+
+    #[test]
+    fn unicode_is_handled_per_scalar_value() {
+        assert_eq!(levenshtein("naïve", "naive"), 1);
+        assert_eq!(damerau_levenshtein("börse", "borse"), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn lev_symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn lev_identity(a in "[a-z]{0,16}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn lev_triangle(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+            let ab = levenshtein(&a, &b);
+            let bc = levenshtein(&b, &c);
+            let ac = levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn lev_bounded_by_max_len(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let d = levenshtein(&a, &b);
+            prop_assert!(d <= a.len().max(b.len()));
+            prop_assert!(d >= a.len().abs_diff(b.len()));
+            let dd = damerau_levenshtein(&a, &b);
+            prop_assert!(dd <= d);
+        }
+
+        #[test]
+        fn normalized_in_unit_interval(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let s = levenshtein_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! `CompareStringFuzzy` — the paper's name-similarity kernel.
+//!
+//! The original is part of the commercial *FuzzySearch* library (reference \[1\] of the
+//! paper): "The CompareStringFuzzy function computes a normalized string similarity
+//! based on character substitution, insertion, exclusion, and transposition."
+//! Those four operations are exactly the Damerau–Levenshtein edit operations, so our
+//! open replacement is the OSA Damerau–Levenshtein distance normalized by the length
+//! of the longer string, computed case-insensitively (element names differing only in
+//! case are considered identical by every practical schema matcher).
+
+use crate::edit::{damerau_levenshtein, normalized_similarity};
+
+/// Normalized fuzzy name similarity in `[0,1]` (1.0 = identical up to case).
+///
+/// ```
+/// use xsm_similarity::compare_string_fuzzy;
+/// assert_eq!(compare_string_fuzzy("author", "Author"), 1.0);
+/// assert!(compare_string_fuzzy("author", "authorName") > 0.5);
+/// assert!(compare_string_fuzzy("author", "shelf") < 0.3);
+/// ```
+pub fn compare_string_fuzzy(a: &str, b: &str) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let la = a.to_lowercase();
+    let lb = b.to_lowercase();
+    if la == lb {
+        return 1.0;
+    }
+    let d = damerau_levenshtein(&la, &lb);
+    normalized_similarity(d, la.chars().count(), lb.chars().count())
+}
+
+/// Fuzzy similarity with an early-exit upper bound: if the best achievable similarity
+/// (based on the length difference alone) is already below `threshold`, returns `None`
+/// without running the quadratic edit-distance computation. The element matcher uses
+/// this to skip hopeless candidate pairs cheaply (an "approximate string join"
+/// optimisation in the spirit of Gravano et al., reference \[10\] of the paper).
+pub fn compare_string_fuzzy_bounded(a: &str, b: &str, threshold: f64) -> Option<f64> {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max_len = la.max(lb);
+    if max_len == 0 {
+        return Some(1.0);
+    }
+    // distance >= |la - lb|  ⇒  similarity <= 1 - |la-lb|/max_len.
+    let upper_bound = 1.0 - (la.abs_diff(lb) as f64 / max_len as f64);
+    if upper_bound < threshold {
+        return None;
+    }
+    let s = compare_string_fuzzy(a, b);
+    if s >= threshold {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_and_case_insensitive() {
+        assert_eq!(compare_string_fuzzy("", ""), 1.0);
+        assert_eq!(compare_string_fuzzy("book", "book"), 1.0);
+        assert_eq!(compare_string_fuzzy("Book", "bOOK"), 1.0);
+    }
+
+    #[test]
+    fn paper_fig1_pairs_behave_sensibly() {
+        // Personal schema names vs repository fragment names from Fig. 1.
+        let s_title = compare_string_fuzzy("title", "title");
+        let s_author = compare_string_fuzzy("author", "authorName");
+        let s_book = compare_string_fuzzy("book", "book");
+        let s_cross = compare_string_fuzzy("title", "shelf");
+        assert_eq!(s_title, 1.0);
+        assert_eq!(s_book, 1.0);
+        assert!(s_author > 0.55, "author/authorName = {s_author}");
+        assert!(s_cross < 0.4, "title/shelf = {s_cross}");
+    }
+
+    #[test]
+    fn transposition_is_cheap() {
+        // One transposition in a 6-character name: 1 - 1/6.
+        let s = compare_string_fuzzy("author", "auhtor");
+        assert!((s - (1.0 - 1.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        assert_eq!(compare_string_fuzzy("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn one_empty_string_scores_zero() {
+        assert_eq!(compare_string_fuzzy("", "abc"), 0.0);
+        assert_eq!(compare_string_fuzzy("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn bounded_variant_skips_hopeless_pairs() {
+        // Length difference alone caps similarity at 1 - 8/11 ≈ 0.27 < 0.5.
+        assert_eq!(compare_string_fuzzy_bounded("id", "identification", 0.5), None);
+        // Close pair passes through with the same value as the unbounded call.
+        let full = compare_string_fuzzy("address", "adress");
+        assert_eq!(compare_string_fuzzy_bounded("address", "adress", 0.5), Some(full));
+        // Below-threshold exact computation also returns None.
+        assert_eq!(compare_string_fuzzy_bounded("title", "shelf", 0.9), None);
+        assert_eq!(compare_string_fuzzy_bounded("", "", 0.9), Some(1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn in_unit_interval_and_symmetric(a in "[a-zA-Z]{0,14}", b in "[a-zA-Z]{0,14}") {
+            let s = compare_string_fuzzy(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - compare_string_fuzzy(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in "[a-zA-Z]{0,14}") {
+            prop_assert_eq!(compare_string_fuzzy(&a, &a), 1.0);
+        }
+
+        #[test]
+        fn bounded_agrees_with_unbounded(a in "[a-z]{0,10}", b in "[a-z]{0,10}", t in 0.0f64..1.0) {
+            let full = compare_string_fuzzy(&a, &b);
+            match compare_string_fuzzy_bounded(&a, &b, t) {
+                Some(s) => {
+                    prop_assert!((s - full).abs() < 1e-12);
+                    prop_assert!(s >= t);
+                }
+                None => prop_assert!(full < t),
+            }
+        }
+    }
+}

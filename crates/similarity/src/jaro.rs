@@ -1,0 +1,128 @@
+//! Jaro and Jaro–Winkler similarity.
+//!
+//! Not used by the paper's Bellflower configuration but part of the standard schema
+//! matcher toolbox (COMA's name matcher library); exposed for the ablation benches and
+//! for users who want a prefix-weighted kernel.
+
+/// Jaro similarity in `[0,1]`, case-insensitive.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.to_lowercase().chars().collect();
+    let b: Vec<char> = b.to_lowercase().chars().collect();
+    let (la, lb) = (a.len(), b.len());
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    let match_window = (la.max(lb) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; lb];
+    let mut a_matched = vec![false; la];
+    let mut matches = 0usize;
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(match_window);
+        let hi = (i + match_window + 1).min(lb);
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                a_matched[i] = true;
+                b_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions among matched characters.
+    let mut transpositions = 0usize;
+    let mut k = 0usize;
+    for (i, &ca) in a.iter().enumerate() {
+        if a_matched[i] {
+            while !b_matched[k] {
+                k += 1;
+            }
+            if ca != b[k] {
+                transpositions += 1;
+            }
+            k += 1;
+        }
+    }
+    let m = matches as f64;
+    let t = transpositions as f64 / 2.0;
+    (m / la as f64 + m / lb as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by a common-prefix bonus (scaling factor 0.1,
+/// prefix capped at 4 characters — the standard parameters).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    if j == 0.0 {
+        return 0.0;
+    }
+    let prefix = a
+        .to_lowercase()
+        .chars()
+        .zip(b.to_lowercase().chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        // Classic textbook example MARTHA / MARHTA ≈ 0.944.
+        assert!((jaro("martha", "marhta") - 0.944444).abs() < 1e-4);
+        // DWAYNE / DUANE ≈ 0.822.
+        assert!((jaro("dwayne", "duane") - 0.822222).abs() < 1e-4);
+    }
+
+    #[test]
+    fn winkler_boosts_common_prefix() {
+        let j = jaro("prefecture", "prefix");
+        let jw = jaro_winkler("prefecture", "prefix");
+        assert!(jw > j);
+        // No common prefix → no boost.
+        assert_eq!(jaro("xabc", "yabc"), jaro_winkler("xabc", "yabc"));
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        assert_eq!(jaro("aaa", "zzz"), 0.0);
+        assert_eq!(jaro_winkler("aaa", "zzz"), 0.0);
+    }
+
+    #[test]
+    fn schema_name_pairs() {
+        assert!(jaro_winkler("authorName", "author") > 0.9);
+        assert!(jaro_winkler("email", "mail") > 0.7);
+        assert!(jaro_winkler("title", "shelf") < 0.6);
+    }
+
+    proptest! {
+        #[test]
+        fn unit_interval_and_symmetry(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let j = jaro(&a, &b);
+            let jw = jaro_winkler(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&j));
+            prop_assert!((0.0..=1.0).contains(&jw));
+            prop_assert!((jaro(&b, &a) - j).abs() < 1e-12);
+            prop_assert!(jw + 1e-12 >= j);
+        }
+
+        #[test]
+        fn identity(a in "[a-z]{1,12}") {
+            prop_assert_eq!(jaro(&a, &a), 1.0);
+            prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+        }
+    }
+}

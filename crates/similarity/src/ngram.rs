@@ -1,0 +1,116 @@
+//! Character q-gram similarity (Dice coefficient over q-gram multisets).
+
+use std::collections::HashMap;
+
+/// Extract the multiset of character q-grams of `s` (lowercased, padded with `#`
+/// sentinels so short strings still yield grams).
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q must be at least 1");
+    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
+        .chain(s.to_lowercase().chars())
+        .chain(std::iter::repeat_n('#', q - 1))
+        .collect();
+    if padded.len() < q {
+        return Vec::new();
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Dice-coefficient similarity over q-gram multisets, in `[0,1]`.
+pub fn ngram_similarity(a: &str, b: &str, q: usize) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let ga = qgrams(a, q);
+    let gb = qgrams(b, q);
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let mut counts: HashMap<&str, (usize, usize)> = HashMap::new();
+    for g in &ga {
+        counts.entry(g.as_str()).or_default().0 += 1;
+    }
+    for g in &gb {
+        counts.entry(g.as_str()).or_default().1 += 1;
+    }
+    let overlap: usize = counts.values().map(|&(x, y)| x.min(y)).sum();
+    2.0 * overlap as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// Jaccard similarity over the *sets* of q-grams (used by the repository q-gram index
+/// as a cheap pre-filter).
+pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::HashSet<String> = qgrams(a, q).into_iter().collect();
+    let sb: std::collections::HashSet<String> = qgrams(b, q).into_iter().collect();
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn qgram_extraction_with_padding() {
+        let grams = qgrams("ab", 3);
+        assert_eq!(grams, vec!["##a", "#ab", "ab#", "b##"]);
+        assert_eq!(qgrams("", 2).len(), 1); // "##" from padding only
+        assert_eq!(qgrams("x", 1), vec!["x"]);
+    }
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert_eq!(ngram_similarity("book", "book", 3), 1.0);
+        assert_eq!(ngram_similarity("", "", 3), 1.0);
+        assert_eq!(qgram_jaccard("book", "BOOK", 3), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_score_low() {
+        assert!(ngram_similarity("aaaa", "zzzz", 3) < 0.01);
+        assert!(qgram_jaccard("aaaa", "zzzz", 3) < 0.01);
+    }
+
+    #[test]
+    fn related_schema_names_score_mid() {
+        let s = ngram_similarity("authorName", "author", 3);
+        assert!(s > 0.5 && s < 1.0, "{s}");
+        let j = qgram_jaccard("address", "addr", 2);
+        assert!(j > 0.3 && j < 1.0, "{j}");
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be at least 1")]
+    fn zero_q_panics() {
+        qgrams("abc", 0);
+    }
+
+    proptest! {
+        #[test]
+        fn dice_unit_interval_and_symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}", q in 1usize..4) {
+            let s = ngram_similarity(&a, &b, q);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - ngram_similarity(&b, &a, q)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn dice_identity(a in "[a-z]{0,12}", q in 1usize..4) {
+            prop_assert!((ngram_similarity(&a, &a, q) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn jaccard_le_one_and_symmetric(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            let s = qgram_jaccard(&a, &b, 3);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - qgram_jaccard(&b, &a, 3)).abs() < 1e-12);
+        }
+    }
+}

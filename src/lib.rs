@@ -1,0 +1,6 @@
+//! Bellflower: clustered XML schema matching.
+pub use xsm_core as clustering;
+pub use xsm_matcher as matcher;
+pub use xsm_repo as repo;
+pub use xsm_schema as schema;
+pub use xsm_similarity as similarity;

@@ -1,0 +1,96 @@
+//! Integration tests asserting the *qualitative shape* of the paper's experiments on a
+//! scaled-down workload: the orderings that Table 1 and Figures 4–6 report must hold
+//! (who wins, in which direction the trade-off moves), even though absolute numbers
+//! differ from the 2006 testbed.
+
+use xsm_bench::experiments::{run_fig4, run_fig5, run_table1};
+use xsm_bench::{ExperimentConfig, Workload};
+
+fn workload() -> Workload {
+    Workload::build(ExperimentConfig {
+        seed: 11,
+        elements: 2_000,
+        ..ExperimentConfig::smoke()
+    })
+}
+
+#[test]
+fn table1_orderings_hold_on_a_small_workload() {
+    let w = workload();
+    let table = run_table1(&w);
+    let row = |label: &str| table.rows.iter().find(|r| r.variant == label).unwrap();
+    let (small, medium, tree) = (row("small"), row("medium"), row("tree"));
+
+    // Tab. 1a: clustering condenses the search space, and finer clustering condenses it more.
+    assert!(small.search_space <= medium.search_space);
+    assert!(medium.search_space <= tree.search_space);
+    assert!(small.search_space < tree.search_space, "clustering had no effect at all");
+    // Tab. 1a: clusters hold fewer mapping elements than whole trees on average.
+    assert!(small.avg_mapping_elements <= tree.avg_mapping_elements + 1e-9);
+
+    // Tab. 1b: the generator does less work on the clustered search space and loses
+    // some of the mappings — never gains.
+    assert!(small.partial_mappings <= tree.partial_mappings);
+    assert!(small.retained_mappings <= tree.retained_mappings);
+    assert!(tree.retained_mappings > 0);
+
+    // Sec. 5 "Efficiency of clustering": the three clustered variants spend roughly the
+    // same time clustering (same element count, same iterations bound); here we just
+    // check clustering happened and took measurable but bounded effort.
+    assert!(small.kmeans_iterations >= 1);
+    assert_eq!(tree.kmeans_iterations, 0);
+}
+
+#[test]
+fn fig4_reclustering_reduces_cluster_count_and_removes_tiny_clusters() {
+    let w = workload();
+    let fig4 = run_fig4(&w);
+    let by = |label: &str| fig4.series.iter().find(|s| s.strategy == label).unwrap();
+    let none = by("no reclustering");
+    let join = by("join");
+    let join_remove = by("join & remove");
+
+    // The paper's Fig. 4 ordering: 579 → 333 → 243 clusters.
+    assert!(none.cluster_count >= join.cluster_count);
+    assert!(join.cluster_count >= join_remove.cluster_count);
+
+    // join & remove eliminates the [1,1] bucket entirely (tiny clusters are gone).
+    assert_eq!(join_remove.histogram.counts[0], 0, "tiny clusters survived join&remove");
+    // Without reclustering, tiny clusters are the dominant artefact the paper reports.
+    assert!(none.histogram.counts[0] >= join.histogram.counts[0]);
+}
+
+#[test]
+fn fig5_preservation_improves_with_threshold_and_with_cluster_size() {
+    let w = workload();
+    let fig5 = run_fig5(&w);
+    let by = |label: &str| fig5.series.iter().find(|s| s.label == label).unwrap();
+    let small = by("small clusters");
+    let large = by("large clusters");
+    let tree = by("tree clusters");
+
+    // The non-clustered line is constant 1.0.
+    assert!(tree.points.iter().all(|p| (p.fraction - 1.0).abs() < 1e-12));
+    // Preservation at the top of the threshold range is at least as good as at δ=0.75
+    // for every clustered variant (the paper's "loss occurs among low-ranked mappings").
+    for series in [small, large] {
+        let first = series.points.first().unwrap();
+        let last = series.points.last().unwrap();
+        assert!(last.fraction + 1e-9 >= first.fraction, "{}", series.label);
+    }
+    // Larger clusters preserve at least as many mappings as smaller clusters at δ=0.75.
+    assert!(large.points[0].fraction + 1e-9 >= small.points[0].fraction);
+}
+
+#[test]
+fn experiment_is_reproducible_for_a_fixed_seed() {
+    let a = run_table1(&workload());
+    let b = run_table1(&workload());
+    for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+        assert_eq!(ra.variant, rb.variant);
+        assert_eq!(ra.useful_clusters, rb.useful_clusters);
+        assert_eq!(ra.search_space, rb.search_space);
+        assert_eq!(ra.partial_mappings, rb.partial_mappings);
+        assert_eq!(ra.retained_mappings, rb.retained_mappings);
+    }
+}
