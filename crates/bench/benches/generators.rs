@@ -35,26 +35,46 @@ fn bench_generators(c: &mut Criterion) {
 
     group.bench_function("branch_and_bound", |b| {
         let g = BranchAndBoundGenerator::new();
-        b.iter(|| black_box(g.generate(&problem, &repo, &candidates)).mappings.len())
+        b.iter(|| {
+            black_box(g.generate(&problem, &repo, &candidates))
+                .mappings
+                .len()
+        })
     });
     group.bench_function("branch_and_bound_no_bounding", |b| {
         let g = BranchAndBoundGenerator::with_config(BranchAndBoundConfig {
             use_bounding: false,
             ..Default::default()
         });
-        b.iter(|| black_box(g.generate(&problem, &repo, &candidates)).mappings.len())
+        b.iter(|| {
+            black_box(g.generate(&problem, &repo, &candidates))
+                .mappings
+                .len()
+        })
     });
     group.bench_function("exhaustive", |b| {
         let g = ExhaustiveGenerator::new();
-        b.iter(|| black_box(g.generate(&problem, &repo, &candidates)).mappings.len())
+        b.iter(|| {
+            black_box(g.generate(&problem, &repo, &candidates))
+                .mappings
+                .len()
+        })
     });
     group.bench_function("beam_width_32", |b| {
         let g = BeamSearchGenerator::new(32);
-        b.iter(|| black_box(g.generate(&problem, &repo, &candidates)).mappings.len())
+        b.iter(|| {
+            black_box(g.generate(&problem, &repo, &candidates))
+                .mappings
+                .len()
+        })
     });
     group.bench_function("a_star", |b| {
         let g = AStarGenerator::new();
-        b.iter(|| black_box(g.generate(&problem, &repo, &candidates)).mappings.len())
+        b.iter(|| {
+            black_box(g.generate(&problem, &repo, &candidates))
+                .mappings
+                .len()
+        })
     });
     group.finish();
 }

@@ -66,7 +66,9 @@ fn bench_kernels(c: &mut Criterion) {
 fn bench_bounded_prefilter(c: &mut Criterion) {
     // The approximate-string-join style early exit vs the full kernel on a skewed
     // workload where most pairs are hopeless (the realistic element-matching regime).
-    let names: Vec<String> = (0..64).map(|i| format!("unrelatedElementName{i:03}")).collect();
+    let names: Vec<String> = (0..64)
+        .map(|i| format!("unrelatedElementName{i:03}"))
+        .collect();
     c.bench_function("fuzzy_full_vs_query", |b| {
         b.iter(|| {
             let mut acc = 0.0;
@@ -80,7 +82,9 @@ fn bench_bounded_prefilter(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for n in &names {
-                if let Some(s) = xsm_similarity::fuzzy::compare_string_fuzzy_bounded("email", n, 0.6) {
+                if let Some(s) =
+                    xsm_similarity::fuzzy::compare_string_fuzzy_bounded("email", n, 0.6)
+                {
                     acc += s;
                 }
             }

@@ -17,7 +17,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    eprintln!("building workload ({} elements, seed {})…", config.elements, config.seed);
+    eprintln!(
+        "building workload ({} elements, seed {})…",
+        config.elements, config.seed
+    );
     let workload = Workload::build(config);
     eprintln!("{}", workload.describe());
     let result = run_fig4(&workload);

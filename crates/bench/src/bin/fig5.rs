@@ -18,9 +18,18 @@ fn main() {
             std::process::exit(2);
         }
     };
-    eprintln!("building workload ({} elements, seed {})…", config.elements, config.seed);
+    eprintln!(
+        "building workload ({} elements, seed {})…",
+        config.elements, config.seed
+    );
     let workload = Workload::build(config);
     eprintln!("{}", workload.describe());
     let result = run_fig5(&workload);
-    println!("{}", render_preservation(&result, "Figure 5: preserved mappings per clustering variant"));
+    println!(
+        "{}",
+        render_preservation(
+            &result,
+            "Figure 5: preserved mappings per clustering variant"
+        )
+    );
 }

@@ -18,9 +18,18 @@ fn main() {
             std::process::exit(2);
         }
     };
-    eprintln!("building workload ({} elements, seed {})…", config.elements, config.seed);
+    eprintln!(
+        "building workload ({} elements, seed {})…",
+        config.elements, config.seed
+    );
     let workload = Workload::build(config);
     eprintln!("{}", workload.describe());
     let result = run_fig6(&workload);
-    println!("{}", render_preservation(&result, "Figure 6: preserved mappings per objective function (alpha)"));
+    println!(
+        "{}",
+        render_preservation(
+            &result,
+            "Figure 6: preserved mappings per objective function (alpha)"
+        )
+    );
 }

@@ -155,7 +155,11 @@ mod tests {
     #[test]
     fn arg_parsing_applies_overrides_and_rejects_junk() {
         let c = ExperimentConfig::default()
-            .apply_args(vec!["seed=9".into(), "delta=0.8".into(), "elements=500".into()])
+            .apply_args(vec![
+                "seed=9".into(),
+                "delta=0.8".into(),
+                "elements=500".into(),
+            ])
             .unwrap();
         assert_eq!(c.seed, 9);
         assert_eq!(c.delta, 0.8);

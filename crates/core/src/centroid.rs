@@ -30,11 +30,7 @@ pub fn medoid(
     }
     // Deterministic sample of reference points for very large clusters.
     let stride = (members.len() / MEDOID_SAMPLE_LIMIT).max(1);
-    let reference: Vec<GlobalNodeId> = members
-        .iter()
-        .step_by(stride)
-        .map(|m| m.node)
-        .collect();
+    let reference: Vec<GlobalNodeId> = members.iter().step_by(stride).map(|m| m.node).collect();
 
     let mut best: Option<(f64, GlobalNodeId)> = None;
     for candidate in members {

@@ -108,7 +108,10 @@ impl ClusterSet {
     }
 
     /// Only the useful clusters with respect to a candidate set.
-    pub fn useful<'a>(&'a self, candidates: &'a CandidateSet) -> impl Iterator<Item = &'a Cluster> + 'a {
+    pub fn useful<'a>(
+        &'a self,
+        candidates: &'a CandidateSet,
+    ) -> impl Iterator<Item = &'a Cluster> + 'a {
         self.clusters.iter().filter(|c| c.is_useful(candidates))
     }
 
@@ -180,7 +183,11 @@ mod tests {
         let narrow = Cluster::new(
             TreeId(0),
             gid(0, 5),
-            nodes.iter().filter(|n| n.node == gid(0, 5)).cloned().collect(),
+            nodes
+                .iter()
+                .filter(|n| n.node == gid(0, 5))
+                .cloned()
+                .collect(),
         );
         assert!(!narrow.is_useful(&candidates));
     }

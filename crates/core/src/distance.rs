@@ -104,9 +104,6 @@ mod tests {
         assert!(h.distance(&r, title, shelf).unwrap() >= p.distance(&r, title, shelf).unwrap());
         // Zero weight reduces to path length.
         let h0 = HybridDistance { name_weight: 0.0 };
-        assert_eq!(
-            h0.distance(&r, title, shelf),
-            p.distance(&r, title, shelf)
-        );
+        assert_eq!(h0.distance(&r, title, shelf), p.distance(&r, title, shelf));
     }
 }

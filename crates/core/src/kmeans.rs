@@ -92,7 +92,11 @@ impl KMeansClusterer {
     }
 
     /// Cluster the mapping elements of `candidates` over `repo`.
-    pub fn cluster(&self, repo: &SchemaRepository, candidates: &CandidateSet) -> (ClusterSet, KMeansStats) {
+    pub fn cluster(
+        &self,
+        repo: &SchemaRepository,
+        candidates: &CandidateSet,
+    ) -> (ClusterSet, KMeansStats) {
         let start = Instant::now();
         let nodes = collect_clustered_nodes(candidates);
         let mut stats = KMeansStats {
@@ -128,8 +132,7 @@ impl KMeansClusterer {
 
         for _iteration in 0..self.config.max_iterations {
             // Lines 3–8: assign every node to its nearest centroid (same tree only).
-            let (assignment, moved) =
-                self.assign(repo, &nodes, &centroids, &previous_assignment);
+            let (assignment, moved) = self.assign(repo, &nodes, &centroids, &previous_assignment);
 
             // Lines 9: group into clusters and compute new medoid centroids.
             let mut clusters = self.build_clusters(repo, &nodes, &assignment, &centroids);
@@ -150,8 +153,7 @@ impl KMeansClusterer {
                         clusters,
                         self.config.join_distance,
                     );
-                    let (kept, _freed) =
-                        remove_small_clusters(joined, self.config.remove_min_size);
+                    let (kept, _freed) = remove_small_clusters(joined, self.config.remove_min_size);
                     kept
                 }
             };
@@ -314,7 +316,8 @@ mod tests {
     #[test]
     fn every_cluster_is_within_one_tree_and_centroid_is_a_member() {
         let (_, repo, candidates) = scenario();
-        let (set, _) = KMeansClusterer::new(ClusteringConfig::default()).cluster(&repo, &candidates);
+        let (set, _) =
+            KMeansClusterer::new(ClusteringConfig::default()).cluster(&repo, &candidates);
         for cluster in &set.clusters {
             assert!(cluster.size() > 0);
             assert!(
@@ -331,7 +334,8 @@ mod tests {
     #[test]
     fn assigned_plus_unassigned_covers_all_nodes_without_duplication() {
         let (_, repo, candidates) = scenario();
-        let (set, stats) = KMeansClusterer::new(ClusteringConfig::default()).cluster(&repo, &candidates);
+        let (set, stats) =
+            KMeansClusterer::new(ClusteringConfig::default()).cluster(&repo, &candidates);
         let mut covered: Vec<GlobalNodeId> = set
             .clusters
             .iter()

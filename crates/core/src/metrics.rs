@@ -44,15 +44,12 @@ pub fn preservation_curve(
     clustered: &[SchemaMapping],
     thresholds: &[f64],
 ) -> Vec<PreservationPoint> {
-    let clustered_keys: HashSet<Vec<(u32, u32, u32)>> =
-        clustered.iter().map(mapping_key).collect();
+    let clustered_keys: HashSet<Vec<(u32, u32, u32)>> = clustered.iter().map(mapping_key).collect();
     thresholds
         .iter()
         .map(|&threshold| {
-            let relevant: Vec<&SchemaMapping> = reference
-                .iter()
-                .filter(|m| m.score >= threshold)
-                .collect();
+            let relevant: Vec<&SchemaMapping> =
+                reference.iter().filter(|m| m.score >= threshold).collect();
             let preserved = relevant
                 .iter()
                 .filter(|m| clustered_keys.contains(&mapping_key(m)))

@@ -116,7 +116,8 @@ mod tests {
             &NameElementMatcher,
             &ElementMatchConfig::default().with_min_similarity(0.4),
         );
-        let (set, _) = KMeansClusterer::new(ClusteringConfig::default()).cluster(&repo, &candidates);
+        let (set, _) =
+            KMeansClusterer::new(ClusteringConfig::default()).cluster(&repo, &candidates);
         (problem, repo, candidates, set)
     }
 

@@ -15,7 +15,9 @@
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
-use xsm_matcher::element::{match_elements, ElementMatchConfig, ElementMatcher, NameElementMatcher};
+use xsm_matcher::element::{
+    match_elements, ElementMatchConfig, ElementMatcher, NameElementMatcher,
+};
 use xsm_matcher::generator::{sort_mappings, MappingGenerator};
 use xsm_matcher::{CandidateSet, GeneratorCounters, MatchingProblem, SchemaMapping};
 use xsm_repo::SchemaRepository;
@@ -145,7 +147,12 @@ impl ClusteredMatcher {
         generator: &dyn MappingGenerator,
     ) -> ClusteredMatchReport {
         let start = Instant::now();
-        let candidates = match_elements(&problem.personal, repo, element_matcher, &self.element_config);
+        let candidates = match_elements(
+            &problem.personal,
+            repo,
+            element_matcher,
+            &self.element_config,
+        );
         let element_matching_time = start.elapsed();
         let mut report = self.run_on_candidates(problem, repo, &candidates, generator);
         report.element_matching_time = element_matching_time;
@@ -242,10 +249,8 @@ mod tests {
 
     fn scenario() -> (MatchingProblem, SchemaRepository, CandidateSet) {
         let problem = MatchingProblem::paper_experiment();
-        let repo = RepositoryGenerator::new(
-            GeneratorConfig::small(31).with_target_elements(900),
-        )
-        .generate();
+        let repo = RepositoryGenerator::new(GeneratorConfig::small(31).with_target_elements(900))
+            .generate();
         let candidates = match_elements(
             &problem.personal,
             &repo,
@@ -261,8 +266,12 @@ mod tests {
         let generator = BranchAndBoundGenerator::new();
         let baseline = ClusteredMatcher::for_variant(ClusteringVariant::TreeClusters)
             .run_on_candidates(&problem, &repo, &candidates, &generator);
-        let clustered = ClusteredMatcher::for_variant(ClusteringVariant::Medium)
-            .run_on_candidates(&problem, &repo, &candidates, &generator);
+        let clustered = ClusteredMatcher::for_variant(ClusteringVariant::Medium).run_on_candidates(
+            &problem,
+            &repo,
+            &candidates,
+            &generator,
+        );
 
         assert_eq!(baseline.label, "tree");
         assert_eq!(clustered.label, "medium");
@@ -277,8 +286,7 @@ mod tests {
         // Baseline explores at least as large a search space and finds at least as
         // many mappings (clustering only loses mappings, never invents them).
         assert!(
-            baseline.cluster_stats.total_search_space
-                >= clustered.cluster_stats.total_search_space
+            baseline.cluster_stats.total_search_space >= clustered.cluster_stats.total_search_space
         );
         assert!(baseline.mappings.len() >= clustered.mappings.len());
         // Counters line up with the mapping list.
@@ -296,13 +304,25 @@ mod tests {
     fn every_clustered_mapping_also_exists_in_the_baseline() {
         let (problem, repo, candidates) = scenario();
         let generator = BranchAndBoundGenerator::new();
-        let baseline = ClusteredMatcher::baseline()
-            .run_on_candidates(&problem, &repo, &candidates, &generator);
-        let clustered = ClusteredMatcher::for_variant(ClusteringVariant::Small)
-            .run_on_candidates(&problem, &repo, &candidates, &generator);
+        let baseline = ClusteredMatcher::baseline().run_on_candidates(
+            &problem,
+            &repo,
+            &candidates,
+            &generator,
+        );
+        let clustered = ClusteredMatcher::for_variant(ClusteringVariant::Small).run_on_candidates(
+            &problem,
+            &repo,
+            &candidates,
+            &generator,
+        );
         // Clustered results ⊆ baseline results: preservation of the clustered set
         // against itself measured on the baseline must count every clustered mapping.
-        let curve = preservation_curve(&clustered.mappings, &baseline.mappings, &[problem.threshold]);
+        let curve = preservation_curve(
+            &clustered.mappings,
+            &baseline.mappings,
+            &[problem.threshold],
+        );
         assert_eq!(curve[0].preserved_count, curve[0].reference_count);
     }
 
@@ -310,10 +330,18 @@ mod tests {
     fn smaller_clusters_mean_smaller_search_space() {
         let (problem, repo, candidates) = scenario();
         let generator = BranchAndBoundGenerator::new();
-        let small = ClusteredMatcher::for_variant(ClusteringVariant::Small)
-            .run_on_candidates(&problem, &repo, &candidates, &generator);
-        let large = ClusteredMatcher::for_variant(ClusteringVariant::Large)
-            .run_on_candidates(&problem, &repo, &candidates, &generator);
+        let small = ClusteredMatcher::for_variant(ClusteringVariant::Small).run_on_candidates(
+            &problem,
+            &repo,
+            &candidates,
+            &generator,
+        );
+        let large = ClusteredMatcher::for_variant(ClusteringVariant::Large).run_on_candidates(
+            &problem,
+            &repo,
+            &candidates,
+            &generator,
+        );
         let tree = ClusteredMatcher::for_variant(ClusteringVariant::TreeClusters)
             .run_on_candidates(&problem, &repo, &candidates, &generator);
         assert!(
@@ -343,8 +371,12 @@ mod tests {
     fn mappings_are_sorted_and_meet_threshold() {
         let (problem, repo, candidates) = scenario();
         let generator = BranchAndBoundGenerator::new();
-        let report = ClusteredMatcher::for_variant(ClusteringVariant::Medium)
-            .run_on_candidates(&problem, &repo, &candidates, &generator);
+        let report = ClusteredMatcher::for_variant(ClusteringVariant::Medium).run_on_candidates(
+            &problem,
+            &repo,
+            &candidates,
+            &generator,
+        );
         let mut prev = f64::INFINITY;
         for m in &report.mappings {
             assert!(m.score >= problem.threshold);

@@ -12,9 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 use xsm_schema::{SchemaNode, SchemaTree};
-use xsm_similarity::{
-    compare_string_fuzzy, CombineStrategy, StringSimilarity, SynonymTable,
-};
+use xsm_similarity::{compare_string_fuzzy, CombineStrategy, StringSimilarity, SynonymTable};
 
 use crate::candidates::{CandidateSet, MappingElement};
 use xsm_repo::SchemaRepository;
@@ -245,7 +243,10 @@ mod tests {
         let m = NameElementMatcher;
         let a = SchemaNode::element("author");
         let b = SchemaNode::element("authorName");
-        assert_eq!(m.compare(&a, &b), compare_string_fuzzy("author", "authorName"));
+        assert_eq!(
+            m.compare(&a, &b),
+            compare_string_fuzzy("author", "authorName")
+        );
         assert_eq!(m.name(), "name(fuzzy)");
     }
 

@@ -177,8 +177,16 @@ impl BranchAndBoundGenerator {
             };
             if keep {
                 self.search(
-                    problem, scope, labeling, objective, order, depth + 1, assignment, used,
-                    out, counters,
+                    problem,
+                    scope,
+                    labeling,
+                    objective,
+                    order,
+                    depth + 1,
+                    assignment,
+                    used,
+                    out,
+                    counters,
                 );
             }
             assignment.pop();
@@ -295,11 +303,8 @@ mod tests {
             .child(SchemaNode::element("name"))
             .sibling(SchemaNode::element("nickname"))
             .build();
-        let problem = MatchingProblem::new(
-            personal,
-            crate::objective::ObjectiveConfig::default(),
-            0.0,
-        );
+        let problem =
+            MatchingProblem::new(personal, crate::objective::ObjectiveConfig::default(), 0.0);
         let repo = SchemaRepository::from_trees(vec![repo_tree]);
         let scope = match_elements(
             &problem.personal,

@@ -133,7 +133,15 @@ impl ExhaustiveGenerator {
             used.push(candidate.repo);
             counters.partial_mappings += 1;
             self.enumerate(
-                problem, scope, labeling, objective, order, depth + 1, assignment, used, out,
+                problem,
+                scope,
+                labeling,
+                objective,
+                order,
+                depth + 1,
+                assignment,
+                used,
+                out,
                 counters,
             );
             assignment.pop();

@@ -63,7 +63,11 @@ pub struct Objective {
 
 impl Objective {
     /// Create an objective for a personal schema of the given size.
-    pub fn new(config: ObjectiveConfig, personal_node_count: usize, personal_edge_count: usize) -> Self {
+    pub fn new(
+        config: ObjectiveConfig,
+        personal_node_count: usize,
+        personal_edge_count: usize,
+    ) -> Self {
         Objective {
             config,
             personal_node_count,
@@ -98,8 +102,7 @@ impl Objective {
     /// `labeling`. For mappings spanning fewer than two nodes the subtree has no edges
     /// and the term evaluates to its maximum, 1.0.
     pub fn delta_path(&self, mapping: &SchemaMapping, labeling: &TreeLabeling) -> f64 {
-        let nodes: Vec<xsm_schema::NodeId> =
-            mapping.pairs().iter().map(|p| p.repo.node).collect();
+        let nodes: Vec<xsm_schema::NodeId> = mapping.pairs().iter().map(|p| p.repo.node).collect();
         let et = steiner_edge_count(labeling, &nodes) as f64;
         self.delta_path_from_edges(et)
     }
@@ -190,7 +193,11 @@ mod tests {
             MappingElement::new(p_title, gid(r_title), 1.0),
             MappingElement::new(p_author, gid(r_author), sim_author),
         ]);
-        let objective = Objective::new(ObjectiveConfig::default(), personal.len(), personal.edge_count());
+        let objective = Objective::new(
+            ObjectiveConfig::default(),
+            personal.len(),
+            personal.edge_count(),
+        );
         (mapping, lab, objective)
     }
 
@@ -247,17 +254,19 @@ mod tests {
         let repo_tree = paper_repository_fragment();
         let lab = TreeLabeling::build(&repo_tree);
         let p_nodes = personal.preorder();
-        let obj = Objective::new(ObjectiveConfig::default(), personal.len(), personal.edge_count());
+        let obj = Objective::new(
+            ObjectiveConfig::default(),
+            personal.len(),
+            personal.edge_count(),
+        );
 
         // Candidate scope: every personal node may map to every repository node with
         // the fuzzy similarity.
         let mut scope = CandidateSet::new(p_nodes.clone());
         for &p in &p_nodes {
             for r in repo_tree.node_ids() {
-                let sim = xsm_similarity::compare_string_fuzzy(
-                    personal.name_of(p),
-                    repo_tree.name_of(r),
-                );
+                let sim =
+                    xsm_similarity::compare_string_fuzzy(personal.name_of(p), repo_tree.name_of(r));
                 scope.push(MappingElement::new(p, gid(r), sim));
             }
         }

@@ -85,7 +85,9 @@ where
                 }
                 report.loaded_files.push(PathBuf::from(name));
             }
-            Err(e) => report.skipped_files.push((PathBuf::from(name), e.to_string())),
+            Err(e) => report
+                .skipped_files
+                .push((PathBuf::from(name), e.to_string())),
         }
     }
     (repo, report)
@@ -95,7 +97,8 @@ where
 mod tests {
     use super::*;
 
-    const GOOD_DTD: &str = "<!ELEMENT person (name, email)> <!ELEMENT name (#PCDATA)> <!ELEMENT email (#PCDATA)>";
+    const GOOD_DTD: &str =
+        "<!ELEMENT person (name, email)> <!ELEMENT name (#PCDATA)> <!ELEMENT email (#PCDATA)>";
     const GOOD_XSD: &str = r#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
         <xs:element name="order"><xs:complexType><xs:sequence>
             <xs:element name="item" type="xs:string" maxOccurs="unbounded"/>

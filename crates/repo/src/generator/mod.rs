@@ -143,7 +143,9 @@ impl RepositoryGenerator {
         while total < self.config.target_elements {
             let domain = domains[rng.gen_range(0..domains.len())];
             let remaining = self.config.target_elements - total;
-            let size = self.draw_tree_size(&mut rng).min(remaining.max(self.config.min_tree_size));
+            let size = self
+                .draw_tree_size(&mut rng)
+                .min(remaining.max(self.config.min_tree_size));
             let tree = self.generate_tree(&mut rng, domain, size, tree_index, &mutator);
             total += tree.len();
             trees.push(tree);

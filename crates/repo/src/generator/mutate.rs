@@ -37,7 +37,9 @@ impl NameMutator {
             1 => typo_deletion(name, rng),
             2 => typo_transposition(name, rng),
             3 => abbreviate(name),
-            4 => self.synonym(name, rng).unwrap_or_else(|| case_style(name, rng)),
+            4 => self
+                .synonym(name, rng)
+                .unwrap_or_else(|| case_style(name, rng)),
             _ => case_style(name, rng),
         }
     }
@@ -62,7 +64,7 @@ fn typo_substitution(name: &str, rng: &mut StdRng) -> String {
         return name.to_string();
     }
     let pos = rng.gen_range(1..chars.len() - 1);
-    let replacement = (b'a' + rng.gen_range(0..26)) as char;
+    let replacement = (b'a' + rng.gen_range(0..26u8)) as char;
     chars[pos] = replacement;
     chars.into_iter().collect()
 }

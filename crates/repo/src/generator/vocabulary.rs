@@ -23,26 +23,101 @@ pub struct Domain {
 /// The contacts / person domain.
 pub static CONTACTS: Domain = Domain {
     name: "contacts",
-    roots: &["person", "contact", "addressBook", "profile", "member", "user"],
-    vocabulary: &[
-        "name", "firstName", "lastName", "middleName", "nickname", "title", "address",
-        "street", "city", "state", "zip", "postalCode", "country", "email", "emailAddress",
-        "phone", "telephone", "mobile", "fax", "homepage", "url", "birthDate", "age",
-        "gender", "company", "organization", "department", "jobTitle", "note", "photo",
+    roots: &[
+        "person",
+        "contact",
+        "addressBook",
+        "profile",
+        "member",
+        "user",
     ],
-    qualifiers: &["home", "work", "primary", "secondary", "billing", "shipping", "personal"],
+    vocabulary: &[
+        "name",
+        "firstName",
+        "lastName",
+        "middleName",
+        "nickname",
+        "title",
+        "address",
+        "street",
+        "city",
+        "state",
+        "zip",
+        "postalCode",
+        "country",
+        "email",
+        "emailAddress",
+        "phone",
+        "telephone",
+        "mobile",
+        "fax",
+        "homepage",
+        "url",
+        "birthDate",
+        "age",
+        "gender",
+        "company",
+        "organization",
+        "department",
+        "jobTitle",
+        "note",
+        "photo",
+    ],
+    qualifiers: &[
+        "home",
+        "work",
+        "primary",
+        "secondary",
+        "billing",
+        "shipping",
+        "personal",
+    ],
 };
 
 /// The library / bibliography domain (the paper's Fig. 1 world).
 pub static LIBRARY: Domain = Domain {
     name: "library",
-    roots: &["lib", "library", "catalog", "bibliography", "collection", "bookstore"],
+    roots: &[
+        "lib",
+        "library",
+        "catalog",
+        "bibliography",
+        "collection",
+        "bookstore",
+    ],
     vocabulary: &[
-        "book", "title", "subtitle", "author", "authorName", "editor", "publisher",
-        "publicationYear", "year", "isbn", "edition", "volume", "series", "chapter",
-        "page", "pages", "abstract", "keyword", "subject", "language", "shelf", "data",
-        "address", "genre", "format", "price", "copy", "barcode", "dueDate", "borrower",
-        "name", "email",
+        "book",
+        "title",
+        "subtitle",
+        "author",
+        "authorName",
+        "editor",
+        "publisher",
+        "publicationYear",
+        "year",
+        "isbn",
+        "edition",
+        "volume",
+        "series",
+        "chapter",
+        "page",
+        "pages",
+        "abstract",
+        "keyword",
+        "subject",
+        "language",
+        "shelf",
+        "data",
+        "address",
+        "genre",
+        "format",
+        "price",
+        "copy",
+        "barcode",
+        "dueDate",
+        "borrower",
+        "name",
+        "email",
     ],
     qualifiers: &["main", "original", "translated", "first", "last", "co"],
 };
@@ -50,26 +125,93 @@ pub static LIBRARY: Domain = Domain {
 /// The commerce / orders domain.
 pub static COMMERCE: Domain = Domain {
     name: "commerce",
-    roots: &["order", "invoice", "purchaseOrder", "cart", "shipment", "catalog"],
-    vocabulary: &[
-        "orderId", "orderDate", "customer", "customerName", "item", "product",
-        "productName", "sku", "quantity", "qty", "price", "unitPrice", "total",
-        "totalAmount", "currency", "discount", "tax", "address", "shippingAddress",
-        "billingAddress", "deliveryDate", "status", "payment", "cardNumber", "email",
-        "phone", "name", "description", "category", "weight", "vendor", "supplier",
+    roots: &[
+        "order",
+        "invoice",
+        "purchaseOrder",
+        "cart",
+        "shipment",
+        "catalog",
     ],
-    qualifiers: &["shipping", "billing", "line", "net", "gross", "unit", "ordered"],
+    vocabulary: &[
+        "orderId",
+        "orderDate",
+        "customer",
+        "customerName",
+        "item",
+        "product",
+        "productName",
+        "sku",
+        "quantity",
+        "qty",
+        "price",
+        "unitPrice",
+        "total",
+        "totalAmount",
+        "currency",
+        "discount",
+        "tax",
+        "address",
+        "shippingAddress",
+        "billingAddress",
+        "deliveryDate",
+        "status",
+        "payment",
+        "cardNumber",
+        "email",
+        "phone",
+        "name",
+        "description",
+        "category",
+        "weight",
+        "vendor",
+        "supplier",
+    ],
+    qualifiers: &[
+        "shipping", "billing", "line", "net", "gross", "unit", "ordered",
+    ],
 };
 
 /// The organisation / HR domain.
 pub static ORGANIZATION: Domain = Domain {
     name: "organization",
-    roots: &["company", "organization", "department", "employeeList", "staff", "directory"],
+    roots: &[
+        "company",
+        "organization",
+        "department",
+        "employeeList",
+        "staff",
+        "directory",
+    ],
     vocabulary: &[
-        "employee", "employeeId", "name", "firstName", "lastName", "position", "role",
-        "salary", "manager", "department", "division", "office", "location", "address",
-        "email", "phone", "extension", "hireDate", "birthDate", "skill", "project",
-        "team", "budget", "headcount", "title", "grade", "contract", "status",
+        "employee",
+        "employeeId",
+        "name",
+        "firstName",
+        "lastName",
+        "position",
+        "role",
+        "salary",
+        "manager",
+        "department",
+        "division",
+        "office",
+        "location",
+        "address",
+        "email",
+        "phone",
+        "extension",
+        "hireDate",
+        "birthDate",
+        "skill",
+        "project",
+        "team",
+        "budget",
+        "headcount",
+        "title",
+        "grade",
+        "contract",
+        "status",
     ],
     qualifiers: &["line", "senior", "acting", "deputy", "regional", "head"],
 };
@@ -77,12 +219,43 @@ pub static ORGANIZATION: Domain = Domain {
 /// The publications / news domain.
 pub static PUBLICATIONS: Domain = Domain {
     name: "publications",
-    roots: &["article", "journal", "proceedings", "newsFeed", "magazine", "paper"],
+    roots: &[
+        "article",
+        "journal",
+        "proceedings",
+        "newsFeed",
+        "magazine",
+        "paper",
+    ],
     vocabulary: &[
-        "title", "headline", "author", "byline", "abstract", "body", "section",
-        "paragraph", "date", "publicationDate", "volume", "issue", "page", "doi",
-        "keyword", "reference", "citation", "affiliation", "email", "conference",
-        "editor", "reviewer", "category", "summary", "link", "image", "caption", "name",
+        "title",
+        "headline",
+        "author",
+        "byline",
+        "abstract",
+        "body",
+        "section",
+        "paragraph",
+        "date",
+        "publicationDate",
+        "volume",
+        "issue",
+        "page",
+        "doi",
+        "keyword",
+        "reference",
+        "citation",
+        "affiliation",
+        "email",
+        "conference",
+        "editor",
+        "reviewer",
+        "category",
+        "summary",
+        "link",
+        "image",
+        "caption",
+        "name",
     ],
     qualifiers: &["corresponding", "first", "last", "lead", "guest"],
 };
@@ -90,12 +263,40 @@ pub static PUBLICATIONS: Domain = Domain {
 /// A generic "web data" domain: configuration files, feeds, measurements.
 pub static WEBDATA: Domain = Domain {
     name: "webdata",
-    roots: &["record", "dataset", "entry", "document", "resource", "config", "feed"],
+    roots: &[
+        "record", "dataset", "entry", "document", "resource", "config", "feed",
+    ],
     vocabulary: &[
-        "id", "identifier", "name", "label", "value", "type", "description", "created",
-        "modified", "timestamp", "owner", "source", "target", "url", "link", "size",
-        "count", "version", "status", "tag", "property", "attribute", "field", "format",
-        "encoding", "checksum", "parent", "child", "comment", "metadata",
+        "id",
+        "identifier",
+        "name",
+        "label",
+        "value",
+        "type",
+        "description",
+        "created",
+        "modified",
+        "timestamp",
+        "owner",
+        "source",
+        "target",
+        "url",
+        "link",
+        "size",
+        "count",
+        "version",
+        "status",
+        "tag",
+        "property",
+        "attribute",
+        "field",
+        "format",
+        "encoding",
+        "checksum",
+        "parent",
+        "child",
+        "comment",
+        "metadata",
     ],
     qualifiers: &["min", "max", "default", "current", "previous", "next"],
 };
@@ -134,13 +335,22 @@ mod tests {
         let mut addr_domains = 0;
         let mut mail_domains = 0;
         for d in all_domains() {
-            if d.vocabulary.iter().any(|w| w.to_lowercase().contains("name")) {
+            if d.vocabulary
+                .iter()
+                .any(|w| w.to_lowercase().contains("name"))
+            {
                 name_domains += 1;
             }
-            if d.vocabulary.iter().any(|w| w.to_lowercase().contains("addr")) {
+            if d.vocabulary
+                .iter()
+                .any(|w| w.to_lowercase().contains("addr"))
+            {
                 addr_domains += 1;
             }
-            if d.vocabulary.iter().any(|w| w.to_lowercase().contains("mail")) {
+            if d.vocabulary
+                .iter()
+                .any(|w| w.to_lowercase().contains("mail"))
+            {
                 mail_domains += 1;
             }
         }

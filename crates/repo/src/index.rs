@@ -73,11 +73,7 @@ impl NameIndex {
     /// name's q-grams (a conservative pre-filter: every node with fuzzy similarity
     /// above a moderate threshold shares a large q-gram fraction, so the exact kernel
     /// only has to be run on the returned candidates).
-    pub fn lookup_approximate(
-        &self,
-        name: &str,
-        min_overlap_fraction: f64,
-    ) -> Vec<GlobalNodeId> {
+    pub fn lookup_approximate(&self, name: &str, min_overlap_fraction: f64) -> Vec<GlobalNodeId> {
         let lower = name.to_lowercase();
         let query_grams: Vec<String> = {
             let mut v = qgrams(&lower, self.q);
@@ -184,7 +180,10 @@ mod tests {
         let idx = NameIndex::build_with_q(&repo, 2);
         assert_eq!(idx.q(), 2);
         for (id, node) in repo.nodes() {
-            assert_eq!(idx.gram_count(id), qgrams(&node.name.to_lowercase(), 2).len());
+            assert_eq!(
+                idx.gram_count(id),
+                qgrams(&node.name.to_lowercase(), 2).len()
+            );
         }
     }
 

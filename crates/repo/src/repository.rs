@@ -125,10 +125,7 @@ impl SchemaRepository {
     /// All node ids of one tree.
     pub fn tree_node_ids(&self, id: TreeId) -> Vec<GlobalNodeId> {
         match self.tree(id) {
-            Some(t) => t
-                .node_ids()
-                .map(|n| GlobalNodeId::new(id, n))
-                .collect(),
+            Some(t) => t.node_ids().map(|n| GlobalNodeId::new(id, n)).collect(),
             None => Vec::new(),
         }
     }

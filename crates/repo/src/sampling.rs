@@ -39,7 +39,11 @@ pub fn sample_by_elements(
 }
 
 /// Select a fixed number of trees at random.
-pub fn sample_by_trees(source: &SchemaRepository, tree_count: usize, seed: u64) -> SchemaRepository {
+pub fn sample_by_trees(
+    source: &SchemaRepository,
+    tree_count: usize,
+    seed: u64,
+) -> SchemaRepository {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut order: Vec<usize> = (0..source.tree_count()).collect();
     order.shuffle(&mut rng);
@@ -72,11 +76,7 @@ mod tests {
         assert!(sample.total_nodes() >= 500);
         assert!(sample.tree_count() < source.tree_count());
         // Overshoot bounded by one tree.
-        let max_tree = source
-            .trees()
-            .map(|(_, t)| t.len())
-            .max()
-            .unwrap_or(0);
+        let max_tree = source.trees().map(|(_, t)| t.len()).max().unwrap_or(0);
         assert!(sample.total_nodes() <= 500 + max_tree);
     }
 

@@ -143,7 +143,8 @@ impl XsdType {
         // Integer and Real are mutually promotable.
         if matches!(
             (a, b),
-            (TypeCategory::Integer, TypeCategory::Real) | (TypeCategory::Real, TypeCategory::Integer)
+            (TypeCategory::Integer, TypeCategory::Real)
+                | (TypeCategory::Real, TypeCategory::Integer)
         ) {
             return 0.8;
         }
@@ -296,7 +297,10 @@ mod tests {
     #[test]
     fn parse_with_and_without_prefix() {
         assert_eq!("xs:string".parse::<XsdType>().unwrap(), XsdType::String);
-        assert_eq!("xsd:dateTime".parse::<XsdType>().unwrap(), XsdType::DateTime);
+        assert_eq!(
+            "xsd:dateTime".parse::<XsdType>().unwrap(),
+            XsdType::DateTime
+        );
         assert_eq!("integer".parse::<XsdType>().unwrap(), XsdType::Integer);
         assert_eq!("CDATA".parse::<XsdType>().unwrap(), XsdType::String);
         assert_eq!("IDREF".parse::<XsdType>().unwrap(), XsdType::IdRef);

@@ -51,7 +51,10 @@ impl fmt::Display for SchemaError {
             }
             SchemaError::EmptyDocument => write!(f, "document contains no schema content"),
             SchemaError::RecursionLimit { name } => {
-                write!(f, "recursive definition of '{name}' exceeds expansion limit")
+                write!(
+                    f,
+                    "recursive definition of '{name}' exceeds expansion limit"
+                )
             }
         }
     }
@@ -68,14 +71,23 @@ mod tests {
 
     #[test]
     fn display_formats_are_stable() {
-        assert_eq!(SchemaError::UnknownNode(3).to_string(), "unknown node id n3");
-        assert_eq!(SchemaError::MultipleRoots.to_string(), "schema tree already has a root");
+        assert_eq!(
+            SchemaError::UnknownNode(3).to_string(),
+            "unknown node id n3"
+        );
+        assert_eq!(
+            SchemaError::MultipleRoots.to_string(),
+            "schema tree already has a root"
+        );
         assert_eq!(
             SchemaError::parse(12, "unexpected '<'").to_string(),
             "parse error at byte 12: unexpected '<'"
         );
         assert_eq!(
-            SchemaError::RecursionLimit { name: "book".into() }.to_string(),
+            SchemaError::RecursionLimit {
+                name: "book".into()
+            }
+            .to_string(),
             "recursive definition of 'book' exceeds expansion limit"
         );
     }

@@ -41,7 +41,9 @@ pub use tree::{SchemaTree, TreeBuilder};
 ///
 /// The repository in the paper is "a collection of a large number of trees, i.e. a
 /// forest"; `TreeId` is how the rest of the system refers to one member of that forest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct TreeId(pub u32);
 
 impl TreeId {
@@ -59,7 +61,9 @@ impl std::fmt::Display for TreeId {
 }
 
 /// A node address that is unique across a whole repository: tree + node within tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct GlobalNodeId {
     /// The tree the node belongs to.
     pub tree: TreeId,

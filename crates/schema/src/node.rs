@@ -219,7 +219,10 @@ mod tests {
         assert_eq!(Cardinality::from_occurs(1, Some(1)), Cardinality::One);
         assert_eq!(Cardinality::from_occurs(0, Some(1)), Cardinality::Optional);
         assert_eq!(Cardinality::from_occurs(0, None), Cardinality::ZeroOrMore);
-        assert_eq!(Cardinality::from_occurs(0, Some(5)), Cardinality::ZeroOrMore);
+        assert_eq!(
+            Cardinality::from_occurs(0, Some(5)),
+            Cardinality::ZeroOrMore
+        );
         assert_eq!(Cardinality::from_occurs(1, None), Cardinality::OneOrMore);
         assert_eq!(Cardinality::from_occurs(2, Some(7)), Cardinality::OneOrMore);
     }

@@ -53,7 +53,10 @@ pub fn parse_dtd(schema_name: &str, input: &str) -> Result<Vec<SchemaTree>> {
     // Attribute index by owning element.
     let mut attrs_by_element: BTreeMap<&str, Vec<&AttrDecl>> = BTreeMap::new();
     for a in &attributes {
-        attrs_by_element.entry(a.element.as_str()).or_default().push(a);
+        attrs_by_element
+            .entry(a.element.as_str())
+            .or_default()
+            .push(a);
     }
 
     // Root candidates: declared elements never referenced as a child.
@@ -111,8 +114,8 @@ fn expand_element(
     }
     if let Some(decl) = elements.get(name) {
         for child in &decl.children {
-            let mut node = SchemaNode::element(child.name.clone())
-                .with_cardinality(child.cardinality);
+            let mut node =
+                SchemaNode::element(child.name.clone()).with_cardinality(child.cardinality);
             // Leaf-with-text elements get a string datatype.
             let grandchildren_known = elements.contains_key(&child.name);
             if !grandchildren_known {
@@ -131,7 +134,10 @@ fn expand_element(
                 // schemas; recursive inputs are handled gracefully rather than exactly.)
                 expand_element(tree, child_id, &child.name, elements, attrs, depth + 1)?;
                 // Mark text-bearing interior nodes.
-                if elements.get(&child.name).map(|d| d.has_text).unwrap_or(false)
+                if elements
+                    .get(&child.name)
+                    .map(|d| d.has_text)
+                    .unwrap_or(false)
                     && tree.children(child_id).is_empty()
                 {
                     if let Some(n) = tree.node_mut(child_id) {

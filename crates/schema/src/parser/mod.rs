@@ -77,7 +77,10 @@ mod tests {
             sniff_dialect("<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\"/>"),
             Dialect::Xsd
         );
-        assert_eq!(sniff_dialect("<schema><element name=\"a\"/></schema>"), Dialect::Xsd);
+        assert_eq!(
+            sniff_dialect("<schema><element name=\"a\"/></schema>"),
+            Dialect::Xsd
+        );
     }
 
     #[test]

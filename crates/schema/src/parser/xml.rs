@@ -58,7 +58,9 @@ pub fn tokenize(input: &str) -> Result<Vec<XmlEvent>> {
             } else if input[i..].starts_with("<?") {
                 match input[i + 2..].find("?>") {
                     Some(end) => i = i + 2 + end + 2,
-                    None => return Err(SchemaError::parse(i, "unterminated processing instruction")),
+                    None => {
+                        return Err(SchemaError::parse(i, "unterminated processing instruction"))
+                    }
                 }
             } else if input[i..].starts_with("<!") {
                 // DOCTYPE or other declaration: skip to matching '>', tracking nesting
@@ -261,7 +263,10 @@ mod tests {
             } => {
                 assert_eq!(
                     attributes,
-                    &vec![("a".to_string(), "x".to_string()), ("b".to_string(), "y".to_string())]
+                    &vec![
+                        ("a".to_string(), "x".to_string()),
+                        ("b".to_string(), "y".to_string())
+                    ]
                 );
                 assert!(self_closing);
             }

@@ -85,7 +85,10 @@ fn build_raw_tree(input: &str) -> Result<RawElem> {
         }
     }
     if stack.len() != 1 {
-        return Err(SchemaError::parse(0, "unclosed elements at end of document"));
+        return Err(SchemaError::parse(
+            0,
+            "unclosed elements at end of document",
+        ));
     }
     Ok(stack.pop().unwrap())
 }

@@ -394,7 +394,10 @@ impl TreeBuilder {
 
     /// Add a sibling of the most recently inserted node (a child of the current parent).
     pub fn sibling(mut self, node: SchemaNode) -> Self {
-        let parent = *self.cursor.last().expect("TreeBuilder::sibling before child");
+        let parent = *self
+            .cursor
+            .last()
+            .expect("TreeBuilder::sibling before child");
         let id = self.tree.add_child(parent, node).expect("valid parent");
         self.last = Some(id);
         self
@@ -545,7 +548,11 @@ mod tests {
     fn ancestors_from_leaf_to_root() {
         let t = fig1_repo();
         let title = t.find_by_name("title").unwrap();
-        let chain: Vec<_> = t.ancestors(title).iter().map(|&n| t.name_of(n).to_string()).collect();
+        let chain: Vec<_> = t
+            .ancestors(title)
+            .iter()
+            .map(|&n| t.name_of(n).to_string())
+            .collect();
         assert_eq!(chain, vec!["title", "data", "book", "lib"]);
     }
 

@@ -102,10 +102,16 @@ mod tests {
     #[test]
     fn bounded_variant_skips_hopeless_pairs() {
         // Length difference alone caps similarity at 1 - 8/11 ≈ 0.27 < 0.5.
-        assert_eq!(compare_string_fuzzy_bounded("id", "identification", 0.5), None);
+        assert_eq!(
+            compare_string_fuzzy_bounded("id", "identification", 0.5),
+            None
+        );
         // Close pair passes through with the same value as the unbounded call.
         let full = compare_string_fuzzy("address", "adress");
-        assert_eq!(compare_string_fuzzy_bounded("address", "adress", 0.5), Some(full));
+        assert_eq!(
+            compare_string_fuzzy_bounded("address", "adress", 0.5),
+            Some(full)
+        );
         // Below-threshold exact computation also returns None.
         assert_eq!(compare_string_fuzzy_bounded("title", "shelf", 0.9), None);
         assert_eq!(compare_string_fuzzy_bounded("", "", 0.9), Some(1.0));

@@ -118,7 +118,10 @@ mod tests {
         ];
         for k in &kernels {
             assert_eq!(k.similarity("author", "author"), 1.0, "{}", k.name());
-            assert_eq!(k.similarity("author", "author"), k.similarity("AUTHOR", "author"));
+            assert_eq!(
+                k.similarity("author", "author"),
+                k.similarity("AUTHOR", "author")
+            );
             let s = k.similarity("author", "authorName");
             assert!(s > 0.3 && s < 1.0, "{}: {s}", k.name());
         }

@@ -81,7 +81,10 @@ impl SynonymTable {
     /// Whether two names are known synonyms (true also for equal normalised names that
     /// appear in the table).
     pub fn are_synonyms(&self, a: &str, b: &str) -> bool {
-        match (self.groups.get(&normalize(a)), self.groups.get(&normalize(b))) {
+        match (
+            self.groups.get(&normalize(a)),
+            self.groups.get(&normalize(b)),
+        ) {
             (Some(x), Some(y)) => x == y,
             _ => false,
         }

@@ -135,7 +135,10 @@ mod tests {
     fn token_set_similarity_reorders_tokens() {
         // Same tokens, different order and style → identical.
         assert_eq!(token_set_similarity("firstName", "name_first"), 1.0);
-        assert_eq!(token_set_similarity("authorName", "name-of-author").round(), 1.0f64.round());
+        assert_eq!(
+            token_set_similarity("authorName", "name-of-author").round(),
+            1.0f64.round()
+        );
         assert!(token_set_similarity("authorName", "author") > 0.7);
         assert!(token_set_similarity("bookTitle", "shelfCode") < 0.5);
     }

@@ -102,9 +102,17 @@ fn main() {
     let problem = MatchingProblem::new(personal, ObjectiveConfig::default(), 0.6);
     let report = ClusteredMatcher::for_variant(ClusteringVariant::Medium)
         .with_element_config(ElementMatchConfig::default().with_min_similarity(0.3))
-        .run_with_matcher(&problem, &repository, &NameElementMatcher, &BranchAndBoundGenerator::new());
+        .run_with_matcher(
+            &problem,
+            &repository,
+            &NameElementMatcher,
+            &BranchAndBoundGenerator::new(),
+        );
 
-    println!("\nmappings with Δ ≥ {} (clustered matcher):", problem.threshold);
+    println!(
+        "\nmappings with Δ ≥ {} (clustered matcher):",
+        problem.threshold
+    );
     for mapping in report.mappings.iter().take(8) {
         let tree = repository.tree(mapping.repo_tree().unwrap()).unwrap();
         let pairs: Vec<String> = mapping
@@ -118,6 +126,11 @@ fn main() {
                 )
             })
             .collect();
-        println!("  Δ = {:.3} [{}] {}", mapping.score, tree.name(), pairs.join(", "));
+        println!(
+            "  Δ = {:.3} [{}] {}",
+            mapping.score,
+            tree.name(),
+            pairs.join(", ")
+        );
     }
 }

@@ -91,7 +91,13 @@ fn main() {
                 )
             })
             .collect();
-        println!("  #{:<2} Δ = {:.3}  [{}]  {}", rank + 1, mapping.score, tree.name(), pairs.join(", "));
+        println!(
+            "  #{:<2} Δ = {:.3}  [{}]  {}",
+            rank + 1,
+            mapping.score,
+            tree.name(),
+            pairs.join(", ")
+        );
     }
 
     // 4. Rewrite the user's personal-schema query against the best mapping: the paper's

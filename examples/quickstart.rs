@@ -22,7 +22,11 @@ fn main() {
             .with_target_elements(3_000),
     )
     .generate();
-    println!("repository: {} trees, {} elements", repository.tree_count(), repository.total_nodes());
+    println!(
+        "repository: {} trees, {} elements",
+        repository.tree_count(),
+        repository.total_nodes()
+    );
 
     // 2. The personal schema: the user's own view of the data they are looking for.
     let personal = TreeBuilder::new("personal")
@@ -72,7 +76,12 @@ fn main() {
                 )
             })
             .collect();
-        println!("  Δ = {:.3} in schema '{}': {}", mapping.score, tree.name(), images.join(", "));
+        println!(
+            "  Δ = {:.3} in schema '{}': {}",
+            mapping.score,
+            tree.name(),
+            images.join(", ")
+        );
     }
     if clustered.mappings.is_empty() {
         println!("  (no mapping reached the threshold — try lowering δ)");

@@ -38,8 +38,12 @@ fn main() {
     );
 
     let generator = BranchAndBoundGenerator::new();
-    let baseline =
-        ClusteredMatcher::baseline().run_on_candidates(&problem, &repository, &candidates, &generator);
+    let baseline = ClusteredMatcher::baseline().run_on_candidates(
+        &problem,
+        &repository,
+        &candidates,
+        &generator,
+    );
     println!(
         "\nbaseline (one cluster per tree): search space {}, {} mappings with Δ ≥ {}\n",
         baseline.cluster_stats.total_search_space,

@@ -24,7 +24,10 @@ fn table1_orderings_hold_on_a_small_workload() {
     // Tab. 1a: clustering condenses the search space, and finer clustering condenses it more.
     assert!(small.search_space <= medium.search_space);
     assert!(medium.search_space <= tree.search_space);
-    assert!(small.search_space < tree.search_space, "clustering had no effect at all");
+    assert!(
+        small.search_space < tree.search_space,
+        "clustering had no effect at all"
+    );
     // Tab. 1a: clusters hold fewer mapping elements than whole trees on average.
     assert!(small.avg_mapping_elements <= tree.avg_mapping_elements + 1e-9);
 
@@ -55,7 +58,10 @@ fn fig4_reclustering_reduces_cluster_count_and_removes_tiny_clusters() {
     assert!(join.cluster_count >= join_remove.cluster_count);
 
     // join & remove eliminates the [1,1] bucket entirely (tiny clusters are gone).
-    assert_eq!(join_remove.histogram.counts[0], 0, "tiny clusters survived join&remove");
+    assert_eq!(
+        join_remove.histogram.counts[0], 0,
+        "tiny clusters survived join&remove"
+    );
     // Without reclustering, tiny clusters are the dominant artefact the paper reports.
     assert!(none.histogram.counts[0] >= join.histogram.counts[0]);
 }

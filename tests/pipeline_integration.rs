@@ -7,7 +7,9 @@ use bellflower::clustering::{ClusteredMatcher, ClusteringConfig, ClusteringVaria
 use bellflower::matcher::element::{match_elements, ElementMatchConfig, NameElementMatcher};
 use bellflower::matcher::generator::astar::AStarGenerator;
 use bellflower::matcher::generator::exhaustive::ExhaustiveGenerator;
-use bellflower::matcher::{BranchAndBoundGenerator, MappingGenerator, MatchingProblem, ObjectiveConfig};
+use bellflower::matcher::{
+    BranchAndBoundGenerator, MappingGenerator, MatchingProblem, ObjectiveConfig,
+};
 use bellflower::repo::corpus::load_documents;
 use bellflower::repo::{GeneratorConfig, RepositoryGenerator, SchemaRepository};
 use bellflower::schema::{SchemaNode, TreeBuilder};
@@ -119,8 +121,12 @@ fn clustered_pipeline_on_synthetic_repository_preserves_top_mappings() {
     let generator = BranchAndBoundGenerator::new();
     let baseline =
         ClusteredMatcher::baseline().run_on_candidates(&problem, &repo, &candidates, &generator);
-    let clustered = ClusteredMatcher::for_variant(ClusteringVariant::Medium)
-        .run_on_candidates(&problem, &repo, &candidates, &generator);
+    let clustered = ClusteredMatcher::for_variant(ClusteringVariant::Medium).run_on_candidates(
+        &problem,
+        &repo,
+        &candidates,
+        &generator,
+    );
 
     assert!(!baseline.mappings.is_empty(), "baseline found nothing");
     // Efficiency: clustering never enlarges the search space.
@@ -166,11 +172,19 @@ fn clustered_mappings_are_a_subset_of_baseline_mappings() {
     let baseline =
         ClusteredMatcher::baseline().run_on_candidates(&problem, &repo, &candidates, &generator);
     for join in [2u32, 3, 4] {
-        let clustered = ClusteredMatcher::clustered(ClusteringConfig::default().with_join_distance(join))
-            .run_on_candidates(&problem, &repo, &candidates, &generator);
-        let curve = preservation_curve(&clustered.mappings, &baseline.mappings, &[problem.threshold]);
+        let clustered =
+            ClusteredMatcher::clustered(ClusteringConfig::default().with_join_distance(join))
+                .run_on_candidates(&problem, &repo, &candidates, &generator);
+        let curve = preservation_curve(
+            &clustered.mappings,
+            &baseline.mappings,
+            &[problem.threshold],
+        );
         // Everything the clustered run produced is also found by the baseline.
-        assert_eq!(curve[0].preserved_count, curve[0].reference_count, "join={join}");
+        assert_eq!(
+            curve[0].preserved_count, curve[0].reference_count,
+            "join={join}"
+        );
     }
 }
 

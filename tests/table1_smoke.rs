@@ -1,0 +1,73 @@
+//! Smoke test for the `table1` experiment entry point: on a tiny seeded
+//! workload, `run_table1` must produce the full set of variant rows with
+//! plausible contents, render to a non-empty report, and be byte-for-byte
+//! deterministic run-to-run. This is the cheap canary CI runs on every push;
+//! `experiment_shapes.rs` checks the paper's qualitative orderings on a
+//! larger workload.
+
+use xsm_bench::experiments::{render_table1, run_table1};
+use xsm_bench::{ExperimentConfig, Workload};
+
+fn tiny_workload() -> Workload {
+    Workload::build(ExperimentConfig {
+        seed: 3,
+        elements: 400,
+        ..ExperimentConfig::smoke()
+    })
+}
+
+#[test]
+fn table1_smoke_has_expected_shape() {
+    let result = run_table1(&tiny_workload());
+
+    // One row per clustering variant, in the paper's order.
+    let variants: Vec<&str> = result.rows.iter().map(|r| r.variant.as_str()).collect();
+    assert_eq!(variants, ["small", "medium", "large", "tree"]);
+
+    // Non-degenerate output: the workload produced mapping elements and every
+    // variant explored a non-empty search space.
+    assert!(!result.workload.is_empty());
+    for row in &result.rows {
+        assert!(
+            row.search_space > 0,
+            "variant {} saw an empty search space",
+            row.variant
+        );
+    }
+    // The non-clustered baseline treats whole trees as scopes, so it must see
+    // at least one useful "cluster" (tree) too.
+    let tree = result.rows.iter().find(|r| r.variant == "tree").unwrap();
+    assert!(tree.useful_clusters > 0);
+}
+
+#[test]
+fn table1_smoke_renders_a_report() {
+    let result = run_table1(&tiny_workload());
+    let rendered = render_table1(&result);
+    assert!(rendered.contains("variant"), "missing header: {rendered}");
+    for row in &result.rows {
+        assert!(
+            rendered.contains(&row.variant),
+            "row {} missing from rendered report",
+            row.variant
+        );
+    }
+}
+
+#[test]
+fn table1_smoke_is_deterministic() {
+    // The rendered report includes wall-clock columns, so determinism is
+    // asserted over the algorithmic fields, not the full rendered string.
+    let first = run_table1(&tiny_workload());
+    let second = run_table1(&tiny_workload());
+    assert_eq!(first.workload, second.workload);
+    assert_eq!(first.rows.len(), second.rows.len());
+    for (a, b) in first.rows.iter().zip(second.rows.iter()) {
+        assert_eq!(a.variant, b.variant);
+        assert_eq!(a.useful_clusters, b.useful_clusters);
+        assert_eq!(a.search_space, b.search_space);
+        assert_eq!(a.partial_mappings, b.partial_mappings);
+        assert_eq!(a.retained_mappings, b.retained_mappings);
+        assert!((a.avg_mapping_elements - b.avg_mapping_elements).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the criterion 0.5 API subset Bellflower's benches use
+//! ([`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`black_box`], [`criterion_group!`]/[`criterion_main!`])
+//! with a deliberately simple measurement loop: each bench warms up briefly,
+//! then runs for a fixed wall-clock budget and reports mean ns/iteration.
+//! There is no statistical analysis, HTML report, or baseline comparison —
+//! swap the real criterion back in once a registry is reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export of
+/// [`std::hint::black_box`]).
+pub fn black_box<T>(dummy: T) -> T {
+    std::hint::black_box(dummy)
+}
+
+/// Identifier of one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter, e.g.
+    /// `BenchmarkId::new("build_labeling", tree.len())`.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    measure: Duration,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly for the measurement budget and record the
+    /// iteration count and total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Short warm-up so lazily initialised state does not skew the timing.
+        let warm_until = Instant::now() + self.measure / 10;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measure {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.measure, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.into(),
+            measure: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measure: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub scales its time budget down
+    /// for small sample sizes instead of counting samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n < 100 {
+            self.measure = Duration::from_millis(100);
+        }
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.measure, f);
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, measure: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        measure,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((iters, elapsed)) if iters > 0 => {
+            let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {id:<50} {ns_per_iter:>14.1} ns/iter ({iters} iters)");
+        }
+        _ => println!("bench {id:<50} (no measurement)"),
+    }
+}
+
+/// Collect benchmark functions into a single runner function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs every group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion {
+            measure: Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("distance", 128);
+        assert_eq!(id.to_string(), "distance/128");
+    }
+}

@@ -1,0 +1,29 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::ops::Range;
+
+/// Strategy for `Vec<T>` with a length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Create a [`VecStrategy`] generating between `len.start` (inclusive) and
+/// `len.end` (exclusive) elements.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end - self.len.start;
+        let len = self.len.start + rng.below(span);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest that Bellflower's property tests use:
+//!
+//! * the [`proptest!`] macro with `name in strategy` bindings,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] (early-return failures),
+//! * string strategies written as a single character-class regex
+//!   (`"[a-z]{0,12}"`), numeric range strategies (`0.0f64..1.0`,
+//!   `1usize..4`), tuple strategies, and [`collection::vec`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports the
+//! generated inputs and panics. Generation is deterministic (fixed seed), so
+//! failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Convenience re-exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Each function runs
+/// [`test_runner::CASES`] deterministic cases of its strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..$crate::test_runner::CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                    let __inputs = format!(concat!($(stringify!($arg), " = {:?}, "),+), $(&$arg),+);
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!("proptest case {}/{} failed: {}\n  inputs: {}",
+                               __case + 1, $crate::test_runner::CASES, e, __inputs);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside [`proptest!`], failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside [`proptest!`], failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside [`proptest!`], failing the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn strings_match_character_class(s in "[a-c]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn ranges_and_tuples(x in 0.25f64..0.75, q in 1usize..4, pair in (0.0f64..1.0, 0.5f64..1.0)) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((1..4).contains(&q));
+            prop_assert!(pair.0 < 1.0 && pair.1 >= 0.5);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec(0.0f64..1.0, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn escaped_character_classes_parse() {
+        let mut rng = crate::test_runner::TestRng::for_test("escapes");
+        for _ in 0..64 {
+            let s = crate::strategy::Strategy::generate(&"[a-zA-Z0-9_\\-\\. ]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_-. ".contains(c)));
+        }
+    }
+}

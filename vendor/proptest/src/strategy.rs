@@ -1,0 +1,152 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use core::ops::Range;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// String strategy: a single character-class regex such as `"[a-zA-Z]{0,14}"`.
+///
+/// Supported syntax: one bracketed class of literal characters, `\`-escapes
+/// and `a-z` ranges, followed by `{n}` or `{lo,hi}`. Anything else panics with
+/// a clear message — extend the parser rather than silently mis-generating.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported string strategy {self:?}: {e}"));
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> Result<(Vec<char>, usize, usize), String> {
+    let rest = pattern
+        .strip_prefix('[')
+        .ok_or_else(|| "expected leading [".to_string())?;
+    let mut chars = rest.chars().peekable();
+    let mut alphabet = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .ok_or_else(|| "unterminated class".to_string())?;
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars.next().ok_or_else(|| "dangling escape".to_string())?;
+                alphabet.push(escaped);
+            }
+            _ => {
+                if chars.peek() == Some(&'-') {
+                    let mut lookahead = chars.clone();
+                    lookahead.next(); // consume '-'
+                    match lookahead.peek() {
+                        Some(&end) if end != ']' => {
+                            chars = lookahead;
+                            let end = chars.next().expect("peeked");
+                            if (end as u32) < (c as u32) {
+                                return Err(format!("inverted range {c}-{end}"));
+                            }
+                            alphabet.extend((c as u32..=end as u32).filter_map(char::from_u32));
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                alphabet.push(c);
+            }
+        }
+    }
+    if alphabet.is_empty() {
+        return Err("empty character class".to_string());
+    }
+    let quant: String = chars.collect();
+    let inner = quant
+        .strip_prefix('{')
+        .and_then(|q| q.strip_suffix('}'))
+        .ok_or_else(|| format!("expected {{n}} or {{lo,hi}} quantifier, got {quant:?}"))?;
+    let (lo, hi) = match inner.split_once(',') {
+        Some((l, h)) => (
+            l.trim().parse::<usize>().map_err(|e| e.to_string())?,
+            h.trim().parse::<usize>().map_err(|e| e.to_string())?,
+        ),
+        None => {
+            let n = inner.trim().parse::<usize>().map_err(|e| e.to_string())?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return Err(format!("inverted quantifier {{{lo},{hi}}}"));
+    }
+    Ok((alphabet, lo, hi))
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}

@@ -1,0 +1,6 @@
+//! Convenience re-exports, mirroring `rand::prelude`.
+
+pub use crate::distributions::{Distribution, Standard};
+pub use crate::rngs::StdRng;
+pub use crate::seq::SliceRandom;
+pub use crate::{Rng, RngCore, SeedableRng};

@@ -1,0 +1,18 @@
+//! Helpers called by `serde_derive`-generated code. Not a public API.
+
+pub use crate::value::{Value, ValueDeserializer, ValueError, ValueSerializer};
+
+/// Serialize any value into the in-memory [`Value`] tree.
+pub fn to_value<T: crate::Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserialize any owned value from the in-memory [`Value`] tree.
+pub fn from_value<T: crate::de::DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+/// Look up a struct field in a serialized map (cloning the value).
+pub fn get_field(map: &[(String, Value)], name: &str) -> Option<Value> {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+}

@@ -1,0 +1,32 @@
+//! Deserialization traits, mirroring `serde::de`.
+
+use crate::value::Value;
+use std::fmt::Display;
+
+/// Error constructor every deserializer error must provide, mirroring
+/// `serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format (or source) that can produce one self-describing [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produce the next value.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can deserialize itself, mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input, mirroring
+/// `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

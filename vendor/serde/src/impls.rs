@@ -1,0 +1,351 @@
+//! `Serialize`/`Deserialize` impls for std types.
+
+use crate::de::{Deserialize, Deserializer, Error as DeError};
+use crate::ser::{Error as _, Serialize, Serializer};
+use crate::value::{Value, ValueDeserializer};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+fn type_error<E: DeError>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::U64(*self as u64))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.deserialize_value()?;
+                let wide: u128 = match value {
+                    Value::U64(v) => v as u128,
+                    Value::U128(v) => v,
+                    Value::I64(v) if v >= 0 => v as u128,
+                    other => return Err(type_error("unsigned integer", &other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| D::Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::I64(*self as i64))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.deserialize_value()?;
+                let wide: i128 = match value {
+                    Value::I64(v) => v as i128,
+                    Value::U64(v) => v as i128,
+                    Value::U128(v) => i128::try_from(v)
+                        .map_err(|_| D::Error::custom("u128 out of i128 range"))?,
+                    other => return Err(type_error("signed integer", &other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| D::Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::U128(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::U128(v) => Ok(v),
+            Value::U64(v) => Ok(v as u128),
+            Value::I64(v) if v >= 0 => Ok(v as u128),
+            other => Err(type_error("unsigned integer", &other)),
+        }
+    }
+}
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::F64(*self as f64))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::F64(v) => Ok(v as $t),
+                    Value::U64(v) => Ok(v as $t),
+                    Value::I64(v) => Ok(v as $t),
+                    Value::U128(v) => Ok(v as $t),
+                    other => Err(type_error("number", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Bool(v) => Ok(v),
+            other => Err(type_error("bool", &other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(type_error("string", &other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(type_error("single-character string", &other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Unit)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Unit => Ok(()),
+            other => Err(type_error("unit", &other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Unit),
+            Some(inner) => inner.serialize(serializer),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Unit => Ok(None),
+            value => T::deserialize(ValueDeserializer(value))
+                .map(Some)
+                .map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let items = self
+            .iter()
+            .map(crate::__private::to_value)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(S::Error::custom)?;
+        serializer.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| T::deserialize(ValueDeserializer(v)))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(D::Error::custom),
+            other => Err(type_error("sequence", &other)),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($len:expr => $($idx:tt $name:ident)+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(crate::__private::to_value(&self.$idx).map_err(S::Error::custom)?,)+
+                ];
+                serializer.serialize_value(Value::Seq(items))
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            $name::deserialize(ValueDeserializer(
+                                iter.next().expect("length checked"),
+                            ))
+                            .map_err(D::Error::custom)?,
+                        )+))
+                    }
+                    other => Err(type_error("tuple sequence", &other)),
+                }
+            }
+        }
+    )+};
+}
+
+tuple_impl! {
+    (2 => 0 T0 1 T1)
+    (3 => 0 T0 1 T1 2 T2)
+    (4 => 0 T0 1 T1 2 T2 3 T3)
+}
+
+fn serialize_string_map<'a, S, V, I>(serializer: S, entries: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a String, &'a V)>,
+{
+    let entries = entries
+        .map(|(k, v)| Ok((k.clone(), crate::__private::to_value(v)?)))
+        .collect::<Result<Vec<_>, crate::value::ValueError>>()
+        .map_err(S::Error::custom)?;
+    serializer.serialize_value(Value::Map(entries))
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_string_map(serializer, self.iter())
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        k,
+                        V::deserialize(ValueDeserializer(v)).map_err(D::Error::custom)?,
+                    ))
+                })
+                .collect(),
+            other => Err(type_error("map", &other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort for deterministic output (HashMap iteration order is random).
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        serialize_string_map(serializer, entries.into_iter())
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        k,
+                        V::deserialize(ValueDeserializer(v)).map_err(D::Error::custom)?,
+                    ))
+                })
+                .collect(),
+            other => Err(type_error("map", &other)),
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(self.subsec_nanos() as u64)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Map(entries) => {
+                let get = |name: &str| {
+                    entries
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .and_then(|(_, v)| match v {
+                            Value::U64(n) => Some(*n),
+                            _ => None,
+                        })
+                };
+                match (get("secs"), get("nanos")) {
+                    (Some(secs), Some(nanos)) => Ok(Duration::new(secs, nanos as u32)),
+                    _ => Err(D::Error::custom("Duration: expected {secs, nanos}")),
+                }
+            }
+            other => Err(type_error("duration map", &other)),
+        }
+    }
+}

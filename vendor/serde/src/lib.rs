@@ -1,0 +1,37 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! framework.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the serde API subset Bellflower uses, with the *same trait
+//! signatures* as real serde for everything the source code touches:
+//!
+//! * `#[derive(Serialize, Deserialize)]` (via the sibling `serde_derive`
+//!   stub), honouring `#[serde(skip)]`, `#[serde(default)]` and
+//!   `#[serde(with = "module")]`,
+//! * manual impls written against [`Serializer`] / [`Deserializer`] generics
+//!   (e.g. `f64::deserialize(d)?` and `value.serialize(s)`),
+//! * the [`ser::Error::custom`] / [`de::Error::custom`] constructors.
+//!
+//! Instead of real serde's 29-method visitor data model, everything funnels
+//! through a single self-describing [`value::Value`] tree: a `Serializer` is
+//! anything that consumes a `Value`, a `Deserializer` is anything that
+//! produces one. That is sufficient for the JSON round-trips in the test
+//! suite while staying a few hundred lines. Code written against this subset
+//! compiles unchanged against real serde (the reverse does not hold).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod de;
+mod impls;
+pub mod ser;
+pub mod value;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,38 @@
+//! Serialization traits, mirroring `serde::ser`.
+
+use crate::value::Value;
+use std::fmt::Display;
+
+/// Error constructor every serializer error must provide, mirroring
+/// `serde::ser::Error`.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format (or sink) that can consume one serialized [`Value`].
+///
+/// Real serde drives a 29-method visitor; in this stub every `Serialize` impl
+/// builds a [`Value`] and hands it over in one call, which keeps manual impls
+/// like `d.as_secs_f64().serialize(s)` source-compatible.
+pub trait Serializer: Sized {
+    /// Output type produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consume the serialized value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can serialize itself, mirroring `serde::Serialize`.
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}

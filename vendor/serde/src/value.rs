@@ -1,0 +1,93 @@
+//! The self-describing value tree every serializer/deserializer funnels
+//! through, plus the identity serializer/deserializer over it.
+
+use std::fmt;
+
+/// A serialized value. The stub's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `()`, `None`, JSON `null`.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer up to 64 bits.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer wider than 64 bits (`u128` fields).
+    U128(u128),
+    /// A floating-point number.
+    F64(f64),
+    /// A string (also unit enum variants and `char`).
+    Str(String),
+    /// A sequence (`Vec`, tuples, tuple structs).
+    Seq(Vec<Value>),
+    /// A map with string keys (structs, maps). Order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::U64(_) => "u64",
+            Value::I64(_) => "i64",
+            Value::U128(_) => "u128",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// The error type shared by [`ValueSerializer`] and [`ValueDeserializer`].
+#[derive(Debug, Clone)]
+pub struct ValueError(String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl crate::ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl crate::de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Serializer whose output *is* the [`Value`] tree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl crate::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Deserializer reading from an in-memory [`Value`] tree.
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> crate::Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}

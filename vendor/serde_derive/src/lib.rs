@@ -1,0 +1,228 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` stub's single-`Value` data model, without `syn`/`quote`
+//! (neither is available offline): the input `TokenStream` is parsed by hand
+//! into a small [`Input`] model and code is generated with `format!`.
+//!
+//! Supported shapes — exactly what the Bellflower sources need:
+//!
+//! * structs with named fields, honouring `#[serde(skip)]`,
+//!   `#[serde(default)]` and `#[serde(with = "module")]`,
+//! * tuple structs (newtypes serialize transparently, wider ones as
+//!   sequences),
+//! * unit structs,
+//! * enums whose variants all carry no data (serialized as the variant name).
+//!
+//! Generics, data-carrying enum variants, and unknown `#[serde(...)]`
+//! attributes produce a `compile_error!` naming the construct, so misuse
+//! fails loudly instead of round-tripping incorrectly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Field, Input};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Input) -> String) -> TokenStream {
+    let code = match parse::parse(input) {
+        Ok(model) => generate(&model),
+        Err(message) => format!("compile_error!({message:?});"),
+    };
+    code.parse()
+        .expect("serde stub derive generated invalid Rust")
+}
+
+const SER_ERR: &str = "|e| <S::Error as ::serde::ser::Error>::custom(e)";
+const DE_ERR: &str = "|e| <D::Error as ::serde::de::Error>::custom(e)";
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match input {
+        Input::NamedStruct { fields, .. } => {
+            let mut pushes = String::new();
+            for field in fields.iter().filter(|f| !f.skip) {
+                let expr = match &field.with {
+                    Some(path) => format!(
+                        "{path}::serialize(&self.{f}, ::serde::__private::ValueSerializer)",
+                        f = field.name
+                    ),
+                    None => format!("::serde::__private::to_value(&self.{f})", f = field.name),
+                };
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from({n:?}), {expr}.map_err({SER_ERR})?));\n",
+                    n = field.name,
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::__private::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 serializer.serialize_value(::serde::__private::Value::Map(__fields))"
+            )
+        }
+        Input::TupleStruct { arity: 1, .. } => format!(
+            "serializer.serialize_value(::serde::__private::to_value(&self.0).map_err({SER_ERR})?)"
+        ),
+        Input::TupleStruct { arity, .. } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::__private::to_value(&self.{i}).map_err({SER_ERR})?"))
+                .collect();
+            format!(
+                "serializer.serialize_value(::serde::__private::Value::Seq(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Input::UnitStruct { .. } => {
+            "serializer.serialize_value(::serde::__private::Value::Unit)".to_string()
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "serializer.serialize_value(::serde::__private::Value::Str(\
+                 ::std::string::String::from(match self {{ {} }})))",
+                arms.join(" ")
+            )
+        }
+    };
+    let name = input.name();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S)\n\
+                 -> ::std::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = input.name();
+    let body = match input {
+        Input::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for field in fields {
+                inits.push_str(&field_init(name, field));
+            }
+            format!(
+                "let __map = match deserializer.deserialize_value()? {{\n\
+                     ::serde::__private::Value::Map(m) => m,\n\
+                     other => return ::std::result::Result::Err(\n\
+                         <D::Error as ::serde::de::Error>::custom(\n\
+                             format!(\"{name}: expected map, found {{}}\", other.kind()))),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::__private::from_value(deserializer.deserialize_value()?).map_err({DE_ERR})?))"
+        ),
+        Input::TupleStruct { name, arity } => format!(
+            "let __items = match deserializer.deserialize_value()? {{\n\
+                 ::serde::__private::Value::Seq(items) if items.len() == {arity} => items,\n\
+                 other => return ::std::result::Result::Err(\n\
+                     <D::Error as ::serde::de::Error>::custom(\n\
+                         format!(\"{name}: expected {arity}-element sequence, found {{}}\", other.kind()))),\n\
+             }};\n\
+             let mut __iter = __items.into_iter();\n\
+             ::std::result::Result::Ok({name}({fields}))",
+            fields = (0..*arity)
+                .map(|_| format!(
+                    "::serde::__private::from_value(__iter.next().expect(\"length checked\"))\
+                     .map_err({DE_ERR})?, "
+                ))
+                .collect::<String>(),
+        ),
+        Input::UnitStruct { name } => format!("::std::result::Result::Ok({name})"),
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "let __s = match deserializer.deserialize_value()? {{\n\
+                     ::serde::__private::Value::Str(s) => s,\n\
+                     other => return ::std::result::Result::Err(\n\
+                         <D::Error as ::serde::de::Error>::custom(\n\
+                             format!(\"{name}: expected variant string, found {{}}\", other.kind()))),\n\
+                 }};\n\
+                 match __s.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                         format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::std::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn field_init(struct_name: &str, field: &Field) -> String {
+    let f = &field.name;
+    if field.skip {
+        return format!("{f}: ::std::default::Default::default(),\n");
+    }
+    let lookup = format!("::serde::__private::get_field(&__map, {f:?})");
+    let missing = if field.default {
+        // `#[serde(default)]`: absent field falls back to Default.
+        String::new()
+    } else {
+        format!(
+            ".ok_or_else(|| <D::Error as ::serde::de::Error>::custom(\
+             \"{struct_name}: missing field `{f}`\"))?"
+        )
+    };
+    let convert = |value_expr: String| {
+        match &field.with {
+        Some(path) => format!(
+            "{path}::deserialize(::serde::__private::ValueDeserializer({value_expr})).map_err({DE_ERR})?"
+        ),
+        None => format!("::serde::__private::from_value({value_expr}).map_err({DE_ERR})?"),
+    }
+    };
+    if field.default {
+        format!(
+            "{f}: match {lookup} {{\n\
+                 ::std::option::Option::Some(__v) => {},\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n\
+             }},\n",
+            convert("__v".to_string())
+        )
+    } else {
+        format!("{f}: {},\n", convert(format!("{lookup}{missing}")))
+    }
+}
+
+/// Re-exported for the parser module.
+pub(crate) fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Re-exported for the parser module.
+pub(crate) fn is_group(tree: &TokenTree, delimiter: Delimiter) -> bool {
+    matches!(tree, TokenTree::Group(g) if g.delimiter() == delimiter)
+}

@@ -1,0 +1,301 @@
+//! Hand-rolled parser from a derive input `TokenStream` to the [`Input`]
+//! model. Only the shapes the Bellflower sources use are accepted; anything
+//! else returns `Err` with a message that `lib.rs` turns into a
+//! `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+use crate::{is_group, is_punct};
+
+/// One named struct field and its `#[serde(...)]` options.
+pub struct Field {
+    pub name: String,
+    pub skip: bool,
+    pub default: bool,
+    pub with: Option<String>,
+}
+
+/// The shapes of type definition the stub derives support.
+pub enum Input {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<String> },
+}
+
+impl Input {
+    pub fn name(&self) -> &str {
+        match self {
+            Input::NamedStruct { name, .. }
+            | Input::TupleStruct { name, .. }
+            | Input::UnitStruct { name }
+            | Input::Enum { name, .. } => name,
+        }
+    }
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+pub fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = expect_ident(&mut tokens)?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("serde stub derive: unsupported item `{other}`")),
+    };
+    let name = expect_ident(&mut tokens)?;
+    if tokens.peek().map(|t| is_punct(t, '<')).unwrap_or(false) {
+        return Err(format!(
+            "serde stub derive: `{name}` is generic; generics are not supported"
+        ));
+    }
+    if is_enum {
+        let body = expect_group(&mut tokens, Delimiter::Brace, &name)?;
+        let variants = parse_variants(body, &name)?;
+        return Ok(Input::Enum { name, variants });
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream(), &name)?;
+            Ok(Input::NamedStruct { name, fields })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = parse_tuple_arity(g.stream(), &name)?;
+            if arity == 0 {
+                Ok(Input::UnitStruct { name })
+            } else {
+                Ok(Input::TupleStruct { name, arity })
+            }
+        }
+        Some(t) if is_punct(&t, ';') => Ok(Input::UnitStruct { name }),
+        _ => Err(format!("serde stub derive: malformed struct `{name}`")),
+    }
+}
+
+/// Consume any number of leading `#[...]` attributes (incl. doc comments).
+fn skip_attributes(tokens: &mut Tokens) {
+    while tokens.peek().map(|t| is_punct(t, '#')).unwrap_or(false) {
+        tokens.next();
+        if tokens
+            .peek()
+            .map(|t| is_group(t, Delimiter::Bracket))
+            .unwrap_or(false)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Consume `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if tokens
+            .peek()
+            .map(|t| is_group(t, Delimiter::Parenthesis))
+            .unwrap_or(false)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens) -> Result<String, String> {
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+        other => Err(format!(
+            "serde stub derive: expected identifier, found {other:?}"
+        )),
+    }
+}
+
+fn expect_group(
+    tokens: &mut Tokens,
+    delimiter: Delimiter,
+    context: &str,
+) -> Result<TokenStream, String> {
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == delimiter => Ok(g.stream()),
+        _ => Err(format!("serde stub derive: malformed body for `{context}`")),
+    }
+}
+
+/// Parse `#[serde(...)]`-aware named fields: `[attrs] [vis] name : Type ,`.
+fn parse_named_fields(body: TokenStream, struct_name: &str) -> Result<Vec<Field>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (skip, default, with) = collect_serde_options(&mut tokens, struct_name)?;
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        let name = expect_ident(&mut tokens)?;
+        match tokens.next() {
+            Some(t) if is_punct(&t, ':') => {}
+            _ => {
+                return Err(format!(
+                    "serde stub derive: expected `:` after field `{name}` in `{struct_name}`"
+                ))
+            }
+        }
+        consume_type(&mut tokens);
+        fields.push(Field {
+            name,
+            skip,
+            default,
+            with,
+        });
+    }
+    Ok(fields)
+}
+
+/// Consume field attributes, returning the (skip, default, with) options.
+fn collect_serde_options(
+    tokens: &mut Tokens,
+    struct_name: &str,
+) -> Result<(bool, bool, Option<String>), String> {
+    let mut skip = false;
+    let mut default = false;
+    let mut with = None;
+    while tokens.peek().map(|t| is_punct(t, '#')).unwrap_or(false) {
+        tokens.next();
+        let Some(TokenTree::Group(attr)) = tokens.next() else {
+            return Err(format!(
+                "serde stub derive: malformed attribute in `{struct_name}`"
+            ));
+        };
+        let mut inner = attr.stream().into_iter();
+        let is_serde =
+            matches!(inner.next(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue; // doc comment or other inert attribute
+        }
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            return Err(format!(
+                "serde stub derive: malformed #[serde] attribute in `{struct_name}`"
+            ));
+        };
+        let mut args = args.stream().into_iter().peekable();
+        while let Some(tree) = args.next() {
+            match tree {
+                TokenTree::Ident(i) => match i.to_string().as_str() {
+                    "skip" => skip = true,
+                    "default" => default = true,
+                    "with" => {
+                        match args.next() {
+                            Some(t) if is_punct(&t, '=') => {}
+                            _ => {
+                                return Err(format!(
+                                "serde stub derive: expected `=` after `with` in `{struct_name}`"
+                            ))
+                            }
+                        }
+                        match args.next() {
+                            Some(TokenTree::Literal(l)) => {
+                                let raw = l.to_string();
+                                with = Some(raw.trim_matches('"').to_string());
+                            }
+                            _ => {
+                                return Err(format!(
+                                    "serde stub derive: expected string after `with =` in `{struct_name}`"
+                                ))
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "serde stub derive: unsupported #[serde({other})] in `{struct_name}`"
+                        ))
+                    }
+                },
+                t if is_punct(&t, ',') => {}
+                other => {
+                    return Err(format!(
+                        "serde stub derive: unexpected token {other} in #[serde] on `{struct_name}`"
+                    ))
+                }
+            }
+        }
+    }
+    Ok((skip, default, with))
+}
+
+/// Consume a type expression up to a top-level `,` (or end of stream),
+/// tracking `<...>` nesting so commas inside generic arguments don't split
+/// the field early. Brackets/parens arrive as single `Group` tokens.
+fn consume_type(tokens: &mut Tokens) {
+    let mut angle_depth = 0usize;
+    while let Some(tree) = tokens.peek() {
+        if is_punct(tree, ',') && angle_depth == 0 {
+            tokens.next();
+            return;
+        }
+        if is_punct(tree, '<') {
+            angle_depth += 1;
+        } else if is_punct(tree, '>') {
+            angle_depth = angle_depth.saturating_sub(1);
+        }
+        tokens.next();
+    }
+}
+
+/// Count top-level fields of a tuple struct body.
+fn parse_tuple_arity(body: TokenStream, _struct_name: &str) -> Result<usize, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut arity = 0usize;
+    while tokens.peek().is_some() {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        consume_type(&mut tokens);
+        arity += 1;
+    }
+    Ok(arity)
+}
+
+/// Parse enum variants, rejecting any that carry data.
+fn parse_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let variant = expect_ident(&mut tokens)?;
+        match tokens.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(t) if is_punct(&t, ',') => variants.push(variant),
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde stub derive: variant `{enum_name}::{variant}` carries data; \
+                     only unit variants are supported"
+                ));
+            }
+            Some(t) if is_punct(&t, '=') => {
+                // Explicit discriminant: skip the expression.
+                consume_type(&mut tokens);
+                variants.push(variant);
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde stub derive: unexpected token {other} after `{enum_name}::{variant}`"
+                ));
+            }
+        }
+    }
+    Ok(variants)
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
+//! renders and parses JSON text over the vendored serde stub's
+//! [`serde::value::Value`] model. Supports exactly what the test-suite
+//! round-trips need: `to_string` and `from_str`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::value::Value;
+use std::fmt;
+
+mod read;
+mod write;
+
+/// Errors from serialization, parsing, or value conversion.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg<M: Into<String>>(message: M) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::value::ValueError> for Error {
+    fn from(e: serde::value::ValueError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = serde::__private::to_value(value)?;
+    let mut out = String::new();
+    write::write_value(&mut out, &tree)?;
+    Ok(out)
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: serde::de::DeserializeOwned>(input: &str) -> Result<T> {
+    let tree = read::parse(input)?;
+    serde::__private::from_value(tree).map_err(Error::from)
+}
+
+/// Parse JSON text into the stub's generic [`Value`] tree.
+pub fn value_from_str(input: &str) -> Result<Value> {
+    read::parse(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(from_str::<f64>("0.5").unwrap(), 0.5);
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        assert_eq!(from_str::<String>("\"a\\\"b\\n\"").unwrap(), "a\"b\n");
+    }
+
+    #[test]
+    fn round_trips_containers() {
+        let v = vec![1u64, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&json).unwrap(), v);
+
+        let opt: Option<u32> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("3").unwrap(), Some(3));
+
+        let pairs = vec![(0.25f64, 1.0f64), (0.5, 0.75)];
+        let json = to_string(&pairs).unwrap();
+        assert_eq!(from_str::<Vec<(f64, f64)>>(&json).unwrap(), pairs);
+    }
+
+    #[test]
+    fn round_trips_u128_and_floats() {
+        let big: u128 = u128::MAX;
+        let json = to_string(&big).unwrap();
+        assert_eq!(from_str::<u128>(&json).unwrap(), big);
+
+        let tiny = 1.25e-7f64;
+        assert_eq!(from_str::<f64>(&to_string(&tiny).unwrap()).unwrap(), tiny);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<u32>("[1,").is_err());
+        assert!(from_str::<u32>("\"unterminated").is_err());
+        assert!(from_str::<u32>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn parses_nested_structures_with_whitespace() {
+        let value = value_from_str(r#" { "a" : [ 1 , { "b" : null } ] , "c" : -2.5e1 } "#).unwrap();
+        match value {
+            serde::value::Value::Map(entries) => {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[0].0, "a");
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+}

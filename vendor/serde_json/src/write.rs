@@ -1,0 +1,65 @@
+//! JSON text rendering.
+
+use crate::{Error, Result};
+use serde::value::Value;
+use std::fmt::Write;
+
+pub fn write_value(out: &mut String, value: &Value) -> Result<()> {
+    match value {
+        Value::Unit => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => write!(out, "{n}").expect("write to String"),
+        Value::I64(n) => write!(out, "{n}").expect("write to String"),
+        Value::U128(n) => write!(out, "{n}").expect("write to String"),
+        Value::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error::msg(format!("cannot serialize {x} as JSON")));
+            }
+            // `{:?}` prints the shortest representation that round-trips, and
+            // always includes a `.0` or exponent for integral values.
+            write!(out, "{x:?}").expect("write to String");
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, item)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
