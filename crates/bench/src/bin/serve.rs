@@ -1,0 +1,195 @@
+//! Serving throughput: queries/sec of the [`MatchEngine`] with 1 worker vs. N
+//! workers on a seeded workload, plus a warm (result-cached) pass.
+//!
+//! ```text
+//! cargo run -p xsm-bench --bin serve --release \
+//!     [seed=N] [elements=N] [queries=N] [workers=N] [topk=N] [minsim=X] [delta=X]
+//! ```
+//!
+//! The scaled batch is answered by a 1-worker engine (the sequential baseline) and a
+//! multi-worker engine over the *same* repository; the binary asserts the responses
+//! are content-identical before reporting the speedup, so the numbers can never come
+//! from divergent work.
+
+use std::time::Instant;
+
+use xsm_matcher::element::ElementMatchConfig;
+use xsm_repo::{GeneratorConfig, RepositoryGenerator, SchemaRepository};
+use xsm_service::workload::seeded_personal_schemas;
+use xsm_service::{EngineConfig, MatchEngine, MatchQuery, MatchResponse, QueryStrategy};
+
+struct ServeConfig {
+    seed: u64,
+    elements: usize,
+    queries: usize,
+    workers: usize,
+    top_k: usize,
+    min_similarity: f64,
+    delta: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 2006,
+            elements: 2_500,
+            queries: 200,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            top_k: 5,
+            min_similarity: 0.5,
+            delta: 0.75,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn apply_args<I: IntoIterator<Item = String>>(mut self, args: I) -> Result<Self, String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            match key {
+                "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "elements" => {
+                    self.elements = value.parse().map_err(|e| format!("elements: {e}"))?
+                }
+                "queries" => self.queries = value.parse().map_err(|e| format!("queries: {e}"))?,
+                "workers" => self.workers = value.parse().map_err(|e| format!("workers: {e}"))?,
+                "topk" => self.top_k = value.parse().map_err(|e| format!("topk: {e}"))?,
+                "minsim" => {
+                    self.min_similarity = value.parse().map_err(|e| format!("minsim: {e}"))?
+                }
+                "delta" => self.delta = value.parse().map_err(|e| format!("delta: {e}"))?,
+                other => return Err(format!("unknown parameter '{other}'")),
+            }
+        }
+        Ok(self)
+    }
+}
+
+/// Deterministic query mix over the shared seeded workload (the same generator the
+/// determinism test uses), alternating planner-decided and exhaustive strategies.
+fn query_batch(repo: &SchemaRepository, config: &ServeConfig) -> Vec<MatchQuery> {
+    seeded_personal_schemas(repo, config.queries)
+        .into_iter()
+        .enumerate()
+        .map(|(i, personal)| {
+            let strategy = if i % 2 == 0 {
+                QueryStrategy::Auto
+            } else {
+                QueryStrategy::Exhaustive
+            };
+            MatchQuery::new(personal)
+                .with_top_k(config.top_k)
+                .with_threshold(config.delta)
+                .with_strategy(strategy)
+        })
+        .collect()
+}
+
+fn run_batch(engine: &MatchEngine, batch: &[MatchQuery]) -> (Vec<MatchResponse>, f64, f64) {
+    let start = Instant::now();
+    let responses = engine.submit_batch(batch.to_vec());
+    let elapsed = start.elapsed().as_secs_f64();
+    (responses, elapsed, batch.len() as f64 / elapsed)
+}
+
+fn main() {
+    let config = match ServeConfig::default().apply_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: serve [seed=N] [elements=N] [queries=N] [workers=N] [topk=N] \
+                 [minsim=X] [delta=X]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "building repository ({} elements, seed {})…",
+        config.elements, config.seed
+    );
+    let repo = RepositoryGenerator::new(
+        GeneratorConfig::paper_default()
+            .with_seed(config.seed)
+            .with_target_elements(config.elements),
+    )
+    .generate();
+    eprintln!(
+        "repository: {} elements over {} trees",
+        repo.total_nodes(),
+        repo.tree_count()
+    );
+
+    let engine_config = EngineConfig::default()
+        .with_element_config(
+            ElementMatchConfig::default().with_min_similarity(config.min_similarity),
+        )
+        .with_result_cache_capacity(config.queries.max(1));
+    let batch = query_batch(&repo, &config);
+    eprintln!(
+        "serving {} queries (top-{}, δ={}) with 1 vs {} workers…",
+        config.queries, config.top_k, config.delta, config.workers
+    );
+
+    let build_start = Instant::now();
+    let sequential = MatchEngine::new(repo.clone(), engine_config.clone().with_workers(1));
+    let build_time = build_start.elapsed();
+    let (base_responses, base_time, base_qps) = run_batch(&sequential, &batch);
+
+    let concurrent = MatchEngine::new(repo, engine_config.clone().with_workers(config.workers));
+    let (conc_responses, conc_time, conc_qps) = run_batch(&concurrent, &batch);
+
+    // Guard the numbers: both engines must have produced identical content.
+    for (i, (a, b)) in base_responses.iter().zip(&conc_responses).enumerate() {
+        assert_eq!(
+            a.result_digest(),
+            b.result_digest(),
+            "query {i} diverged between 1 and {} workers",
+            config.workers
+        );
+    }
+
+    // Warm pass: every fingerprint is now cached.
+    let (_, warm_time, warm_qps) = run_batch(&concurrent, &batch);
+
+    println!("engine construction (index + caches): {build_time:?}");
+    println!("\nworkers\ttime_s\tqueries/sec\tspeedup");
+    println!("1\t{base_time:.3}\t{base_qps:.1}\t1.00");
+    println!(
+        "{}\t{conc_time:.3}\t{conc_qps:.1}\t{:.2}",
+        config.workers,
+        conc_qps / base_qps
+    );
+    println!(
+        "{} (warm)\t{warm_time:.3}\t{warm_qps:.1}\t{:.2}",
+        config.workers,
+        warm_qps / base_qps
+    );
+
+    let metrics = concurrent.metrics();
+    println!("\nmetrics of the {}-worker engine:", config.workers);
+    println!("  queries served        : {}", metrics.queries_served);
+    println!(
+        "  result-cache hit rate : {:.1}% ({} hits)",
+        100.0 * metrics.result_cache_hit_rate,
+        metrics.result_cache_hits
+    );
+    println!(
+        "  strategies            : {} index-pruned, {} exhaustive",
+        metrics.index_pruned_queries, metrics.exhaustive_queries
+    );
+    println!(
+        "  serving latency       : p50 ≤ {} µs, p99 ≤ {} µs",
+        metrics.p50_latency_us, metrics.p99_latency_us
+    );
+    println!(
+        "  similarity cache      : {} hits / {} misses",
+        metrics.similarity_cache_hits, metrics.similarity_cache_misses
+    );
+}

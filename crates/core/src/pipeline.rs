@@ -66,11 +66,25 @@ impl ClusteredMatchReport {
 
 /// The clustered schema matcher. `clustering: None` is the non-clustered baseline in
 /// which "each tree in the repository is treated as one cluster".
+///
+/// The matcher is immutable configuration: every `run*` method takes `&self`, so one
+/// instance can be shared (or cheaply cloned) across the worker threads of a serving
+/// engine. This thread-safety is part of the public contract and asserted at compile
+/// time below.
+#[derive(Clone)]
 pub struct ClusteredMatcher {
     element_config: ElementMatchConfig,
     clustering: Option<ClusteringConfig>,
     label: String,
 }
+
+// `bellflower::service::MatchEngine` shares one matcher and its reports across
+// worker threads; breaking `Send`/`Sync` here must fail the build, not the service.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ClusteredMatcher>();
+    assert_send_sync::<ClusteredMatchReport>();
+};
 
 impl ClusteredMatcher {
     /// A matcher that clusters with the given configuration.

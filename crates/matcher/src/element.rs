@@ -10,12 +10,16 @@
 //! [`CandidateSet`] of mapping elements — the input to both the clusterer and the
 //! mapping generators.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use xsm_schema::{SchemaNode, SchemaTree};
-use xsm_similarity::{compare_string_fuzzy, CombineStrategy, StringSimilarity, SynonymTable};
+use xsm_similarity::{
+    compare_string_fuzzy, CombineStrategy, SimilarityCache, StringSimilarity, SynonymTable,
+};
 
 use crate::candidates::{CandidateSet, MappingElement};
-use xsm_repo::SchemaRepository;
+use xsm_repo::{NameIndex, SchemaRepository};
 
 /// Compares a personal node with a repository node.
 pub trait ElementMatcher: Send + Sync {
@@ -105,6 +109,44 @@ impl ElementMatcher for SynonymElementMatcher {
     }
     fn name(&self) -> &'static str {
         "synonym"
+    }
+}
+
+/// Wraps a *name-based, symmetric* element matcher with a shared [`SimilarityCache`].
+///
+/// The cache is keyed by the **order-normalised** name pair, so the inner matcher
+/// must depend on the node names only AND be symmetric in them — i.e.
+/// `compare(a, b) == compare(b, a)` (true for [`NameElementMatcher`],
+/// [`KernelNameMatcher`] and [`SynonymElementMatcher`]; wrong for matchers that also
+/// look at datatypes, and wrong for directional scorers like prefix containment,
+/// which would get the swapped-argument score for half of all pairs). A long-lived
+/// service shares one `Arc`'d cache across every query so that repeated repository
+/// names are scored once, not once per query.
+pub struct CachedElementMatcher<M> {
+    inner: M,
+    cache: Arc<SimilarityCache>,
+}
+
+impl<M: ElementMatcher> CachedElementMatcher<M> {
+    /// Wrap `inner`, memoizing its scores in `cache`.
+    pub fn new(inner: M, cache: Arc<SimilarityCache>) -> Self {
+        CachedElementMatcher { inner, cache }
+    }
+
+    /// The shared cache (for hit-rate reporting).
+    pub fn cache(&self) -> &SimilarityCache {
+        &self.cache
+    }
+}
+
+impl<M: ElementMatcher> ElementMatcher for CachedElementMatcher<M> {
+    fn compare(&self, personal: &SchemaNode, repo: &SchemaNode) -> f64 {
+        self.cache.get_or_compute(&personal.name, &repo.name, || {
+            self.inner.compare(personal, repo)
+        })
+    }
+    fn name(&self) -> &'static str {
+        "cached"
     }
 }
 
@@ -214,6 +256,52 @@ pub fn match_elements(
             }
         }
     }
+    finish(set, personal_nodes, config)
+}
+
+/// Run element matching through a prebuilt [`NameIndex`]: for every personal node,
+/// only the repository nodes surfaced by the exact and approximate (q-gram) lookups
+/// are scored, instead of scanning the whole forest.
+///
+/// `min_overlap` is the q-gram overlap fraction passed to
+/// [`NameIndex::lookup_approximate`]; the count filter is conservative for moderate
+/// similarity floors, but a very low floor combined with a high `min_overlap` can
+/// prune pairs the exhaustive scan would keep — which is exactly the recall/latency
+/// trade a serving layer plans per query.
+pub fn match_elements_with_index(
+    personal: &SchemaTree,
+    repo: &SchemaRepository,
+    index: &NameIndex,
+    matcher: &dyn ElementMatcher,
+    config: &ElementMatchConfig,
+    min_overlap: f64,
+) -> CandidateSet {
+    let personal_nodes = personal.preorder();
+    let mut set = CandidateSet::new(personal_nodes.clone());
+    for &pnode in &personal_nodes {
+        let pdata = personal.node(pnode).expect("preorder yields valid ids");
+        let mut candidates = index.lookup_approximate(&pdata.name, min_overlap);
+        candidates.extend_from_slice(index.lookup_exact(&pdata.name));
+        candidates.sort();
+        candidates.dedup();
+        for rid in candidates {
+            let rdata = repo.node(rid).expect("index ids are valid");
+            let sim = matcher.compare(pdata, rdata);
+            if sim >= config.min_similarity && sim > 0.0 {
+                set.push(MappingElement::new(pnode, rid, sim));
+            }
+        }
+    }
+    finish(set, personal_nodes, config)
+}
+
+/// Shared tail of the `match_elements*` entry points: sort per-node lists and apply
+/// the optional per-node candidate cap.
+fn finish(
+    mut set: CandidateSet,
+    personal_nodes: Vec<xsm_schema::NodeId>,
+    config: &ElementMatchConfig,
+) -> CandidateSet {
     set.sort();
     if let Some(cap) = config.max_candidates_per_node {
         let mut capped = CandidateSet::new(personal_nodes);
@@ -354,6 +442,41 @@ mod tests {
         for &n in capped.personal_nodes() {
             assert!(capped.candidates_for(n).len() <= 2);
         }
+    }
+
+    #[test]
+    fn indexed_matching_agrees_with_exhaustive_on_found_pairs() {
+        let personal = paper_personal_schema();
+        let repo = fig1_repo();
+        let index = NameIndex::build(&repo);
+        let config = ElementMatchConfig::default().with_min_similarity(0.5);
+        let exhaustive = match_elements(&personal, &repo, &NameElementMatcher, &config);
+        let indexed =
+            match_elements_with_index(&personal, &repo, &index, &NameElementMatcher, &config, 0.3);
+        // Index pruning is a subset of the exhaustive scan with identical scores.
+        assert!(indexed.total_candidates() <= exhaustive.total_candidates());
+        for m in indexed.iter() {
+            assert!(exhaustive
+                .candidates_for(m.personal)
+                .iter()
+                .any(|e| e.repo == m.repo && e.similarity == m.similarity));
+        }
+        // The high-similarity pairs survive the pruning.
+        let title = personal.find_by_name("title").unwrap();
+        assert_eq!(repo.name_of(indexed.candidates_for(title)[0].repo), "title");
+    }
+
+    #[test]
+    fn cached_matcher_shares_scores_across_calls() {
+        let cache = Arc::new(SimilarityCache::new());
+        let m = CachedElementMatcher::new(NameElementMatcher, Arc::clone(&cache));
+        let a = SchemaNode::element("author");
+        let b = SchemaNode::element("authorName");
+        let direct = NameElementMatcher.compare(&a, &b);
+        assert_eq!(m.compare(&a, &b), direct);
+        assert_eq!(m.compare(&a, &b), direct);
+        assert_eq!(m.cache().stats(), (1, 1));
+        assert_eq!(m.name(), "cached");
     }
 
     #[test]

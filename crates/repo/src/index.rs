@@ -39,13 +39,15 @@ impl NameIndex {
         for (id, node) in repo.nodes() {
             let lower = node.name.to_lowercase();
             exact.entry(lower.clone()).or_default().push(id);
-            let gs = qgrams(&lower, q);
+            // Dedupe grams by sorting the owned Vec in place: no per-gram clone and no
+            // per-node HashSet allocation (names produce a handful of grams, so the
+            // sort is cheaper than hashing each gram twice).
+            let mut gs = qgrams(&lower, q);
             gram_counts.insert(id, gs.len());
-            let mut seen = std::collections::HashSet::new();
+            gs.sort_unstable();
+            gs.dedup();
             for g in gs {
-                if seen.insert(g.clone()) {
-                    grams.entry(g).or_default().push(id);
-                }
+                grams.entry(g).or_default().push(id);
             }
         }
         NameIndex {
@@ -106,6 +108,27 @@ impl NameIndex {
     /// The q used when the index was built.
     pub fn q(&self) -> usize {
         self.q
+    }
+
+    /// Number of nodes indexed (one per repository node).
+    pub fn indexed_nodes(&self) -> usize {
+        self.gram_counts.len()
+    }
+
+    /// Length of the posting list of one q-gram (0 for grams absent from the index).
+    pub fn gram_posting_len(&self, gram: &str) -> usize {
+        self.grams.get(gram).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Upper bound on the work of [`NameIndex::lookup_approximate`] for `name`: the
+    /// summed posting-list lengths of the query's distinct q-grams. Query planners use
+    /// this to decide between index-pruned and exhaustive candidate generation without
+    /// materialising the candidates.
+    pub fn estimate_candidate_volume(&self, name: &str) -> usize {
+        let mut gs = qgrams(&name.to_lowercase(), self.q);
+        gs.sort_unstable();
+        gs.dedup();
+        gs.iter().map(|g| self.gram_posting_len(g)).sum()
     }
 
     /// Number of q-grams the indexed node's name produced (0 for unknown nodes).
@@ -185,6 +208,28 @@ mod tests {
                 qgrams(&node.name.to_lowercase(), 2).len()
             );
         }
+    }
+
+    #[test]
+    fn candidate_volume_estimates_lookup_work() {
+        let repo = small_repo();
+        let idx = NameIndex::build(&repo);
+        assert_eq!(idx.indexed_nodes(), repo.total_nodes());
+        // The estimate sums posting lists, so it bounds the ids touched by the
+        // approximate lookup with the loosest overlap requirement.
+        for name in ["address", "email", "person", "qqqq"] {
+            let touched: usize = idx.lookup_approximate(name, 0.0).len();
+            assert!(
+                idx.estimate_candidate_volume(name) >= touched,
+                "estimate below actual candidates for {name}"
+            );
+        }
+        // No indexed name shares a gram (even a padded one) with "qqqq".
+        assert_eq!(idx.estimate_candidate_volume("qqqq"), 0);
+        // "address" appears twice, so each of its grams posts at least two ids.
+        assert!(idx.estimate_candidate_volume("address") >= 2);
+        assert!(idx.gram_posting_len("add") >= 2);
+        assert_eq!(idx.gram_posting_len("no such gram"), 0);
     }
 
     #[test]

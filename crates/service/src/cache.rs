@@ -1,0 +1,173 @@
+//! Bounded LRU cache of finished query responses, keyed by query fingerprint.
+//!
+//! A serving engine sees the same personal schemas over and over (users iterate on a
+//! handful of shapes, monitoring replays canaries); caching whole responses turns
+//! those repeats into sub-microsecond answers. The cache is strictly bounded and
+//! evicts the least-recently-used entry, so a long-lived engine cannot grow without
+//! limit no matter the query mix.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::query::MatchResponse;
+
+/// Default capacity (in cached responses) of a [`ResultCache`].
+pub const DEFAULT_RESULT_CACHE_CAPACITY: usize = 256;
+
+struct Entry {
+    response: Arc<MatchResponse>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    tick: u64,
+}
+
+/// A thread-safe, bounded, least-recently-used response cache.
+///
+/// Eviction scans for the stalest entry, which is `O(len)` per overflowing insert;
+/// with the intended capacities (hundreds of entries guarding a multi-millisecond
+/// pipeline) that scan is noise. Recency is a logical tick, not wall-clock time, so
+/// behaviour is deterministic.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// An empty cache bounded at `capacity` responses (`capacity >= 1`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The maximum number of responses retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up a response by query fingerprint, refreshing its recency.
+    ///
+    /// Returns an `Arc` so the critical section stays `O(1)`: callers that need an
+    /// owned copy (e.g. to stamp per-serve metadata) deep-clone *outside* the lock,
+    /// and concurrent workers hitting the cache don't serialise on the clone.
+    pub fn get(&self, fingerprint: &str) -> Option<Arc<MatchResponse>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(fingerprint)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.response))
+    }
+
+    /// Insert (or replace) the response for a fingerprint, evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn insert(&self, fingerprint: String, response: MatchResponse) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&fingerprint) {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(
+            fingerprint,
+            Entry {
+                response: Arc::new(response),
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached response.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::PlannedStrategy;
+    use std::time::Duration;
+
+    fn resp(fp: &str) -> MatchResponse {
+        MatchResponse {
+            fingerprint: fp.to_string(),
+            strategy: PlannedStrategy::Exhaustive,
+            cache_hit: false,
+            mappings: Vec::new(),
+            candidate_count: 0,
+            total_matches: 0,
+            latency: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn get_miss_then_hit() {
+        let cache = ResultCache::with_capacity(4);
+        assert!(cache.is_empty());
+        assert!(cache.get("a").is_none());
+        cache.insert("a".into(), resp("a"));
+        assert_eq!(cache.get("a").unwrap().fingerprint, "a");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ResultCache::with_capacity(2);
+        cache.insert("a".into(), resp("a"));
+        cache.insert("b".into(), resp("b"));
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), resp("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let cache = ResultCache::with_capacity(2);
+        cache.insert("a".into(), resp("a"));
+        cache.insert("b".into(), resp("b"));
+        let mut newer = resp("a");
+        newer.candidate_count = 7;
+        cache.insert("a".into(), newer);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a").unwrap().candidate_count, 7);
+        assert!(cache.get("b").is_some());
+    }
+
+    #[test]
+    fn clear_and_capacity_clamp() {
+        let cache = ResultCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert("a".into(), resp("a"));
+        cache.insert("b".into(), resp("b"));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

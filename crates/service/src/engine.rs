@@ -1,0 +1,523 @@
+//! The [`MatchEngine`]: a long-lived, concurrent match-serving engine.
+//!
+//! The experiment binaries rebuild the repository index and clustering configuration
+//! for every run; a serving deployment cannot afford that. The engine is constructed
+//! **once** — building the [`NameIndex`], the [`ClusteredMatcher`] configuration and a
+//! shared [`SimilarityCache`] up front — and then answers [`MatchQuery`]s from a pool
+//! of worker threads draining a bounded submission queue. Everything is `std`-only:
+//! `std::thread` workers, `mpsc::sync_channel` for the queue and per-query reply
+//! channels.
+//!
+//! Determinism contract: a query's result content ([`MatchResponse::result_digest`])
+//! depends only on the query and the engine configuration — never on the number of
+//! workers, the interleaving of a batch, or whether a cache served it.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use xsm_core::{ClusteredMatcher, ClusteringVariant};
+use xsm_matcher::element::{
+    match_elements, match_elements_with_index, CachedElementMatcher, ElementMatchConfig,
+    NameElementMatcher,
+};
+use xsm_matcher::generator::branch_and_bound::BranchAndBoundGenerator;
+use xsm_matcher::{MatchingProblem, ObjectiveConfig};
+use xsm_repo::{NameIndex, SchemaRepository};
+use xsm_similarity::SimilarityCache;
+
+use crate::cache::{ResultCache, DEFAULT_RESULT_CACHE_CAPACITY};
+use crate::metrics::{EngineMetrics, MetricsRegistry};
+use crate::planner::{PlannerConfig, QueryPlanner};
+use crate::query::{MatchQuery, MatchResponse, PlannedStrategy};
+
+/// Construction-time configuration of a [`MatchEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads (`>= 1`).
+    pub workers: usize,
+    /// Capacity of the bounded submission queue; submitters block when it is full
+    /// (backpressure instead of unbounded buffering).
+    pub queue_capacity: usize,
+    /// Capacity of the result cache (whole responses, LRU).
+    pub result_cache_capacity: usize,
+    /// Capacity of the shared name-pair similarity cache.
+    pub similarity_cache_capacity: usize,
+    /// Element-matching configuration (similarity floor, per-node cap).
+    pub element: ElementMatchConfig,
+    /// Clustering variant the pipeline runs per query.
+    pub variant: ClusteringVariant,
+    /// Objective-function configuration (α, K) applied to every query.
+    pub objective: ObjectiveConfig,
+    /// Planner tuning (overlap fraction, pruning budget).
+    pub planner: PlannerConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            queue_capacity: 64,
+            result_cache_capacity: DEFAULT_RESULT_CACHE_CAPACITY,
+            similarity_cache_capacity: xsm_similarity::cache::DEFAULT_CACHE_CAPACITY,
+            element: ElementMatchConfig::default(),
+            variant: ClusteringVariant::Medium,
+            objective: ObjectiveConfig::default(),
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Builder-style worker-count override (`0` is clamped to `1`).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style submission-queue capacity override.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder-style result-cache capacity override.
+    pub fn with_result_cache_capacity(mut self, capacity: usize) -> Self {
+        self.result_cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder-style element-matching override.
+    pub fn with_element_config(mut self, element: ElementMatchConfig) -> Self {
+        self.element = element;
+        self
+    }
+
+    /// Builder-style clustering-variant override.
+    pub fn with_variant(mut self, variant: ClusteringVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Builder-style objective override.
+    pub fn with_objective(mut self, objective: ObjectiveConfig) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Builder-style planner override.
+    pub fn with_planner(mut self, planner: PlannerConfig) -> Self {
+        self.planner = planner;
+        self
+    }
+}
+
+/// Everything the workers share; lives behind one `Arc` so worker threads can outlive
+/// borrows of the engine handle.
+struct EngineCore {
+    repo: SchemaRepository,
+    index: NameIndex,
+    matcher: ClusteredMatcher,
+    generator: BranchAndBoundGenerator,
+    element_matcher: CachedElementMatcher<NameElementMatcher>,
+    sim_cache: Arc<SimilarityCache>,
+    planner: QueryPlanner,
+    results: ResultCache,
+    metrics: MetricsRegistry,
+    objective: ObjectiveConfig,
+}
+
+impl EngineCore {
+    /// Answer one query: result cache → planner → candidate generation → clustered
+    /// pipeline → top-k cut. This is the sequential unit of work; concurrency only
+    /// ever runs *whole* queries in parallel, which is what makes worker-count
+    /// invisible in the results.
+    fn answer(&self, query: &MatchQuery) -> MatchResponse {
+        let start = Instant::now();
+        let fingerprint = query.fingerprint();
+        if let Some(cached) = self.results.get(&fingerprint) {
+            // Deep-clone outside the cache lock (get returns an Arc) so warm traffic
+            // doesn't serialise workers on the clone.
+            let mut response = (*cached).clone();
+            response.cache_hit = true;
+            response.latency = start.elapsed();
+            self.metrics
+                .record(response.latency, response.strategy, true);
+            return response;
+        }
+
+        let plan = self
+            .planner
+            .plan(&query.personal, query.strategy, &self.index);
+        // The pub `threshold` field (and a future deserialized front-end) can bypass
+        // the builder's clamp; sanitise here so NaN can't poison every `Δ ≥ δ`
+        // comparison. NaN reads as "no threshold given a garbage value" → strictest.
+        let threshold = if query.threshold.is_nan() {
+            1.0
+        } else {
+            query.threshold.clamp(0.0, 1.0)
+        };
+        let problem = MatchingProblem::new(query.personal.clone(), self.objective, threshold);
+        let candidates = match plan.strategy {
+            PlannedStrategy::IndexPruned => match_elements_with_index(
+                &problem.personal,
+                &self.repo,
+                &self.index,
+                &self.element_matcher,
+                self.matcher.element_config(),
+                self.planner.config().min_overlap,
+            ),
+            PlannedStrategy::Exhaustive => match_elements(
+                &problem.personal,
+                &self.repo,
+                &self.element_matcher,
+                self.matcher.element_config(),
+            ),
+        };
+        let candidate_count = candidates.total_candidates();
+        let report =
+            self.matcher
+                .run_on_candidates(&problem, &self.repo, &candidates, &self.generator);
+        let total_matches = report.mappings.len();
+        let mut mappings = report.mappings;
+        mappings.truncate(query.top_k);
+
+        let response = MatchResponse {
+            fingerprint: fingerprint.clone(),
+            strategy: plan.strategy,
+            cache_hit: false,
+            mappings,
+            candidate_count,
+            total_matches,
+            latency: Duration::ZERO,
+        };
+        self.results.insert(fingerprint, response.clone());
+        let mut out = response;
+        out.latency = start.elapsed();
+        self.metrics.record(out.latency, plan.strategy, false);
+        out
+    }
+}
+
+/// One queued unit of work: the query plus the submitter's reply channel.
+struct Job {
+    query: MatchQuery,
+    reply: SyncSender<MatchResponse>,
+}
+
+/// A handle to a submitted query; [`PendingResponse::wait`] blocks until a worker has
+/// answered it.
+pub struct PendingResponse {
+    rx: Receiver<MatchResponse>,
+}
+
+impl PendingResponse {
+    /// Block until the response is ready.
+    ///
+    /// # Panics
+    /// Panics if the serving worker died before replying (a worker panic is a bug in
+    /// the pipeline, not a recoverable serving condition).
+    pub fn wait(self) -> MatchResponse {
+        self.rx
+            .recv()
+            .expect("match-engine worker dropped the reply channel")
+    }
+}
+
+/// A concurrent match-serving engine over one repository.
+///
+/// Construction amortises the expensive artefacts (name index, similarity cache,
+/// clustering configuration) across every subsequent query; serving happens on a
+/// fixed pool of worker threads behind a bounded queue. Dropping the engine shuts the
+/// pool down and joins every worker.
+pub struct MatchEngine {
+    core: Arc<EngineCore>,
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MatchEngine {
+    /// Build an engine over `repo` (index construction happens here) and start the
+    /// worker pool.
+    pub fn new(repo: SchemaRepository, config: EngineConfig) -> Self {
+        let index = NameIndex::build(&repo);
+        let sim_cache = Arc::new(SimilarityCache::with_capacity(
+            config.similarity_cache_capacity,
+        ));
+        let core = Arc::new(EngineCore {
+            index,
+            matcher: ClusteredMatcher::for_variant(config.variant)
+                .with_element_config(config.element.clone()),
+            generator: BranchAndBoundGenerator::new(),
+            element_matcher: CachedElementMatcher::new(NameElementMatcher, Arc::clone(&sim_cache)),
+            sim_cache,
+            planner: QueryPlanner::new(config.planner),
+            results: ResultCache::with_capacity(config.result_cache_capacity),
+            metrics: MetricsRegistry::new(),
+            objective: config.objective,
+            repo,
+        });
+        let worker_count = config.workers.max(1);
+        let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..worker_count)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("xsm-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only while popping, never while matching.
+                        let job = { rx.lock().unwrap().recv() };
+                        match job {
+                            Ok(job) => {
+                                let response = core.answer(&job.query);
+                                // The submitter may have dropped its handle; serving
+                                // already happened, so ignore the dead channel.
+                                let _ = job.reply.send(response);
+                            }
+                            Err(_) => break, // queue closed: engine is shutting down
+                        }
+                    })
+                    .expect("failed to spawn match-engine worker")
+            })
+            .collect();
+        MatchEngine {
+            core,
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Build an engine with the default configuration.
+    pub fn with_defaults(repo: SchemaRepository) -> Self {
+        Self::new(repo, EngineConfig::default())
+    }
+
+    /// Number of worker threads serving queries.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The repository the engine serves.
+    pub fn repository(&self) -> &SchemaRepository {
+        &self.core.repo
+    }
+
+    /// The prebuilt name index.
+    pub fn index(&self) -> &NameIndex {
+        &self.core.index
+    }
+
+    /// Enqueue one query; blocks while the submission queue is full (backpressure).
+    pub fn submit(&self, query: MatchQuery) -> PendingResponse {
+        let (reply, rx) = sync_channel(1);
+        self.tx
+            .as_ref()
+            .expect("engine is running until dropped")
+            .send(Job { query, reply })
+            .expect("match-engine workers are gone");
+        PendingResponse { rx }
+    }
+
+    /// Answer one query, blocking until it is served.
+    pub fn query(&self, query: MatchQuery) -> MatchResponse {
+        self.submit(query).wait()
+    }
+
+    /// Serve a whole batch through the worker pool and return the responses **in
+    /// input order**. Submission applies the queue's backpressure; the workers shard
+    /// the batch among themselves.
+    pub fn submit_batch(&self, queries: Vec<MatchQuery>) -> Vec<MatchResponse> {
+        let mut pending = Vec::with_capacity(queries.len());
+        for query in queries {
+            pending.push(self.submit(query));
+        }
+        pending.into_iter().map(PendingResponse::wait).collect()
+    }
+
+    /// Answer a query on the *calling* thread, bypassing the pool. Identical results
+    /// to [`MatchEngine::query`] (same caches, same planner); used as the sequential
+    /// baseline in benches and determinism tests.
+    pub fn answer_inline(&self, query: &MatchQuery) -> MatchResponse {
+        self.core.answer(query)
+    }
+
+    /// A point-in-time snapshot of the serving metrics.
+    pub fn metrics(&self) -> EngineMetrics {
+        let (hits, misses) = self.core.sim_cache.stats();
+        self.core.metrics.snapshot(hits, misses)
+    }
+
+    /// Number of responses currently held by the result cache.
+    pub fn result_cache_len(&self) -> usize {
+        self.core.results.len()
+    }
+
+    /// Drop every cached response (e.g. after the repository's ranking semantics
+    /// change out of band). Similarity scores are pure, so that cache stays.
+    pub fn invalidate_results(&self) {
+        self.core.results.clear();
+    }
+}
+
+impl Drop for MatchEngine {
+    fn drop(&mut self) {
+        // Closing the channel wakes every worker with RecvError; join them so no
+        // thread outlives the repository it borrows through the Arc.
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryStrategy;
+    use xsm_schema::tree::{paper_personal_schema, paper_repository_fragment};
+    use xsm_schema::{SchemaNode, TreeBuilder};
+
+    fn small_repo() -> SchemaRepository {
+        let people = TreeBuilder::new("people")
+            .root(SchemaNode::element("person"))
+            .child(SchemaNode::element("name"))
+            .sibling(SchemaNode::element("email"))
+            .sibling(SchemaNode::element("address"))
+            .build();
+        SchemaRepository::from_trees(vec![paper_repository_fragment(), people])
+    }
+
+    fn engine(workers: usize) -> MatchEngine {
+        MatchEngine::new(
+            small_repo(),
+            EngineConfig::default()
+                .with_workers(workers)
+                .with_element_config(ElementMatchConfig::default().with_min_similarity(0.4)),
+        )
+    }
+
+    fn book_query() -> MatchQuery {
+        MatchQuery::new(paper_personal_schema())
+            .with_top_k(5)
+            .with_threshold(0.5)
+    }
+
+    #[test]
+    fn serves_the_fig1_query() {
+        let engine = engine(2);
+        assert_eq!(engine.workers(), 2);
+        let response = engine.query(book_query());
+        assert!(!response.cache_hit);
+        assert!(!response.mappings.is_empty());
+        assert!(response.mappings.len() <= 5);
+        let best = &response.mappings[0];
+        assert!(best.score >= 0.5);
+        assert!(best.is_structurally_valid());
+        // Scores are sorted best-first.
+        for pair in response.mappings.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn repeated_query_hits_the_result_cache_with_identical_content() {
+        let engine = engine(2);
+        let first = engine.query(book_query());
+        let second = engine.query(book_query());
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(first.result_digest(), second.result_digest());
+        let metrics = engine.metrics();
+        assert_eq!(metrics.queries_served, 2);
+        assert_eq!(metrics.result_cache_hits, 1);
+        assert_eq!(engine.result_cache_len(), 1);
+        engine.invalidate_results();
+        assert_eq!(engine.result_cache_len(), 0);
+        assert!(!engine.query(book_query()).cache_hit);
+    }
+
+    #[test]
+    fn inline_and_pooled_answers_agree() {
+        let pooled = engine(3).query(book_query());
+        let inline = engine(1).answer_inline(&book_query());
+        assert_eq!(pooled.result_digest(), inline.result_digest());
+    }
+
+    #[test]
+    fn top_k_truncates_but_counts_all_matches() {
+        let engine = engine(1);
+        let all = engine.query(book_query().with_top_k(100));
+        let one = engine.query(book_query().with_top_k(1));
+        assert_eq!(one.mappings.len(), 1.min(all.total_matches));
+        assert_eq!(one.total_matches, all.total_matches);
+        assert_eq!(one.mappings[0], all.mappings[0]);
+    }
+
+    #[test]
+    fn forced_strategies_round_trip_through_the_engine() {
+        let engine = engine(2);
+        let pruned = engine.query(book_query().with_strategy(QueryStrategy::IndexPruned));
+        let exhaustive = engine.query(book_query().with_strategy(QueryStrategy::Exhaustive));
+        assert_eq!(pruned.strategy, PlannedStrategy::IndexPruned);
+        assert_eq!(exhaustive.strategy, PlannedStrategy::Exhaustive);
+        // Index pruning never invents candidates.
+        assert!(pruned.candidate_count <= exhaustive.candidate_count);
+        let metrics = engine.metrics();
+        assert_eq!(metrics.index_pruned_queries, 1);
+        assert_eq!(metrics.exhaustive_queries, 1);
+        assert!(metrics.p50_latency_us > 0);
+    }
+
+    #[test]
+    fn unsanitised_thresholds_cannot_poison_serving() {
+        let engine = engine(1);
+        let mut nan_query = book_query();
+        nan_query.threshold = f64::NAN;
+        // NaN serves as δ = 1.0: a valid (possibly empty) answer, and every returned
+        // mapping would be a perfect match. Must not panic or return NaN scores.
+        let response = engine.answer_inline(&nan_query);
+        assert!(response.mappings.iter().all(|m| m.score >= 1.0 - 1e-12));
+
+        let mut wild = book_query();
+        wild.threshold = -3.0;
+        let clamped = engine.answer_inline(&wild);
+        let built = engine.answer_inline(&book_query().with_threshold(-3.0));
+        assert_eq!(clamped.mappings.len(), built.mappings.len());
+    }
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let engine = engine(4);
+        let queries: Vec<MatchQuery> = (1..=8).map(|k| book_query().with_top_k(k)).collect();
+        let responses = engine.submit_batch(queries.clone());
+        assert_eq!(responses.len(), 8);
+        for (query, response) in queries.iter().zip(&responses) {
+            assert_eq!(response.fingerprint, query.fingerprint());
+            assert!(response.mappings.len() <= query.top_k);
+        }
+    }
+
+    #[test]
+    fn shared_similarity_cache_reports_hits_across_queries() {
+        let engine = engine(1);
+        engine.query(book_query().with_strategy(QueryStrategy::Exhaustive));
+        engine.invalidate_results();
+        engine.query(book_query().with_strategy(QueryStrategy::Exhaustive));
+        let metrics = engine.metrics();
+        // The second full run re-scores every pair from the cache.
+        assert!(metrics.similarity_cache_hits >= metrics.similarity_cache_misses);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let engine = engine(4);
+        let _ = engine.query(book_query());
+        drop(engine); // must not hang or panic
+    }
+}

@@ -1,0 +1,54 @@
+//! # xsm-service — the concurrent match-serving engine
+//!
+//! The paper's point is making schema matching cheap enough to answer *many* personal
+//! -schema queries against one large repository. The other crates provide the
+//! algorithms; this crate provides the long-lived component that amortises the
+//! expensive artefacts — the q-gram [`xsm_repo::NameIndex`], the clustering
+//! configuration and a shared [`xsm_similarity::SimilarityCache`] — across every
+//! query, and serves them concurrently:
+//!
+//! * [`engine::MatchEngine`] — built once from a repository; a `std::thread` worker
+//!   pool drains a bounded submission queue; [`engine::MatchEngine::submit_batch`]
+//!   shards a batch across the workers and returns responses in input order,
+//! * [`query`] — [`query::MatchQuery`] (personal schema, `top_k`, strategy,
+//!   threshold δ) and [`query::MatchResponse`] with a canonical fingerprint,
+//! * [`planner`] — resolves [`query::QueryStrategy::Auto`] per query into
+//!   index-pruned or exhaustive candidate generation from posting-list statistics,
+//! * [`cache`] — a bounded LRU cache of whole responses keyed by fingerprint,
+//! * [`metrics`] — queries served, cache hit rates, per-strategy counts and
+//!   p50/p99 serving latency from a fixed-bucket histogram.
+//!
+//! Determinism is a hard guarantee: the result content of a query is identical
+//! whether the engine runs 1 worker or 8, and whether a cache served it — asserted by
+//! `tests/determinism.rs`.
+//!
+//! ```
+//! use xsm_repo::{GeneratorConfig, RepositoryGenerator};
+//! use xsm_service::{MatchEngine, MatchQuery};
+//! use xsm_schema::{SchemaNode, TreeBuilder};
+//!
+//! let repo = RepositoryGenerator::new(GeneratorConfig::small(7)).generate();
+//! let engine = MatchEngine::with_defaults(repo);
+//! let personal = TreeBuilder::new("personal")
+//!     .root(SchemaNode::element("name"))
+//!     .child(SchemaNode::element("email"))
+//!     .build();
+//! let response = engine.query(MatchQuery::new(personal).with_top_k(3));
+//! assert!(response.mappings.len() <= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod metrics;
+pub mod planner;
+pub mod query;
+pub mod workload;
+
+pub use cache::ResultCache;
+pub use engine::{EngineConfig, MatchEngine, PendingResponse};
+pub use metrics::{EngineMetrics, LatencyHistogram};
+pub use planner::{PlannerConfig, QueryPlan, QueryPlanner};
+pub use query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};

@@ -1,0 +1,257 @@
+//! Live serving metrics: counters plus a fixed-bucket latency histogram.
+//!
+//! The engine records every served query under one short lock; [`EngineMetrics`] is a
+//! cheap consistent snapshot suitable for scraping. Latency quantiles come from a
+//! fixed logarithmic bucket layout (no per-query allocation, bounded memory), so p50
+//! and p99 are upper bounds at bucket granularity — the usual monitoring trade.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::query::PlannedStrategy;
+
+/// Upper bounds (in microseconds) of the latency buckets; the last bucket is
+/// unbounded. Roughly ×2.5 per step from 50 µs to 10 s.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 15] = [
+    50, 125, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 10_000_000,
+];
+
+const BUCKETS: usize = LATENCY_BUCKET_BOUNDS_US.len() + 1;
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the bucket containing
+    /// it, or `None` when the histogram is empty. When the quantile falls in the
+    /// overflow bucket (beyond the last bound), [`Duration::MAX`] is returned —
+    /// "off-scale high", never an under-estimate that would hide an overload.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(match LATENCY_BUCKET_BOUNDS_US.get(i) {
+                    Some(&bound) => Duration::from_micros(bound),
+                    None => Duration::MAX, // overflow bucket
+                });
+            }
+        }
+        None
+    }
+
+    /// The per-bucket counts (last entry is the overflow bucket).
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+/// Aggregated counters behind the metrics lock.
+#[derive(Debug, Default)]
+struct Inner {
+    served: u64,
+    result_cache_hits: u64,
+    index_pruned: u64,
+    exhaustive: u64,
+    histogram: LatencyHistogram,
+}
+
+/// Thread-safe metrics sink the engine records into.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one served query. Per-strategy counters track *pipeline executions*, so
+    /// a cache hit bumps the served/hit counters and the histogram but not the
+    /// strategy counts (`index_pruned + exhaustive == queries_served - cache_hits`).
+    pub fn record(&self, latency: Duration, strategy: PlannedStrategy, cache_hit: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.served += 1;
+        if cache_hit {
+            inner.result_cache_hits += 1;
+        } else {
+            match strategy {
+                PlannedStrategy::IndexPruned => inner.index_pruned += 1,
+                PlannedStrategy::Exhaustive => inner.exhaustive += 1,
+            }
+        }
+        inner.histogram.record(latency);
+    }
+
+    /// A consistent snapshot of everything recorded so far. Similarity-cache counters
+    /// are supplied by the caller (the engine owns that cache).
+    pub fn snapshot(&self, sim_cache_hits: u64, sim_cache_misses: u64) -> EngineMetrics {
+        let inner = self.inner.lock().unwrap();
+        let hit_rate = if inner.served == 0 {
+            0.0
+        } else {
+            inner.result_cache_hits as f64 / inner.served as f64
+        };
+        EngineMetrics {
+            queries_served: inner.served,
+            result_cache_hits: inner.result_cache_hits,
+            result_cache_hit_rate: hit_rate,
+            index_pruned_queries: inner.index_pruned,
+            exhaustive_queries: inner.exhaustive,
+            p50_latency_us: quantile_us(&inner.histogram, 0.50),
+            p99_latency_us: quantile_us(&inner.histogram, 0.99),
+            similarity_cache_hits: sim_cache_hits,
+            similarity_cache_misses: sim_cache_misses,
+        }
+    }
+}
+
+/// A histogram quantile as µs, saturating at `u64::MAX` for off-scale values
+/// (0 when the histogram is empty).
+fn quantile_us(histogram: &LatencyHistogram, q: f64) -> u64 {
+    histogram
+        .quantile(q)
+        .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
+/// A point-in-time snapshot of the engine's serving metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Total queries answered (cache hits included).
+    pub queries_served: u64,
+    /// Queries answered straight from the result cache.
+    pub result_cache_hits: u64,
+    /// `result_cache_hits / queries_served` (0 before the first query).
+    pub result_cache_hit_rate: f64,
+    /// Queries whose candidate generation actually ran index-pruned (result-cache
+    /// hits are not counted — they run no candidate generation at all).
+    pub index_pruned_queries: u64,
+    /// Queries whose candidate generation actually ran the exhaustive scan
+    /// (result-cache hits excluded, as above).
+    pub exhaustive_queries: u64,
+    /// Median serving latency, upper-bounded at bucket granularity (µs);
+    /// `u64::MAX` means off-scale (beyond the largest histogram bucket).
+    pub p50_latency_us: u64,
+    /// 99th-percentile serving latency, upper-bounded at bucket granularity (µs);
+    /// `u64::MAX` means off-scale (beyond the largest histogram bucket).
+    pub p99_latency_us: u64,
+    /// Name-pair similarity cache hits since engine construction.
+    pub similarity_cache_hits: u64,
+    /// Name-pair similarity cache misses since engine construction.
+    pub similarity_cache_misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for us in [10u64, 60, 200, 400, 900, 2_000, 600_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 7);
+        // 4th of 7 observations falls in the ≤500 µs bucket.
+        assert_eq!(h.quantile(0.5), Some(Duration::from_micros(500)));
+        // p99 lands on the slowest observation's bucket (≤1 s).
+        assert_eq!(h.quantile(0.99), Some(Duration::from_micros(1_000_000)));
+        assert_eq!(h.buckets().iter().sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn histogram_overflow_reports_off_scale_not_an_underestimate() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_secs(100));
+        assert_eq!(h.quantile(1.0), Some(Duration::MAX));
+        assert_eq!(h.buckets().last(), Some(&1));
+        // The snapshot saturates off-scale quantiles to u64::MAX.
+        let reg = MetricsRegistry::new();
+        reg.record(Duration::from_secs(100), PlannedStrategy::Exhaustive, false);
+        assert_eq!(reg.snapshot(0, 0).p99_latency_us, u64::MAX);
+    }
+
+    #[test]
+    fn registry_counts_by_strategy_and_cache() {
+        let reg = MetricsRegistry::new();
+        reg.record(
+            Duration::from_micros(80),
+            PlannedStrategy::IndexPruned,
+            false,
+        );
+        reg.record(Duration::from_micros(90), PlannedStrategy::Exhaustive, true);
+        reg.record(
+            Duration::from_micros(70),
+            PlannedStrategy::IndexPruned,
+            true,
+        );
+        let m = reg.snapshot(10, 5);
+        assert_eq!(m.queries_served, 3);
+        assert_eq!(m.result_cache_hits, 2);
+        assert!((m.result_cache_hit_rate - 2.0 / 3.0).abs() < 1e-12);
+        // Strategy counters track pipeline executions: the two hits don't count.
+        assert_eq!(m.index_pruned_queries, 1);
+        assert_eq!(m.exhaustive_queries, 0);
+        assert_eq!(
+            m.index_pruned_queries + m.exhaustive_queries,
+            m.queries_served - m.result_cache_hits
+        );
+        assert_eq!(m.p50_latency_us, 125);
+        assert_eq!(m.similarity_cache_hits, 10);
+        assert_eq!(m.similarity_cache_misses, 5);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let m = MetricsRegistry::new().snapshot(0, 0);
+        assert_eq!(m.queries_served, 0);
+        assert_eq!(m.result_cache_hit_rate, 0.0);
+        assert_eq!(m.p50_latency_us, 0);
+        assert_eq!(m.p99_latency_us, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The per-query candidate-generation planner.
+//!
+//! An exhaustive element-matching pass costs `|N_s| · |N_R|` kernel evaluations; the
+//! q-gram [`NameIndex`] can usually prune that to a small candidate set, but for
+//! personal schemas made of very common names (`name`, `id`, `date` …) the posting
+//! lists cover most of the repository and the index adds overhead without pruning
+//! anything. The planner resolves [`QueryStrategy::Auto`] per query from the index's
+//! posting-list statistics — no candidates are materialised to make the decision.
+
+use serde::{Deserialize, Serialize};
+use xsm_repo::NameIndex;
+use xsm_schema::SchemaTree;
+
+use crate::query::{PlannedStrategy, QueryStrategy};
+
+/// Tuning knobs of the [`QueryPlanner`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// q-gram overlap fraction passed to the approximate index lookups when the
+    /// index-pruned path is taken.
+    pub min_overlap: f64,
+    /// Take the index-pruned path only when the estimated candidate volume is below
+    /// this fraction of the exhaustive scan's kernel evaluations.
+    pub max_pruned_fraction: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            min_overlap: 0.5,
+            max_pruned_fraction: 0.5,
+        }
+    }
+}
+
+/// The planner's decision for one query, with the statistics it was based on.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QueryPlan {
+    /// The chosen candidate-generation path.
+    pub strategy: PlannedStrategy,
+    /// Estimated index work: summed posting-list lengths over the personal names.
+    /// Only computed when the decision needed it, i.e. for [`QueryStrategy::Auto`];
+    /// forced strategies skip the estimation pass and report 0.
+    pub estimated_volume: usize,
+    /// Exhaustive work: `|N_s| · |N_R|` kernel evaluations.
+    pub exhaustive_volume: usize,
+}
+
+/// Chooses between index-pruned and exhaustive candidate generation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryPlanner {
+    config: PlannerConfig,
+}
+
+impl QueryPlanner {
+    /// A planner with the given tuning.
+    pub fn new(config: PlannerConfig) -> Self {
+        QueryPlanner { config }
+    }
+
+    /// The planner's tuning knobs.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Resolve the strategy for one query. Forced strategies are honoured verbatim;
+    /// `Auto` compares the index's estimated candidate volume against the exhaustive
+    /// scan and picks whichever is cheaper by [`PlannerConfig::max_pruned_fraction`].
+    pub fn plan(
+        &self,
+        personal: &SchemaTree,
+        requested: QueryStrategy,
+        index: &NameIndex,
+    ) -> QueryPlan {
+        let exhaustive_volume = personal.len() * index.indexed_nodes();
+        // The estimation pass walks every personal name's grams; it only runs when
+        // the decision actually depends on it (forced strategies skip it).
+        let (strategy, estimated_volume) = match requested {
+            QueryStrategy::IndexPruned => (PlannedStrategy::IndexPruned, 0),
+            QueryStrategy::Exhaustive => (PlannedStrategy::Exhaustive, 0),
+            QueryStrategy::Auto => {
+                let estimated: usize = personal
+                    .nodes()
+                    .map(|(_, node)| index.estimate_candidate_volume(&node.name))
+                    .sum();
+                let budget = self.config.max_pruned_fraction * exhaustive_volume as f64;
+                if exhaustive_volume > 0 && (estimated as f64) <= budget {
+                    (PlannedStrategy::IndexPruned, estimated)
+                } else {
+                    (PlannedStrategy::Exhaustive, estimated)
+                }
+            }
+        };
+        QueryPlan {
+            strategy,
+            estimated_volume,
+            exhaustive_volume,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsm_repo::SchemaRepository;
+    use xsm_schema::{SchemaNode, TreeBuilder};
+
+    fn repo_of(names: &[&str]) -> SchemaRepository {
+        let mut b = TreeBuilder::new("t").root(SchemaNode::element(names[0]));
+        for n in &names[1..] {
+            b = b.sibling(SchemaNode::element(*n));
+        }
+        SchemaRepository::from_trees(vec![b.build()])
+    }
+
+    fn personal(name: &str) -> SchemaTree {
+        TreeBuilder::new("p")
+            .root(SchemaNode::element(name))
+            .build()
+    }
+
+    #[test]
+    fn forced_strategies_are_honoured() {
+        let repo = repo_of(&["alpha", "beta", "gamma"]);
+        let index = NameIndex::build(&repo);
+        let planner = QueryPlanner::default();
+        let p = personal("alpha");
+        assert_eq!(
+            planner
+                .plan(&p, QueryStrategy::IndexPruned, &index)
+                .strategy,
+            PlannedStrategy::IndexPruned
+        );
+        assert_eq!(
+            planner.plan(&p, QueryStrategy::Exhaustive, &index).strategy,
+            PlannedStrategy::Exhaustive
+        );
+    }
+
+    #[test]
+    fn auto_prunes_rare_names_and_scans_common_ones() {
+        // 40 distinct names plus one name repeated everywhere.
+        let mut names: Vec<String> = (0..40).map(|i| format!("field{i:02}")).collect();
+        for _ in 0..40 {
+            names.push("shared".to_string());
+        }
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let repo = repo_of(&refs);
+        let index = NameIndex::build(&repo);
+        let planner = QueryPlanner::default();
+
+        // A name unrelated to everything: tiny posting volume → index pruning.
+        let rare = planner.plan(&personal("zzqx"), QueryStrategy::Auto, &index);
+        assert_eq!(rare.strategy, PlannedStrategy::IndexPruned);
+        assert!(rare.estimated_volume < rare.exhaustive_volume / 2);
+
+        // The ubiquitous name floods the postings → exhaustive scan.
+        let common = planner.plan(&personal("shared"), QueryStrategy::Auto, &index);
+        assert_eq!(common.strategy, PlannedStrategy::Exhaustive);
+    }
+
+    #[test]
+    fn empty_repository_falls_back_to_exhaustive() {
+        let repo = SchemaRepository::new();
+        let index = NameIndex::build(&repo);
+        let plan = QueryPlanner::default().plan(&personal("x"), QueryStrategy::Auto, &index);
+        assert_eq!(plan.strategy, PlannedStrategy::Exhaustive);
+        assert_eq!(plan.exhaustive_volume, 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Queries and responses of the serving engine.
+//!
+//! A [`MatchQuery`] is what a user of the repository submits: their personal schema,
+//! how many mappings they want back, and (optionally) how candidates should be
+//! generated. A [`MatchResponse`] is the ranked answer plus serving metadata.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use xsm_matcher::SchemaMapping;
+use xsm_schema::SchemaTree;
+
+/// How the engine should generate candidate mapping elements for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum QueryStrategy {
+    /// Let the planner choose per query from the repository's index statistics.
+    #[default]
+    Auto,
+    /// Force q-gram index pruning (fast, may miss loosely-similar candidates).
+    IndexPruned,
+    /// Force the exhaustive personal × repository scan (the paper's element matcher).
+    Exhaustive,
+}
+
+/// The candidate-generation path a query was actually served with (the planner's
+/// resolution of [`QueryStrategy::Auto`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlannedStrategy {
+    /// Candidates came from the prebuilt [`xsm_repo::NameIndex`].
+    IndexPruned,
+    /// Candidates came from the full repository scan.
+    Exhaustive,
+}
+
+impl PlannedStrategy {
+    /// Stable label used in metrics and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlannedStrategy::IndexPruned => "index-pruned",
+            PlannedStrategy::Exhaustive => "exhaustive",
+        }
+    }
+}
+
+/// One top-k schema-matching request against the engine's repository.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchQuery {
+    /// The personal schema to match.
+    pub personal: SchemaTree,
+    /// Maximum number of mappings to return (best first).
+    pub top_k: usize,
+    /// Candidate-generation strategy.
+    pub strategy: QueryStrategy,
+    /// Acceptance threshold δ: only mappings with `Δ(s,t) ≥ δ` are returned.
+    ///
+    /// [`MatchQuery::with_threshold`] clamps to `[0,1]`; values smuggled past the
+    /// builder (direct field writes, deserialization) are sanitised at serving time —
+    /// out-of-range clamps, NaN serves as δ = 1.0 (only perfect matches).
+    pub threshold: f64,
+}
+
+impl MatchQuery {
+    /// A query with the default serving parameters (`top_k = 10`, `Auto`, δ = 0.6).
+    pub fn new(personal: SchemaTree) -> Self {
+        MatchQuery {
+            personal,
+            top_k: 10,
+            strategy: QueryStrategy::Auto,
+            threshold: 0.6,
+        }
+    }
+
+    /// Builder-style `top_k` override.
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Builder-style strategy override.
+    pub fn with_strategy(mut self, strategy: QueryStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style threshold override (clamped to `[0,1]`).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Canonical fingerprint of the query, used as the result-cache key.
+    ///
+    /// Two queries share a fingerprint iff they have the same personal-schema *shape
+    /// and names* (pre-order traversal with depths; the tree's own label is ignored),
+    /// the same `top_k`, the same requested strategy and the same threshold bits.
+    /// Each name is length-prefixed, so names containing the delimiter characters
+    /// cannot make two different trees collide on one key.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::with_capacity(64);
+        for node in self.personal.preorder() {
+            let name = self.personal.name_of(node);
+            out.push_str(&format!(
+                "{}:{}:{};",
+                self.personal.depth(node),
+                name.len(),
+                name
+            ));
+        }
+        out.push_str(&format!(
+            "|k={}|s={:?}|d={:016x}",
+            self.top_k,
+            self.strategy,
+            self.threshold.to_bits()
+        ));
+        out
+    }
+}
+
+/// The engine's answer to one [`MatchQuery`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchResponse {
+    /// Fingerprint of the query this answers (also the result-cache key).
+    pub fingerprint: String,
+    /// The candidate-generation path actually used.
+    pub strategy: PlannedStrategy,
+    /// Whether the answer was served from the result cache.
+    pub cache_hit: bool,
+    /// The top-k schema mappings, best first, all with `Δ ≥ δ`.
+    pub mappings: Vec<SchemaMapping>,
+    /// Number of mapping elements the element-matching stage produced.
+    pub candidate_count: usize,
+    /// Total number of mappings that met the threshold (before the top-k cut).
+    pub total_matches: usize,
+    /// Wall-clock serving latency of this response (cache lookup or full pipeline).
+    #[serde(skip)]
+    pub latency: Duration,
+}
+
+impl MatchResponse {
+    /// A compact digest of the *result content* (strategy, scores and images), i.e.
+    /// everything that must be identical between two runs of the same query —
+    /// explicitly excluding latency and cache-hit metadata. Tests and benches compare
+    /// digests to assert determinism across worker counts.
+    pub fn result_digest(&self) -> String {
+        let mut out = format!(
+            "{}|me={}|n={}",
+            self.strategy.label(),
+            self.candidate_count,
+            self.total_matches
+        );
+        for m in &self.mappings {
+            out.push_str(&format!("|{:016x}", m.score.to_bits()));
+            for id in m.repo_nodes() {
+                out.push_str(&format!(",{id}"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsm_schema::{SchemaNode, TreeBuilder};
+
+    fn tree(root: &str, children: &[&str]) -> SchemaTree {
+        let mut b = TreeBuilder::new("personal").root(SchemaNode::element(root));
+        for (i, c) in children.iter().enumerate() {
+            b = if i == 0 {
+                b.child(SchemaNode::element(*c))
+            } else {
+                b.sibling(SchemaNode::element(*c))
+            };
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_shape_sensitive() {
+        let a = MatchQuery::new(tree("book", &["title", "author"]));
+        let b = MatchQuery::new(tree("book", &["title", "author"]));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different names, order, top_k, strategy or threshold change the key.
+        assert_ne!(
+            a.fingerprint(),
+            MatchQuery::new(tree("book", &["author", "title"])).fingerprint()
+        );
+        assert_ne!(a.fingerprint(), a.clone().with_top_k(3).fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            a.clone()
+                .with_strategy(QueryStrategy::Exhaustive)
+                .fingerprint()
+        );
+        assert_ne!(a.fingerprint(), a.clone().with_threshold(0.9).fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_survives_delimiter_characters_in_names() {
+        // A name embedding the delimiter syntax must not collide with the nested
+        // tree it mimics: "x;2:1:y" as one child vs. "x" with grandchild "y".
+        let crafted = MatchQuery::new(tree("r", &["x;2:1:y"]));
+        let nested = MatchQuery::new(
+            TreeBuilder::new("personal")
+                .root(SchemaNode::element("r"))
+                .child(SchemaNode::element("x"))
+                .child(SchemaNode::element("y"))
+                .build(),
+        );
+        assert_ne!(crafted.fingerprint(), nested.fingerprint());
+    }
+
+    #[test]
+    fn builders_clamp_and_apply() {
+        let q = MatchQuery::new(tree("x", &[]))
+            .with_top_k(3)
+            .with_strategy(QueryStrategy::IndexPruned)
+            .with_threshold(7.0);
+        assert_eq!(q.top_k, 3);
+        assert_eq!(q.strategy, QueryStrategy::IndexPruned);
+        assert_eq!(q.threshold, 1.0);
+    }
+
+    #[test]
+    fn digest_ignores_latency_and_cache_metadata() {
+        let mut r1 = MatchResponse {
+            fingerprint: "f".into(),
+            strategy: PlannedStrategy::Exhaustive,
+            cache_hit: false,
+            mappings: Vec::new(),
+            candidate_count: 5,
+            total_matches: 0,
+            latency: Duration::from_millis(3),
+        };
+        let mut r2 = r1.clone();
+        r2.cache_hit = true;
+        r2.latency = Duration::from_millis(9);
+        assert_eq!(r1.result_digest(), r2.result_digest());
+        r1.candidate_count = 6;
+        assert_ne!(r1.result_digest(), r2.result_digest());
+    }
+}

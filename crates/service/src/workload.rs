@@ -1,0 +1,78 @@
+//! Deterministic serving workloads for tests and benches.
+//!
+//! The determinism integration test and the `serve` throughput bench need the *same*
+//! reproducible query mix: personal schemas assembled from names the repository
+//! actually contains, with a fraction perturbed into near-miss names to exercise
+//! fuzzy scoring. Keeping the generator here (the crate both depend on) stops the
+//! two workloads from silently diverging.
+
+use std::collections::BTreeSet;
+
+use xsm_repo::SchemaRepository;
+use xsm_schema::{SchemaNode, SchemaTree, TreeBuilder};
+
+/// Build `n` deterministic three-node personal schemas from the repository's own
+/// vocabulary. Names are drawn in a fixed stride pattern from the sorted distinct
+/// name set; every fourth drawn name gets an `x` appended (a near-miss that only
+/// fuzzy matching can relate back). The same repository and `n` always produce the
+/// same schemas.
+pub fn seeded_personal_schemas(repo: &SchemaRepository, n: usize) -> Vec<SchemaTree> {
+    let names: Vec<String> = repo
+        .nodes()
+        .map(|(_, node)| node.name.clone())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    assert!(
+        !names.is_empty(),
+        "cannot build a workload over an empty repository"
+    );
+    let name = |i: usize| {
+        let base = &names[i % names.len()];
+        if i % 4 == 3 {
+            format!("{base}x")
+        } else {
+            base.clone()
+        }
+    };
+    (0..n)
+        .map(|i| {
+            TreeBuilder::new("personal")
+                .root(SchemaNode::element(name(i * 3)))
+                .child(SchemaNode::element(name(i * 5 + 1)))
+                .sibling(SchemaNode::element(name(i * 7 + 2)))
+                .build()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsm_schema::tree::paper_repository_fragment;
+
+    #[test]
+    fn workload_is_deterministic_and_shaped() {
+        let repo = SchemaRepository::from_trees(vec![paper_repository_fragment()]);
+        let a = seeded_personal_schemas(&repo, 12);
+        let b = seeded_personal_schemas(&repo, 12);
+        assert_eq!(a.len(), 12);
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.len(), 3);
+            let names_a: Vec<&str> = ta.preorder().iter().map(|&n| ta.name_of(n)).collect();
+            let names_b: Vec<&str> = tb.preorder().iter().map(|&n| tb.name_of(n)).collect();
+            assert_eq!(names_a, names_b);
+        }
+        // The perturbation actually fires somewhere in the mix.
+        assert!(a.iter().any(|t| t
+            .preorder()
+            .iter()
+            .any(|&n| t.name_of(n).ends_with('x') && t.name_of(n).len() > 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty repository")]
+    fn empty_repository_is_rejected() {
+        seeded_personal_schemas(&SchemaRepository::new(), 3);
+    }
+}

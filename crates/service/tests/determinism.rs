@@ -1,0 +1,96 @@
+//! Concurrency-determinism contract of the [`MatchEngine`]: the same query batch run
+//! through a 1-worker and an 8-worker engine yields identical top-k mappings and
+//! scores, and cache hits never change result content.
+
+use xsm_matcher::element::ElementMatchConfig;
+use xsm_repo::{GeneratorConfig, RepositoryGenerator, SchemaRepository};
+use xsm_service::workload::seeded_personal_schemas;
+use xsm_service::{EngineConfig, MatchEngine, MatchQuery, QueryStrategy};
+
+fn repository() -> SchemaRepository {
+    RepositoryGenerator::new(GeneratorConfig::small(11).with_target_elements(700)).generate()
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::default()
+        .with_element_config(ElementMatchConfig::default().with_min_similarity(0.5))
+        .with_queue_capacity(8) // smaller than the batch: exercises backpressure
+}
+
+/// A deterministic batch over the shared seeded workload, cycling every strategy.
+fn query_batch(repo: &SchemaRepository, n: usize) -> Vec<MatchQuery> {
+    seeded_personal_schemas(repo, n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, personal)| {
+            let strategy = match i % 3 {
+                0 => QueryStrategy::Auto,
+                1 => QueryStrategy::IndexPruned,
+                _ => QueryStrategy::Exhaustive,
+            };
+            MatchQuery::new(personal)
+                .with_top_k(1 + i % 7)
+                .with_threshold(0.55)
+                .with_strategy(strategy)
+        })
+        .collect()
+}
+
+#[test]
+fn one_and_eight_workers_serve_identical_batches() {
+    let repo = repository();
+    let batch = query_batch(&repo, 100);
+
+    let sequential = MatchEngine::new(repo.clone(), config().with_workers(1));
+    let concurrent = MatchEngine::new(repo, config().with_workers(8));
+    assert_eq!(sequential.workers(), 1);
+    assert_eq!(concurrent.workers(), 8);
+
+    let a = sequential.submit_batch(batch.clone());
+    let b = concurrent.submit_batch(batch.clone());
+    assert_eq!(a.len(), batch.len());
+
+    for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(ra.fingerprint, batch[i].fingerprint(), "order broke at {i}");
+        assert_eq!(rb.fingerprint, batch[i].fingerprint(), "order broke at {i}");
+        assert_eq!(
+            ra.result_digest(),
+            rb.result_digest(),
+            "query {i} diverged between 1 and 8 workers"
+        );
+        for m in &ra.mappings {
+            assert!(m.score >= 0.55);
+            assert!(m.is_structurally_valid());
+        }
+    }
+
+    // Both engines did real work and the metrics saw every query.
+    assert_eq!(sequential.metrics().queries_served, batch.len() as u64);
+    assert_eq!(concurrent.metrics().queries_served, batch.len() as u64);
+    assert!(a.iter().any(|r| !r.mappings.is_empty()));
+}
+
+#[test]
+fn cache_hits_do_not_change_results() {
+    let repo = repository();
+    let batch = query_batch(&repo, 30);
+    let engine = MatchEngine::new(repo, config().with_workers(4));
+
+    let cold = engine.submit_batch(batch.clone());
+    let warm = engine.submit_batch(batch.clone());
+
+    // Batches can repeat a fingerprint, so even the first pass may hit; the second
+    // pass must be all hits.
+    assert!(warm.iter().all(|r| r.cache_hit));
+    for (i, (c, w)) in cold.iter().zip(&warm).enumerate() {
+        assert_eq!(
+            c.result_digest(),
+            w.result_digest(),
+            "cache changed the content of query {i}"
+        );
+    }
+    let metrics = engine.metrics();
+    assert_eq!(metrics.queries_served, 60);
+    assert!(metrics.result_cache_hits >= 30);
+    assert!(metrics.result_cache_hit_rate >= 0.5);
+}

@@ -4,24 +4,90 @@
 //! repository names repeat heavily (every schema has a `name`, `id`, `date` …), so
 //! caching by *name pair* rather than node pair removes most of the string-kernel work.
 
-use std::collections::HashMap;
-use std::sync::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
-/// A thread-safe `(name, name) → similarity` cache.
+/// Default capacity (in cached pairs) of a [`SimilarityCache`].
+///
+/// A pair entry is two short strings plus an `f64` — roughly 100 bytes — so the
+/// default bounds the cache at a few hundred MB even with pathological name lengths,
+/// while staying far above the distinct-pair count of the paper-scale experiments.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
+
+/// Number of independently locked shards. A lookup locks exactly one shard, so up to
+/// this many worker threads can hit the cache concurrently; 16 comfortably covers the
+/// worker counts a single-host serving engine runs.
+const SHARD_COUNT: usize = 16;
+
+type PairKey = (String, String);
+
+/// One shard's state behind one lock: map, FIFO eviction queue and counters.
+///
+/// A single `Mutex` per shard (instead of one per field) means a lookup takes exactly
+/// one lock/unlock, and the hit/miss counters can never drift out of sync with the
+/// map under concurrent use.
+#[derive(Debug, Default)]
+struct Inner {
+    /// Keys are `Arc`-shared with `order`, so each pair's strings are allocated once
+    /// even though both structures reference them.
+    map: HashMap<Arc<PairKey>, f64>,
+    /// Insertion order of the keys in `map`; the front is the eviction victim.
+    order: VecDeque<Arc<PairKey>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A thread-safe, *bounded*, sharded `(name, name) → similarity` cache.
 ///
 /// The key is order-normalised so `("a","b")` and `("b","a")` share an entry, matching
-/// the symmetry of every kernel in this crate.
-#[derive(Debug, Default)]
+/// the symmetry of every kernel in this crate. Entries are spread over
+/// independently locked shards (keyed by a deterministic hash), and each shard evicts
+/// its oldest entry (FIFO) at capacity — so a long-lived process sharing one cache
+/// across many queries can neither grow without bound nor serialise its workers on a
+/// single lock.
+#[derive(Debug)]
 pub struct SimilarityCache {
-    map: Mutex<HashMap<(String, String), f64>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    shards: Vec<Mutex<Inner>>,
+    shard_capacity: usize,
+}
+
+impl Default for SimilarityCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
 }
 
 impl SimilarityCache {
-    /// Create an empty cache.
+    /// Create an empty cache with the [default capacity](DEFAULT_CACHE_CAPACITY).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty cache bounded at roughly `capacity` pairs. The bound is split
+    /// evenly over the shards, so the effective capacity is `capacity` rounded up to
+    /// a multiple of the shard count.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let shard_capacity = capacity.div_ceil(SHARD_COUNT).max(1);
+        SimilarityCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Inner::default()))
+                .collect(),
+            shard_capacity,
+        }
+    }
+
+    /// The maximum number of pairs the cache retains.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARD_COUNT
+    }
+
+    /// The shard a key hashes to. `DefaultHasher` uses fixed keys, so the placement
+    /// is deterministic across runs and threads.
+    fn shard(&self, key: &PairKey) -> &Mutex<Inner> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
     }
 
     /// Get the cached value for a pair, or compute and insert it.
@@ -34,22 +100,41 @@ impl SimilarityCache {
         } else {
             (b.to_string(), a.to_string())
         };
+        let shard = self.shard(&key);
         {
-            let map = self.map.lock().unwrap();
-            if let Some(&v) = map.get(&key) {
-                *self.hits.lock().unwrap() += 1;
+            let mut inner = shard.lock().unwrap();
+            if let Some(&v) = inner.map.get(&key) {
+                inner.hits += 1;
                 return v;
             }
         }
+        // Compute outside the lock: kernels are quadratic in the name lengths and
+        // holding the lock across them would serialise every worker. Two threads may
+        // race on the same missing pair; both compute the same value (kernels are
+        // pure), so the double insert is harmless.
         let v = compute();
-        *self.misses.lock().unwrap() += 1;
-        self.map.lock().unwrap().insert(key, v);
+        let key = Arc::new(key);
+        let mut inner = shard.lock().unwrap();
+        inner.misses += 1;
+        if inner.map.insert(Arc::clone(&key), v).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.shard_capacity {
+                if let Some(victim) = inner.order.pop_front() {
+                    inner.map.remove(&victim);
+                } else {
+                    break;
+                }
+            }
+        }
         v
     }
 
     /// Number of cached pairs.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
     }
 
     /// True when nothing has been cached yet.
@@ -59,14 +144,25 @@ impl SimilarityCache {
 
     /// `(hits, misses)` counters since construction or the last [`SimilarityCache::clear`].
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock().unwrap(), *self.misses.lock().unwrap())
+        let mut hits = 0;
+        let mut misses = 0;
+        for shard in &self.shards {
+            let inner = shard.lock().unwrap();
+            hits += inner.hits;
+            misses += inner.misses;
+        }
+        (hits, misses)
     }
 
     /// Drop all cached entries and reset the counters.
     pub fn clear(&self) {
-        self.map.lock().unwrap().clear();
-        *self.hits.lock().unwrap() = 0;
-        *self.misses.lock().unwrap() = 0;
+        for shard in &self.shards {
+            let mut inner = shard.lock().unwrap();
+            inner.map.clear();
+            inner.order.clear();
+            inner.hits = 0;
+            inner.misses = 0;
+        }
     }
 }
 
@@ -79,6 +175,7 @@ mod tests {
     fn caches_and_counts() {
         let cache = SimilarityCache::new();
         assert!(cache.is_empty());
+        assert!(cache.capacity() >= DEFAULT_CACHE_CAPACITY);
         let v1 = cache.get_or_compute("author", "authorName", || {
             compare_string_fuzzy("author", "authorName")
         });
@@ -108,6 +205,30 @@ mod tests {
     }
 
     #[test]
+    fn capacity_bounds_the_cache() {
+        let cache = SimilarityCache::with_capacity(32);
+        for i in 0..10_000 {
+            cache.get_or_compute(&format!("name{i}"), "x", || i as f64);
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.capacity() <= 48); // 32 rounded up to a shard multiple
+                                         // The very last insert cannot have been evicted yet.
+        assert_eq!(cache.get_or_compute("name9999", "x", || -1.0), 9999.0);
+        // Early entries are long gone and get recomputed.
+        assert_eq!(cache.get_or_compute("name0", "x", || -1.0), -1.0);
+    }
+
+    #[test]
+    fn tiny_capacity_is_clamped() {
+        let cache = SimilarityCache::with_capacity(0);
+        assert!(cache.capacity() >= 1);
+        for i in 0..100 {
+            cache.get_or_compute(&format!("k{i}"), "v", || 0.1);
+        }
+        assert!(cache.len() <= cache.capacity());
+    }
+
+    #[test]
     fn usable_across_threads() {
         use std::sync::Arc;
         let cache = Arc::new(SimilarityCache::new());
@@ -126,7 +247,9 @@ mod tests {
             h.join().unwrap();
         }
         let (hits, misses) = cache.stats();
-        assert_eq!(cache.len() as u64, misses);
+        // Threads may race on the same missing pair and both count a miss, so the
+        // map can only be smaller than the miss count, never larger.
+        assert!(cache.len() as u64 <= misses);
         assert_eq!(hits + misses, 200);
     }
 }

@@ -41,7 +41,7 @@ impl SynonymTable {
         t
     }
 
-    /// Set the similarity value granted to members of the same group (clamped to [0,1]).
+    /// Set the similarity value granted to members of the same group (clamped to `[0,1]`).
     pub fn with_strength(mut self, strength: f64) -> Self {
         self.strength = strength.clamp(0.0, 1.0);
         self

@@ -3,4 +3,5 @@ pub use xsm_core as clustering;
 pub use xsm_matcher as matcher;
 pub use xsm_repo as repo;
 pub use xsm_schema as schema;
+pub use xsm_service as service;
 pub use xsm_similarity as similarity;

@@ -3,7 +3,7 @@
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
 //! vendored `serde` stub's single-`Value` data model, without `syn`/`quote`
 //! (neither is available offline): the input `TokenStream` is parsed by hand
-//! into a small [`Input`] model and code is generated with `format!`.
+//! into a small `Input` model and code is generated with `format!`.
 //!
 //! Supported shapes — exactly what the Bellflower sources need:
 //!
