@@ -3,20 +3,25 @@
 //!
 //! ```text
 //! cargo run -p xsm-bench --bin serve --release \
-//!     [seed=N] [elements=N] [queries=N] [workers=N] [topk=N] [minsim=X] [delta=X]
+//!     [seed=N] [elements=N] [queries=N] [workers=N] [topk=N] [minsim=X] [delta=X] \
+//!     [out=BENCH_serve.json]
 //! ```
 //!
 //! The scaled batch is answered by a 1-worker engine (the sequential baseline) and a
 //! multi-worker engine over the *same* repository; the binary asserts the responses
 //! are content-identical before reporting the speedup, so the numbers can never come
-//! from divergent work.
+//! from divergent work. Besides the human-readable table, the run is recorded as
+//! machine-readable JSON (`out=`) so CI can accumulate a benchmark trajectory.
 
 use std::time::Instant;
 
+use serde::Serialize;
 use xsm_matcher::element::ElementMatchConfig;
 use xsm_repo::{GeneratorConfig, RepositoryGenerator, SchemaRepository};
 use xsm_service::workload::seeded_personal_schemas;
-use xsm_service::{EngineConfig, MatchEngine, MatchQuery, MatchResponse, QueryStrategy};
+use xsm_service::{
+    EngineConfig, EngineMetrics, MatchEngine, MatchQuery, MatchResponse, QueryStrategy,
+};
 
 struct ServeConfig {
     seed: u64,
@@ -26,6 +31,33 @@ struct ServeConfig {
     top_k: usize,
     min_similarity: f64,
     delta: f64,
+    out: String,
+}
+
+/// One row of the throughput table, as written to the JSON record.
+#[derive(Serialize)]
+struct ThroughputRow {
+    workers: usize,
+    warm: bool,
+    time_s: f64,
+    queries_per_sec: f64,
+    speedup_vs_sequential: f64,
+}
+
+/// The machine-readable record of one `serve` run.
+#[derive(Serialize)]
+struct ServeRecord {
+    bench: String,
+    seed: u64,
+    elements: usize,
+    trees: usize,
+    queries: usize,
+    top_k: usize,
+    min_similarity: f64,
+    delta: f64,
+    build_seconds: f64,
+    rows: Vec<ThroughputRow>,
+    metrics: EngineMetrics,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +73,7 @@ impl Default for ServeConfig {
             top_k: 5,
             min_similarity: 0.5,
             delta: 0.75,
+            out: "BENCH_serve.json".to_string(),
         }
     }
 }
@@ -63,6 +96,7 @@ impl ServeConfig {
                     self.min_similarity = value.parse().map_err(|e| format!("minsim: {e}"))?
                 }
                 "delta" => self.delta = value.parse().map_err(|e| format!("delta: {e}"))?,
+                "out" => self.out = value.to_string(),
                 other => return Err(format!("unknown parameter '{other}'")),
             }
         }
@@ -104,7 +138,7 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: serve [seed=N] [elements=N] [queries=N] [workers=N] [topk=N] \
-                 [minsim=X] [delta=X]"
+                 [minsim=X] [delta=X] [out=PATH]"
             );
             std::process::exit(2);
         }
@@ -180,6 +214,7 @@ fn main() {
         100.0 * metrics.result_cache_hit_rate,
         metrics.result_cache_hits
     );
+    println!("  coalesced queries     : {}", metrics.coalesced_queries);
     println!(
         "  strategies            : {} index-pruned, {} exhaustive",
         metrics.index_pruned_queries, metrics.exhaustive_queries
@@ -188,8 +223,43 @@ fn main() {
         "  serving latency       : p50 ≤ {} µs, p99 ≤ {} µs",
         metrics.p50_latency_us, metrics.p99_latency_us
     );
-    println!(
-        "  similarity cache      : {} hits / {} misses",
-        metrics.similarity_cache_hits, metrics.similarity_cache_misses
-    );
+
+    let record = ServeRecord {
+        bench: "serve".to_string(),
+        seed: config.seed,
+        elements: config.elements,
+        trees: concurrent.repository().tree_count(),
+        queries: config.queries,
+        top_k: config.top_k,
+        min_similarity: config.min_similarity,
+        delta: config.delta,
+        build_seconds: build_time.as_secs_f64(),
+        rows: vec![
+            ThroughputRow {
+                workers: 1,
+                warm: false,
+                time_s: base_time,
+                queries_per_sec: base_qps,
+                speedup_vs_sequential: 1.0,
+            },
+            ThroughputRow {
+                workers: config.workers,
+                warm: false,
+                time_s: conc_time,
+                queries_per_sec: conc_qps,
+                speedup_vs_sequential: conc_qps / base_qps,
+            },
+            ThroughputRow {
+                workers: config.workers,
+                warm: true,
+                time_s: warm_time,
+                queries_per_sec: warm_qps,
+                speedup_vs_sequential: warm_qps / base_qps,
+            },
+        ],
+        metrics,
+    };
+    let json = serde_json::to_string(&record).expect("serve record serializes");
+    std::fs::write(&config.out, &json).expect("write serve benchmark JSON");
+    eprintln!("wrote {}", config.out);
 }

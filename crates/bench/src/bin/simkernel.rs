@@ -1,0 +1,478 @@
+//! Microbenchmark: string-path similarity measures vs. the precomputed-feature
+//! kernels, plus bit-parallel Myers vs. the classic DP.
+//!
+//! ```text
+//! cargo run -p xsm-bench --bin simkernel --release \
+//!     [seed=N] [elements=N] [queries=N] [pairs=N] [reps=N] [out=BENCH_simkernel.json]
+//! ```
+//!
+//! The workload mirrors the serving engine: a seeded synthetic repository provides
+//! the corpus names (features built once, inside the repository's `FeatureStore`),
+//! a derived query mix provides the probe names (features built once per query name
+//! inside the timed loop — exactly the engine's amortisation), and every measure
+//! scores the same name pairs through both paths. Each path also folds its scores
+//! into a checksum; the two checksums must agree **bit for bit**, so the reported
+//! speedups can never come from divergent work.
+//!
+//! Results go to stdout as a table and to `out=` as machine-readable JSON — the
+//! repository's benchmark trajectory accumulates these files (CI runs a smoke-sized
+//! configuration on every push and uploads the artifact).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::Serialize;
+use xsm_repo::{FeatureStore, GeneratorConfig, RepositoryGenerator};
+use xsm_similarity::edit::{levenshtein, levenshtein_chars};
+use xsm_similarity::features::{
+    dice_features, fuzzy_features, jaccard_features, jaro_features, levenshtein_features,
+    token_set_features, NameFeatures, SimScratch,
+};
+use xsm_similarity::fuzzy::compare_string_fuzzy;
+use xsm_similarity::jaro::jaro;
+use xsm_similarity::ngram::{ngram_similarity, qgram_jaccard};
+use xsm_similarity::token::token_set_similarity;
+
+struct BenchConfig {
+    seed: u64,
+    elements: usize,
+    queries: usize,
+    pairs: usize,
+    reps: usize,
+    out: String,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            seed: 2006,
+            elements: 2_500,
+            queries: 128,
+            pairs: 50_000,
+            reps: 3,
+            out: "BENCH_simkernel.json".to_string(),
+        }
+    }
+}
+
+impl BenchConfig {
+    fn apply_args<I: IntoIterator<Item = String>>(mut self, args: I) -> Result<Self, String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            match key {
+                "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "elements" => {
+                    self.elements = value.parse().map_err(|e| format!("elements: {e}"))?
+                }
+                "queries" => self.queries = value.parse().map_err(|e| format!("queries: {e}"))?,
+                "pairs" => self.pairs = value.parse().map_err(|e| format!("pairs: {e}"))?,
+                "reps" => self.reps = value.parse().map_err(|e| format!("reps: {e}"))?,
+                "out" => self.out = value.to_string(),
+                other => return Err(format!("unknown parameter '{other}'")),
+            }
+        }
+        self.queries = self.queries.max(1);
+        self.pairs = self.pairs.max(1);
+        self.reps = self.reps.max(1);
+        Ok(self)
+    }
+}
+
+/// One measure's comparison, as printed and as recorded in the JSON.
+#[derive(Serialize)]
+struct MeasureRow {
+    measure: String,
+    string_ns_per_op: f64,
+    feature_ns_per_op: f64,
+    string_mops: f64,
+    feature_mops: f64,
+    speedup: f64,
+    checksums_match: bool,
+}
+
+/// The machine-readable record of one `simkernel` run.
+#[derive(Serialize)]
+struct SimkernelRecord {
+    bench: String,
+    seed: u64,
+    elements: usize,
+    query_names: usize,
+    pairs: usize,
+    reps: usize,
+    rows: Vec<MeasureRow>,
+}
+
+/// The benchmark workload: query names probed against corpus names, grouped by
+/// query so per-query work (lowercasing on the string path, feature building on
+/// the feature path) amortises exactly as it does in the serving engine.
+struct Workload {
+    query_names: Vec<String>,
+    corpus_names: Vec<String>,
+    /// `groups[i]` = corpus-name indexes probed by query `i`.
+    groups: Vec<Vec<usize>>,
+    store: FeatureStore,
+    corpus_features: Vec<NameFeatures>,
+}
+
+fn build_workload(config: &BenchConfig) -> Workload {
+    let repo = RepositoryGenerator::new(
+        GeneratorConfig::paper_default()
+            .with_seed(config.seed)
+            .with_target_elements(config.elements),
+    )
+    .generate();
+    let corpus_names: Vec<String> = repo.nodes().map(|(_, n)| n.name.clone()).collect();
+    // Query mix: names the repository actually contains, every fourth perturbed
+    // into a near-miss only fuzzy scoring can relate back (the workload generator's
+    // convention), plus a camelCase composite to exercise tokenization.
+    let query_names: Vec<String> = (0..config.queries)
+        .map(|i| {
+            let base = &corpus_names[(i * 7) % corpus_names.len()];
+            match i % 4 {
+                3 => format!("{base}x"),
+                2 => format!("{base}Id"),
+                _ => base.clone(),
+            }
+        })
+        .collect();
+    let per_query = config.pairs.div_ceil(query_names.len());
+    let mut groups = Vec::with_capacity(query_names.len());
+    let mut total = 0usize;
+    for qi in 0..query_names.len() {
+        let mut group = Vec::with_capacity(per_query);
+        for k in 0..per_query {
+            if total == config.pairs {
+                break;
+            }
+            group.push((qi * 31 + k * 17) % corpus_names.len());
+            total += 1;
+        }
+        groups.push(group);
+    }
+    let store = FeatureStore::build(&repo, 3);
+    let corpus_features: Vec<NameFeatures> = store.iter().map(|(_, f)| f.clone()).collect();
+    Workload {
+        query_names,
+        corpus_names,
+        groups,
+        store,
+        corpus_features,
+    }
+}
+
+/// Time `reps` passes over the whole workload; returns (total seconds, checksum).
+/// `per_query` runs once per query name (its return value is the query-scoped
+/// state, e.g. freshly built features); `per_pair` runs once per (state, query
+/// index, corpus-name index) triple. Both phases are inside the timed region, so
+/// per-query amortised work is charged exactly as the serving engine pays it.
+fn time_pairs<S>(
+    workload: &Workload,
+    reps: usize,
+    mut per_query: impl FnMut(usize) -> S,
+    mut per_pair: impl FnMut(&S, usize, usize) -> f64,
+) -> (f64, f64) {
+    let start = Instant::now();
+    let mut checksum = 0.0f64;
+    for _ in 0..reps {
+        for (qi, group) in workload.groups.iter().enumerate() {
+            let state = per_query(qi);
+            for &ci in group {
+                checksum += black_box(per_pair(&state, qi, ci));
+            }
+        }
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+struct PathResult {
+    seconds: f64,
+    checksum: f64,
+}
+
+fn row(measure: &str, ops: usize, string_path: PathResult, feature_path: PathResult) -> MeasureRow {
+    let string_ns = string_path.seconds * 1e9 / ops as f64;
+    let feature_ns = feature_path.seconds * 1e9 / ops as f64;
+    MeasureRow {
+        measure: measure.to_string(),
+        string_ns_per_op: string_ns,
+        feature_ns_per_op: feature_ns,
+        string_mops: ops as f64 / string_path.seconds / 1e6,
+        feature_mops: ops as f64 / feature_path.seconds / 1e6,
+        speedup: string_path.seconds / feature_path.seconds,
+        checksums_match: string_path.checksum.to_bits() == feature_path.checksum.to_bits(),
+    }
+}
+
+fn main() {
+    let config = match BenchConfig::default().apply_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: simkernel [seed=N] [elements=N] [queries=N] [pairs=N] [reps=N] [out=PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "building workload ({} elements, {} query names, {} pairs, seed {})…",
+        config.elements, config.queries, config.pairs, config.seed
+    );
+    let w = build_workload(&config);
+    let ops: usize = w.groups.iter().map(|g| g.len()).sum::<usize>() * config.reps;
+    eprintln!("scoring {ops} pairs per measure per path…");
+
+    let mut scratch = SimScratch::default();
+    let mut rows: Vec<MeasureRow> = Vec::new();
+
+    // --- fuzzy (the paper's kernel: lowercase + Damerau-Levenshtein + normalize) ---
+    {
+        let (s, cs) = time_pairs(
+            &w,
+            config.reps,
+            |_| (),
+            |_, qi, ci| compare_string_fuzzy(&w.query_names[qi], &w.corpus_names[ci]),
+        );
+        let (fs, fcs) = time_pairs(
+            &w,
+            config.reps,
+            |qi| w.store.query_features(&w.query_names[qi]),
+            |qf, _, ci| fuzzy_features(qf, &w.corpus_features[ci], &mut scratch),
+        );
+        rows.push(row(
+            "fuzzy(damerau)",
+            ops,
+            PathResult {
+                seconds: s,
+                checksum: cs,
+            },
+            PathResult {
+                seconds: fs,
+                checksum: fcs,
+            },
+        ));
+    }
+
+    // --- levenshtein: two-row DP over &str vs bit-parallel Myers over features ---
+    // The string path gets pre-lowercased inputs so both paths compute the same
+    // distances and the comparison isolates char collection + DP vs Myers.
+    {
+        let lower_queries: Vec<String> = w.query_names.iter().map(|n| n.to_lowercase()).collect();
+        let lower_corpus: Vec<String> = w.corpus_names.iter().map(|n| n.to_lowercase()).collect();
+        let (s, cs) = time_pairs(
+            &w,
+            config.reps,
+            |_| (),
+            |_, qi, ci| levenshtein(&lower_queries[qi], &lower_corpus[ci]) as f64,
+        );
+        let (fs, fcs) = time_pairs(
+            &w,
+            config.reps,
+            |qi| w.store.query_features(&w.query_names[qi]),
+            |qf, _, ci| levenshtein_features(qf, &w.corpus_features[ci], &mut scratch) as f64,
+        );
+        rows.push(row(
+            "levenshtein",
+            ops,
+            PathResult {
+                seconds: s,
+                checksum: cs,
+            },
+            PathResult {
+                seconds: fs,
+                checksum: fcs,
+            },
+        ));
+    }
+
+    // --- myers vs dp: same precollected chars, algorithm difference only ---
+    {
+        let query_features: Vec<NameFeatures> = w
+            .query_names
+            .iter()
+            .map(|n| w.store.query_features(n))
+            .collect();
+        let (s, cs) = time_pairs(
+            &w,
+            config.reps,
+            |_| (),
+            |_, qi, ci| {
+                levenshtein_chars(&query_features[qi].chars, &w.corpus_features[ci].chars) as f64
+            },
+        );
+        let (fs, fcs) = time_pairs(
+            &w,
+            config.reps,
+            |_| (),
+            |_, qi, ci| {
+                levenshtein_features(&query_features[qi], &w.corpus_features[ci], &mut scratch)
+                    as f64
+            },
+        );
+        rows.push(row(
+            "myers-vs-dp",
+            ops,
+            PathResult {
+                seconds: s,
+                checksum: cs,
+            },
+            PathResult {
+                seconds: fs,
+                checksum: fcs,
+            },
+        ));
+    }
+
+    // --- jaro ---
+    {
+        let (s, cs) = time_pairs(
+            &w,
+            config.reps,
+            |_| (),
+            |_, qi, ci| jaro(&w.query_names[qi], &w.corpus_names[ci]),
+        );
+        let (fs, fcs) = time_pairs(
+            &w,
+            config.reps,
+            |qi| w.store.query_features(&w.query_names[qi]),
+            |qf, _, ci| jaro_features(qf, &w.corpus_features[ci], &mut scratch),
+        );
+        rows.push(row(
+            "jaro",
+            ops,
+            PathResult {
+                seconds: s,
+                checksum: cs,
+            },
+            PathResult {
+                seconds: fs,
+                checksum: fcs,
+            },
+        ));
+    }
+
+    // --- dice (trigram multiset, the `ngram_similarity` measure) ---
+    {
+        let (s, cs) = time_pairs(
+            &w,
+            config.reps,
+            |_| (),
+            |_, qi, ci| ngram_similarity(&w.query_names[qi], &w.corpus_names[ci], 3),
+        );
+        let (fs, fcs) = time_pairs(
+            &w,
+            config.reps,
+            |qi| w.store.query_features(&w.query_names[qi]),
+            |qf, _, ci| dice_features(qf, &w.corpus_features[ci]),
+        );
+        rows.push(row(
+            "dice(3-gram)",
+            ops,
+            PathResult {
+                seconds: s,
+                checksum: cs,
+            },
+            PathResult {
+                seconds: fs,
+                checksum: fcs,
+            },
+        ));
+    }
+
+    // --- jaccard (trigram set, the index pre-filter measure) ---
+    {
+        let (s, cs) = time_pairs(
+            &w,
+            config.reps,
+            |_| (),
+            |_, qi, ci| qgram_jaccard(&w.query_names[qi], &w.corpus_names[ci], 3),
+        );
+        let (fs, fcs) = time_pairs(
+            &w,
+            config.reps,
+            |qi| w.store.query_features(&w.query_names[qi]),
+            |qf, _, ci| jaccard_features(qf, &w.corpus_features[ci]),
+        );
+        rows.push(row(
+            "jaccard(3-gram)",
+            ops,
+            PathResult {
+                seconds: s,
+                checksum: cs,
+            },
+            PathResult {
+                seconds: fs,
+                checksum: fcs,
+            },
+        ));
+    }
+
+    // --- token-set ---
+    {
+        let (s, cs) = time_pairs(
+            &w,
+            config.reps,
+            |_| (),
+            |_, qi, ci| token_set_similarity(&w.query_names[qi], &w.corpus_names[ci]),
+        );
+        let (fs, fcs) = time_pairs(
+            &w,
+            config.reps,
+            |qi| w.store.query_features(&w.query_names[qi]),
+            |qf, _, ci| token_set_features(qf, &w.corpus_features[ci], &mut scratch),
+        );
+        rows.push(row(
+            "token-set",
+            ops,
+            PathResult {
+                seconds: s,
+                checksum: cs,
+            },
+            PathResult {
+                seconds: fs,
+                checksum: fcs,
+            },
+        ));
+    }
+
+    println!("measure          string ns/op  feature ns/op  speedup  checksums");
+    for r in &rows {
+        println!(
+            "{:<16} {:>12.1} {:>14.1} {:>7.2}x  {}",
+            r.measure,
+            r.string_ns_per_op,
+            r.feature_ns_per_op,
+            r.speedup,
+            if r.checksums_match {
+                "match"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+    let diverged: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.checksums_match)
+        .map(|r| r.measure.as_str())
+        .collect();
+    assert!(
+        diverged.is_empty(),
+        "score checksums diverged between paths for: {diverged:?}"
+    );
+
+    let record = SimkernelRecord {
+        bench: "simkernel".to_string(),
+        seed: config.seed,
+        elements: config.elements,
+        query_names: w.query_names.len(),
+        pairs: config.pairs,
+        reps: config.reps,
+        rows,
+    };
+    let json = serde_json::to_string(&record).expect("simkernel record serializes");
+    std::fs::write(&config.out, &json).expect("write simkernel benchmark JSON");
+    eprintln!("wrote {}", config.out);
+}

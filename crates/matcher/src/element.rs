@@ -19,7 +19,8 @@ use xsm_similarity::{
 };
 
 use crate::candidates::{CandidateSet, MappingElement};
-use xsm_repo::{NameIndex, SchemaRepository};
+use xsm_repo::{FeatureStore, NameIndex, SchemaRepository};
+use xsm_similarity::features::{fuzzy_features, SimScratch};
 
 /// Compares a personal node with a repository node.
 pub trait ElementMatcher: Send + Sync {
@@ -280,13 +281,86 @@ pub fn match_elements_with_index(
     let mut set = CandidateSet::new(personal_nodes.clone());
     for &pnode in &personal_nodes {
         let pdata = personal.node(pnode).expect("preorder yields valid ids");
-        let mut candidates = index.lookup_approximate(&pdata.name, min_overlap);
-        candidates.extend_from_slice(index.lookup_exact(&pdata.name));
-        candidates.sort();
-        candidates.dedup();
-        for rid in candidates {
+        for rid in index_candidates(index, &pdata.name, min_overlap) {
             let rdata = repo.node(rid).expect("index ids are valid");
             let sim = matcher.compare(pdata, rdata);
+            if sim >= config.min_similarity && sim > 0.0 {
+                set.push(MappingElement::new(pnode, rid, sim));
+            }
+        }
+    }
+    finish(set, personal_nodes, config)
+}
+
+/// Candidate retrieval shared by the string and feature index paths: approximate
+/// (q-gram) plus exact lookups, deduplicated, in canonical id order. Both paths
+/// must score the **same** candidate set for the byte-identical replay guarantee
+/// to hold, so this lives in exactly one place.
+fn index_candidates(
+    index: &NameIndex,
+    name: &str,
+    min_overlap: f64,
+) -> Vec<xsm_schema::GlobalNodeId> {
+    let mut candidates = index.lookup_approximate(name, min_overlap);
+    candidates.extend_from_slice(index.lookup_exact(name));
+    candidates.sort();
+    candidates.dedup();
+    candidates
+}
+
+/// Element matching through the repository's [`FeatureStore`]: the zero-allocation
+/// fast path of [`match_elements`] for the paper's fuzzy name kernel.
+///
+/// Query-side [`xsm_similarity::NameFeatures`] are built **once per personal node**
+/// (not once per candidate pair); repository-side features were built once at store
+/// construction. Each pair is then scored by
+/// [`fuzzy_features`] — bit-identical to
+/// [`compare_string_fuzzy`] on the node names, so this produces byte-identical
+/// candidate sets to `match_elements(…, &NameElementMatcher, …)` while the inner
+/// loop performs no allocation and no hashing (bit-parallel edit distance for names
+/// of ≤ 64 characters, DP over the scratch rows beyond).
+pub fn match_elements_features(
+    personal: &SchemaTree,
+    store: &FeatureStore,
+    config: &ElementMatchConfig,
+    scratch: &mut SimScratch,
+) -> CandidateSet {
+    let personal_nodes = personal.preorder();
+    let mut set = CandidateSet::new(personal_nodes.clone());
+    for &pnode in &personal_nodes {
+        let pdata = personal.node(pnode).expect("preorder yields valid ids");
+        let pfeatures = store.query_features(&pdata.name);
+        for (rid, rfeatures) in store.iter() {
+            let sim = fuzzy_features(&pfeatures, rfeatures, scratch);
+            if sim >= config.min_similarity && sim > 0.0 {
+                set.push(MappingElement::new(pnode, rid, sim));
+            }
+        }
+    }
+    finish(set, personal_nodes, config)
+}
+
+/// Index-pruned element matching through the [`FeatureStore`]: the zero-allocation
+/// fast path of [`match_elements_with_index`] for the paper's fuzzy name kernel.
+/// Candidate retrieval and scoring both run on interned ids and precomputed
+/// features; results are byte-identical to the string path with
+/// [`NameElementMatcher`].
+pub fn match_elements_with_index_features(
+    personal: &SchemaTree,
+    index: &NameIndex,
+    config: &ElementMatchConfig,
+    min_overlap: f64,
+    scratch: &mut SimScratch,
+) -> CandidateSet {
+    let store = index.features();
+    let personal_nodes = personal.preorder();
+    let mut set = CandidateSet::new(personal_nodes.clone());
+    for &pnode in &personal_nodes {
+        let pdata = personal.node(pnode).expect("preorder yields valid ids");
+        let pfeatures = store.query_features(&pdata.name);
+        for rid in index_candidates(index, &pdata.name, min_overlap) {
+            let rfeatures = store.features_of(rid).expect("index ids are valid");
+            let sim = fuzzy_features(&pfeatures, rfeatures, scratch);
             if sim >= config.min_similarity && sim > 0.0 {
                 set.push(MappingElement::new(pnode, rid, sim));
             }
@@ -477,6 +551,64 @@ mod tests {
         assert_eq!(m.compare(&a, &b), direct);
         assert_eq!(m.cache().stats(), (1, 1));
         assert_eq!(m.name(), "cached");
+    }
+
+    /// Byte-level equality of two candidate sets: same nodes, same pairs, same
+    /// similarity bits, same order.
+    fn assert_sets_identical(a: &CandidateSet, b: &CandidateSet) {
+        assert_eq!(a.personal_nodes(), b.personal_nodes());
+        for &n in a.personal_nodes() {
+            let (ca, cb) = (a.candidates_for(n), b.candidates_for(n));
+            assert_eq!(ca.len(), cb.len(), "candidate count for {n:?}");
+            for (x, y) in ca.iter().zip(cb) {
+                assert_eq!(x.repo, y.repo);
+                assert_eq!(x.similarity.to_bits(), y.similarity.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn feature_path_is_byte_identical_to_string_path() {
+        let personal = paper_personal_schema();
+        let repo = fig1_repo();
+        let index = NameIndex::build(&repo);
+        let mut scratch = SimScratch::default();
+        for floor in [0.0, 0.4, 0.8] {
+            let config = ElementMatchConfig::default().with_min_similarity(floor);
+            let strings = match_elements(&personal, &repo, &NameElementMatcher, &config);
+            let features =
+                match_elements_features(&personal, index.features(), &config, &mut scratch);
+            assert_sets_identical(&strings, &features);
+
+            let strings_idx = match_elements_with_index(
+                &personal,
+                &repo,
+                &index,
+                &NameElementMatcher,
+                &config,
+                0.3,
+            );
+            let features_idx =
+                match_elements_with_index_features(&personal, &index, &config, 0.3, &mut scratch);
+            assert_sets_identical(&strings_idx, &features_idx);
+        }
+    }
+
+    #[test]
+    fn feature_path_respects_candidate_cap() {
+        let personal = paper_personal_schema();
+        let repo = fig1_repo();
+        let index = NameIndex::build(&repo);
+        let mut scratch = SimScratch::default();
+        let config = ElementMatchConfig::default()
+            .with_min_similarity(0.0)
+            .with_max_candidates(2);
+        let capped = match_elements_features(&personal, index.features(), &config, &mut scratch);
+        for &n in capped.personal_nodes() {
+            assert!(capped.candidates_for(n).len() <= 2);
+        }
+        let reference = match_elements(&personal, &repo, &NameElementMatcher, &config);
+        assert_sets_identical(&reference, &capped);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! The repository [`FeatureStore`]: one precomputed [`NameFeatures`] per node.
+//!
+//! Repository element names are immutable after construction, so everything the
+//! similarity kernels derive from a name — lowercased characters, Myers match
+//! vectors, word tokens, interned q-gram signatures — is computed exactly once here
+//! and shared by every query the engine ever serves. The store and the
+//! [`crate::NameIndex`] share one [`GramInterner`], which is what lets the index keep
+//! its posting lists in a dense `Vec` keyed by gram id and lets candidate scoring
+//! intersect signatures by integer merge.
+
+use xsm_schema::GlobalNodeId;
+use xsm_similarity::features::{for_each_gram, GramInterner, NameFeatures};
+
+use crate::repository::SchemaRepository;
+
+/// Precomputed name features for every node of a repository, plus the shared gram
+/// interner. Node lookup is `O(1)` arithmetic: per-tree offsets into one dense
+/// feature vector, no hashing.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureStore {
+    interner: GramInterner,
+    ids: Vec<GlobalNodeId>,
+    features: Vec<NameFeatures>,
+    /// `offsets[t]..offsets[t+1]` is the feature range of tree `t` (one trailing
+    /// entry, so the slice bounds of the last tree need no special case).
+    offsets: Vec<u32>,
+}
+
+impl FeatureStore {
+    /// Build features for every node of `repo` with gram length `q` (`q >= 1`),
+    /// interning all grams into a fresh shared interner.
+    pub fn build(repo: &SchemaRepository, q: usize) -> Self {
+        let mut interner = GramInterner::new(q);
+        let total = repo.total_nodes();
+        let mut ids = Vec::with_capacity(total);
+        let mut features = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(repo.tree_count() + 1);
+        offsets.push(0);
+        for (tid, tree) in repo.trees() {
+            for (nid, node) in tree.nodes() {
+                ids.push(GlobalNodeId::new(tid, nid));
+                features.push(NameFeatures::build(&node.name, &mut interner));
+            }
+            offsets.push(features.len() as u32);
+        }
+        FeatureStore {
+            interner,
+            ids,
+            features,
+            offsets,
+        }
+    }
+
+    /// The shared gram interner (frozen after the build).
+    pub fn interner(&self) -> &GramInterner {
+        &self.interner
+    }
+
+    /// Number of nodes with features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the store covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// The features of one node, or `None` for ids outside the repository the store
+    /// was built over.
+    pub fn features_of(&self, id: GlobalNodeId) -> Option<&NameFeatures> {
+        let tree = id.tree.index();
+        let start = *self.offsets.get(tree)? as usize;
+        let end = *self.offsets.get(tree + 1)? as usize;
+        let idx = start + id.node.index();
+        if idx < end {
+            self.features.get(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Iterate `(node id, features)` in the repository's canonical node order.
+    pub fn iter(&self) -> impl Iterator<Item = (GlobalNodeId, &NameFeatures)> + '_ {
+        self.ids.iter().copied().zip(self.features.iter())
+    }
+
+    /// Build features for a *query* name against the frozen interner (unseen grams
+    /// get private non-colliding ids — see [`NameFeatures::build_query`]). Called
+    /// once per personal-schema node, not once per candidate pair.
+    pub fn query_features(&self, name: &str) -> NameFeatures {
+        NameFeatures::build_query(name, &self.interner)
+    }
+
+    /// The interned-id signature of a query name for index lookups: the sorted,
+    /// deduplicated ids of its grams **known to the interner**, plus the count of
+    /// distinct grams overall (known + unknown — the denominator a count filter
+    /// needs, since unknown grams can never match a posting but still dilute the
+    /// overlap fraction).
+    pub fn query_signature(&self, name: &str) -> (Vec<u32>, usize) {
+        let lower = name.to_lowercase();
+        let mut known = Vec::new();
+        let mut unknown: Vec<String> = Vec::new();
+        for_each_gram(&lower, self.interner.q(), |gram| {
+            match self.interner.lookup(gram) {
+                Some(id) => known.push(id),
+                None => {
+                    if !unknown.iter().any(|g| g == gram) {
+                        unknown.push(gram.to_string());
+                    }
+                }
+            }
+        });
+        known.sort_unstable();
+        known.dedup();
+        let distinct = known.len() + unknown.len();
+        (known, distinct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsm_schema::tree::paper_repository_fragment;
+    use xsm_schema::{NodeId, SchemaNode, TreeBuilder, TreeId};
+    use xsm_similarity::features::{fuzzy_features, SimScratch};
+    use xsm_similarity::ngram::qgrams;
+
+    fn repo() -> SchemaRepository {
+        let other = TreeBuilder::new("contacts")
+            .root(SchemaNode::element("person"))
+            .child(SchemaNode::element("name"))
+            .sibling(SchemaNode::element("emailAddress"))
+            .build();
+        SchemaRepository::from_trees(vec![paper_repository_fragment(), other])
+    }
+
+    #[test]
+    fn store_covers_every_node_in_order() {
+        let repo = repo();
+        let store = FeatureStore::build(&repo, 3);
+        assert_eq!(store.len(), repo.total_nodes());
+        assert!(!store.is_empty());
+        for (id, node) in repo.nodes() {
+            let f = store.features_of(id).expect("every node has features");
+            assert_eq!(&*f.lower, node.name.to_lowercase().as_str());
+            assert_eq!(f.gram_total(), qgrams(&node.name.to_lowercase(), 3).len());
+        }
+        let mut seen = 0;
+        for ((id, f), (rid, node)) in store.iter().zip(repo.nodes()) {
+            assert_eq!(id, rid);
+            assert_eq!(&*f.lower, node.name.to_lowercase().as_str());
+            seen += 1;
+        }
+        assert_eq!(seen, store.len());
+    }
+
+    #[test]
+    fn unknown_ids_have_no_features() {
+        let repo = repo();
+        let store = FeatureStore::build(&repo, 3);
+        assert!(store
+            .features_of(GlobalNodeId::new(TreeId(9), NodeId(0)))
+            .is_none());
+        assert!(store
+            .features_of(GlobalNodeId::new(TreeId(0), NodeId(99)))
+            .is_none());
+    }
+
+    #[test]
+    fn query_features_score_against_store_features() {
+        let repo = repo();
+        let store = FeatureStore::build(&repo, 3);
+        let q = store.query_features("emailAdress"); // typo: unseen grams
+        let mut scratch = SimScratch::default();
+        let (id, _) = repo
+            .nodes()
+            .find(|(_, n)| n.name == "emailAddress")
+            .expect("node exists");
+        let f = store.features_of(id).unwrap();
+        let s = fuzzy_features(&q, f, &mut scratch);
+        assert_eq!(
+            s.to_bits(),
+            xsm_similarity::compare_string_fuzzy("emailAdress", "emailAddress").to_bits()
+        );
+    }
+
+    #[test]
+    fn query_signature_counts_unknown_grams() {
+        let repo = repo();
+        let store = FeatureStore::build(&repo, 3);
+        // A name made of grams the corpus cannot contain.
+        let (known, distinct) = store.query_signature("qqq");
+        assert!(known.is_empty());
+        assert!(distinct > 0, "unknown grams still count as distinct");
+        // A corpus name resolves every gram.
+        let (known, distinct) = store.query_signature("person");
+        assert_eq!(known.len(), distinct);
+        assert!(known.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+    }
+
+    #[test]
+    fn empty_repository_store() {
+        let store = FeatureStore::build(&SchemaRepository::new(), 3);
+        assert!(store.is_empty());
+        assert!(store
+            .features_of(GlobalNodeId::new(TreeId(0), NodeId(0)))
+            .is_none());
+    }
+}

@@ -3,24 +3,32 @@
 //! Bellflower's element matcher conceptually compares *every* personal-schema element
 //! with *every* repository element. The paper points to "approximate string joins"
 //! (Gravano et al.) as the standard way to implement such matchers efficiently; the
-//! [`NameIndex`] is that substrate: an inverted index from lowercased names (exact) and
-//! from character q-grams (approximate candidate retrieval with a count filter).
+//! [`NameIndex`] is that substrate: an inverted index from lowercased names (exact)
+//! and from character q-grams (approximate candidate retrieval with a count filter).
+//!
+//! Since the feature-store rewrite the gram side is fully integer-based: building the
+//! index also builds a [`FeatureStore`] (one [`xsm_similarity::NameFeatures`] per
+//! node, all grams interned to dense `u32` ids by a shared
+//! [`xsm_similarity::GramInterner`]), and the posting lists live in a plain
+//! `Vec` indexed by gram id — queries touch `String` grams only long enough to
+//! resolve them to ids.
 
 use std::collections::HashMap;
 use xsm_schema::GlobalNodeId;
-use xsm_similarity::ngram::qgrams;
 
+use crate::features::FeatureStore;
 use crate::repository::SchemaRepository;
 
-/// Inverted indexes from names and q-grams to repository nodes.
+/// Inverted indexes from names and q-grams to repository nodes, plus the node
+/// feature store the similarity kernels score against.
 #[derive(Debug, Clone, Default)]
 pub struct NameIndex {
     /// lowercase name → nodes carrying exactly that name.
     exact: HashMap<String, Vec<GlobalNodeId>>,
-    /// q-gram → nodes whose name contains the gram.
-    grams: HashMap<String, Vec<GlobalNodeId>>,
-    /// node → number of q-grams of its name (needed by the count filter).
-    gram_counts: HashMap<GlobalNodeId, usize>,
+    /// `postings[gram_id]` = nodes whose name contains that interned gram.
+    postings: Vec<Vec<GlobalNodeId>>,
+    /// Per-node features and the shared gram interner.
+    store: FeatureStore,
     q: usize,
 }
 
@@ -30,30 +38,29 @@ impl NameIndex {
         Self::build_with_q(repo, 3)
     }
 
-    /// Build with an explicit q-gram length (`q >= 1`).
+    /// Build with an explicit q-gram length (`q >= 1`). This also builds the
+    /// repository's [`FeatureStore`], so every node's name features (and the shared
+    /// gram interner) are computed exactly once, here.
     pub fn build_with_q(repo: &SchemaRepository, q: usize) -> Self {
         assert!(q >= 1, "q must be at least 1");
+        let store = FeatureStore::build(repo, q);
         let mut exact: HashMap<String, Vec<GlobalNodeId>> = HashMap::new();
-        let mut grams: HashMap<String, Vec<GlobalNodeId>> = HashMap::new();
-        let mut gram_counts = HashMap::new();
-        for (id, node) in repo.nodes() {
-            let lower = node.name.to_lowercase();
-            exact.entry(lower.clone()).or_default().push(id);
-            // Dedupe grams by sorting the owned Vec in place: no per-gram clone and no
-            // per-node HashSet allocation (names produce a handful of grams, so the
-            // sort is cheaper than hashing each gram twice).
-            let mut gs = qgrams(&lower, q);
-            gram_counts.insert(id, gs.len());
-            gs.sort_unstable();
-            gs.dedup();
-            for g in gs {
-                grams.entry(g).or_default().push(id);
+        let mut postings: Vec<Vec<GlobalNodeId>> = vec![Vec::new(); store.interner().len()];
+        for (id, features) in store.iter() {
+            exact
+                .entry(features.lower.to_string())
+                .or_default()
+                .push(id);
+            // The signature is already sorted + deduplicated, so each node lands at
+            // most once per posting list, in canonical node order.
+            for &gram_id in features.gram_sig.iter() {
+                postings[gram_id as usize].push(id);
             }
         }
         NameIndex {
             exact,
-            grams,
-            gram_counts,
+            postings,
+            store,
             q,
         }
     }
@@ -61,6 +68,12 @@ impl NameIndex {
     /// Number of distinct names indexed.
     pub fn distinct_names(&self) -> usize {
         self.exact.len()
+    }
+
+    /// The per-node feature store (shared gram interner, one `NameFeatures` per
+    /// node) built alongside the index.
+    pub fn features(&self) -> &FeatureStore {
+        &self.store
     }
 
     /// Nodes whose name equals `name` (case-insensitive).
@@ -76,25 +89,17 @@ impl NameIndex {
     /// above a moderate threshold shares a large q-gram fraction, so the exact kernel
     /// only has to be run on the returned candidates).
     pub fn lookup_approximate(&self, name: &str, min_overlap_fraction: f64) -> Vec<GlobalNodeId> {
-        let lower = name.to_lowercase();
-        let query_grams: Vec<String> = {
-            let mut v = qgrams(&lower, self.q);
-            v.sort();
-            v.dedup();
-            v
-        };
-        if query_grams.is_empty() {
+        let (known, distinct) = self.store.query_signature(name);
+        if distinct == 0 {
             return Vec::new();
         }
         let mut counts: HashMap<GlobalNodeId, usize> = HashMap::new();
-        for g in &query_grams {
-            if let Some(list) = self.grams.get(g) {
-                for &id in list {
-                    *counts.entry(id).or_default() += 1;
-                }
+        for &gram_id in &known {
+            for &id in &self.postings[gram_id as usize] {
+                *counts.entry(id).or_default() += 1;
             }
         }
-        let needed = (min_overlap_fraction * query_grams.len() as f64).ceil() as usize;
+        let needed = (min_overlap_fraction * distinct as f64).ceil() as usize;
         let needed = needed.max(1);
         let mut out: Vec<GlobalNodeId> = counts
             .into_iter()
@@ -112,28 +117,37 @@ impl NameIndex {
 
     /// Number of nodes indexed (one per repository node).
     pub fn indexed_nodes(&self) -> usize {
-        self.gram_counts.len()
+        self.store.len()
     }
 
     /// Length of the posting list of one q-gram (0 for grams absent from the index).
     pub fn gram_posting_len(&self, gram: &str) -> usize {
-        self.grams.get(gram).map(|v| v.len()).unwrap_or(0)
+        self.store
+            .interner()
+            .lookup(gram)
+            .map(|id| self.postings[id as usize].len())
+            .unwrap_or(0)
     }
 
     /// Upper bound on the work of [`NameIndex::lookup_approximate`] for `name`: the
     /// summed posting-list lengths of the query's distinct q-grams. Query planners use
     /// this to decide between index-pruned and exhaustive candidate generation without
-    /// materialising the candidates.
+    /// materialising the candidates. Pure integer work: grams are resolved to interned
+    /// ids once and the sums read the dense posting table.
     pub fn estimate_candidate_volume(&self, name: &str) -> usize {
-        let mut gs = qgrams(&name.to_lowercase(), self.q);
-        gs.sort_unstable();
-        gs.dedup();
-        gs.iter().map(|g| self.gram_posting_len(g)).sum()
+        let (known, _) = self.store.query_signature(name);
+        known
+            .iter()
+            .map(|&id| self.postings[id as usize].len())
+            .sum()
     }
 
     /// Number of q-grams the indexed node's name produced (0 for unknown nodes).
     pub fn gram_count(&self, id: GlobalNodeId) -> usize {
-        self.gram_counts.get(&id).copied().unwrap_or(0)
+        self.store
+            .features_of(id)
+            .map(|f| f.gram_total())
+            .unwrap_or(0)
     }
 }
 
@@ -142,6 +156,7 @@ mod tests {
     use super::*;
     use xsm_schema::tree::paper_repository_fragment;
     use xsm_schema::{SchemaNode, TreeBuilder};
+    use xsm_similarity::ngram::qgrams;
 
     fn small_repo() -> SchemaRepository {
         let other = TreeBuilder::new("contacts")
@@ -230,6 +245,18 @@ mod tests {
         assert!(idx.estimate_candidate_volume("address") >= 2);
         assert!(idx.gram_posting_len("add") >= 2);
         assert_eq!(idx.gram_posting_len("no such gram"), 0);
+    }
+
+    #[test]
+    fn features_are_exposed_for_scoring() {
+        let repo = small_repo();
+        let idx = NameIndex::build(&repo);
+        assert_eq!(idx.features().len(), repo.total_nodes());
+        assert_eq!(idx.features().interner().q(), idx.q());
+        for (id, node) in repo.nodes() {
+            let f = idx.features().features_of(id).unwrap();
+            assert_eq!(&*f.lower, node.name.to_lowercase().as_str());
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!
 //! * [`SchemaRepository`] — the forest store with per-tree node labellings,
 //! * [`index::NameIndex`] — exact and q-gram approximate name lookup across the forest,
+//! * [`features::FeatureStore`] — one precomputed `NameFeatures` per node plus the
+//!   shared gram interner, built together with the index so the similarity kernels
+//!   never re-derive per-name data at query time,
 //! * [`generator`] — a seeded synthetic corpus generator that substitutes for the
 //!   crawled corpus (see DESIGN.md, substitution 1): domain vocabularies, realistic
 //!   tree shapes and name mutations give the same *statistical* behaviour that the
@@ -22,11 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod features;
 pub mod generator;
 pub mod index;
 pub mod repository;
 pub mod sampling;
 
+pub use features::FeatureStore;
 pub use generator::{GeneratorConfig, RepositoryGenerator};
 pub use index::NameIndex;
 pub use repository::SchemaRepository;

@@ -2,15 +2,30 @@
 //!
 //! The experiment binaries rebuild the repository index and clustering configuration
 //! for every run; a serving deployment cannot afford that. The engine is constructed
-//! **once** — building the [`NameIndex`], the [`ClusteredMatcher`] configuration and a
-//! shared [`SimilarityCache`] up front — and then answers [`MatchQuery`]s from a pool
-//! of worker threads draining a bounded submission queue. Everything is `std`-only:
-//! `std::thread` workers, `mpsc::sync_channel` for the queue and per-query reply
-//! channels.
+//! **once** — building the [`NameIndex`] together with its
+//! [`xsm_repo::FeatureStore`] (one precomputed
+//! [`xsm_similarity::NameFeatures`] per repository node, all q-grams interned
+//! to shared `u32` ids) and the [`ClusteredMatcher`] configuration up front — and
+//! then answers [`MatchQuery`]s from a pool of worker threads draining a bounded
+//! submission queue. Everything is `std`-only: `std::thread` workers,
+//! `mpsc::sync_channel` for the queue and per-query reply channels.
+//!
+//! Candidate scoring runs the zero-allocation feature kernels: query-side features
+//! are built once per personal node, repository-side features once at construction,
+//! and each pair costs a bit-parallel edit distance over `u64` words plus an integer
+//! signature merge — no lowercasing, no `Vec<char>`, no hashing, no per-pair cache
+//! (the kernel is cheaper than a cache lookup). Each worker owns a
+//! [`SimScratch`] so even the DP fallback for >64-character names allocates nothing
+//! in steady state.
+//!
+//! Concurrent identical queries that miss the result cache are deduplicated by a
+//! [`Singleflight`] map: one leader runs the pipeline, every concurrent duplicate
+//! waits and receives a clone ([`EngineMetrics::coalesced_queries`] counts them).
 //!
 //! Determinism contract: a query's result content ([`MatchResponse::result_digest`])
 //! depends only on the query and the engine configuration — never on the number of
-//! workers, the interleaving of a batch, or whether a cache served it.
+//! workers, the interleaving of a batch, or whether a cache or a coalesced flight
+//! served it.
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -19,18 +34,18 @@ use std::time::{Duration, Instant};
 
 use xsm_core::{ClusteredMatcher, ClusteringVariant};
 use xsm_matcher::element::{
-    match_elements, match_elements_with_index, CachedElementMatcher, ElementMatchConfig,
-    NameElementMatcher,
+    match_elements_features, match_elements_with_index_features, ElementMatchConfig,
 };
 use xsm_matcher::generator::branch_and_bound::BranchAndBoundGenerator;
 use xsm_matcher::{MatchingProblem, ObjectiveConfig};
 use xsm_repo::{NameIndex, SchemaRepository};
-use xsm_similarity::SimilarityCache;
+use xsm_similarity::SimScratch;
 
 use crate::cache::{ResultCache, DEFAULT_RESULT_CACHE_CAPACITY};
-use crate::metrics::{EngineMetrics, MetricsRegistry};
+use crate::metrics::{EngineMetrics, MetricsRegistry, ServedVia};
 use crate::planner::{PlannerConfig, QueryPlanner};
 use crate::query::{MatchQuery, MatchResponse, PlannedStrategy};
+use crate::singleflight::{Join, Singleflight};
 
 /// Construction-time configuration of a [`MatchEngine`].
 #[derive(Debug, Clone)]
@@ -42,8 +57,6 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// Capacity of the result cache (whole responses, LRU).
     pub result_cache_capacity: usize,
-    /// Capacity of the shared name-pair similarity cache.
-    pub similarity_cache_capacity: usize,
     /// Element-matching configuration (similarity floor, per-node cap).
     pub element: ElementMatchConfig,
     /// Clustering variant the pipeline runs per query.
@@ -63,7 +76,6 @@ impl Default for EngineConfig {
                 .min(8),
             queue_capacity: 64,
             result_cache_capacity: DEFAULT_RESULT_CACHE_CAPACITY,
-            similarity_cache_capacity: xsm_similarity::cache::DEFAULT_CACHE_CAPACITY,
             element: ElementMatchConfig::default(),
             variant: ClusteringVariant::Medium,
             objective: ObjectiveConfig::default(),
@@ -123,20 +135,19 @@ struct EngineCore {
     index: NameIndex,
     matcher: ClusteredMatcher,
     generator: BranchAndBoundGenerator,
-    element_matcher: CachedElementMatcher<NameElementMatcher>,
-    sim_cache: Arc<SimilarityCache>,
     planner: QueryPlanner,
     results: ResultCache,
+    inflight: Singleflight<MatchResponse>,
     metrics: MetricsRegistry,
     objective: ObjectiveConfig,
 }
 
 impl EngineCore {
-    /// Answer one query: result cache → planner → candidate generation → clustered
-    /// pipeline → top-k cut. This is the sequential unit of work; concurrency only
-    /// ever runs *whole* queries in parallel, which is what makes worker-count
-    /// invisible in the results.
-    fn answer(&self, query: &MatchQuery) -> MatchResponse {
+    /// Answer one query: result cache → singleflight → planner → candidate
+    /// generation (feature kernels) → clustered pipeline → top-k cut. This is the
+    /// sequential unit of work; concurrency only ever runs *whole* queries in
+    /// parallel, which is what makes worker-count invisible in the results.
+    fn answer(&self, query: &MatchQuery, scratch: &mut SimScratch) -> MatchResponse {
         let start = Instant::now();
         let fingerprint = query.fingerprint();
         if let Some(cached) = self.results.get(&fingerprint) {
@@ -146,10 +157,56 @@ impl EngineCore {
             response.cache_hit = true;
             response.latency = start.elapsed();
             self.metrics
-                .record(response.latency, response.strategy, true);
+                .record(response.latency, response.strategy, ServedVia::ResultCache);
             return response;
         }
+        loop {
+            match self.inflight.join(&fingerprint) {
+                Join::Follower(Some(leader_response)) => {
+                    let mut response = leader_response;
+                    response.cache_hit = true;
+                    response.latency = start.elapsed();
+                    self.metrics
+                        .record(response.latency, response.strategy, ServedVia::Coalesced);
+                    return response;
+                }
+                // The leader died without publishing (a pipeline panic is a bug, but
+                // it must not strand followers): try to take the lead ourselves.
+                Join::Follower(None) => continue,
+                Join::Leader(guard) => {
+                    // Re-check the result cache: the previous leader may have
+                    // published between our miss and this join.
+                    if let Some(cached) = self.results.get(&fingerprint) {
+                        let response = (*cached).clone();
+                        guard.complete(response.clone());
+                        let mut out = response;
+                        out.cache_hit = true;
+                        out.latency = start.elapsed();
+                        self.metrics
+                            .record(out.latency, out.strategy, ServedVia::ResultCache);
+                        return out;
+                    }
+                    let response = self.run_pipeline(query, &fingerprint, scratch);
+                    self.results.insert(fingerprint, response.clone());
+                    guard.complete(response.clone());
+                    let mut out = response;
+                    out.latency = start.elapsed();
+                    self.metrics
+                        .record(out.latency, out.strategy, ServedVia::Pipeline);
+                    return out;
+                }
+            }
+        }
+    }
 
+    /// The uncached pipeline: plan, generate candidates through the feature
+    /// kernels, run the clustered matcher, cut to top-k.
+    fn run_pipeline(
+        &self,
+        query: &MatchQuery,
+        fingerprint: &str,
+        scratch: &mut SimScratch,
+    ) -> MatchResponse {
         let plan = self
             .planner
             .plan(&query.personal, query.strategy, &self.index);
@@ -163,19 +220,18 @@ impl EngineCore {
         };
         let problem = MatchingProblem::new(query.personal.clone(), self.objective, threshold);
         let candidates = match plan.strategy {
-            PlannedStrategy::IndexPruned => match_elements_with_index(
+            PlannedStrategy::IndexPruned => match_elements_with_index_features(
                 &problem.personal,
-                &self.repo,
                 &self.index,
-                &self.element_matcher,
                 self.matcher.element_config(),
                 self.planner.config().min_overlap,
+                scratch,
             ),
-            PlannedStrategy::Exhaustive => match_elements(
+            PlannedStrategy::Exhaustive => match_elements_features(
                 &problem.personal,
-                &self.repo,
-                &self.element_matcher,
+                self.index.features(),
                 self.matcher.element_config(),
+                scratch,
             ),
         };
         let candidate_count = candidates.total_candidates();
@@ -186,20 +242,15 @@ impl EngineCore {
         let mut mappings = report.mappings;
         mappings.truncate(query.top_k);
 
-        let response = MatchResponse {
-            fingerprint: fingerprint.clone(),
+        MatchResponse {
+            fingerprint: fingerprint.to_string(),
             strategy: plan.strategy,
             cache_hit: false,
             mappings,
             candidate_count,
             total_matches,
             latency: Duration::ZERO,
-        };
-        self.results.insert(fingerprint, response.clone());
-        let mut out = response;
-        out.latency = start.elapsed();
-        self.metrics.record(out.latency, plan.strategy, false);
-        out
+        }
     }
 }
 
@@ -230,10 +281,11 @@ impl PendingResponse {
 
 /// A concurrent match-serving engine over one repository.
 ///
-/// Construction amortises the expensive artefacts (name index, similarity cache,
-/// clustering configuration) across every subsequent query; serving happens on a
-/// fixed pool of worker threads behind a bounded queue. Dropping the engine shuts the
-/// pool down and joins every worker.
+/// Construction amortises the expensive artefacts (name index, per-node feature
+/// store, clustering configuration) across every subsequent query; serving happens
+/// on a fixed pool of worker threads behind a bounded queue, each worker owning its
+/// similarity scratch buffers. Dropping the engine shuts the pool down and joins
+/// every worker.
 pub struct MatchEngine {
     core: Arc<EngineCore>,
     tx: Option<SyncSender<Job>>,
@@ -241,22 +293,18 @@ pub struct MatchEngine {
 }
 
 impl MatchEngine {
-    /// Build an engine over `repo` (index construction happens here) and start the
-    /// worker pool.
+    /// Build an engine over `repo` (index and feature-store construction happens
+    /// here) and start the worker pool.
     pub fn new(repo: SchemaRepository, config: EngineConfig) -> Self {
         let index = NameIndex::build(&repo);
-        let sim_cache = Arc::new(SimilarityCache::with_capacity(
-            config.similarity_cache_capacity,
-        ));
         let core = Arc::new(EngineCore {
             index,
             matcher: ClusteredMatcher::for_variant(config.variant)
                 .with_element_config(config.element.clone()),
             generator: BranchAndBoundGenerator::new(),
-            element_matcher: CachedElementMatcher::new(NameElementMatcher, Arc::clone(&sim_cache)),
-            sim_cache,
             planner: QueryPlanner::new(config.planner),
             results: ResultCache::with_capacity(config.result_cache_capacity),
+            inflight: Singleflight::new(),
             metrics: MetricsRegistry::new(),
             objective: config.objective,
             repo,
@@ -270,17 +318,23 @@ impl MatchEngine {
                 let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("xsm-serve-{i}"))
-                    .spawn(move || loop {
-                        // Hold the queue lock only while popping, never while matching.
-                        let job = { rx.lock().unwrap().recv() };
-                        match job {
-                            Ok(job) => {
-                                let response = core.answer(&job.query);
-                                // The submitter may have dropped its handle; serving
-                                // already happened, so ignore the dead channel.
-                                let _ = job.reply.send(response);
+                    .spawn(move || {
+                        // Per-worker scratch: the similarity kernels' only mutable
+                        // working memory, reused across every query this worker serves.
+                        let mut scratch = SimScratch::default();
+                        loop {
+                            // Hold the queue lock only while popping, never while
+                            // matching.
+                            let job = { rx.lock().unwrap().recv() };
+                            match job {
+                                Ok(job) => {
+                                    let response = core.answer(&job.query, &mut scratch);
+                                    // The submitter may have dropped its handle; serving
+                                    // already happened, so ignore the dead channel.
+                                    let _ = job.reply.send(response);
+                                }
+                                Err(_) => break, // queue closed: engine is shutting down
                             }
-                            Err(_) => break, // queue closed: engine is shutting down
                         }
                     })
                     .expect("failed to spawn match-engine worker")
@@ -308,7 +362,7 @@ impl MatchEngine {
         &self.core.repo
     }
 
-    /// The prebuilt name index.
+    /// The prebuilt name index (its [`xsm_repo::FeatureStore`] included).
     pub fn index(&self) -> &NameIndex {
         &self.core.index
     }
@@ -344,13 +398,13 @@ impl MatchEngine {
     /// to [`MatchEngine::query`] (same caches, same planner); used as the sequential
     /// baseline in benches and determinism tests.
     pub fn answer_inline(&self, query: &MatchQuery) -> MatchResponse {
-        self.core.answer(query)
+        let mut scratch = SimScratch::default();
+        self.core.answer(query, &mut scratch)
     }
 
     /// A point-in-time snapshot of the serving metrics.
     pub fn metrics(&self) -> EngineMetrics {
-        let (hits, misses) = self.core.sim_cache.stats();
-        self.core.metrics.snapshot(hits, misses)
+        self.core.metrics.snapshot()
     }
 
     /// Number of responses currently held by the result cache.
@@ -359,7 +413,8 @@ impl MatchEngine {
     }
 
     /// Drop every cached response (e.g. after the repository's ranking semantics
-    /// change out of band). Similarity scores are pure, so that cache stays.
+    /// change out of band). The feature store is derived purely from the immutable
+    /// repository names, so it stays.
     pub fn invalidate_results(&self) {
         self.core.results.clear();
     }
@@ -504,14 +559,29 @@ mod tests {
     }
 
     #[test]
-    fn shared_similarity_cache_reports_hits_across_queries() {
-        let engine = engine(1);
-        engine.query(book_query().with_strategy(QueryStrategy::Exhaustive));
-        engine.invalidate_results();
-        engine.query(book_query().with_strategy(QueryStrategy::Exhaustive));
-        let metrics = engine.metrics();
-        // The second full run re-scores every pair from the cache.
-        assert!(metrics.similarity_cache_hits >= metrics.similarity_cache_misses);
+    fn identical_concurrent_queries_coalesce_or_hit_the_cache() {
+        // 8 copies of one query against 4 workers: exactly one pipeline execution;
+        // every other copy is served by the result cache or coalesces onto the
+        // leader's in-flight computation. Which of the two depends on timing, but
+        // the accounting invariant does not.
+        let engine = engine(4);
+        let responses = engine.submit_batch(vec![
+            book_query()
+                .with_strategy(QueryStrategy::Exhaustive);
+            8
+        ]);
+        let digest = responses[0].result_digest();
+        for r in &responses {
+            assert_eq!(r.result_digest(), digest, "duplicates must not diverge");
+        }
+        let m = engine.metrics();
+        assert_eq!(m.queries_served, 8);
+        assert_eq!(
+            m.exhaustive_queries + m.index_pruned_queries,
+            1,
+            "one pipeline execution for 8 identical queries"
+        );
+        assert_eq!(m.result_cache_hits + m.coalesced_queries, 7);
     }
 
     #[test]

@@ -15,8 +15,16 @@
 //! * [`planner`] — resolves [`query::QueryStrategy::Auto`] per query into
 //!   index-pruned or exhaustive candidate generation from posting-list statistics,
 //! * [`cache`] — a bounded LRU cache of whole responses keyed by fingerprint,
-//! * [`metrics`] — queries served, cache hit rates, per-strategy counts and
-//!   p50/p99 serving latency from a fixed-bucket histogram.
+//! * [`singleflight`] — in-flight deduplication: concurrent identical queries that
+//!   miss the result cache coalesce onto one pipeline execution,
+//! * [`metrics`] — queries served, cache hit rates, coalesced-query counts,
+//!   per-strategy counts and p50/p99 serving latency from a fixed-bucket histogram.
+//!
+//! Scoring runs on the zero-allocation feature kernels of
+//! [`xsm_similarity::features`]: the engine's [`xsm_repo::NameIndex`] carries a
+//! [`xsm_repo::FeatureStore`] (per-node precomputed name features, interned gram
+//! signatures), each worker owns its [`xsm_similarity::SimScratch`], and per-pair
+//! work is bit-parallel edit distance plus integer signature merges.
 //!
 //! Determinism is a hard guarantee: the result content of a query is identical
 //! whether the engine runs 1 worker or 8, and whether a cache served it — asserted by
@@ -45,6 +53,7 @@ pub mod engine;
 pub mod metrics;
 pub mod planner;
 pub mod query;
+pub mod singleflight;
 pub mod workload;
 
 pub use cache::ResultCache;
@@ -52,3 +61,4 @@ pub use engine::{EngineConfig, MatchEngine, PendingResponse};
 pub use metrics::{EngineMetrics, LatencyHistogram};
 pub use planner::{PlannerConfig, QueryPlan, QueryPlanner};
 pub use query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};
+pub use singleflight::Singleflight;

@@ -87,11 +87,25 @@ impl LatencyHistogram {
     }
 }
 
+/// How one query was actually served — determines which counters
+/// [`MetricsRegistry::record`] bumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedVia {
+    /// The full matching pipeline ran for this query.
+    Pipeline,
+    /// The response came straight from the result cache.
+    ResultCache,
+    /// The query coalesced onto a concurrent identical query's computation
+    /// (singleflight) and received a clone of its response.
+    Coalesced,
+}
+
 /// Aggregated counters behind the metrics lock.
 #[derive(Debug, Default)]
 struct Inner {
     served: u64,
     result_cache_hits: u64,
+    coalesced: u64,
     index_pruned: u64,
     exhaustive: u64,
     histogram: LatencyHistogram,
@@ -109,26 +123,26 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    /// Record one served query. Per-strategy counters track *pipeline executions*, so
-    /// a cache hit bumps the served/hit counters and the histogram but not the
-    /// strategy counts (`index_pruned + exhaustive == queries_served - cache_hits`).
-    pub fn record(&self, latency: Duration, strategy: PlannedStrategy, cache_hit: bool) {
+    /// Record one served query. Per-strategy counters track *pipeline executions*:
+    /// cache hits and coalesced queries bump the served counter and the histogram
+    /// but not the strategy counts, so
+    /// `index_pruned + exhaustive == queries_served - cache_hits - coalesced`.
+    pub fn record(&self, latency: Duration, strategy: PlannedStrategy, via: ServedVia) {
         let mut inner = self.inner.lock().unwrap();
         inner.served += 1;
-        if cache_hit {
-            inner.result_cache_hits += 1;
-        } else {
-            match strategy {
+        match via {
+            ServedVia::ResultCache => inner.result_cache_hits += 1,
+            ServedVia::Coalesced => inner.coalesced += 1,
+            ServedVia::Pipeline => match strategy {
                 PlannedStrategy::IndexPruned => inner.index_pruned += 1,
                 PlannedStrategy::Exhaustive => inner.exhaustive += 1,
-            }
+            },
         }
         inner.histogram.record(latency);
     }
 
-    /// A consistent snapshot of everything recorded so far. Similarity-cache counters
-    /// are supplied by the caller (the engine owns that cache).
-    pub fn snapshot(&self, sim_cache_hits: u64, sim_cache_misses: u64) -> EngineMetrics {
+    /// A consistent snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> EngineMetrics {
         let inner = self.inner.lock().unwrap();
         let hit_rate = if inner.served == 0 {
             0.0
@@ -139,12 +153,11 @@ impl MetricsRegistry {
             queries_served: inner.served,
             result_cache_hits: inner.result_cache_hits,
             result_cache_hit_rate: hit_rate,
+            coalesced_queries: inner.coalesced,
             index_pruned_queries: inner.index_pruned,
             exhaustive_queries: inner.exhaustive,
             p50_latency_us: quantile_us(&inner.histogram, 0.50),
             p99_latency_us: quantile_us(&inner.histogram, 0.99),
-            similarity_cache_hits: sim_cache_hits,
-            similarity_cache_misses: sim_cache_misses,
         }
     }
 }
@@ -161,17 +174,21 @@ fn quantile_us(histogram: &LatencyHistogram, q: f64) -> u64 {
 /// A point-in-time snapshot of the engine's serving metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EngineMetrics {
-    /// Total queries answered (cache hits included).
+    /// Total queries answered (cache hits and coalesced queries included).
     pub queries_served: u64,
     /// Queries answered straight from the result cache.
     pub result_cache_hits: u64,
     /// `result_cache_hits / queries_served` (0 before the first query).
     pub result_cache_hit_rate: f64,
+    /// Queries that coalesced onto a concurrent identical query's in-flight
+    /// computation (singleflight) instead of running the pipeline themselves.
+    pub coalesced_queries: u64,
     /// Queries whose candidate generation actually ran index-pruned (result-cache
-    /// hits are not counted — they run no candidate generation at all).
+    /// hits and coalesced queries are not counted — they run no candidate
+    /// generation at all).
     pub index_pruned_queries: u64,
     /// Queries whose candidate generation actually ran the exhaustive scan
-    /// (result-cache hits excluded, as above).
+    /// (result-cache hits and coalesced queries excluded, as above).
     pub exhaustive_queries: u64,
     /// Median serving latency, upper-bounded at bucket granularity (µs);
     /// `u64::MAX` means off-scale (beyond the largest histogram bucket).
@@ -179,10 +196,6 @@ pub struct EngineMetrics {
     /// 99th-percentile serving latency, upper-bounded at bucket granularity (µs);
     /// `u64::MAX` means off-scale (beyond the largest histogram bucket).
     pub p99_latency_us: u64,
-    /// Name-pair similarity cache hits since engine construction.
-    pub similarity_cache_hits: u64,
-    /// Name-pair similarity cache misses since engine construction.
-    pub similarity_cache_misses: u64,
 }
 
 #[cfg(test)]
@@ -212,45 +225,59 @@ mod tests {
         assert_eq!(h.buckets().last(), Some(&1));
         // The snapshot saturates off-scale quantiles to u64::MAX.
         let reg = MetricsRegistry::new();
-        reg.record(Duration::from_secs(100), PlannedStrategy::Exhaustive, false);
-        assert_eq!(reg.snapshot(0, 0).p99_latency_us, u64::MAX);
+        reg.record(
+            Duration::from_secs(100),
+            PlannedStrategy::Exhaustive,
+            ServedVia::Pipeline,
+        );
+        assert_eq!(reg.snapshot().p99_latency_us, u64::MAX);
     }
 
     #[test]
-    fn registry_counts_by_strategy_and_cache() {
+    fn registry_counts_by_strategy_cache_and_coalescing() {
         let reg = MetricsRegistry::new();
         reg.record(
             Duration::from_micros(80),
             PlannedStrategy::IndexPruned,
-            false,
+            ServedVia::Pipeline,
         );
-        reg.record(Duration::from_micros(90), PlannedStrategy::Exhaustive, true);
+        reg.record(
+            Duration::from_micros(90),
+            PlannedStrategy::Exhaustive,
+            ServedVia::ResultCache,
+        );
         reg.record(
             Duration::from_micros(70),
             PlannedStrategy::IndexPruned,
-            true,
+            ServedVia::ResultCache,
         );
-        let m = reg.snapshot(10, 5);
-        assert_eq!(m.queries_served, 3);
+        reg.record(
+            Duration::from_micros(60),
+            PlannedStrategy::Exhaustive,
+            ServedVia::Coalesced,
+        );
+        let m = reg.snapshot();
+        assert_eq!(m.queries_served, 4);
         assert_eq!(m.result_cache_hits, 2);
-        assert!((m.result_cache_hit_rate - 2.0 / 3.0).abs() < 1e-12);
-        // Strategy counters track pipeline executions: the two hits don't count.
+        assert_eq!(m.coalesced_queries, 1);
+        assert!((m.result_cache_hit_rate - 2.0 / 4.0).abs() < 1e-12);
+        // Strategy counters track pipeline executions: hits and coalesced queries
+        // don't count.
         assert_eq!(m.index_pruned_queries, 1);
         assert_eq!(m.exhaustive_queries, 0);
         assert_eq!(
             m.index_pruned_queries + m.exhaustive_queries,
-            m.queries_served - m.result_cache_hits
+            m.queries_served - m.result_cache_hits - m.coalesced_queries
         );
         assert_eq!(m.p50_latency_us, 125);
-        assert_eq!(m.similarity_cache_hits, 10);
-        assert_eq!(m.similarity_cache_misses, 5);
     }
 
     #[test]
     fn empty_snapshot_is_all_zero() {
-        let m = MetricsRegistry::new().snapshot(0, 0);
+        let m = MetricsRegistry::new().snapshot();
         assert_eq!(m.queries_served, 0);
         assert_eq!(m.result_cache_hit_rate, 0.0);
+        assert_eq!(m.coalesced_queries, 0);
         assert_eq!(m.p50_latency_us, 0);
         assert_eq!(m.p99_latency_us, 0);
     }

@@ -1,0 +1,248 @@
+//! In-flight query deduplication ("singleflight").
+//!
+//! Concurrent identical queries that all miss the result cache would each run the
+//! full matching pipeline; with a repository-scale pipeline taking milliseconds and
+//! popular personal schemas arriving in bursts, that is pure waste. A
+//! [`Singleflight`] map lets the **first** submitter of a fingerprint become the
+//! *leader* (it runs the pipeline) while every concurrent duplicate becomes a
+//! *follower* that blocks on the leader's slot and receives a clone of the finished
+//! value — N identical in-flight queries cost one pipeline execution.
+//!
+//! The map holds a slot only while a computation is actually in flight; leaders
+//! remove their slot on completion (and on panic, via the guard's `Drop`, so
+//! followers can never deadlock on a dead leader — they observe a cancelled slot
+//! and retry).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+enum SlotState<V> {
+    Pending { waiters: usize },
+    Done(V),
+    Cancelled,
+}
+
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    cv: Condvar,
+}
+
+/// The outcome of [`Singleflight::join`].
+pub enum Join<'a, V> {
+    /// This caller is the first in flight for the key: it must run the computation
+    /// and publish it through [`LeaderGuard::complete`].
+    Leader(LeaderGuard<'a, V>),
+    /// Another caller was already computing this key. `Some(value)` is a clone of
+    /// its result; `None` means the leader was cancelled (dropped its guard without
+    /// completing — e.g. a panic) and the caller should retry or compute itself.
+    Follower(Option<V>),
+}
+
+/// Obligation held by the leading caller: publish a value with
+/// [`LeaderGuard::complete`], or — if dropped without completing — wake every
+/// follower with a cancellation so nobody waits on a computation that died.
+pub struct LeaderGuard<'a, V> {
+    owner: &'a Singleflight<V>,
+    key: String,
+    slot: Arc<Slot<V>>,
+    completed: bool,
+}
+
+impl<V: Clone> LeaderGuard<'_, V> {
+    /// Publish the computed value to every follower and retire the slot.
+    pub fn complete(mut self, value: V) {
+        self.finish(SlotState::Done(value));
+        self.completed = true;
+    }
+
+    fn finish(&self, state: SlotState<V>) {
+        {
+            let mut s = self.slot.state.lock().unwrap();
+            *s = state;
+        }
+        self.slot.cv.notify_all();
+        self.owner.slots.lock().unwrap().remove(&self.key);
+    }
+}
+
+impl<V> Drop for LeaderGuard<'_, V> {
+    fn drop(&mut self) {
+        if !self.completed {
+            {
+                let mut s = self.slot.state.lock().unwrap();
+                *s = SlotState::Cancelled;
+            }
+            self.slot.cv.notify_all();
+            self.owner.slots.lock().unwrap().remove(&self.key);
+        }
+    }
+}
+
+/// A keyed map of in-flight computations. See the module docs.
+#[derive(Default)]
+pub struct Singleflight<V> {
+    slots: Mutex<HashMap<String, Arc<Slot<V>>>>,
+}
+
+impl<V: Clone> Singleflight<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Singleflight {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Join the flight for `key`: become the leader if nobody is computing it, or
+    /// block until the current leader finishes and take a clone of its value.
+    pub fn join(&self, key: &str) -> Join<'_, V> {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap();
+            match slots.get(key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    let slot = Arc::new(Slot {
+                        state: Mutex::new(SlotState::Pending { waiters: 0 }),
+                        cv: Condvar::new(),
+                    });
+                    slots.insert(key.to_string(), Arc::clone(&slot));
+                    return Join::Leader(LeaderGuard {
+                        owner: self,
+                        key: key.to_string(),
+                        slot,
+                        completed: false,
+                    });
+                }
+            }
+        };
+        let mut state = slot.state.lock().unwrap();
+        if let SlotState::Pending { waiters } = &mut *state {
+            *waiters += 1;
+        }
+        loop {
+            match &*state {
+                SlotState::Pending { .. } => state = slot.cv.wait(state).unwrap(),
+                SlotState::Done(v) => return Join::Follower(Some(v.clone())),
+                SlotState::Cancelled => return Join::Follower(None),
+            }
+        }
+    }
+
+    /// Number of keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// Number of followers currently blocked on `key` (0 when the key is not in
+    /// flight). Lets tests and metrics observe coalescing deterministically.
+    pub fn waiters(&self, key: &str) -> usize {
+        let slot = match self.slots.lock().unwrap().get(key) {
+            Some(slot) => Arc::clone(slot),
+            None => return 0,
+        };
+        let state = slot.state.lock().unwrap();
+        match &*state {
+            SlotState::Pending { waiters } => *waiters,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    fn spin_until(mut cond: impl FnMut() -> bool) {
+        for _ in 0..10_000 {
+            if cond() {
+                return;
+            }
+            thread::sleep(Duration::from_micros(100));
+        }
+        panic!("condition not reached within ~1s");
+    }
+
+    #[test]
+    fn leader_computes_followers_clone() {
+        let sf = Arc::new(Singleflight::<u64>::new());
+        let guard = match sf.join("q") {
+            Join::Leader(g) => g,
+            Join::Follower(_) => panic!("first join must lead"),
+        };
+        assert_eq!(sf.in_flight(), 1);
+
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let sf = Arc::clone(&sf);
+                thread::spawn(move || match sf.join("q") {
+                    Join::Follower(v) => v,
+                    Join::Leader(_) => panic!("slot exists; nobody else may lead"),
+                })
+            })
+            .collect();
+        // Deterministic rendezvous: complete only once all four are blocked.
+        spin_until(|| sf.waiters("q") == 4);
+        guard.complete(42);
+        for f in followers {
+            assert_eq!(f.join().unwrap(), Some(42));
+        }
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf = Singleflight::<u64>::new();
+        let a = match sf.join("a") {
+            Join::Leader(g) => g,
+            _ => panic!("lead a"),
+        };
+        let b = match sf.join("b") {
+            Join::Leader(g) => g,
+            _ => panic!("lead b"),
+        };
+        assert_eq!(sf.in_flight(), 2);
+        a.complete(1);
+        b.complete(2);
+        assert_eq!(sf.in_flight(), 0);
+    }
+
+    #[test]
+    fn cancelled_leader_wakes_followers_with_none() {
+        let sf = Arc::new(Singleflight::<u64>::new());
+        let guard = match sf.join("q") {
+            Join::Leader(g) => g,
+            _ => panic!("lead"),
+        };
+        let follower = {
+            let sf = Arc::clone(&sf);
+            thread::spawn(move || match sf.join("q") {
+                Join::Follower(v) => v,
+                Join::Leader(_) => panic!("slot exists"),
+            })
+        };
+        spin_until(|| sf.waiters("q") == 1);
+        drop(guard); // leader "panicked"
+        assert_eq!(follower.join().unwrap(), None);
+        // The key is free again: the next join leads.
+        match sf.join("q") {
+            Join::Leader(g) => g.complete(7),
+            _ => panic!("slot must have been retired"),
+        };
+    }
+
+    #[test]
+    fn after_completion_next_join_leads_again() {
+        let sf = Singleflight::<String>::new();
+        match sf.join("k") {
+            Join::Leader(g) => g.complete("v1".into()),
+            _ => panic!("lead"),
+        }
+        // Singleflight is not a cache: finished flights leave no trace.
+        match sf.join("k") {
+            Join::Leader(g) => g.complete("v2".into()),
+            Join::Follower(_) => panic!("finished flight must not serve followers"),
+        }
+        assert_eq!(sf.waiters("k"), 0);
+    }
+}

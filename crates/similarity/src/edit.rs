@@ -1,25 +1,52 @@
 //! Edit-distance measures: Levenshtein and Damerau–Levenshtein (OSA variant).
+//!
+//! The string-taking entry points ([`levenshtein`], [`damerau_levenshtein`]) are thin
+//! wrappers that collect the inputs into `char` buffers once and delegate to the
+//! slice-taking cores ([`levenshtein_chars`], [`damerau_levenshtein_chars`]); the
+//! zero-allocation feature kernels in [`crate::features`] call the `*_scratch`
+//! variants directly with reusable row buffers.
 
 /// Levenshtein distance (substitution, insertion, deletion) between two strings,
 /// computed over Unicode scalar values with the classic two-row dynamic program.
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    levenshtein_chars(&a, &b)
+}
+
+/// [`levenshtein`] over pre-collected character slices.
+pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+    let mut prev = Vec::new();
+    let mut cur = Vec::new();
+    levenshtein_chars_scratch(a, b, &mut prev, &mut cur)
+}
+
+/// [`levenshtein_chars`] with caller-provided row buffers, so steady-state callers
+/// (the feature kernels' DP fallback for names longer than 64 characters) allocate
+/// nothing. The buffers are cleared and resized as needed.
+pub fn levenshtein_chars_scratch(
+    a: &[char],
+    b: &[char],
+    prev: &mut Vec<usize>,
+    cur: &mut Vec<usize>,
+) -> usize {
     if a.is_empty() {
         return b.len();
     }
     if b.is_empty() {
         return a.len();
     }
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
+    prev.clear();
+    prev.extend(0..=b.len());
+    cur.clear();
+    cur.resize(b.len() + 1, 0);
     for (i, &ca) in a.iter().enumerate() {
         cur[0] = i + 1;
         for (j, &cb) in b.iter().enumerate() {
             let cost = if ca == cb { 0 } else { 1 };
             cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     prev[b.len()]
 }
@@ -31,6 +58,26 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    damerau_levenshtein_chars(&a, &b)
+}
+
+/// [`damerau_levenshtein`] over pre-collected character slices.
+pub fn damerau_levenshtein_chars(a: &[char], b: &[char]) -> usize {
+    let mut row0 = Vec::new();
+    let mut row1 = Vec::new();
+    let mut row2 = Vec::new();
+    damerau_levenshtein_chars_scratch(a, b, &mut row0, &mut row1, &mut row2)
+}
+
+/// [`damerau_levenshtein_chars`] with caller-provided row buffers (three rows:
+/// `i-2`, `i-1`, `i`), the zero-allocation DP fallback of the feature kernels.
+pub fn damerau_levenshtein_chars_scratch(
+    a: &[char],
+    b: &[char],
+    row0: &mut Vec<usize>,
+    row1: &mut Vec<usize>,
+    row2: &mut Vec<usize>,
+) -> usize {
     let (n, m) = (a.len(), b.len());
     if n == 0 {
         return m;
@@ -38,10 +85,12 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     if m == 0 {
         return n;
     }
-    // Three rows: i-2, i-1, i.
-    let mut row0: Vec<usize> = vec![0; m + 1];
-    let mut row1: Vec<usize> = (0..=m).collect();
-    let mut row2: Vec<usize> = vec![0; m + 1];
+    row0.clear();
+    row0.resize(m + 1, 0);
+    row1.clear();
+    row1.extend(0..=m);
+    row2.clear();
+    row2.resize(m + 1, 0);
     for i in 1..=n {
         row2[0] = i;
         for j in 1..=m {
@@ -52,8 +101,8 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
             }
             row2[j] = best;
         }
-        std::mem::swap(&mut row0, &mut row1);
-        std::mem::swap(&mut row1, &mut row2);
+        std::mem::swap(row0, row1);
+        std::mem::swap(row1, row2);
     }
     row1[m]
 }
@@ -107,6 +156,23 @@ mod tests {
         ];
         for (a, b) in pairs {
             assert!(damerau_levenshtein(a, b) <= levenshtein(a, b), "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn scratch_variants_agree_and_reuse_buffers() {
+        let (mut r0, mut r1, mut r2) = (Vec::new(), Vec::new(), Vec::new());
+        for (a, b) in [("kitten", "sitting"), ("", "x"), ("ca", "ac"), ("ab", "")] {
+            let ca: Vec<char> = a.chars().collect();
+            let cb: Vec<char> = b.chars().collect();
+            assert_eq!(
+                levenshtein_chars_scratch(&ca, &cb, &mut r0, &mut r1),
+                levenshtein(a, b)
+            );
+            assert_eq!(
+                damerau_levenshtein_chars_scratch(&ca, &cb, &mut r0, &mut r1, &mut r2),
+                damerau_levenshtein(a, b)
+            );
         }
     }
 

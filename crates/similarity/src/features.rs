@@ -1,0 +1,736 @@
+//! Precomputed name features and zero-allocation similarity kernels.
+//!
+//! The string-taking measures in this crate ([`crate::fuzzy`], [`crate::jaro`],
+//! [`crate::ngram`], [`crate::token`]) re-derive everything on every call: they
+//! lowercase both inputs, collect `Vec<char>`s, allocate one `String` per q-gram and
+//! hash gram multisets into fresh maps. Repository element names are immutable after
+//! index construction, so all of that is compute-once data. This module splits each
+//! measure into
+//!
+//! 1. a **feature build** ([`NameFeatures::build`]) that runs once per name and
+//!    precomputes the lowercased text, its `char`s, the Myers bit-parallel match
+//!    vectors, the word tokens and an interned, sorted q-gram signature, and
+//! 2. a **kernel** ([`fuzzy_features`], [`levenshtein_features`], [`dice_features`],
+//!    [`jaccard_features`], [`token_set_features`], …) that scores two feature sets
+//!    without allocating: gram signatures are intersected by linear merge over `u32`
+//!    ids instead of hashing, and edit distances for names of ≤ 64 characters run the
+//!    bit-parallel Myers / Hyyrö algorithms in a handful of `u64` operations per text
+//!    character (longer names fall back to the classic DP over caller-provided
+//!    scratch rows).
+//!
+//! Every kernel is *bit-identical* to its string-path counterpart evaluated on the
+//! lowercased inputs — asserted by the property suite in
+//! `tests/feature_equivalence.rs` — so swapping a pipeline onto the feature path
+//! cannot change any result, only its cost.
+
+use std::collections::HashMap;
+
+use crate::edit::{
+    damerau_levenshtein_chars_scratch, levenshtein_chars_scratch, normalized_similarity,
+};
+use crate::token::tokenize;
+
+/// Maximum pattern length (in characters) served by the bit-parallel edit-distance
+/// fast path; longer names fall back to the classic dynamic program.
+pub const BITPARALLEL_MAX_CHARS: usize = 64;
+
+/// Interns character q-grams to dense `u32` ids shared across a name corpus.
+///
+/// One interner is built per repository (inside `xsm-repo`'s `FeatureStore`); every
+/// [`NameFeatures::build`] against it maps the name's grams onto the shared id space,
+/// so two signatures can be intersected by merging sorted integers instead of hashing
+/// strings. Ids are dense (`0..len`), which also lets an inverted index store its
+/// posting lists in a plain `Vec`.
+#[derive(Debug, Clone, Default)]
+pub struct GramInterner {
+    q: usize,
+    map: HashMap<String, u32>,
+}
+
+impl GramInterner {
+    /// An empty interner for grams of length `q` (`q >= 1`).
+    pub fn new(q: usize) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        GramInterner {
+            q,
+            map: HashMap::new(),
+        }
+    }
+
+    /// The gram length this interner was built for.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of distinct grams interned so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no gram has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The id of `gram`, interning it if unseen.
+    pub fn intern(&mut self, gram: &str) -> u32 {
+        if let Some(&id) = self.map.get(gram) {
+            return id;
+        }
+        let id = self.map.len() as u32;
+        self.map.insert(gram.to_string(), id);
+        id
+    }
+
+    /// The id of `gram` if it has been interned, without mutating the interner
+    /// (the read-only query-side path).
+    pub fn lookup(&self, gram: &str) -> Option<u32> {
+        self.map.get(gram).copied()
+    }
+}
+
+/// `#`-padded character sequence of a lowercased name, exactly as
+/// [`crate::ngram::qgrams`] pads it: `q - 1` sentinels on each side.
+fn padded_chars(lower: &str, q: usize) -> Vec<char> {
+    std::iter::repeat_n('#', q - 1)
+        .chain(lower.chars())
+        .chain(std::iter::repeat_n('#', q - 1))
+        .collect()
+}
+
+/// Visit the padded q-grams of an **already-lowercased** name in order, reusing one
+/// string buffer instead of allocating a `String` per gram. Yields exactly the grams
+/// of [`crate::ngram::qgrams`] applied to the same name (`q >= 1`).
+pub fn for_each_gram(lower: &str, q: usize, mut f: impl FnMut(&str)) {
+    assert!(q >= 1, "q must be at least 1");
+    let padded = padded_chars(lower, q);
+    if padded.len() < q {
+        return;
+    }
+    let mut gram = String::with_capacity(q * 4);
+    for window in padded.windows(q) {
+        gram.clear();
+        gram.extend(window.iter());
+        f(&gram);
+    }
+}
+
+/// Bit-parallel match vectors of a pattern: for each distinct character, the bitmask
+/// of its positions. Sorted by character for branch-free binary-search lookup.
+fn build_peq(chars: &[char]) -> Box<[(char, u64)]> {
+    if chars.is_empty() || chars.len() > BITPARALLEL_MAX_CHARS {
+        return Box::new([]);
+    }
+    let mut peq: Vec<(char, u64)> = Vec::with_capacity(chars.len());
+    for (i, &c) in chars.iter().enumerate() {
+        match peq.binary_search_by_key(&c, |&(pc, _)| pc) {
+            Ok(pos) => peq[pos].1 |= 1u64 << i,
+            Err(pos) => peq.insert(pos, (c, 1u64 << i)),
+        }
+    }
+    peq.into_boxed_slice()
+}
+
+#[inline]
+fn peq_lookup(peq: &[(char, u64)], c: char) -> u64 {
+    match peq.binary_search_by_key(&c, |&(pc, _)| pc) {
+        Ok(pos) => peq[pos].1,
+        Err(_) => 0,
+    }
+}
+
+/// One word token of a compound name, with its bit-parallel match vectors.
+/// Tokens come from [`crate::token::tokenize`] and are always lowercase and
+/// non-empty.
+#[derive(Debug, Clone)]
+pub struct TokenFeatures {
+    chars: Box<[char]>,
+    peq: Box<[(char, u64)]>,
+}
+
+impl TokenFeatures {
+    fn new(token: &str) -> Self {
+        let chars: Box<[char]> = token.chars().collect();
+        let peq = build_peq(&chars);
+        TokenFeatures { chars, peq }
+    }
+
+    /// The token's characters (lowercase).
+    pub fn chars(&self) -> &[char] {
+        &self.chars
+    }
+}
+
+/// Everything the similarity kernels need about one name, computed once.
+///
+/// Gram signatures are sorted, deduplicated `u32` ids from a shared
+/// [`GramInterner`], with the per-gram multiplicities kept in a parallel array so
+/// the Dice kernel can score the exact multiset overlap the string path computes.
+#[derive(Debug, Clone)]
+pub struct NameFeatures {
+    /// The lowercased name (`String::to_lowercase`, matching every kernel's
+    /// case-insensitivity convention).
+    pub lower: Box<str>,
+    /// Unicode scalar values of [`NameFeatures::lower`].
+    pub chars: Box<[char]>,
+    /// Word tokens of the original name (camelCase / snake_case / digit splits).
+    pub tokens: Box<[TokenFeatures]>,
+    /// Sorted, deduplicated interned ids of the name's padded q-grams.
+    pub gram_sig: Box<[u32]>,
+    /// Multiplicity of each gram in [`NameFeatures::gram_sig`] (parallel array).
+    gram_counts: Box<[u32]>,
+    /// Total number of gram occurrences (`Σ gram_counts`).
+    gram_total: u32,
+    /// Myers match vectors of `chars` (empty when the name is empty or longer than
+    /// [`BITPARALLEL_MAX_CHARS`]).
+    peq: Box<[(char, u64)]>,
+}
+
+impl NameFeatures {
+    /// Build the features of `name`, interning unseen grams into `interner`.
+    /// This is the corpus-side constructor: every name of a repository is built
+    /// against the same interner so all signatures share one id space.
+    pub fn build(name: &str, interner: &mut GramInterner) -> Self {
+        let q = interner.q();
+        Self::build_inner(name, &mut |gram| interner.intern(gram), q)
+    }
+
+    /// Build features for a *query* name against a frozen interner.
+    ///
+    /// Grams the interner has never seen are assigned fresh ids past
+    /// `interner.len()`, locally unique within this name. Such ids collide with no
+    /// corpus id, so comparing this feature set against any corpus-built feature set
+    /// is exact; comparing two *query*-built sets against each other is not
+    /// meaningful (their private ids may clash) — queries are only ever scored
+    /// against the corpus.
+    pub fn build_query(name: &str, interner: &GramInterner) -> Self {
+        let base = interner.len() as u32;
+        let mut local: HashMap<String, u32> = HashMap::new();
+        Self::build_inner(
+            name,
+            &mut |gram| match interner.lookup(gram) {
+                Some(id) => id,
+                None => {
+                    let next = base + local.len() as u32;
+                    *local.entry(gram.to_string()).or_insert(next)
+                }
+            },
+            interner.q(),
+        )
+    }
+
+    fn build_inner(name: &str, intern: &mut dyn FnMut(&str) -> u32, q: usize) -> Self {
+        let lower = name.to_lowercase();
+        let chars: Box<[char]> = lower.chars().collect();
+        let peq = build_peq(&chars);
+        let tokens: Box<[TokenFeatures]> = tokenize(name)
+            .iter()
+            .map(|t| TokenFeatures::new(t))
+            .collect();
+
+        let mut occurrences: Vec<u32> = Vec::new();
+        for_each_gram(&lower, q, |gram| occurrences.push(intern(gram)));
+        occurrences.sort_unstable();
+        let mut sig: Vec<u32> = Vec::with_capacity(occurrences.len());
+        let mut counts: Vec<u32> = Vec::with_capacity(occurrences.len());
+        for &id in &occurrences {
+            if sig.last() == Some(&id) {
+                *counts.last_mut().expect("counts parallel to sig") += 1;
+            } else {
+                sig.push(id);
+                counts.push(1);
+            }
+        }
+        NameFeatures {
+            lower: lower.into_boxed_str(),
+            chars,
+            tokens,
+            gram_sig: sig.into_boxed_slice(),
+            gram_counts: counts.into_boxed_slice(),
+            gram_total: occurrences.len() as u32,
+            peq,
+        }
+    }
+
+    /// Number of characters of the (lowercased) name.
+    pub fn char_len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Total number of q-gram occurrences the name produced (multiset size).
+    pub fn gram_total(&self) -> usize {
+        self.gram_total as usize
+    }
+}
+
+/// Reusable scratch buffers for the kernels that need per-call working memory (the
+/// DP fallback rows and the Jaro matched flags). One instance per worker thread
+/// makes steady-state scoring allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct SimScratch {
+    row0: Vec<usize>,
+    row1: Vec<usize>,
+    row2: Vec<usize>,
+    a_matched: Vec<bool>,
+    b_matched: Vec<bool>,
+}
+
+/// Myers' 1999 bit-parallel Levenshtein distance: pattern of `m <= 64` characters
+/// (as match vectors `peq`), text streamed char by char. `O(|text|)` words of work.
+fn myers_levenshtein(peq: &[(char, u64)], m: usize, text: &[char]) -> usize {
+    debug_assert!((1..=BITPARALLEL_MAX_CHARS).contains(&m));
+    let mut pv: u64 = !0;
+    let mut mv: u64 = 0;
+    let mut score = m;
+    let last = 1u64 << (m - 1);
+    for &c in text {
+        let eq = peq_lookup(peq, c);
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let ph = mv | !(xh | pv);
+        let mh = pv & xh;
+        if ph & last != 0 {
+            score += 1;
+        }
+        if mh & last != 0 {
+            score -= 1;
+        }
+        let ph = (ph << 1) | 1;
+        pv = (mh << 1) | !(xv | ph);
+        mv = ph & xv;
+    }
+    score
+}
+
+/// Hyyrö's 2003 bit-parallel Damerau–Levenshtein (OSA) distance: Myers plus a
+/// transposition vector carried between text positions.
+fn hyyro_osa(peq: &[(char, u64)], m: usize, text: &[char]) -> usize {
+    debug_assert!((1..=BITPARALLEL_MAX_CHARS).contains(&m));
+    let mut pv: u64 = !0;
+    let mut mv: u64 = 0;
+    let mut d0: u64 = 0;
+    let mut pm_prev: u64 = 0;
+    let mut score = m;
+    let last = 1u64 << (m - 1);
+    for &c in text {
+        let pm = peq_lookup(peq, c);
+        let tr = (((!d0) & pm) << 1) & pm_prev;
+        d0 = ((((pm & pv).wrapping_add(pv)) ^ pv) | pm | mv) | tr;
+        let hp = mv | !(d0 | pv);
+        let hn = d0 & pv;
+        if hp & last != 0 {
+            score += 1;
+        }
+        if hn & last != 0 {
+            score -= 1;
+        }
+        let hp = (hp << 1) | 1;
+        let hn = hn << 1;
+        pv = hn | !(d0 | hp);
+        mv = hp & d0;
+        pm_prev = pm;
+    }
+    score
+}
+
+/// Levenshtein distance over precomputed features (lowercased characters):
+/// bit-parallel when either name fits in [`BITPARALLEL_MAX_CHARS`] characters,
+/// classic DP over the scratch rows otherwise. Equals
+/// `edit::levenshtein(a.lower, b.lower)`.
+pub fn levenshtein_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratch) -> usize {
+    if a.chars.is_empty() {
+        return b.chars.len();
+    }
+    if b.chars.is_empty() {
+        return a.chars.len();
+    }
+    if a.chars.len() <= BITPARALLEL_MAX_CHARS {
+        myers_levenshtein(&a.peq, a.chars.len(), &b.chars)
+    } else if b.chars.len() <= BITPARALLEL_MAX_CHARS {
+        myers_levenshtein(&b.peq, b.chars.len(), &a.chars)
+    } else {
+        levenshtein_chars_scratch(&a.chars, &b.chars, &mut scratch.row0, &mut scratch.row1)
+    }
+}
+
+/// The Damerau dispatch shared by the whole-name and per-token kernels: Hyyrö
+/// bit-parallel when either side's pattern fits [`BITPARALLEL_MAX_CHARS`]
+/// (distance is symmetric, so either side may serve as the pattern), classic DP
+/// over the scratch rows otherwise. One policy, so a fast-path change can never
+/// silently diverge names from tokens.
+fn damerau_dispatch(
+    a_chars: &[char],
+    a_peq: &[(char, u64)],
+    b_chars: &[char],
+    b_peq: &[(char, u64)],
+    scratch: &mut SimScratch,
+) -> usize {
+    if a_chars.is_empty() {
+        return b_chars.len();
+    }
+    if b_chars.is_empty() {
+        return a_chars.len();
+    }
+    if a_chars.len() <= BITPARALLEL_MAX_CHARS {
+        hyyro_osa(a_peq, a_chars.len(), b_chars)
+    } else if b_chars.len() <= BITPARALLEL_MAX_CHARS {
+        hyyro_osa(b_peq, b_chars.len(), a_chars)
+    } else {
+        damerau_levenshtein_chars_scratch(
+            a_chars,
+            b_chars,
+            &mut scratch.row0,
+            &mut scratch.row1,
+            &mut scratch.row2,
+        )
+    }
+}
+
+/// Damerau–Levenshtein (OSA) distance over precomputed features; bit-parallel fast
+/// path as in [`levenshtein_features`]. Equals
+/// `edit::damerau_levenshtein(a.lower, b.lower)`.
+pub fn damerau_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratch) -> usize {
+    damerau_dispatch(&a.chars, &a.peq, &b.chars, &b.peq, scratch)
+}
+
+/// The paper's kernel over features: normalized Damerau–Levenshtein, bit-identical
+/// to [`crate::fuzzy::compare_string_fuzzy`] on the original names.
+pub fn fuzzy_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratch) -> f64 {
+    if a.lower.is_empty() && b.lower.is_empty() {
+        return 1.0;
+    }
+    if a.lower == b.lower {
+        return 1.0;
+    }
+    let d = damerau_features(a, b, scratch);
+    normalized_similarity(d, a.chars.len(), b.chars.len())
+}
+
+fn fuzzy_tokens(a: &TokenFeatures, b: &TokenFeatures, scratch: &mut SimScratch) -> f64 {
+    if a.chars == b.chars {
+        return 1.0;
+    }
+    let d = damerau_dispatch(&a.chars, &a.peq, &b.chars, &b.peq, scratch);
+    normalized_similarity(d, a.chars.len(), b.chars.len())
+}
+
+/// Token-set similarity over features, bit-identical to
+/// [`crate::token::token_set_similarity`] on the original names: greedy best-match
+/// average of per-token fuzzy similarities, symmetrised over both directions.
+pub fn token_set_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratch) -> f64 {
+    if a.tokens.is_empty() && b.tokens.is_empty() {
+        return 1.0;
+    }
+    if a.tokens.is_empty() || b.tokens.is_empty() {
+        return 0.0;
+    }
+    let mut dir = |from: &[TokenFeatures], to: &[TokenFeatures]| -> f64 {
+        from.iter()
+            .map(|x| {
+                to.iter()
+                    .map(|y| fuzzy_tokens(x, y, scratch))
+                    .fold(0.0, f64::max)
+            })
+            .sum::<f64>()
+            / from.len() as f64
+    };
+    (dir(&a.tokens, &b.tokens) + dir(&b.tokens, &a.tokens)) / 2.0
+}
+
+/// Jaro similarity over features, bit-identical to [`crate::jaro::jaro`] on the
+/// original names. The matched flags live in the scratch buffers.
+pub fn jaro_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratch) -> f64 {
+    let (la, lb) = (a.chars.len(), b.chars.len());
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    let match_window = (la.max(lb) / 2).saturating_sub(1);
+    scratch.a_matched.clear();
+    scratch.a_matched.resize(la, false);
+    scratch.b_matched.clear();
+    scratch.b_matched.resize(lb, false);
+    let mut matches = 0usize;
+    for (i, &ca) in a.chars.iter().enumerate() {
+        let lo = i.saturating_sub(match_window);
+        let hi = (i + match_window + 1).min(lb);
+        for j in lo..hi {
+            if !scratch.b_matched[j] && b.chars[j] == ca {
+                scratch.a_matched[i] = true;
+                scratch.b_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    let mut transpositions = 0usize;
+    let mut k = 0usize;
+    for (i, &ca) in a.chars.iter().enumerate() {
+        if scratch.a_matched[i] {
+            while !scratch.b_matched[k] {
+                k += 1;
+            }
+            if ca != b.chars[k] {
+                transpositions += 1;
+            }
+            k += 1;
+        }
+    }
+    let m = matches as f64;
+    let t = transpositions as f64 / 2.0;
+    (m / la as f64 + m / lb as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler over features, bit-identical to [`crate::jaro::jaro_winkler`] on the
+/// original names (prefix bonus 0.1, prefix capped at 4 characters).
+pub fn jaro_winkler_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratch) -> f64 {
+    let j = jaro_features(a, b, scratch);
+    if j == 0.0 {
+        return 0.0;
+    }
+    let prefix = a
+        .chars
+        .iter()
+        .zip(b.chars.iter())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
+/// Dice-coefficient q-gram similarity over interned signatures, bit-identical to
+/// [`crate::ngram::ngram_similarity`] with the interner's `q`: the multiset overlap
+/// comes from a linear merge of the two sorted signatures (`min` of the parallel
+/// multiplicities), no hashing and no allocation.
+pub fn dice_features(a: &NameFeatures, b: &NameFeatures) -> f64 {
+    if a.lower.is_empty() && b.lower.is_empty() {
+        return 1.0;
+    }
+    if a.gram_total == 0 || b.gram_total == 0 {
+        return 0.0;
+    }
+    let mut overlap = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.gram_sig.len() && j < b.gram_sig.len() {
+        match a.gram_sig[i].cmp(&b.gram_sig[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                overlap += a.gram_counts[i].min(b.gram_counts[j]) as usize;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    2.0 * overlap as f64 / (a.gram_total as usize + b.gram_total as usize) as f64
+}
+
+/// Jaccard q-gram *set* similarity over interned signatures, bit-identical to
+/// [`crate::ngram::qgram_jaccard`] with the interner's `q`. Linear merge over the
+/// deduplicated signatures.
+pub fn jaccard_features(a: &NameFeatures, b: &NameFeatures) -> f64 {
+    if a.lower.is_empty() && b.lower.is_empty() {
+        return 1.0;
+    }
+    if a.gram_sig.is_empty() || b.gram_sig.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.gram_sig.len() && j < b.gram_sig.len() {
+        match a.gram_sig[i].cmp(&b.gram_sig[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.gram_sig.len() + b.gram_sig.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit::{damerau_levenshtein, levenshtein};
+    use crate::fuzzy::compare_string_fuzzy;
+    use crate::jaro::{jaro, jaro_winkler};
+    use crate::ngram::{ngram_similarity, qgram_jaccard};
+    use crate::token::token_set_similarity;
+
+    fn pair(a: &str, b: &str, q: usize) -> (NameFeatures, NameFeatures) {
+        let mut interner = GramInterner::new(q);
+        (
+            NameFeatures::build(a, &mut interner),
+            NameFeatures::build(b, &mut interner),
+        )
+    }
+
+    #[test]
+    fn interner_dedupes_and_is_stable() {
+        let mut interner = GramInterner::new(3);
+        assert!(interner.is_empty());
+        let id = interner.intern("abc");
+        assert_eq!(interner.intern("abc"), id);
+        assert_ne!(interner.intern("abd"), id);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.lookup("abc"), Some(id));
+        assert_eq!(interner.lookup("zzz"), None);
+        assert_eq!(interner.q(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be at least 1")]
+    fn zero_q_interner_panics() {
+        GramInterner::new(0);
+    }
+
+    #[test]
+    fn features_capture_the_name() {
+        let mut interner = GramInterner::new(3);
+        let f = NameFeatures::build("AuthorName", &mut interner);
+        assert_eq!(&*f.lower, "authorname");
+        assert_eq!(f.char_len(), 10);
+        assert_eq!(f.tokens.len(), 2);
+        assert_eq!(f.tokens[0].chars().iter().collect::<String>(), "author");
+        // "authorname" padded with ## on both sides → 12 grams of length 3.
+        assert_eq!(f.gram_total(), 12);
+        assert!(
+            f.gram_sig.windows(2).all(|w| w[0] < w[1]),
+            "sorted, deduped"
+        );
+    }
+
+    #[test]
+    fn kernels_match_string_paths_on_known_values() {
+        let mut scratch = SimScratch::default();
+        for (a, b) in [
+            ("author", "authorName"),
+            ("kitten", "sitting"),
+            ("", ""),
+            ("", "abc"),
+            ("ca", "ac"),
+            ("Book", "bOOK"),
+            ("naïve", "naive"),
+            ("first_name", "nameFirst"),
+        ] {
+            let (fa, fb) = pair(a, b, 3);
+            let (la, lb) = (a.to_lowercase(), b.to_lowercase());
+            assert_eq!(
+                levenshtein_features(&fa, &fb, &mut scratch),
+                levenshtein(&la, &lb),
+                "levenshtein {a} {b}"
+            );
+            assert_eq!(
+                damerau_features(&fa, &fb, &mut scratch),
+                damerau_levenshtein(&la, &lb),
+                "damerau {a} {b}"
+            );
+            assert_eq!(
+                fuzzy_features(&fa, &fb, &mut scratch).to_bits(),
+                compare_string_fuzzy(a, b).to_bits(),
+                "fuzzy {a} {b}"
+            );
+            assert_eq!(
+                jaro_features(&fa, &fb, &mut scratch).to_bits(),
+                jaro(a, b).to_bits(),
+                "jaro {a} {b}"
+            );
+            assert_eq!(
+                jaro_winkler_features(&fa, &fb, &mut scratch).to_bits(),
+                jaro_winkler(a, b).to_bits(),
+                "jaro-winkler {a} {b}"
+            );
+            assert_eq!(
+                dice_features(&fa, &fb).to_bits(),
+                ngram_similarity(a, b, 3).to_bits(),
+                "dice {a} {b}"
+            );
+            assert_eq!(
+                jaccard_features(&fa, &fb).to_bits(),
+                qgram_jaccard(a, b, 3).to_bits(),
+                "jaccard {a} {b}"
+            );
+            assert_eq!(
+                token_set_features(&fa, &fb, &mut scratch).to_bits(),
+                token_set_similarity(a, b).to_bits(),
+                "token-set {a} {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_fallback_used_beyond_64_chars() {
+        let long_a = "a".repeat(70) + "xyz";
+        let long_b = "a".repeat(70) + "xzy";
+        let (fa, fb) = pair(&long_a, &long_b, 3);
+        let mut scratch = SimScratch::default();
+        assert_eq!(
+            levenshtein_features(&fa, &fb, &mut scratch),
+            levenshtein(&long_a, &long_b)
+        );
+        assert_eq!(
+            damerau_features(&fa, &fb, &mut scratch),
+            damerau_levenshtein(&long_a, &long_b)
+        );
+        // Mixed: one short, one long still takes the bit-parallel path.
+        let (fs, fl) = pair("short", &long_a, 3);
+        assert_eq!(
+            levenshtein_features(&fs, &fl, &mut scratch),
+            levenshtein("short", &long_a)
+        );
+    }
+
+    #[test]
+    fn exactly_64_chars_uses_bit_parallel_correctly() {
+        let a64: String = ('a'..='z').cycle().take(64).collect();
+        let mut b64: String = a64.clone();
+        b64.replace_range(10..11, "Z");
+        let (fa, fb) = pair(&a64, &b64.to_lowercase(), 3);
+        let mut scratch = SimScratch::default();
+        assert_eq!(fa.char_len(), 64);
+        assert_eq!(
+            levenshtein_features(&fa, &fb, &mut scratch),
+            levenshtein(&a64, &b64.to_lowercase())
+        );
+        assert_eq!(
+            damerau_features(&fa, &fb, &mut scratch),
+            damerau_levenshtein(&a64, &b64.to_lowercase())
+        );
+    }
+
+    #[test]
+    fn query_features_score_exactly_against_corpus_features() {
+        let mut interner = GramInterner::new(3);
+        let corpus: Vec<NameFeatures> = ["authorName", "title", "emailAddress"]
+            .iter()
+            .map(|n| NameFeatures::build(n, &mut interner))
+            .collect();
+        // "authorNameX" has grams the interner never saw; they must not collide.
+        let q = NameFeatures::build_query("authorNameX", &interner);
+        let mut scratch = SimScratch::default();
+        for f in &corpus {
+            let name: String = f.lower.to_string();
+            assert_eq!(
+                dice_features(&q, f).to_bits(),
+                ngram_similarity("authorNameX", &name, 3).to_bits()
+            );
+            assert_eq!(
+                jaccard_features(&q, f).to_bits(),
+                qgram_jaccard("authorNameX", &name, 3).to_bits()
+            );
+            assert_eq!(
+                fuzzy_features(&q, f, &mut scratch).to_bits(),
+                compare_string_fuzzy("authorNameX", &name).to_bits()
+            );
+        }
+    }
+}

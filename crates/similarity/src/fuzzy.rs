@@ -8,9 +8,13 @@
 //! of the longer string, computed case-insensitively (element names differing only in
 //! case are considered identical by every practical schema matcher).
 
-use crate::edit::{damerau_levenshtein, normalized_similarity};
+use crate::edit::{damerau_levenshtein_chars, normalized_similarity};
 
 /// Normalized fuzzy name similarity in `[0,1]` (1.0 = identical up to case).
+///
+/// Lowercasing happens exactly once, here at the boundary; the edit-distance core
+/// runs on the collected characters directly. Callers whose inputs are already
+/// lowercase (e.g. the tokenizer) use [`compare_lower_fuzzy`] and skip it entirely.
 ///
 /// ```
 /// use xsm_similarity::compare_string_fuzzy;
@@ -19,16 +23,24 @@ use crate::edit::{damerau_levenshtein, normalized_similarity};
 /// assert!(compare_string_fuzzy("author", "shelf") < 0.3);
 /// ```
 pub fn compare_string_fuzzy(a: &str, b: &str) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
     let la = a.to_lowercase();
     let lb = b.to_lowercase();
+    compare_lower_fuzzy(&la, &lb)
+}
+
+/// [`compare_string_fuzzy`] for inputs that are **already lowercase** — the
+/// normalize-once fast path used by the token-set measure, whose tokens come out of
+/// the tokenizer lowercased. Passing mixed-case inputs here silently skips the
+/// case-folding the public kernel guarantees.
+pub fn compare_lower_fuzzy(la: &str, lb: &str) -> f64 {
     if la == lb {
+        // Covers both empty (similarity 1 by convention) and identical names.
         return 1.0;
     }
-    let d = damerau_levenshtein(&la, &lb);
-    normalized_similarity(d, la.chars().count(), lb.chars().count())
+    let ca: Vec<char> = la.chars().collect();
+    let cb: Vec<char> = lb.chars().collect();
+    let d = damerau_levenshtein_chars(&ca, &cb);
+    normalized_similarity(d, ca.len(), cb.len())
 }
 
 /// Fuzzy similarity with an early-exit upper bound: if the best achievable similarity

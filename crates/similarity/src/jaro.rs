@@ -3,11 +3,13 @@
 //! Not used by the paper's Bellflower configuration but part of the standard schema
 //! matcher toolbox (COMA's name matcher library); exposed for the ablation benches and
 //! for users who want a prefix-weighted kernel.
+//!
+//! Both entry points lowercase each input exactly once; [`jaro_winkler`] shares the
+//! lowercased characters between the Jaro core and the common-prefix scan instead of
+//! re-lowercasing for each.
 
-/// Jaro similarity in `[0,1]`, case-insensitive.
-pub fn jaro(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.to_lowercase().chars().collect();
-    let b: Vec<char> = b.to_lowercase().chars().collect();
+/// The Jaro core over pre-lowercased character slices.
+fn jaro_chars(a: &[char], b: &[char]) -> f64 {
     let (la, lb) = (a.len(), b.len());
     if la == 0 && lb == 0 {
         return 1.0;
@@ -53,17 +55,25 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     (m / la as f64 + m / lb as f64 + (m - t) / m) / 3.0
 }
 
+/// Jaro similarity in `[0,1]`, case-insensitive.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.to_lowercase().chars().collect();
+    let b: Vec<char> = b.to_lowercase().chars().collect();
+    jaro_chars(&a, &b)
+}
+
 /// Jaro–Winkler similarity: Jaro boosted by a common-prefix bonus (scaling factor 0.1,
 /// prefix capped at 4 characters — the standard parameters).
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    let j = jaro(a, b);
+    let a: Vec<char> = a.to_lowercase().chars().collect();
+    let b: Vec<char> = b.to_lowercase().chars().collect();
+    let j = jaro_chars(&a, &b);
     if j == 0.0 {
         return 0.0;
     }
     let prefix = a
-        .to_lowercase()
-        .chars()
-        .zip(b.to_lowercase().chars())
+        .iter()
+        .zip(b.iter())
         .take(4)
         .take_while(|(x, y)| x == y)
         .count() as f64;

@@ -16,7 +16,12 @@
 //! * [`affix`] — common prefix/suffix similarity,
 //! * [`combine`] — strategies for aggregating several similarity values,
 //! * [`cache::SimilarityCache`] — memoization for the name-pair similarity calls that
-//!   dominate element matching.
+//!   dominate element matching,
+//! * [`features`] — precomputed per-name features ([`features::NameFeatures`]:
+//!   lowercased chars, interned q-gram signatures, Myers match vectors) and
+//!   zero-allocation kernels over them, bit-identical to the string measures but
+//!   built for the serving hot path where every repository name is scored millions
+//!   of times.
 //!
 //! All functions return values in `[0,1]`, are symmetric in their arguments, and are
 //! case-insensitive unless documented otherwise.
@@ -28,6 +33,7 @@ pub mod affix;
 pub mod cache;
 pub mod combine;
 pub mod edit;
+pub mod features;
 pub mod fuzzy;
 pub mod jaro;
 pub mod ngram;
@@ -36,6 +42,7 @@ pub mod token;
 
 pub use cache::SimilarityCache;
 pub use combine::CombineStrategy;
+pub use features::{GramInterner, NameFeatures, SimScratch};
 pub use fuzzy::compare_string_fuzzy;
 pub use synonym::SynonymTable;
 

@@ -4,13 +4,14 @@
 //! `AuthorName2`, `author-name`. Splitting them into word tokens before comparison is
 //! the single most effective trick in name matching (COMA, Cupid and LSD all do it).
 
-use crate::fuzzy::compare_string_fuzzy;
+use crate::fuzzy::compare_lower_fuzzy;
 
 /// Split an element name into lowercase word tokens.
 ///
 /// Boundaries: case changes (`authorName` → `author`, `name`), underscores, hyphens,
 /// dots, spaces and digit/letter transitions (`address2` → `address`, `2`). Empty
-/// tokens are dropped.
+/// tokens are dropped. Tokens are fully lowercased here — the one normalization
+/// boundary — so downstream measures compare them without case-folding again.
 pub fn tokenize(name: &str) -> Vec<String> {
     let mut tokens = Vec::new();
     let mut current = String::new();
@@ -38,7 +39,7 @@ pub fn tokenize(name: &str) -> Vec<String> {
         if boundary && !current.is_empty() {
             tokens.push(std::mem::take(&mut current));
         }
-        current.push(c.to_ascii_lowercase());
+        current.extend(c.to_lowercase());
     }
     if !current.is_empty() {
         tokens.push(current);
@@ -57,11 +58,13 @@ pub fn token_set_similarity(a: &str, b: &str) -> f64 {
     if ta.is_empty() || tb.is_empty() {
         return 0.0;
     }
+    // Tokens are already lowercase (the tokenizer is the normalization boundary),
+    // so the per-token kernel skips the case-fold the public entry point performs.
     let dir = |from: &[String], to: &[String]| -> f64 {
         from.iter()
             .map(|x| {
                 to.iter()
-                    .map(|y| compare_string_fuzzy(x, y))
+                    .map(|y| compare_lower_fuzzy(x, y))
                     .fold(0.0, f64::max)
             })
             .sum::<f64>()

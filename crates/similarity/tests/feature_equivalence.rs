@@ -1,0 +1,148 @@
+//! Property suite: every feature kernel is bit-identical to its string-path
+//! counterpart on arbitrary inputs — the contract that makes the zero-allocation
+//! hot path a pure optimisation.
+//!
+//! Strategies mix ASCII schema-name characters with multi-byte Unicode (Greek,
+//! umlauts, CJK) and lengths past the 64-character bit-parallel cutoff so the
+//! Myers/Hyyrö fast path, the mixed short/long path and the DP fallback are all
+//! exercised.
+
+use proptest::prelude::*;
+use xsm_similarity::edit::{damerau_levenshtein, levenshtein};
+use xsm_similarity::features::{
+    damerau_features, dice_features, fuzzy_features, jaccard_features, jaro_features,
+    jaro_winkler_features, levenshtein_features, token_set_features, GramInterner, NameFeatures,
+    SimScratch,
+};
+use xsm_similarity::fuzzy::compare_string_fuzzy;
+use xsm_similarity::jaro::{jaro, jaro_winkler};
+use xsm_similarity::ngram::{ngram_similarity, qgram_jaccard};
+use xsm_similarity::token::token_set_similarity;
+
+/// Corpus-side feature pair: both names interned into one shared interner.
+fn features(a: &str, b: &str, q: usize) -> (NameFeatures, NameFeatures) {
+    let mut interner = GramInterner::new(q);
+    (
+        NameFeatures::build(a, &mut interner),
+        NameFeatures::build(b, &mut interner),
+    )
+}
+
+// Mixed-case ASCII, separators, digits, and multi-byte letters (ä/Ö/ß, Greek
+// λ/Σ, CJK 中) — short enough for the bit-parallel path.
+const NAMEISH: &str = "[a-zA-Z0-9_\\-äÖßλΣ中]{0,14}";
+// Long strings (possibly > 64 chars) force the DP fallback on one or both sides.
+const LONGISH: &str = "[a-c ]{0,90}";
+
+proptest! {
+    #[test]
+    fn edit_kernels_equal_classic_dp(a in NAMEISH, b in NAMEISH) {
+        let (fa, fb) = features(&a, &b, 3);
+        let (la, lb) = (a.to_lowercase(), b.to_lowercase());
+        let mut scratch = SimScratch::default();
+        prop_assert_eq!(
+            levenshtein_features(&fa, &fb, &mut scratch),
+            levenshtein(&la, &lb)
+        );
+        prop_assert_eq!(
+            damerau_features(&fa, &fb, &mut scratch),
+            damerau_levenshtein(&la, &lb)
+        );
+    }
+
+    #[test]
+    fn edit_kernels_equal_classic_dp_beyond_64_chars(a in LONGISH, b in LONGISH) {
+        let (fa, fb) = features(&a, &b, 3);
+        let mut scratch = SimScratch::default();
+        prop_assert_eq!(levenshtein_features(&fa, &fb, &mut scratch), levenshtein(&a, &b));
+        prop_assert_eq!(
+            damerau_features(&fa, &fb, &mut scratch),
+            damerau_levenshtein(&a, &b)
+        );
+    }
+
+    #[test]
+    fn myers_and_dp_agree_across_the_cutoff(a in "[ab]{0,70}", b in "[ab]{0,70}") {
+        // A two-letter alphabet maximises edits and transposition opportunities;
+        // lengths straddle 64 so both algorithms and the mixed path all run.
+        let (fa, fb) = features(&a, &b, 2);
+        let mut scratch = SimScratch::default();
+        prop_assert_eq!(levenshtein_features(&fa, &fb, &mut scratch), levenshtein(&a, &b));
+        prop_assert_eq!(
+            damerau_features(&fa, &fb, &mut scratch),
+            damerau_levenshtein(&a, &b)
+        );
+    }
+
+    #[test]
+    fn fuzzy_kernel_is_bit_identical(a in NAMEISH, b in NAMEISH) {
+        let (fa, fb) = features(&a, &b, 3);
+        let mut scratch = SimScratch::default();
+        prop_assert_eq!(
+            fuzzy_features(&fa, &fb, &mut scratch).to_bits(),
+            compare_string_fuzzy(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn jaro_kernels_are_bit_identical(a in NAMEISH, b in NAMEISH) {
+        let (fa, fb) = features(&a, &b, 3);
+        let mut scratch = SimScratch::default();
+        prop_assert_eq!(
+            jaro_features(&fa, &fb, &mut scratch).to_bits(),
+            jaro(&a, &b).to_bits()
+        );
+        prop_assert_eq!(
+            jaro_winkler_features(&fa, &fb, &mut scratch).to_bits(),
+            jaro_winkler(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn gram_kernels_are_bit_identical(a in NAMEISH, b in NAMEISH, q in 1usize..4) {
+        let (fa, fb) = features(&a, &b, q);
+        prop_assert_eq!(
+            dice_features(&fa, &fb).to_bits(),
+            ngram_similarity(&a, &b, q).to_bits()
+        );
+        prop_assert_eq!(
+            jaccard_features(&fa, &fb).to_bits(),
+            qgram_jaccard(&a, &b, q).to_bits()
+        );
+    }
+
+    #[test]
+    fn token_set_kernel_is_bit_identical(a in "[a-zA-Z0-9_\\- ]{0,16}", b in "[a-zA-Z0-9_\\- ]{0,16}") {
+        let (fa, fb) = features(&a, &b, 3);
+        let mut scratch = SimScratch::default();
+        prop_assert_eq!(
+            token_set_features(&fa, &fb, &mut scratch).to_bits(),
+            token_set_similarity(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn query_side_features_score_exactly_like_corpus_features(
+        corpus in NAMEISH, query in NAMEISH
+    ) {
+        // The corpus name is interned; the query is built read-only against the
+        // frozen interner (unknown grams get private ids). Every kernel must agree
+        // with the string path exactly, as in the serving engine.
+        let mut interner = GramInterner::new(3);
+        let fc = NameFeatures::build(&corpus, &mut interner);
+        let fq = NameFeatures::build_query(&query, &interner);
+        let mut scratch = SimScratch::default();
+        prop_assert_eq!(
+            fuzzy_features(&fq, &fc, &mut scratch).to_bits(),
+            compare_string_fuzzy(&query, &corpus).to_bits()
+        );
+        prop_assert_eq!(
+            dice_features(&fq, &fc).to_bits(),
+            ngram_similarity(&query, &corpus, 3).to_bits()
+        );
+        prop_assert_eq!(
+            jaccard_features(&fq, &fc).to_bits(),
+            qgram_jaccard(&query, &corpus, 3).to_bits()
+        );
+    }
+}

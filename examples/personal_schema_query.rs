@@ -136,8 +136,10 @@ fn main() {
     // 5. The engine kept score while we worked.
     let m = engine.metrics();
     println!(
-        "\nserved {} query(ies); p50 ≤ {} µs; {} candidate pairs scored into the \
-         similarity cache",
-        m.queries_served, m.p50_latency_us, m.similarity_cache_misses
+        "\nserved {} query(ies); p50 ≤ {} µs; {} pipeline run(s) over the \
+         precomputed feature store",
+        m.queries_served,
+        m.p50_latency_us,
+        m.index_pruned_queries + m.exhaustive_queries
     );
 }

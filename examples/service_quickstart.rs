@@ -114,15 +114,14 @@ fn main() {
     // 5. Live metrics: what a scraper would export for dashboards/alerts.
     let m = engine.metrics();
     println!(
-        "\nmetrics: {} served | result-cache hit rate {:.0}% | {} index-pruned / {} \
-         exhaustive | p50 ≤ {} µs, p99 ≤ {} µs | sim-cache {} hits / {} misses",
+        "\nmetrics: {} served | result-cache hit rate {:.0}% | {} coalesced | \
+         {} index-pruned / {} exhaustive | p50 ≤ {} µs, p99 ≤ {} µs",
         m.queries_served,
         100.0 * m.result_cache_hit_rate,
+        m.coalesced_queries,
         m.index_pruned_queries,
         m.exhaustive_queries,
         m.p50_latency_us,
-        m.p99_latency_us,
-        m.similarity_cache_hits,
-        m.similarity_cache_misses
+        m.p99_latency_us
     );
 }
