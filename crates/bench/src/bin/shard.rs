@@ -1,0 +1,253 @@
+//! Sharded serving throughput: queries/sec of a single [`MatchEngine`] vs. a
+//! [`ShardedEngine`] partitioning the same repository across 1/2/4 shards.
+//!
+//! ```text
+//! cargo run -p xsm-bench --bin shard --release \
+//!     [seed=N] [elements=N] [queries=N] [workers=N] [routerworkers=N] \
+//!     [topk=N] [minsim=X] [delta=X] [out=BENCH_shard.json]
+//! ```
+//!
+//! Before any number is reported, every sharded response is asserted
+//! content-identical to the single-engine response — the merge-equivalence
+//! contract of `xsm_service::shard` — so throughput can never come from divergent
+//! work. The run is recorded as machine-readable JSON (`out=`) for the CI bench
+//! trajectory. NB: on a single-core container the shard fleets time-slice one
+//! core, so the interesting signal there is equivalence plus router overhead, not
+//! parallel speedup.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use xsm_matcher::element::ElementMatchConfig;
+use xsm_repo::{GeneratorConfig, RepositoryGenerator, SchemaRepository, ShardPlacement};
+use xsm_service::workload::seeded_personal_schemas;
+use xsm_service::{
+    EngineConfig, MatchEngine, MatchQuery, MatchResponse, QueryStrategy, ShardedEngine,
+    ShardedEngineConfig, ShardedMetrics,
+};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct ShardBenchConfig {
+    seed: u64,
+    elements: usize,
+    queries: usize,
+    workers: usize,
+    router_workers: usize,
+    top_k: usize,
+    min_similarity: f64,
+    delta: f64,
+    out: String,
+}
+
+impl Default for ShardBenchConfig {
+    fn default() -> Self {
+        ShardBenchConfig {
+            seed: 2006,
+            elements: 2_500,
+            queries: 200,
+            workers: 1,
+            router_workers: 4,
+            top_k: 5,
+            min_similarity: 0.5,
+            delta: 0.75,
+            out: "BENCH_shard.json".to_string(),
+        }
+    }
+}
+
+impl ShardBenchConfig {
+    fn apply_args<I: IntoIterator<Item = String>>(mut self, args: I) -> Result<Self, String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            match key {
+                "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "elements" => {
+                    self.elements = value.parse().map_err(|e| format!("elements: {e}"))?
+                }
+                "queries" => self.queries = value.parse().map_err(|e| format!("queries: {e}"))?,
+                "workers" => self.workers = value.parse().map_err(|e| format!("workers: {e}"))?,
+                "routerworkers" => {
+                    self.router_workers =
+                        value.parse().map_err(|e| format!("routerworkers: {e}"))?
+                }
+                "topk" => self.top_k = value.parse().map_err(|e| format!("topk: {e}"))?,
+                "minsim" => {
+                    self.min_similarity = value.parse().map_err(|e| format!("minsim: {e}"))?
+                }
+                "delta" => self.delta = value.parse().map_err(|e| format!("delta: {e}"))?,
+                "out" => self.out = value.to_string(),
+                other => return Err(format!("unknown parameter '{other}'")),
+            }
+        }
+        Ok(self)
+    }
+}
+
+/// One throughput row of the record: a shard count with its build and serve times.
+#[derive(Serialize)]
+struct ShardRow {
+    shards: usize,
+    build_seconds: f64,
+    time_s: f64,
+    queries_per_sec: f64,
+    speedup_vs_single_engine: f64,
+    router_coalesced: u64,
+    per_shard_served: Vec<u64>,
+}
+
+/// The machine-readable record of one `shard` run.
+#[derive(Serialize)]
+struct ShardRecord {
+    bench: String,
+    seed: u64,
+    elements: usize,
+    trees: usize,
+    queries: usize,
+    top_k: usize,
+    min_similarity: f64,
+    delta: f64,
+    workers_per_shard: usize,
+    router_workers: usize,
+    single_engine_time_s: f64,
+    single_engine_qps: f64,
+    rows: Vec<ShardRow>,
+}
+
+fn query_batch(repo: &SchemaRepository, config: &ShardBenchConfig) -> Vec<MatchQuery> {
+    seeded_personal_schemas(repo, config.queries)
+        .into_iter()
+        .enumerate()
+        .map(|(i, personal)| {
+            let strategy = if i % 2 == 0 {
+                QueryStrategy::Auto
+            } else {
+                QueryStrategy::Exhaustive
+            };
+            MatchQuery::new(personal)
+                .with_top_k(config.top_k)
+                .with_threshold(config.delta)
+                .with_strategy(strategy)
+        })
+        .collect()
+}
+
+fn main() {
+    let config = match ShardBenchConfig::default().apply_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: shard [seed=N] [elements=N] [queries=N] [workers=N] \
+                 [routerworkers=N] [topk=N] [minsim=X] [delta=X] [out=PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "building repository ({} elements, seed {})…",
+        config.elements, config.seed
+    );
+    let repo = RepositoryGenerator::new(
+        GeneratorConfig::paper_default()
+            .with_seed(config.seed)
+            .with_target_elements(config.elements),
+    )
+    .generate();
+    eprintln!(
+        "repository: {} elements over {} trees",
+        repo.total_nodes(),
+        repo.tree_count()
+    );
+
+    let engine_config = EngineConfig::default()
+        .with_workers(config.workers)
+        .with_element_config(
+            ElementMatchConfig::default().with_min_similarity(config.min_similarity),
+        )
+        .with_result_cache_capacity(config.queries.max(1));
+    let batch = query_batch(&repo, &config);
+    eprintln!(
+        "serving {} queries (top-{}, δ={}) single-engine vs {:?} shards…",
+        config.queries, config.top_k, config.delta, SHARD_COUNTS
+    );
+
+    // The unsharded reference: every sharded fleet must reproduce these bytes.
+    let single = MatchEngine::new(repo.clone(), engine_config.clone());
+    let start = Instant::now();
+    let reference: Vec<MatchResponse> = single.submit_batch(batch.clone());
+    let single_time = start.elapsed().as_secs_f64();
+    let single_qps = batch.len() as f64 / single_time;
+
+    println!("single engine\t{single_time:.3}s\t{single_qps:.1} q/s");
+    println!("\nshards\tbuild_s\ttime_s\tqueries/sec\tvs-single");
+
+    let mut rows = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let build_start = Instant::now();
+        let sharded = ShardedEngine::new(
+            repo.clone(),
+            ShardedEngineConfig::default()
+                .with_shards(shards)
+                .with_placement(ShardPlacement::Contiguous)
+                .with_router_workers(config.router_workers)
+                .with_router_result_cache_capacity(config.queries.max(1))
+                .with_engine_config(engine_config.clone()),
+        );
+        let build_seconds = build_start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let responses = sharded.submit_batch(batch.clone());
+        let time_s = start.elapsed().as_secs_f64();
+        let qps = batch.len() as f64 / time_s;
+
+        // The merge-equivalence guard: identical content, query by query.
+        for (i, (a, b)) in reference.iter().zip(&responses).enumerate() {
+            assert_eq!(
+                a.result_digest(),
+                b.result_digest(),
+                "query {i} diverged between the single engine and {shards} shards"
+            );
+        }
+
+        let ShardedMetrics { router, per_shard } = sharded.metrics();
+        println!(
+            "{shards}\t{build_seconds:.3}\t{time_s:.3}\t{qps:.1}\t{:.2}",
+            qps / single_qps
+        );
+        rows.push(ShardRow {
+            shards,
+            build_seconds,
+            time_s,
+            queries_per_sec: qps,
+            speedup_vs_single_engine: qps / single_qps,
+            router_coalesced: router.coalesced_queries,
+            per_shard_served: per_shard.iter().map(|m| m.queries_served).collect(),
+        });
+    }
+
+    let record = ShardRecord {
+        bench: "shard".to_string(),
+        seed: config.seed,
+        elements: config.elements,
+        trees: repo.tree_count(),
+        queries: config.queries,
+        top_k: config.top_k,
+        min_similarity: config.min_similarity,
+        delta: config.delta,
+        workers_per_shard: config.workers,
+        router_workers: config.router_workers,
+        single_engine_time_s: single_time,
+        single_engine_qps: single_qps,
+        rows,
+    };
+    let json = serde_json::to_string(&record).expect("shard record serializes");
+    std::fs::write(&config.out, &json).expect("write shard benchmark JSON");
+    eprintln!(
+        "wrote {} (all {} sharded runs byte-identical to the single engine)",
+        config.out,
+        SHARD_COUNTS.len()
+    );
+}

@@ -18,6 +18,25 @@
 //! the tree path length (or any [`ClusterDistance`]); centroids are medoids; the
 //! reclustering step joins nearby clusters and removes tiny ones. Complexity is
 //! `O(c · i · |ME|)` as the paper states.
+//!
+//! ## Tree-local control
+//!
+//! Clusters never span repository trees (the clustering distance is only defined
+//! within a tree), so the algorithm runs **independently per tree**: each tree gets
+//! its own `ME_min` seeding, its own iteration loop and its own convergence test
+//! over its own element population. This has two consequences the rest of the
+//! system relies on:
+//!
+//! * every tree that holds candidates receives centroids (under a single global
+//!   `ME_min` seeding, trees outside the seed node's candidate set got no centroid
+//!   at all and silently produced zero mappings), and
+//! * the clustering — and therefore the whole
+//!   [`crate::ClusteredMatcher::run_on_candidates`] pipeline — is exactly
+//!   *decomposable* over any partition of the forest: clustering a union of trees
+//!   equals the union of clustering each tree. `bellflower::service`'s sharded
+//!   engine scatters queries across per-shard engines and merges their answers;
+//!   tree-local control is what makes the merged answer bit-identical to the
+//!   single-engine answer.
 
 use std::time::{Duration, Instant};
 
@@ -57,6 +76,17 @@ pub struct KMeansStats {
     pub elapsed: Duration,
 }
 
+/// Element-wise `acc[i] += add[i]`, growing `acc` to `add`'s length: merges the
+/// per-iteration histories of trees that converged after different iteration counts.
+fn accumulate(acc: &mut Vec<usize>, add: &[usize]) {
+    if acc.len() < add.len() {
+        acc.resize(add.len(), 0);
+    }
+    for (a, &b) in acc.iter_mut().zip(add) {
+        *a += b;
+    }
+}
+
 /// The adapted k-means clusterer.
 pub struct KMeansClusterer {
     config: ClusteringConfig,
@@ -92,7 +122,49 @@ impl KMeansClusterer {
     }
 
     /// Cluster the mapping elements of `candidates` over `repo`.
+    ///
+    /// The control loop is **tree-local** (see the module docs): every repository
+    /// tree with candidates is seeded, iterated and converged on its own, and the
+    /// per-tree results are concatenated in ascending tree order. Statistics are
+    /// aggregated across trees: counters sum, `iterations` is the longest per-tree
+    /// run, and the per-iteration histories are element-wise sums (a tree that has
+    /// already converged contributes nothing to later iterations).
     pub fn cluster(
+        &self,
+        repo: &SchemaRepository,
+        candidates: &CandidateSet,
+    ) -> (ClusterSet, KMeansStats) {
+        let start = Instant::now();
+        let mut set = ClusterSet::default();
+        let mut stats = KMeansStats::default();
+        // One pass groups candidates per tree (the clusterer runs per query in the
+        // serving hot path; restricting tree-by-tree would rescan the whole set T
+        // times).
+        for (_, scope) in candidates.split_by_tree() {
+            let (tree_set, tree_stats) = self.cluster_scope(repo, &scope);
+            set.clusters.extend(tree_set.clusters);
+            set.unassigned.extend(tree_set.unassigned);
+            stats.total_nodes += tree_stats.total_nodes;
+            stats.initial_centroids += tree_stats.initial_centroids;
+            stats.unassigned_nodes += tree_stats.unassigned_nodes;
+            stats.iterations = stats.iterations.max(tree_stats.iterations);
+            accumulate(
+                &mut stats.moved_per_iteration,
+                &tree_stats.moved_per_iteration,
+            );
+            accumulate(
+                &mut stats.clusters_per_iteration,
+                &tree_stats.clusters_per_iteration,
+            );
+        }
+        stats.final_clusters = set.clusters.len();
+        stats.elapsed = start.elapsed();
+        (set, stats)
+    }
+
+    /// The paper's Algorithm 1 over one scope (in practice: the candidates of one
+    /// repository tree — [`KMeansClusterer::cluster`] is the per-tree driver).
+    fn cluster_scope(
         &self,
         repo: &SchemaRepository,
         candidates: &CandidateSet,
@@ -432,7 +504,32 @@ mod tests {
             .with_init(Box::new(crate::init::RandomSeeding::new(20, 7)))
             .with_distance(Box::new(crate::distance::HybridDistance::default()));
         let (set, stats) = clusterer.cluster(&repo, &candidates);
-        assert!(stats.initial_centroids <= 20);
-        assert!(set.len() <= 20 || stats.initial_centroids == 20);
+        // Seeding runs per tree, so the custom strategy's count caps each tree's
+        // seeds, not the forest's.
+        let trees = candidates.trees().len();
+        assert!(trees > 0);
+        assert!(stats.initial_centroids <= 20 * trees);
+        assert!(set.len() <= stats.initial_centroids);
+    }
+
+    #[test]
+    fn clustering_decomposes_over_trees() {
+        // The tree-local control contract: clustering the whole candidate set equals
+        // clustering each tree's restriction and concatenating — the property the
+        // sharded serving engine's bit-identical merge rests on.
+        let (_, repo, candidates) = scenario();
+        let clusterer = KMeansClusterer::new(ClusteringConfig::default());
+        let (whole, _) = clusterer.cluster(&repo, &candidates);
+        let mut parts = ClusterSet::default();
+        for tree in candidates.trees() {
+            let (part, _) = clusterer.cluster(&repo, &candidates.restrict_to_tree(tree));
+            parts.clusters.extend(part.clusters);
+            parts.unassigned.extend(part.unassigned);
+        }
+        assert_eq!(whole.len(), parts.len());
+        for (a, b) in whole.clusters.iter().zip(&parts.clusters) {
+            assert_eq!(a, b, "per-tree clustering diverged from the whole run");
+        }
+        assert_eq!(whole.unassigned, parts.unassigned);
     }
 }

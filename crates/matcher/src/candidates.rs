@@ -163,6 +163,28 @@ impl CandidateSet {
         self.restrict(|m| m.repo.tree == tree)
     }
 
+    /// Split the set into its per-tree restrictions in one pass, ascending by tree:
+    /// equivalent to `self.trees()` + [`CandidateSet::restrict_to_tree`] per tree,
+    /// but `O(|ME|·log T + T·|N_s|)` instead of `O(T·|ME|)`. Per-query tree-local
+    /// consumers (the clusterer) use this so a forest of thousands of trees does
+    /// not rescan the whole candidate set per tree.
+    pub fn split_by_tree(&self) -> Vec<(TreeId, CandidateSet)> {
+        let trees = self.trees();
+        let mut parts: Vec<(TreeId, CandidateSet)> = trees
+            .iter()
+            .map(|&t| (t, CandidateSet::new(self.personal_nodes.clone())))
+            .collect();
+        for (node_idx, list) in self.per_node.iter().enumerate() {
+            for m in list {
+                let slot = trees
+                    .binary_search(&m.repo.tree)
+                    .expect("trees() covers every candidate tree");
+                parts[slot].1.per_node[node_idx].push(*m);
+            }
+        }
+        parts
+    }
+
     /// Restrict this set to candidates accepted by a predicate (the clusterer uses this
     /// with cluster membership).
     pub fn restrict<F>(&self, keep: F) -> CandidateSet
@@ -280,6 +302,29 @@ mod tests {
         let t1 = set.restrict_to_tree(TreeId(1));
         assert_eq!(t1.total_candidates(), 2);
         assert!(!t1.is_useful()); // node 2 has no candidate in tree 1
+    }
+
+    #[test]
+    fn split_by_tree_equals_per_tree_restriction() {
+        let set = sample_set();
+        let parts = set.split_by_tree();
+        assert_eq!(
+            parts.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            set.trees()
+        );
+        for (tree, part) in &parts {
+            let reference = set.restrict_to_tree(*tree);
+            assert_eq!(part.personal_nodes(), reference.personal_nodes());
+            for &n in part.personal_nodes() {
+                let (a, b) = (part.candidates_for(n), reference.candidates_for(n));
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.repo, y.repo);
+                    assert_eq!(x.similarity.to_bits(), y.similarity.to_bits());
+                }
+            }
+        }
+        assert!(CandidateSet::new(vec![]).split_by_tree().is_empty());
     }
 
     #[test]

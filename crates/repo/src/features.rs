@@ -200,6 +200,34 @@ mod tests {
     }
 
     #[test]
+    fn store_build_skips_token_features() {
+        // Tokens are only read by the token-set kernel; the engine's fuzzy
+        // pipeline never touches them, so building the store must not pay for
+        // tokenizing every repository name (ROADMAP "lazy token features").
+        let repo = repo();
+        let store = FeatureStore::build(&repo, 3);
+        let mut scratch = SimScratch::default();
+        let q = store.query_features("emailAdress");
+        for (id, f) in store.iter() {
+            let s = fuzzy_features(&q, f, &mut scratch);
+            assert_eq!(
+                s.to_bits(),
+                xsm_similarity::compare_string_fuzzy("emailAdress", repo.name_of(id)).to_bits()
+            );
+        }
+        assert!(
+            store.iter().all(|(_, f)| !f.tokens_built()),
+            "a fuzzy-only workload materialised token features"
+        );
+        // Token features still work when asked for, on demand.
+        let (id, _) = repo
+            .nodes()
+            .find(|(_, n)| n.name == "emailAddress")
+            .expect("node exists");
+        assert_eq!(store.features_of(id).unwrap().tokens().len(), 2);
+    }
+
+    #[test]
     fn empty_repository_store() {
         let store = FeatureStore::build(&SchemaRepository::new(), 3);
         assert!(store.is_empty());

@@ -19,7 +19,9 @@
 //!   matching and clustering algorithms depend on,
 //! * [`corpus`] — loading real DTD/XSD files from disk through the `xsm-schema` parsers,
 //! * [`sampling`] — drawing sub-repositories of a target element count, as the paper
-//!   does for its experiments.
+//!   does for its experiments,
+//! * [`partition`] — deterministic tree-to-shard placement
+//!   ([`RepositoryPartition`]) for serving one repository from several engines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,10 +30,12 @@ pub mod corpus;
 pub mod features;
 pub mod generator;
 pub mod index;
+pub mod partition;
 pub mod repository;
 pub mod sampling;
 
 pub use features::FeatureStore;
 pub use generator::{GeneratorConfig, RepositoryGenerator};
 pub use index::NameIndex;
+pub use partition::{RepositoryPartition, ShardPlacement};
 pub use repository::SchemaRepository;

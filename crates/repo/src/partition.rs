@@ -1,0 +1,321 @@
+//! Partitioning a repository's forest across shards.
+//!
+//! A repository that outgrows one host is split **by tree**: every schema mapping
+//! lives entirely inside one tree (Def. 2), and since PR 4 the clustering control
+//! loop is tree-local too, so a tree is the natural unit of placement — a query
+//! answered by the union of per-shard repositories is exactly the query answered by
+//! the whole repository, shard boundaries invisible.
+//!
+//! Two deterministic placements are provided:
+//!
+//! * [`ShardPlacement::Contiguous`] — consecutive `TreeId` ranges, balanced by node
+//!   count (greedy bin close). Keeps related trees (generators emit similar trees
+//!   with nearby ids) on one shard and makes shard membership trivially explainable.
+//! * [`ShardPlacement::TreeHash`] — an FNV-1a hash of the tree's root-element name
+//!   and node count picks the shard. Placement is stable under appending new trees
+//!   to the repository (a tree's shard never depends on how many trees follow it),
+//!   at the price of scattering ranges.
+//!
+//! Within every shard, trees keep their **relative order** (ascending global
+//! `TreeId`). That monotonicity is load-bearing: shard-local `GlobalNodeId`s map
+//! back to global ids through [`RepositoryPartition::to_global`] without disturbing
+//! any tie-break that sorts by id, so a sharded serving layer can merge per-shard
+//! answers and stay byte-identical to the unsharded engine.
+
+use serde::{Deserialize, Serialize};
+use xsm_schema::{GlobalNodeId, TreeId};
+
+use crate::repository::SchemaRepository;
+
+/// How [`RepositoryPartition::build`] assigns trees to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ShardPlacement {
+    /// Consecutive `TreeId` ranges, balanced by total node count.
+    #[default]
+    Contiguous,
+    /// Deterministic FNV-1a hash of (root name, node count) modulo the shard count.
+    TreeHash,
+}
+
+/// The result of partitioning one repository into `n` shard repositories.
+///
+/// Shard repositories renumber their trees densely from 0 (a [`SchemaRepository`]
+/// stores trees in a `Vec`); `tree_maps` records, per shard, the global `TreeId`
+/// each local id came from, in ascending global order.
+#[derive(Debug, Clone)]
+pub struct RepositoryPartition {
+    shards: Vec<SchemaRepository>,
+    tree_maps: Vec<Vec<TreeId>>,
+    placement: ShardPlacement,
+}
+
+impl RepositoryPartition {
+    /// Partition `repo` into `shard_count >= 1` shard repositories.
+    ///
+    /// Every tree lands on exactly one shard; shards may be empty when the forest
+    /// has fewer trees than shards. The assignment is a pure function of the
+    /// repository content, the shard count and the placement — two hosts
+    /// partitioning the same repository agree without coordination.
+    pub fn build(repo: &SchemaRepository, shard_count: usize, placement: ShardPlacement) -> Self {
+        assert!(shard_count >= 1, "shard_count must be at least 1");
+        let assignment = match placement {
+            ShardPlacement::Contiguous => contiguous_assignment(repo, shard_count),
+            ShardPlacement::TreeHash => hash_assignment(repo, shard_count),
+        };
+        let mut trees: Vec<Vec<_>> = vec![Vec::new(); shard_count];
+        let mut tree_maps: Vec<Vec<TreeId>> = vec![Vec::new(); shard_count];
+        for (tid, tree) in repo.trees() {
+            let shard = assignment[tid.index()];
+            trees[shard].push(tree.clone());
+            tree_maps[shard].push(tid);
+        }
+        let shards = trees
+            .into_iter()
+            .map(SchemaRepository::from_trees)
+            .collect();
+        RepositoryPartition {
+            shards,
+            tree_maps,
+            placement,
+        }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The placement strategy the partition was built with.
+    pub fn placement(&self) -> ShardPlacement {
+        self.placement
+    }
+
+    /// The shard repositories, in shard order.
+    pub fn shards(&self) -> &[SchemaRepository] {
+        &self.shards
+    }
+
+    /// Consume the partition, yielding the shard repositories and their
+    /// local-to-global tree maps (same indexing as [`RepositoryPartition::shards`]).
+    pub fn into_parts(self) -> (Vec<SchemaRepository>, Vec<Vec<TreeId>>) {
+        (self.shards, self.tree_maps)
+    }
+
+    /// The global `TreeId` of shard `shard`'s local tree `local`, or `None` when
+    /// either index is out of range.
+    pub fn global_tree(&self, shard: usize, local: TreeId) -> Option<TreeId> {
+        self.tree_maps.get(shard)?.get(local.index()).copied()
+    }
+
+    /// Translate a shard-local node id back to the global repository id.
+    pub fn to_global(&self, shard: usize, id: GlobalNodeId) -> Option<GlobalNodeId> {
+        Some(GlobalNodeId::new(
+            self.global_tree(shard, id.tree)?,
+            id.node,
+        ))
+    }
+
+    /// Which shard holds the given global tree, or `None` for unknown trees.
+    pub fn shard_of(&self, tree: TreeId) -> Option<usize> {
+        self.tree_maps
+            .iter()
+            .position(|map| map.binary_search(&tree).is_ok())
+    }
+}
+
+/// Greedy contiguous ranges balanced by node count: cut to a new shard at each
+/// ideal boundary (`(shard+1)/n` of the total nodes), deciding *before* placing a
+/// tree — a boundary falling inside a tree cuts in front of it when stopping
+/// short lands closer to the ideal than overshooting would (so one large tree at
+/// the tail cannot drag the whole forest onto the first shard).
+fn contiguous_assignment(repo: &SchemaRepository, shard_count: usize) -> Vec<usize> {
+    let total: usize = repo.total_nodes();
+    let mut assignment = vec![0usize; repo.tree_count()];
+    let mut shard = 0usize;
+    let mut filled = 0usize; // nodes placed so far (this shard and all before it)
+    let mut trees_in_shard = 0usize;
+    for (tid, tree) in repo.trees() {
+        // The ideal boundary of shard `shard` is at (shard+1)/n of the total nodes.
+        let target = (total * (shard + 1)).div_ceil(shard_count);
+        let past_boundary = filled >= target || {
+            // The boundary falls inside this tree: cut in front of it when stopping
+            // short lands closer to the ideal than overshooting would.
+            let with_tree = filled + tree.len();
+            with_tree > target && with_tree - target > target - filled
+        };
+        if trees_in_shard > 0 && shard + 1 < shard_count && past_boundary {
+            shard += 1;
+            trees_in_shard = 0;
+        }
+        assignment[tid.index()] = shard;
+        filled += tree.len();
+        trees_in_shard += 1;
+    }
+    assignment
+}
+
+/// FNV-1a over the tree's root-element name bytes, mixed with its node count.
+fn hash_assignment(repo: &SchemaRepository, shard_count: usize) -> Vec<usize> {
+    repo.trees()
+        .map(|(_, tree)| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let root_name = tree.root().map(|r| tree.name_of(r)).unwrap_or("");
+            for byte in root_name.bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= tree.len() as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            (h % shard_count as u64) as usize
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, RepositoryGenerator};
+    use xsm_schema::{NodeId, SchemaNode, TreeBuilder};
+
+    fn repo() -> SchemaRepository {
+        RepositoryGenerator::new(GeneratorConfig::small(13).with_target_elements(600)).generate()
+    }
+
+    fn assert_is_partition(repo: &SchemaRepository, p: &RepositoryPartition) {
+        // Every global tree appears on exactly one shard, in ascending order there.
+        let mut seen: Vec<TreeId> = Vec::new();
+        for (shard_idx, (shard, map)) in p.shards.iter().zip(&p.tree_maps).enumerate() {
+            assert_eq!(shard.tree_count(), map.len());
+            assert!(map.windows(2).all(|w| w[0] < w[1]), "map not ascending");
+            for (local, &global) in map.iter().enumerate() {
+                let local_tree = shard.tree(TreeId(local as u32)).unwrap();
+                let global_tree = repo.tree(global).unwrap();
+                assert_eq!(local_tree.len(), global_tree.len());
+                assert_eq!(p.global_tree(shard_idx, TreeId(local as u32)), Some(global));
+                assert_eq!(p.shard_of(global), Some(shard_idx));
+            }
+            seen.extend_from_slice(map);
+        }
+        seen.sort();
+        let expected: Vec<TreeId> = repo.trees().map(|(tid, _)| tid).collect();
+        assert_eq!(seen, expected, "trees lost or duplicated");
+    }
+
+    #[test]
+    fn contiguous_partition_covers_and_balances() {
+        let repo = repo();
+        for n in [1, 2, 3, 5] {
+            let p = RepositoryPartition::build(&repo, n, ShardPlacement::Contiguous);
+            assert_eq!(p.shard_count(), n);
+            assert_is_partition(&repo, &p);
+            // Contiguity: each shard's global trees form one consecutive range.
+            for map in &p.tree_maps {
+                if let (Some(first), Some(last)) = (map.first(), map.last()) {
+                    assert_eq!((last.0 - first.0) as usize, map.len() - 1);
+                }
+            }
+            // Rough balance: no shard exceeds twice the ideal share (the generator's
+            // trees are small relative to the repository).
+            if n > 1 {
+                let ideal = repo.total_nodes() / n;
+                for shard in p.shards() {
+                    assert!(shard.total_nodes() <= 2 * ideal + 64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_partition_covers_and_is_stable_under_append() {
+        let repo = repo();
+        let p = RepositoryPartition::build(&repo, 4, ShardPlacement::TreeHash);
+        assert_is_partition(&repo, &p);
+        assert_eq!(p.placement(), ShardPlacement::TreeHash);
+
+        // Appending a tree never moves an existing tree to a different shard.
+        let mut grown = repo.clone();
+        grown.add_tree(xsm_schema::tree::paper_repository_fragment());
+        let p2 = RepositoryPartition::build(&grown, 4, ShardPlacement::TreeHash);
+        for (tid, _) in repo.trees() {
+            assert_eq!(p.shard_of(tid), p2.shard_of(tid), "tree {tid} moved");
+        }
+    }
+
+    #[test]
+    fn contiguous_placement_splits_before_a_large_tail_tree() {
+        // Node counts [3, 3, 3, 15] over two shards: the boundary (12) falls inside
+        // the big tree, and cutting before it ([3,3,3] / [15]) is closer to ideal
+        // than taking everything on shard 0. The greedy cut must fire before the
+        // tree, not only after the running total passes the target.
+        fn chain(len: usize) -> xsm_schema::SchemaTree {
+            let mut b = TreeBuilder::new("t").root(SchemaNode::element("root"));
+            for i in 1..len {
+                b = b.child(SchemaNode::element(format!("n{i}").as_str()));
+            }
+            b.build()
+        }
+        let repo = SchemaRepository::from_trees(vec![chain(3), chain(3), chain(3), chain(15)]);
+        let p = RepositoryPartition::build(&repo, 2, ShardPlacement::Contiguous);
+        assert_is_partition(&repo, &p);
+        assert_eq!(p.shard_of(TreeId(3)), Some(1), "large tail tree must cut");
+        assert_eq!(p.shards()[0].total_nodes(), 9);
+        assert_eq!(p.shards()[1].total_nodes(), 15);
+    }
+
+    #[test]
+    fn more_shards_than_trees_leaves_empty_shards() {
+        let small = SchemaRepository::from_trees(vec![
+            xsm_schema::tree::paper_repository_fragment(),
+            xsm_schema::tree::paper_personal_schema(),
+        ]);
+        let p = RepositoryPartition::build(&small, 5, ShardPlacement::Contiguous);
+        assert_eq!(p.shard_count(), 5);
+        assert_is_partition(&small, &p);
+        let non_empty = p.shards().iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(non_empty, 2);
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_repository() {
+        let repo = repo();
+        for placement in [ShardPlacement::Contiguous, ShardPlacement::TreeHash] {
+            let p = RepositoryPartition::build(&repo, 1, placement);
+            assert_eq!(p.shards()[0].tree_count(), repo.tree_count());
+            assert_eq!(p.shards()[0].total_nodes(), repo.total_nodes());
+            // Identity tree map.
+            for (tid, _) in repo.trees() {
+                assert_eq!(p.global_tree(0, tid), Some(tid));
+            }
+        }
+    }
+
+    #[test]
+    fn to_global_round_trips_node_ids() {
+        let repo = repo();
+        let p = RepositoryPartition::build(&repo, 3, ShardPlacement::TreeHash);
+        for (shard_idx, shard) in p.shards().iter().enumerate() {
+            for (local_id, node) in shard.nodes() {
+                let global = p.to_global(shard_idx, local_id).unwrap();
+                assert_eq!(repo.name_of(global), node.name);
+            }
+        }
+        assert_eq!(
+            p.to_global(0, GlobalNodeId::new(TreeId(999), NodeId(0))),
+            None
+        );
+        assert_eq!(p.shard_of(TreeId(999)), None);
+    }
+
+    #[test]
+    fn empty_repository_partitions_into_empty_shards() {
+        let p = RepositoryPartition::build(&SchemaRepository::new(), 3, ShardPlacement::Contiguous);
+        assert_eq!(p.shard_count(), 3);
+        assert!(p.shards().iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard_count must be at least 1")]
+    fn zero_shards_panics() {
+        RepositoryPartition::build(&SchemaRepository::new(), 0, ShardPlacement::Contiguous);
+    }
+}

@@ -142,61 +142,79 @@ struct EngineCore {
     objective: ObjectiveConfig,
 }
 
+/// The cache → singleflight → compute serving discipline shared by the engine's
+/// workers and the sharded router (`shard::RouterCore`): look the fingerprint up
+/// in the result cache, otherwise join the in-flight map — followers take a clone
+/// of the leader's response, the leader runs `compute`, publishes and caches. One
+/// implementation, so the two serving layers cannot drift apart in accounting or
+/// in the leader's cache re-check. `compute` is `FnMut` because a caller can lose
+/// a cancelled leader's flight and end up leading a later one.
+pub(crate) fn serve_with_caches(
+    results: &ResultCache,
+    inflight: &Singleflight<MatchResponse>,
+    metrics: &MetricsRegistry,
+    fingerprint: String,
+    mut compute: impl FnMut(&str) -> MatchResponse,
+) -> MatchResponse {
+    let start = Instant::now();
+    if let Some(cached) = results.get(&fingerprint) {
+        // Deep-clone outside the cache lock (get returns an Arc) so warm traffic
+        // doesn't serialise workers on the clone.
+        let mut response = (*cached).clone();
+        response.cache_hit = true;
+        response.latency = start.elapsed();
+        metrics.record(response.latency, response.strategy, ServedVia::ResultCache);
+        return response;
+    }
+    loop {
+        match inflight.join(&fingerprint) {
+            Join::Follower(Some(leader_response)) => {
+                let mut response = leader_response;
+                response.cache_hit = true;
+                response.latency = start.elapsed();
+                metrics.record(response.latency, response.strategy, ServedVia::Coalesced);
+                return response;
+            }
+            // The leader died without publishing (a pipeline panic is a bug, but
+            // it must not strand followers): try to take the lead ourselves.
+            Join::Follower(None) => continue,
+            Join::Leader(guard) => {
+                // Re-check the result cache: the previous leader may have
+                // published between our miss and this join.
+                if let Some(cached) = results.get(&fingerprint) {
+                    let response = (*cached).clone();
+                    guard.complete(response.clone());
+                    let mut out = response;
+                    out.cache_hit = true;
+                    out.latency = start.elapsed();
+                    metrics.record(out.latency, out.strategy, ServedVia::ResultCache);
+                    return out;
+                }
+                let response = compute(&fingerprint);
+                results.insert(fingerprint, response.clone());
+                guard.complete(response.clone());
+                let mut out = response;
+                out.latency = start.elapsed();
+                metrics.record(out.latency, out.strategy, ServedVia::Pipeline);
+                return out;
+            }
+        }
+    }
+}
+
 impl EngineCore {
     /// Answer one query: result cache → singleflight → planner → candidate
     /// generation (feature kernels) → clustered pipeline → top-k cut. This is the
     /// sequential unit of work; concurrency only ever runs *whole* queries in
     /// parallel, which is what makes worker-count invisible in the results.
     fn answer(&self, query: &MatchQuery, scratch: &mut SimScratch) -> MatchResponse {
-        let start = Instant::now();
-        let fingerprint = query.fingerprint();
-        if let Some(cached) = self.results.get(&fingerprint) {
-            // Deep-clone outside the cache lock (get returns an Arc) so warm traffic
-            // doesn't serialise workers on the clone.
-            let mut response = (*cached).clone();
-            response.cache_hit = true;
-            response.latency = start.elapsed();
-            self.metrics
-                .record(response.latency, response.strategy, ServedVia::ResultCache);
-            return response;
-        }
-        loop {
-            match self.inflight.join(&fingerprint) {
-                Join::Follower(Some(leader_response)) => {
-                    let mut response = leader_response;
-                    response.cache_hit = true;
-                    response.latency = start.elapsed();
-                    self.metrics
-                        .record(response.latency, response.strategy, ServedVia::Coalesced);
-                    return response;
-                }
-                // The leader died without publishing (a pipeline panic is a bug, but
-                // it must not strand followers): try to take the lead ourselves.
-                Join::Follower(None) => continue,
-                Join::Leader(guard) => {
-                    // Re-check the result cache: the previous leader may have
-                    // published between our miss and this join.
-                    if let Some(cached) = self.results.get(&fingerprint) {
-                        let response = (*cached).clone();
-                        guard.complete(response.clone());
-                        let mut out = response;
-                        out.cache_hit = true;
-                        out.latency = start.elapsed();
-                        self.metrics
-                            .record(out.latency, out.strategy, ServedVia::ResultCache);
-                        return out;
-                    }
-                    let response = self.run_pipeline(query, &fingerprint, scratch);
-                    self.results.insert(fingerprint, response.clone());
-                    guard.complete(response.clone());
-                    let mut out = response;
-                    out.latency = start.elapsed();
-                    self.metrics
-                        .record(out.latency, out.strategy, ServedVia::Pipeline);
-                    return out;
-                }
-            }
-        }
+        serve_with_caches(
+            &self.results,
+            &self.inflight,
+            &self.metrics,
+            query.fingerprint(),
+            |fingerprint| self.run_pipeline(query, fingerprint, scratch),
+        )
     }
 
     /// The uncached pipeline: plan, generate candidates through the feature
@@ -267,6 +285,12 @@ pub struct PendingResponse {
 }
 
 impl PendingResponse {
+    /// Wrap a reply channel (used by the sharded router, whose workers answer
+    /// through the same pending-response handle as the engine's).
+    pub(crate) fn new(rx: Receiver<MatchResponse>) -> Self {
+        PendingResponse { rx }
+    }
+
     /// Block until the response is ready.
     ///
     /// # Panics

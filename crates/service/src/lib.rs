@@ -15,6 +15,9 @@
 //! * [`planner`] — resolves [`query::QueryStrategy::Auto`] per query into
 //!   index-pruned or exhaustive candidate generation from posting-list statistics,
 //! * [`cache`] — a bounded LRU cache of whole responses keyed by fingerprint,
+//! * [`shard`] — [`shard::ShardedEngine`]: the repository partitioned by tree
+//!   across N independent engines, queries scattered to all shards and merged with
+//!   a deterministic top-k merge — byte-identical to the single-engine answer,
 //! * [`singleflight`] — in-flight deduplication: concurrent identical queries that
 //!   miss the result cache coalesce onto one pipeline execution,
 //! * [`metrics`] — queries served, cache hit rates, coalesced-query counts,
@@ -53,6 +56,7 @@ pub mod engine;
 pub mod metrics;
 pub mod planner;
 pub mod query;
+pub mod shard;
 pub mod singleflight;
 pub mod workload;
 
@@ -61,4 +65,5 @@ pub use engine::{EngineConfig, MatchEngine, PendingResponse};
 pub use metrics::{EngineMetrics, LatencyHistogram};
 pub use planner::{PlannerConfig, QueryPlan, QueryPlanner};
 pub use query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};
+pub use shard::{ShardedEngine, ShardedEngineConfig, ShardedMetrics};
 pub use singleflight::Singleflight;

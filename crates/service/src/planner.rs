@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use xsm_repo::NameIndex;
 use xsm_schema::SchemaTree;
+use xsm_similarity::features::for_each_gram;
 
 use crate::query::{PlannedStrategy, QueryStrategy};
 
@@ -72,16 +73,59 @@ impl QueryPlanner {
         requested: QueryStrategy,
         index: &NameIndex,
     ) -> QueryPlan {
-        let exhaustive_volume = personal.len() * index.indexed_nodes();
+        self.plan_over(personal, requested, std::iter::once(index))
+    }
+
+    /// [`QueryPlanner::plan`] over a repository served by several indexes (one per
+    /// shard). The statistics the decision reads are *additive* over a disjoint
+    /// partition of the repository — a gram's posting lists across shards
+    /// concatenate to its global posting list, and indexed-node counts sum — so
+    /// planning over the shard indexes reaches **exactly** the decision the single
+    /// engine's planner reaches over the whole repository. A sharded router plans
+    /// once up here and forces the resolved strategy onto every shard; letting each
+    /// shard re-plan `Auto` from its local statistics could split the fleet across
+    /// strategies and silently diverge from the unsharded answer.
+    pub fn plan_over<'a>(
+        &self,
+        personal: &SchemaTree,
+        requested: QueryStrategy,
+        indexes: impl Iterator<Item = &'a NameIndex> + Clone,
+    ) -> QueryPlan {
+        let indexed_nodes: usize = indexes.clone().map(|i| i.indexed_nodes()).sum();
+        let exhaustive_volume = personal.len() * indexed_nodes;
         // The estimation pass walks every personal name's grams; it only runs when
         // the decision actually depends on it (forced strategies skip it).
         let (strategy, estimated_volume) = match requested {
             QueryStrategy::IndexPruned => (PlannedStrategy::IndexPruned, 0),
             QueryStrategy::Exhaustive => (PlannedStrategy::Exhaustive, 0),
             QueryStrategy::Auto => {
+                // Each name's distinct grams are extracted once — gram *strings*
+                // are shard-independent, only their interned ids differ per index —
+                // and every index is then charged a posting-length lookup per gram.
+                // All indexes must share one q (true by construction: a sharded
+                // engine builds every shard with the same configuration); summing
+                // `estimate_candidate_volume` per index would redo the gram
+                // extraction once per shard.
+                let q = indexes.clone().next().map_or(0, |i| i.q());
                 let estimated: usize = personal
                     .nodes()
-                    .map(|(_, node)| index.estimate_candidate_volume(&node.name))
+                    .map(|(_, node)| {
+                        let mut grams: Vec<String> = Vec::new();
+                        for_each_gram(&node.name.to_lowercase(), q.max(1), |gram| {
+                            if !grams.iter().any(|g| g == gram) {
+                                grams.push(gram.to_string());
+                            }
+                        });
+                        grams
+                            .iter()
+                            .map(|gram| {
+                                indexes
+                                    .clone()
+                                    .map(|i| i.gram_posting_len(gram))
+                                    .sum::<usize>()
+                            })
+                            .sum::<usize>()
+                    })
                     .sum();
                 let budget = self.config.max_pruned_fraction * exhaustive_volume as f64;
                 if exhaustive_volume > 0 && (estimated as f64) <= budget {
@@ -157,6 +201,42 @@ mod tests {
         // The ubiquitous name floods the postings → exhaustive scan.
         let common = planner.plan(&personal("shared"), QueryStrategy::Auto, &index);
         assert_eq!(common.strategy, PlannedStrategy::Exhaustive);
+    }
+
+    #[test]
+    fn plan_over_shard_indexes_matches_the_whole_index() {
+        use xsm_repo::{RepositoryPartition, ShardPlacement};
+        let mut names: Vec<String> = (0..30).map(|i| format!("field{i:02}")).collect();
+        names.push("shared".to_string());
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let mut forest = SchemaRepository::new();
+        for chunk in refs.chunks(7) {
+            let mut b = TreeBuilder::new("t").root(SchemaNode::element(chunk[0]));
+            for n in &chunk[1..] {
+                b = b.sibling(SchemaNode::element(*n));
+            }
+            forest.add_tree(b.build());
+        }
+        let whole = NameIndex::build(&forest);
+        let planner = QueryPlanner::default();
+        for shards in [1, 2, 3] {
+            for placement in [ShardPlacement::Contiguous, ShardPlacement::TreeHash] {
+                let partition = RepositoryPartition::build(&forest, shards, placement);
+                let indexes: Vec<NameIndex> =
+                    partition.shards().iter().map(NameIndex::build).collect();
+                for name in ["field07", "shared", "zzqx", "fiel"] {
+                    let single = planner.plan(&personal(name), QueryStrategy::Auto, &whole);
+                    let sharded =
+                        planner.plan_over(&personal(name), QueryStrategy::Auto, indexes.iter());
+                    assert_eq!(single.strategy, sharded.strategy, "{name}");
+                    assert_eq!(single.estimated_volume, sharded.estimated_volume, "{name}");
+                    assert_eq!(
+                        single.exhaustive_volume, sharded.exhaustive_volume,
+                        "{name}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

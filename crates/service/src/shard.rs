@@ -1,0 +1,517 @@
+//! The [`ShardedEngine`]: one repository served by N independent [`MatchEngine`]s.
+//!
+//! A repository that outgrows a single host is partitioned **by tree**
+//! ([`xsm_repo::RepositoryPartition`]): every schema mapping lives inside one tree,
+//! the clustering control loop is tree-local, and the planner statistics are
+//! additive over a disjoint partition — so a query scattered to all shards and
+//! gathered with a deterministic merge returns **byte-identical** answers to the
+//! unsharded engine. That equivalence is the module's contract, proven for
+//! 1/2/3/8 shards by the property suite in `tests/shard_equivalence.rs`.
+//!
+//! ## Scatter
+//!
+//! The router resolves [`QueryStrategy::Auto`] **once**, from the shard indexes'
+//! aggregated posting statistics ([`QueryPlanner::plan_over`]), and forces the
+//! resolved strategy onto every shard — per-shard re-planning could split the fleet
+//! across strategies and silently diverge from the single-engine answer. Sub-queries
+//! flow through each shard engine's existing bounded submission queue.
+//!
+//! ## Gather
+//!
+//! Each shard answers with its local top-k; shard-local node ids are translated
+//! back to global ids (tree placement preserves ascending id order, so translation
+//! never disturbs a tie-break), the lists are merged with the same comparator the
+//! pipeline sorts with — score descending, then repository node ids — and cut to
+//! `top_k`. The global top-k is always contained in the union of per-shard top-ks,
+//! so the merge loses nothing. `candidate_count` and `total_matches` are sums.
+//!
+//! ## Above the router
+//!
+//! The router carries its own bounded LRU [`ResultCache`] and [`Singleflight`] map
+//! keyed by the *original* query fingerprint (requested strategy included):
+//! concurrent identical queries coalesce onto one scatter, repeats are answered
+//! without touching any shard. [`ShardedEngine::metrics`] reports the router's own
+//! counters plus the per-shard engine breakdown.
+//!
+//! ## Restrictions
+//!
+//! [`xsm_matcher::element::ElementMatchConfig::max_candidates_per_node`] must be
+//! unset: the cap keeps the
+//! globally best candidates per personal node, which per-shard engines cannot
+//! reconstruct from local views (each would cap against its own candidates, keeping
+//! pairs the global cut would drop). Construction panics rather than serving
+//! subtly different answers.
+
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use serde::{Deserialize, Serialize};
+use xsm_matcher::generator::sort_mappings;
+use xsm_matcher::{MappingElement, SchemaMapping};
+use xsm_repo::{RepositoryPartition, SchemaRepository, ShardPlacement};
+use xsm_schema::{GlobalNodeId, TreeId};
+
+use crate::cache::{ResultCache, DEFAULT_RESULT_CACHE_CAPACITY};
+use crate::engine::{EngineConfig, MatchEngine, PendingResponse};
+use crate::metrics::{EngineMetrics, MetricsRegistry};
+use crate::planner::QueryPlanner;
+use crate::query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};
+use crate::singleflight::Singleflight;
+
+/// Construction-time configuration of a [`ShardedEngine`].
+#[derive(Debug, Clone)]
+pub struct ShardedEngineConfig {
+    /// Number of shards the repository is partitioned into (`>= 1`; shards beyond
+    /// the tree count stay empty and answer instantly).
+    pub shards: usize,
+    /// How trees are placed onto shards.
+    pub placement: ShardPlacement,
+    /// Router worker threads scattering/gathering queries (`>= 1`).
+    pub router_workers: usize,
+    /// Capacity of the router's bounded submission queue (backpressure on
+    /// submitters, exactly like the engine's).
+    pub router_queue_capacity: usize,
+    /// Capacity of the router-level result cache (whole merged responses, LRU).
+    pub router_result_cache_capacity: usize,
+    /// Configuration applied to **every** shard engine (workers per shard, element
+    /// matching, clustering variant, objective, planner tuning).
+    pub engine: EngineConfig,
+}
+
+impl Default for ShardedEngineConfig {
+    fn default() -> Self {
+        ShardedEngineConfig {
+            shards: 2,
+            placement: ShardPlacement::Contiguous,
+            router_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(4),
+            router_queue_capacity: 64,
+            router_result_cache_capacity: DEFAULT_RESULT_CACHE_CAPACITY,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+impl ShardedEngineConfig {
+    /// Builder-style shard-count override (`0` is clamped to `1`).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Builder-style placement override.
+    pub fn with_placement(mut self, placement: ShardPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Builder-style router worker-count override (`0` is clamped to `1`).
+    pub fn with_router_workers(mut self, workers: usize) -> Self {
+        self.router_workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style router queue-capacity override.
+    pub fn with_router_queue_capacity(mut self, capacity: usize) -> Self {
+        self.router_queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder-style router result-cache capacity override.
+    pub fn with_router_result_cache_capacity(mut self, capacity: usize) -> Self {
+        self.router_result_cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder-style per-shard engine configuration override.
+    pub fn with_engine_config(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Router-level and per-shard serving metrics of a [`ShardedEngine`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardedMetrics {
+    /// The router's own counters: queries served (merged responses), router
+    /// result-cache hits, coalesced queries, per-strategy scatter counts and
+    /// end-to-end (scatter + gather) latency quantiles.
+    pub router: EngineMetrics,
+    /// One [`EngineMetrics`] per shard engine, in shard order. Every scattered
+    /// query appears once in each shard's `queries_served`.
+    pub per_shard: Vec<EngineMetrics>,
+}
+
+/// Everything the router workers share.
+struct RouterCore {
+    engines: Vec<MatchEngine>,
+    /// Per shard: local `TreeId` index → global `TreeId` (ascending).
+    tree_maps: Vec<Vec<TreeId>>,
+    planner: QueryPlanner,
+    results: ResultCache,
+    inflight: Singleflight<MatchResponse>,
+    metrics: MetricsRegistry,
+}
+
+impl RouterCore {
+    /// Answer one query at the router: result cache → singleflight → scatter to
+    /// every shard → gather/merge. Runs the same `serve_with_caches` discipline as
+    /// `EngineCore::answer`, so the sharded serving path inherits the engine's
+    /// determinism and accounting contract by construction.
+    fn answer(&self, query: &MatchQuery) -> MatchResponse {
+        crate::engine::serve_with_caches(
+            &self.results,
+            &self.inflight,
+            &self.metrics,
+            query.fingerprint(),
+            |fingerprint| self.scatter_gather(query, fingerprint),
+        )
+    }
+
+    /// One scatter/gather pass: plan globally, fan the sub-query out through every
+    /// shard engine's bounded queue, merge the per-shard answers deterministically.
+    fn scatter_gather(&self, query: &MatchQuery, fingerprint: &str) -> MatchResponse {
+        let plan = self.planner.plan_over(
+            &query.personal,
+            query.strategy,
+            self.engines.iter().map(|e| e.index()),
+        );
+        let forced = match plan.strategy {
+            PlannedStrategy::IndexPruned => QueryStrategy::IndexPruned,
+            PlannedStrategy::Exhaustive => QueryStrategy::Exhaustive,
+        };
+        let sub = MatchQuery {
+            personal: query.personal.clone(),
+            top_k: query.top_k,
+            strategy: forced,
+            threshold: query.threshold,
+        };
+        // Scatter first, wait second: the shards work concurrently.
+        let pending: Vec<PendingResponse> = self
+            .engines
+            .iter()
+            .map(|engine| engine.submit(sub.clone()))
+            .collect();
+        let mut mappings: Vec<SchemaMapping> = Vec::new();
+        let mut candidate_count = 0usize;
+        let mut total_matches = 0usize;
+        for (shard, pending) in pending.into_iter().enumerate() {
+            let response = pending.wait();
+            candidate_count += response.candidate_count;
+            total_matches += response.total_matches;
+            let map = &self.tree_maps[shard];
+            mappings.extend(
+                response
+                    .mappings
+                    .into_iter()
+                    .map(|m| globalize_mapping(m, map)),
+            );
+        }
+        // The same comparator the single engine's pipeline sorts with; per-shard
+        // lists arrive pre-sorted under it, so the merged order equals the order a
+        // single engine would have produced over the union.
+        sort_mappings(&mut mappings);
+        mappings.truncate(query.top_k);
+
+        MatchResponse {
+            fingerprint: fingerprint.to_string(),
+            strategy: plan.strategy,
+            cache_hit: false,
+            mappings,
+            candidate_count,
+            total_matches,
+            latency: std::time::Duration::ZERO,
+        }
+    }
+}
+
+/// Translate one shard-local mapping to global node ids (scores untouched).
+fn globalize_mapping(mapping: SchemaMapping, tree_map: &[TreeId]) -> SchemaMapping {
+    let score = mapping.score;
+    let pairs = mapping
+        .pairs()
+        .iter()
+        .map(|p| {
+            let global_tree = tree_map[p.repo.tree.index()];
+            MappingElement::new(
+                p.personal,
+                GlobalNodeId::new(global_tree, p.repo.node),
+                p.similarity,
+            )
+        })
+        .collect();
+    SchemaMapping::with_score(pairs, score)
+}
+
+/// One queued unit of router work.
+struct Job {
+    query: MatchQuery,
+    reply: SyncSender<MatchResponse>,
+}
+
+/// A sharded match-serving engine over one repository.
+///
+/// Construction partitions the repository by tree and builds one [`MatchEngine`]
+/// per shard (each with its own index, feature store and worker pool); serving
+/// scatters every query to all shards and merges the answers. The public API and
+/// the answers themselves are indistinguishable from a single [`MatchEngine`] over
+/// the whole repository — only capacity and the metrics breakdown differ.
+pub struct ShardedEngine {
+    core: Arc<RouterCore>,
+    tx: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardedEngine {
+    /// Partition `repo` into shards and start the shard engines and router pool.
+    ///
+    /// # Panics
+    /// Panics when `config.engine.element.max_candidates_per_node` is set — the
+    /// per-node candidate cap is a *global* cut that per-shard candidate generation
+    /// cannot reproduce, so serving it sharded would violate the equivalence
+    /// contract (see the module docs).
+    pub fn new(repo: SchemaRepository, config: ShardedEngineConfig) -> Self {
+        assert!(
+            config.engine.element.max_candidates_per_node.is_none(),
+            "ShardedEngine cannot serve ElementMatchConfig::max_candidates_per_node: \
+             the cap keeps the globally best candidates per personal node, which \
+             per-shard engines cannot determine from their local view"
+        );
+        let shard_count = config.shards.max(1);
+        let partition = RepositoryPartition::build(&repo, shard_count, config.placement);
+        let (shards, tree_maps) = partition.into_parts();
+        let engines: Vec<MatchEngine> = shards
+            .into_iter()
+            .map(|shard| MatchEngine::new(shard, config.engine.clone()))
+            .collect();
+        let core = Arc::new(RouterCore {
+            planner: QueryPlanner::new(config.engine.planner),
+            engines,
+            tree_maps,
+            results: ResultCache::with_capacity(config.router_result_cache_capacity),
+            inflight: Singleflight::new(),
+            metrics: MetricsRegistry::new(),
+        });
+        let (tx, rx) = sync_channel::<Job>(config.router_queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.router_workers.max(1))
+            .map(|i| {
+                let core = Arc::clone(&core);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("xsm-shard-router-{i}"))
+                    .spawn(move || loop {
+                        let job = { rx.lock().unwrap().recv() };
+                        match job {
+                            Ok(job) => {
+                                let response = core.answer(&job.query);
+                                let _ = job.reply.send(response);
+                            }
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("failed to spawn shard-router worker")
+            })
+            .collect();
+        ShardedEngine {
+            core,
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// A sharded engine with `shards` shards and default configuration otherwise.
+    pub fn with_defaults(repo: SchemaRepository, shards: usize) -> Self {
+        Self::new(repo, ShardedEngineConfig::default().with_shards(shards))
+    }
+
+    /// Number of shards (empty shards included).
+    pub fn shard_count(&self) -> usize {
+        self.core.engines.len()
+    }
+
+    /// The per-shard engines, in shard order (for inspection and tests).
+    pub fn shard_engines(&self) -> &[MatchEngine] {
+        &self.core.engines
+    }
+
+    /// The global tree ids placed on shard `shard`, ascending.
+    pub fn shard_trees(&self, shard: usize) -> &[TreeId] {
+        self.core
+            .tree_maps
+            .get(shard)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Enqueue one query with the router's backpressure; the returned handle blocks
+    /// until the merged response is ready.
+    pub fn submit(&self, query: MatchQuery) -> PendingResponse {
+        let (reply, rx) = sync_channel(1);
+        self.tx
+            .as_ref()
+            .expect("router is running until dropped")
+            .send(Job { query, reply })
+            .expect("shard-router workers are gone");
+        PendingResponse::new(rx)
+    }
+
+    /// Answer one query, blocking until every shard contributed.
+    pub fn query(&self, query: MatchQuery) -> MatchResponse {
+        self.submit(query).wait()
+    }
+
+    /// Serve a whole batch through the router pool, responses in input order.
+    /// Duplicate in-flight fingerprints coalesce at the router (one scatter).
+    pub fn submit_batch(&self, queries: Vec<MatchQuery>) -> Vec<MatchResponse> {
+        let mut pending = Vec::with_capacity(queries.len());
+        for query in queries {
+            pending.push(self.submit(query));
+        }
+        pending.into_iter().map(PendingResponse::wait).collect()
+    }
+
+    /// Answer a query on the calling thread, bypassing the router pool (identical
+    /// results and accounting to [`ShardedEngine::query`]; the scatter still runs
+    /// through the shard engines' queues).
+    pub fn answer_inline(&self, query: &MatchQuery) -> MatchResponse {
+        self.core.answer(query)
+    }
+
+    /// Router-level metrics plus the per-shard engine breakdown.
+    pub fn metrics(&self) -> ShardedMetrics {
+        ShardedMetrics {
+            router: self.core.metrics.snapshot(),
+            per_shard: self.core.engines.iter().map(|e| e.metrics()).collect(),
+        }
+    }
+
+    /// Number of merged responses currently held by the router's result cache.
+    pub fn result_cache_len(&self) -> usize {
+        self.core.results.len()
+    }
+
+    /// Drop every cached response, router and shards alike.
+    pub fn invalidate_results(&self) {
+        self.core.results.clear();
+        for engine in &self.core.engines {
+            engine.invalidate_results();
+        }
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // Close the router queue and join its workers before the shard engines
+        // (dropped afterwards, field order) join their own pools.
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsm_matcher::element::ElementMatchConfig;
+    use xsm_repo::{GeneratorConfig, RepositoryGenerator};
+    use xsm_schema::tree::paper_personal_schema;
+
+    fn repo() -> SchemaRepository {
+        RepositoryGenerator::new(GeneratorConfig::small(17).with_target_elements(400)).generate()
+    }
+
+    fn config(shards: usize) -> ShardedEngineConfig {
+        ShardedEngineConfig::default()
+            .with_shards(shards)
+            .with_router_workers(2)
+            .with_engine_config(
+                EngineConfig::default()
+                    .with_workers(1)
+                    .with_element_config(ElementMatchConfig::default().with_min_similarity(0.5)),
+            )
+    }
+
+    fn query() -> MatchQuery {
+        MatchQuery::new(paper_personal_schema())
+            .with_top_k(5)
+            .with_threshold(0.5)
+    }
+
+    #[test]
+    fn sharded_answers_match_the_single_engine() {
+        let repo = repo();
+        let single = MatchEngine::new(repo.clone(), config(1).engine);
+        let reference = single.query(query());
+        for shards in [1, 2, 4] {
+            let sharded = ShardedEngine::new(repo.clone(), config(shards));
+            assert_eq!(sharded.shard_count(), shards);
+            let response = sharded.query(query());
+            assert_eq!(
+                response.result_digest(),
+                reference.result_digest(),
+                "{shards} shards diverged"
+            );
+            assert_eq!(response.fingerprint, query().fingerprint());
+        }
+    }
+
+    #[test]
+    fn router_cache_and_shard_metrics_account_every_query() {
+        let repo = repo();
+        let sharded = ShardedEngine::new(repo, config(3));
+        let first = sharded.query(query());
+        let second = sharded.query(query());
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(first.result_digest(), second.result_digest());
+        let metrics = sharded.metrics();
+        assert_eq!(metrics.router.queries_served, 2);
+        assert_eq!(metrics.router.result_cache_hits, 1);
+        assert_eq!(metrics.per_shard.len(), 3);
+        // The scatter touched every shard exactly once (the repeat was served
+        // entirely by the router cache).
+        for shard in &metrics.per_shard {
+            assert_eq!(shard.queries_served, 1);
+        }
+        assert_eq!(sharded.result_cache_len(), 1);
+        sharded.invalidate_results();
+        assert_eq!(sharded.result_cache_len(), 0);
+        assert!(!sharded.query(query()).cache_hit);
+    }
+
+    #[test]
+    fn shard_trees_cover_the_forest() {
+        let repo = repo();
+        let tree_count = repo.tree_count();
+        let sharded = ShardedEngine::new(repo, config(4));
+        let mut seen: Vec<TreeId> = (0..4)
+            .flat_map(|s| sharded.shard_trees(s).to_vec())
+            .collect();
+        seen.sort();
+        assert_eq!(seen.len(), tree_count);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+        assert!(sharded.shard_trees(99).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_candidates_per_node")]
+    fn candidate_cap_is_rejected() {
+        let config = ShardedEngineConfig::default().with_engine_config(
+            EngineConfig::default()
+                .with_element_config(ElementMatchConfig::default().with_max_candidates(3)),
+        );
+        ShardedEngine::new(repo(), config);
+    }
+
+    #[test]
+    fn drop_joins_router_and_shards_cleanly() {
+        let sharded = ShardedEngine::new(repo(), config(2));
+        let _ = sharded.query(query());
+        drop(sharded);
+    }
+}

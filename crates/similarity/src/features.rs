@@ -9,7 +9,9 @@
 //!
 //! 1. a **feature build** ([`NameFeatures::build`]) that runs once per name and
 //!    precomputes the lowercased text, its `char`s, the Myers bit-parallel match
-//!    vectors, the word tokens and an interned, sorted q-gram signature, and
+//!    vectors and an interned, sorted q-gram signature (the per-word token
+//!    features only the token-set kernel reads are derived lazily, on first use —
+//!    fuzzy-only workloads never build them), and
 //! 2. a **kernel** ([`fuzzy_features`], [`levenshtein_features`], [`dice_features`],
 //!    [`jaccard_features`], [`token_set_features`], …) that scores two feature sets
 //!    without allocating: gram signatures are intersected by linear merge over `u32`
@@ -173,8 +175,18 @@ pub struct NameFeatures {
     pub lower: Box<str>,
     /// Unicode scalar values of [`NameFeatures::lower`].
     pub chars: Box<[char]>,
-    /// Word tokens of the original name (camelCase / snake_case / digit splits).
-    pub tokens: Box<[TokenFeatures]>,
+    /// The original name as given, kept **only when lowercasing changed it** — the
+    /// tokenizer needs the original case (camelCase boundaries vanish in
+    /// [`NameFeatures::lower`]), but for the common already-lowercase corpus name
+    /// `lower` *is* the original and storing a byte-identical copy per node would
+    /// only bloat repository-wide feature stores.
+    original: Option<Box<str>>,
+    /// Word tokens of the original name (camelCase / snake_case / digit splits),
+    /// built **on first use**: the fuzzy/edit/Jaro/gram kernels never read tokens,
+    /// so a fuzzy-only workload (the serving engine's default) pays nothing for
+    /// them — neither at [`NameFeatures::build`] time (repository-wide feature
+    /// stores build one `NameFeatures` per node) nor per query.
+    tokens: std::sync::OnceLock<Box<[TokenFeatures]>>,
     /// Sorted, deduplicated interned ids of the name's padded q-grams.
     pub gram_sig: Box<[u32]>,
     /// Multiplicity of each gram in [`NameFeatures::gram_sig`] (parallel array).
@@ -223,10 +235,6 @@ impl NameFeatures {
         let lower = name.to_lowercase();
         let chars: Box<[char]> = lower.chars().collect();
         let peq = build_peq(&chars);
-        let tokens: Box<[TokenFeatures]> = tokenize(name)
-            .iter()
-            .map(|t| TokenFeatures::new(t))
-            .collect();
 
         let mut occurrences: Vec<u32> = Vec::new();
         for_each_gram(&lower, q, |gram| occurrences.push(intern(gram)));
@@ -242,14 +250,35 @@ impl NameFeatures {
             }
         }
         NameFeatures {
+            original: (name != lower).then(|| name.into()),
             lower: lower.into_boxed_str(),
             chars,
-            tokens,
+            tokens: std::sync::OnceLock::new(),
             gram_sig: sig.into_boxed_slice(),
             gram_counts: counts.into_boxed_slice(),
             gram_total: occurrences.len() as u32,
             peq,
         }
+    }
+
+    /// The word tokens of the original name, tokenizing on first call (thread-safe;
+    /// concurrent first calls race benignly on one `OnceLock`). Token features are
+    /// identical whether they were built lazily here or would have been built
+    /// eagerly at construction — the tokenizer sees the same original name.
+    pub fn tokens(&self) -> &[TokenFeatures] {
+        self.tokens.get_or_init(|| {
+            let original = self.original.as_deref().unwrap_or(&self.lower);
+            tokenize(original)
+                .iter()
+                .map(|t| TokenFeatures::new(t))
+                .collect()
+        })
+    }
+
+    /// Whether the token features have been materialised yet (observability for
+    /// tests pinning the lazy-build contract).
+    pub fn tokens_built(&self) -> bool {
+        self.tokens.get().is_some()
     }
 
     /// Number of characters of the (lowercased) name.
@@ -418,10 +447,11 @@ fn fuzzy_tokens(a: &TokenFeatures, b: &TokenFeatures, scratch: &mut SimScratch) 
 /// [`crate::token::token_set_similarity`] on the original names: greedy best-match
 /// average of per-token fuzzy similarities, symmetrised over both directions.
 pub fn token_set_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratch) -> f64 {
-    if a.tokens.is_empty() && b.tokens.is_empty() {
+    let (a_tokens, b_tokens) = (a.tokens(), b.tokens());
+    if a_tokens.is_empty() && b_tokens.is_empty() {
         return 1.0;
     }
-    if a.tokens.is_empty() || b.tokens.is_empty() {
+    if a_tokens.is_empty() || b_tokens.is_empty() {
         return 0.0;
     }
     let mut dir = |from: &[TokenFeatures], to: &[TokenFeatures]| -> f64 {
@@ -434,7 +464,7 @@ pub fn token_set_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimS
             .sum::<f64>()
             / from.len() as f64
     };
-    (dir(&a.tokens, &b.tokens) + dir(&b.tokens, &a.tokens)) / 2.0
+    (dir(a_tokens, b_tokens) + dir(b_tokens, a_tokens)) / 2.0
 }
 
 /// Jaro similarity over features, bit-identical to [`crate::jaro::jaro`] on the
@@ -599,8 +629,11 @@ mod tests {
         let f = NameFeatures::build("AuthorName", &mut interner);
         assert_eq!(&*f.lower, "authorname");
         assert_eq!(f.char_len(), 10);
-        assert_eq!(f.tokens.len(), 2);
-        assert_eq!(f.tokens[0].chars().iter().collect::<String>(), "author");
+        // Tokens are lazy: nothing is materialised until a token kernel asks.
+        assert!(!f.tokens_built());
+        assert_eq!(f.tokens().len(), 2);
+        assert!(f.tokens_built());
+        assert_eq!(f.tokens()[0].chars().iter().collect::<String>(), "author");
         // "authorname" padded with ## on both sides → 12 grams of length 3.
         assert_eq!(f.gram_total(), 12);
         assert!(
@@ -705,6 +738,52 @@ mod tests {
             damerau_features(&fa, &fb, &mut scratch),
             damerau_levenshtein(&a64, &b64.to_lowercase())
         );
+    }
+
+    #[test]
+    fn lazy_tokens_change_no_score_and_build_only_on_demand() {
+        let mut scratch = SimScratch::default();
+        for (a, b) in [
+            ("authorName", "author_name"),
+            ("firstName", "nameFirst"),
+            ("Book", "bOOK"),
+            ("", "x1y2"),
+        ] {
+            let (fa, fb) = pair(a, b, 3);
+            // The fuzzy/edit/Jaro/gram kernels must not trigger tokenization…
+            let fuzzy = fuzzy_features(&fa, &fb, &mut scratch);
+            let _ = levenshtein_features(&fa, &fb, &mut scratch);
+            let _ = jaro_winkler_features(&fa, &fb, &mut scratch);
+            let _ = dice_features(&fa, &fb);
+            let _ = jaccard_features(&fa, &fb);
+            assert!(!fa.tokens_built(), "{a}: fuzzy workload built tokens");
+            assert!(!fb.tokens_built(), "{b}: fuzzy workload built tokens");
+            // …and their scores are pinned to the string paths regardless.
+            assert_eq!(fuzzy.to_bits(), compare_string_fuzzy(a, b).to_bits());
+            // The token kernel materialises tokens and still matches the string
+            // path bit-for-bit (the lazy build sees the same original name).
+            let ts = token_set_features(&fa, &fb, &mut scratch);
+            assert!(fa.tokens_built() && fb.tokens_built());
+            assert_eq!(ts.to_bits(), token_set_similarity(a, b).to_bits());
+            // Idempotent: a second call reuses the materialised tokens.
+            assert_eq!(
+                token_set_features(&fa, &fb, &mut scratch).to_bits(),
+                ts.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn cloning_preserves_lazy_and_materialised_tokens() {
+        let mut interner = GramInterner::new(3);
+        let f = NameFeatures::build("authorName", &mut interner);
+        let cloned_lazy = f.clone();
+        assert!(!cloned_lazy.tokens_built());
+        assert_eq!(f.tokens().len(), 2);
+        let cloned_built = f.clone();
+        assert!(cloned_built.tokens_built());
+        assert_eq!(cloned_built.tokens().len(), 2);
+        assert_eq!(cloned_lazy.tokens().len(), 2);
     }
 
     #[test]
