@@ -201,8 +201,12 @@ impl KMeansClusterer {
         let mut tracker = ConvergenceTracker::new();
         // previous assignment: node index → centroid node (for move counting).
         let mut previous_assignment: Vec<Option<GlobalNodeId>> = vec![None; nodes.len()];
+        // Seed snapshot for the small-tree fast path's fixed-point check.
+        let seeds = centroids.clone();
+        let fast_path =
+            self.config.small_tree_fast_path > 0 && nodes.len() <= self.config.small_tree_fast_path;
 
-        for _iteration in 0..self.config.max_iterations {
+        for iteration in 0..self.config.max_iterations {
             // Lines 3–8: assign every node to its nearest centroid (same tree only).
             let (assignment, moved) = self.assign(repo, &nodes, &centroids, &previous_assignment);
 
@@ -241,6 +245,16 @@ impl KMeansClusterer {
                 break;
             }
             if centroids.is_empty() {
+                break;
+            }
+            // Small-tree fast path: the first iteration left the centroid set
+            // exactly where seeding put it, so the loop is at a fixed point —
+            // iteration 2 would reproduce this assignment (moved = 0), keep the
+            // cluster count, and trip both convergence criteria. Skipping straight
+            // to the final rebuild is therefore bit-identical to running on; only
+            // the iteration statistics shrink. Gated to small scopes because only
+            // tiny trees reach a fixed point this early often enough to matter.
+            if fast_path && iteration == 0 && centroids == seeds {
                 break;
             }
         }
@@ -510,6 +524,97 @@ mod tests {
         assert!(trees > 0);
         assert!(stats.initial_centroids <= 20 * trees);
         assert!(set.len() <= stats.initial_centroids);
+    }
+
+    /// Structural equality of two clusterings: same clusters (tree, centroid,
+    /// members with identical similarity bits) and same unassigned sets.
+    fn assert_cluster_sets_identical(a: &ClusterSet, b: &ClusterSet) {
+        assert_eq!(a.len(), b.len(), "cluster counts diverged");
+        for (ca, cb) in a.clusters.iter().zip(&b.clusters) {
+            assert_eq!(ca, cb, "a cluster diverged");
+        }
+        assert_eq!(a.unassigned, b.unassigned, "unassigned sets diverged");
+    }
+
+    #[test]
+    fn small_tree_fast_path_is_bit_identical() {
+        // The fast path's fixed-point argument must hold over every configuration
+        // knob that shapes the loop: recluster strategy, join distance, floor.
+        // Compare enabled (default threshold, plus an aggressive one) against
+        // disabled on a spread of generated forests of mostly-small trees.
+        for seed in [3u64, 21, 77, 140] {
+            let problem = MatchingProblem::paper_experiment();
+            let repo = RepositoryGenerator::new(GeneratorConfig::small(seed)).generate();
+            for floor in [0.5, 0.7] {
+                let candidates = match_elements(
+                    &problem.personal,
+                    &repo,
+                    &NameElementMatcher,
+                    &ElementMatchConfig::default().with_min_similarity(floor),
+                );
+                for recluster in [
+                    ReclusterStrategy::None,
+                    ReclusterStrategy::Join,
+                    ReclusterStrategy::JoinAndRemove,
+                ] {
+                    let base_config = ClusteringConfig::default().with_recluster(recluster);
+                    let disabled = KMeansClusterer::new(base_config.with_small_tree_fast_path(0))
+                        .cluster(&repo, &candidates);
+                    for threshold in [ClusteringConfig::default().small_tree_fast_path, usize::MAX]
+                    {
+                        let enabled =
+                            KMeansClusterer::new(base_config.with_small_tree_fast_path(threshold))
+                                .cluster(&repo, &candidates);
+                        assert_cluster_sets_identical(&disabled.0, &enabled.0);
+                        assert!(enabled.1.iterations <= disabled.1.iterations);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_tree_fast_path_saves_an_iteration() {
+        // A scope whose seeding is already the medoid fixed point: two candidate
+        // nodes more than the join distance apart seed two singleton clusters
+        // whose medoids are the seeds themselves. With the fast path the loop
+        // stops after one iteration; without it the convergence criteria need a
+        // second look at the unchanged state.
+        use xsm_schema::{SchemaNode, TreeBuilder};
+        let tree = TreeBuilder::new("records")
+            .root(SchemaNode::element("rec"))
+            .child(SchemaNode::element("name"))
+            .sibling(SchemaNode::element("x1"))
+            .child(SchemaNode::element("x2"))
+            .child(SchemaNode::element("x3"))
+            .child(SchemaNode::element("names"))
+            .build();
+        let repo = SchemaRepository::from_trees(vec![tree]);
+        let personal = TreeBuilder::new("personal")
+            .root(SchemaNode::element("name"))
+            .build();
+        let candidates = match_elements(
+            &personal,
+            &repo,
+            &NameElementMatcher,
+            &ElementMatchConfig::default().with_min_similarity(0.5),
+        );
+        assert_eq!(
+            candidates.distinct_repo_nodes(),
+            2,
+            "scenario must seed exactly the two far-apart name nodes"
+        );
+        let config = ClusteringConfig::default().with_recluster(ReclusterStrategy::Join);
+        let fast = KMeansClusterer::new(config).cluster(&repo, &candidates);
+        let slow =
+            KMeansClusterer::new(config.with_small_tree_fast_path(0)).cluster(&repo, &candidates);
+        assert_cluster_sets_identical(&fast.0, &slow.0);
+        assert!(
+            fast.1.iterations < slow.1.iterations,
+            "fast path never triggered: {} vs {} iterations",
+            fast.1.iterations,
+            slow.1.iterations
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ use xsm_similarity::{
 };
 
 use crate::candidates::{CandidateSet, MappingElement};
-use xsm_repo::{FeatureStore, NameIndex, SchemaRepository};
+use xsm_repo::{
+    CandidateScratch, FeatureStore, LengthWindow, MergePolicy, NameIndex, ResolvedQuery,
+    SchemaRepository,
+};
 use xsm_similarity::features::{fuzzy_features, SimScratch};
 
 /// Compares a personal node with a repository node.
@@ -292,16 +295,40 @@ pub fn match_elements_with_index(
     finish(set, personal_nodes, config)
 }
 
-/// Candidate retrieval shared by the string and feature index paths: approximate
-/// (q-gram) plus exact lookups, deduplicated, in canonical id order. Both paths
-/// must score the **same** candidate set for the byte-identical replay guarantee
-/// to hold, so this lives in exactly one place.
+/// Candidate retrieval of the string reference path: approximate (q-gram) plus
+/// exact lookups, deduplicated, in canonical id order. The feature path retrieves
+/// through [`index_candidates_filtered`] instead — a *pre-scoring* subset shaped by
+/// the length window — but both paths apply the same `min_similarity` floor after
+/// scoring, and the window only drops pairs whose length difference already caps
+/// them below that floor, so the **scored** candidate sets (and therefore the
+/// byte-identical replay guarantee) are unchanged.
 fn index_candidates(
     index: &NameIndex,
     name: &str,
     min_overlap: f64,
 ) -> Vec<xsm_schema::GlobalNodeId> {
     let mut candidates = index.lookup_approximate(name, min_overlap);
+    candidates.extend_from_slice(index.lookup_exact(name));
+    candidates.sort();
+    candidates.dedup();
+    candidates
+}
+
+/// Filter–verify candidate retrieval of the feature path: one resolved candidate
+/// query per personal node, with the length window derived from the
+/// similarity floor the scores are filtered by afterwards. Exact-name hits are
+/// always in-window (equal lowercased names have equal lengths), so the union
+/// stays complete.
+fn index_candidates_filtered(
+    index: &NameIndex,
+    name: &str,
+    resolved: &ResolvedQuery,
+    min_overlap: f64,
+    window: LengthWindow,
+    scratch: &mut CandidateScratch,
+) -> Vec<xsm_schema::GlobalNodeId> {
+    let (mut candidates, _) =
+        index.lookup_candidates_resolved(resolved, min_overlap, window, MergePolicy::Auto, scratch);
     candidates.extend_from_slice(index.lookup_exact(name));
     candidates.sort();
     candidates.dedup();
@@ -342,23 +369,81 @@ pub fn match_elements_features(
 
 /// Index-pruned element matching through the [`FeatureStore`]: the zero-allocation
 /// fast path of [`match_elements_with_index`] for the paper's fuzzy name kernel.
-/// Candidate retrieval and scoring both run on interned ids and precomputed
-/// features; results are byte-identical to the string path with
-/// [`NameElementMatcher`].
+/// Candidate retrieval runs the filter–verify pipeline (length-bucketed postings,
+/// count-threshold merging over `candidates` scratch) with the length window
+/// derived from `config.min_similarity`; scoring runs on interned ids and
+/// precomputed features. Results are byte-identical to the string path with
+/// [`NameElementMatcher`]: the window only skips pairs the similarity floor would
+/// reject after scoring anyway.
 pub fn match_elements_with_index_features(
     personal: &SchemaTree,
     index: &NameIndex,
     config: &ElementMatchConfig,
     min_overlap: f64,
     scratch: &mut SimScratch,
+    candidates: &mut CandidateScratch,
+) -> CandidateSet {
+    let resolved = resolve_personal_queries(personal, index);
+    match_elements_with_index_features_resolved(
+        personal,
+        index,
+        config,
+        min_overlap,
+        &resolved,
+        scratch,
+        candidates,
+    )
+}
+
+/// Resolve every personal name against `index`, in the tree's pre-order — the
+/// slice [`match_elements_with_index_features_resolved`] consumes. Exposed so a
+/// serving engine can resolve once and share the result with its query planner
+/// ([`xsm_repo::NameIndex::resolve_query`] is also what the planner's windowed
+/// volume estimate reads).
+pub fn resolve_personal_queries(personal: &SchemaTree, index: &NameIndex) -> Vec<ResolvedQuery> {
+    personal
+        .preorder()
+        .iter()
+        .map(|&node| {
+            let data = personal.node(node).expect("preorder yields valid ids");
+            index.resolve_query(&data.name)
+        })
+        .collect()
+}
+
+/// [`match_elements_with_index_features`] with the per-node query resolutions
+/// supplied by the caller (`resolved` parallel to `personal.preorder()`), so a
+/// pipeline that already resolved the names for planning never re-walks their
+/// grams here.
+pub fn match_elements_with_index_features_resolved(
+    personal: &SchemaTree,
+    index: &NameIndex,
+    config: &ElementMatchConfig,
+    min_overlap: f64,
+    resolved: &[ResolvedQuery],
+    scratch: &mut SimScratch,
+    candidates: &mut CandidateScratch,
 ) -> CandidateSet {
     let store = index.features();
+    let window = LengthWindow::fuzzy_floor(config.min_similarity);
     let personal_nodes = personal.preorder();
+    assert_eq!(
+        resolved.len(),
+        personal_nodes.len(),
+        "one resolved query per personal node, in pre-order"
+    );
     let mut set = CandidateSet::new(personal_nodes.clone());
-    for &pnode in &personal_nodes {
+    for (&pnode, presolved) in personal_nodes.iter().zip(resolved) {
         let pdata = personal.node(pnode).expect("preorder yields valid ids");
         let pfeatures = store.query_features(&pdata.name);
-        for rid in index_candidates(index, &pdata.name, min_overlap) {
+        for rid in index_candidates_filtered(
+            index,
+            &pdata.name,
+            presolved,
+            min_overlap,
+            window,
+            candidates,
+        ) {
             let rfeatures = store.features_of(rid).expect("index ids are valid");
             let sim = fuzzy_features(&pfeatures, rfeatures, scratch);
             if sim >= config.min_similarity && sim > 0.0 {
@@ -573,6 +658,7 @@ mod tests {
         let repo = fig1_repo();
         let index = NameIndex::build(&repo);
         let mut scratch = SimScratch::default();
+        let mut candidates = CandidateScratch::default();
         for floor in [0.0, 0.4, 0.8] {
             let config = ElementMatchConfig::default().with_min_similarity(floor);
             let strings = match_elements(&personal, &repo, &NameElementMatcher, &config);
@@ -588,8 +674,14 @@ mod tests {
                 &config,
                 0.3,
             );
-            let features_idx =
-                match_elements_with_index_features(&personal, &index, &config, 0.3, &mut scratch);
+            let features_idx = match_elements_with_index_features(
+                &personal,
+                &index,
+                &config,
+                0.3,
+                &mut scratch,
+                &mut candidates,
+            );
             assert_sets_identical(&strings_idx, &features_idx);
         }
     }

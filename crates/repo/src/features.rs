@@ -98,6 +98,15 @@ impl FeatureStore {
     /// needs, since unknown grams can never match a posting but still dilute the
     /// overlap fraction).
     pub fn query_signature(&self, name: &str) -> (Vec<u32>, usize) {
+        let (known, distinct, _) = self.query_profile(name);
+        (known, distinct)
+    }
+
+    /// [`FeatureStore::query_signature`] plus the query's character length — the
+    /// **one** interner resolution every index-side consumer (candidate lookup,
+    /// volume estimation, the query planner) shares, so no call site re-walks the
+    /// query's grams. Returns `(known ids, distinct gram count, char length)`.
+    pub fn query_profile(&self, name: &str) -> (Vec<u32>, usize, usize) {
         let lower = name.to_lowercase();
         let mut known = Vec::new();
         let mut unknown: Vec<String> = Vec::new();
@@ -114,7 +123,14 @@ impl FeatureStore {
         known.sort_unstable();
         known.dedup();
         let distinct = known.len() + unknown.len();
-        (known, distinct)
+        (known, distinct, lower.chars().count())
+    }
+
+    /// The node ids covered by the store, in canonical (ascending `GlobalNodeId`)
+    /// order — the dense-index → id translation table the length-bucketed
+    /// [`crate::NameIndex`] postings are expressed in.
+    pub fn node_ids(&self) -> &[GlobalNodeId] {
+        &self.ids
     }
 }
 

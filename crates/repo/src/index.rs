@@ -6,18 +6,254 @@
 //! [`NameIndex`] is that substrate: an inverted index from lowercased names (exact)
 //! and from character q-grams (approximate candidate retrieval with a count filter).
 //!
-//! Since the feature-store rewrite the gram side is fully integer-based: building the
-//! index also builds a [`FeatureStore`] (one [`xsm_similarity::NameFeatures`] per
-//! node, all grams interned to dense `u32` ids by a shared
-//! [`xsm_similarity::GramInterner`]), and the posting lists live in a plain
-//! `Vec` indexed by gram id — queries touch `String` grams only long enough to
-//! resolve them to ids.
+//! ## Filter–verify layout
+//!
+//! The gram side is a **filter–verify pipeline** over integer postings:
+//!
+//! * Postings live in one flat arena of dense node indices (ascending, which is
+//!   also ascending [`GlobalNodeId`] order), grouped by gram and **segmented by
+//!   name character length**. A [`LengthWindow`] derived from the caller's
+//!   similarity floor — the same length-difference bound
+//!   `xsm_similarity::compare_string_fuzzy_bounded` exploits — skips whole
+//!   segments before any merging: a candidate whose length already caps its fuzzy
+//!   similarity below the floor is never touched.
+//! * The surviving segments are merged with a **T-occurrence count filter**
+//!   (`needed = ceil(min_overlap_fraction · distinct query grams)`), by an
+//!   algorithm chosen from the in-window volume: dense `u8`-counter **ScanCount**
+//!   for small volumes; for large ones **ScanProbe**, which exploits the length
+//!   bucketing directly — a candidate has exactly one name length, so per length
+//!   bucket the `T − 1` heaviest segments can be excluded from scanning entirely
+//!   (a candidate absent from every short segment tops out at `T − 1`
+//!   occurrences) and are only binary-probed for candidates that already
+//!   surfaced in the short segments. The heaviest postings of common grams are
+//!   therefore never merged at all. Classic heap-based **MergeSkip** (Li et al.)
+//!   with early termination is also implemented and selectable; measurement
+//!   showed length segmentation fragments the runs enough that its skip
+//!   advantage evaporates (one cursor per segment, `T ≪ runs`), which is exactly
+//!   why ScanProbe replaces it as the large-volume default.
+//! * Every merge reuses caller-owned [`CandidateScratch`]; steady-state
+//!   generation allocates only the output `Vec`.
+//!
+//! Under an infinite window the result is **exactly** the classic merge-everything
+//! count filter ([`NameIndex::lookup_approximate_baseline`], kept as the reference
+//! and bench baseline): same ids, same order — proven by the property suite in
+//! `tests/candidate_equivalence.rs`.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use xsm_schema::GlobalNodeId;
+use xsm_similarity::edit::normalized_similarity;
 
 use crate::features::FeatureStore;
 use crate::repository::SchemaRepository;
+
+/// In-window posting volume at or below which the plain dense-counter ScanCount
+/// merge is preferred (at small volumes the long/short segment partition and the
+/// probe bookkeeping cost more than they save).
+const SCAN_COUNT_MAX_VOLUME: usize = 2_048;
+
+/// Segments smaller than this are never designated probe-only: excluding a tiny
+/// segment saves almost no scanning but still charges every surviving candidate
+/// of that length a binary probe.
+const PROBE_MIN_SEGMENT: usize = 16;
+
+/// A length filter on candidate names, derived from the caller's similarity floor.
+///
+/// The fuzzy kernel normalizes the edit distance by the longer name, and the
+/// distance is at least the length difference, so a candidate of length `c` can
+/// score at most `1 - |q - c| / max(q, c)` against a query of length `q`. A window
+/// admits exactly the lengths whose bound still reaches the floor — evaluated with
+/// the *same* float expression the kernel uses
+/// ([`normalized_similarity`]), so the filter is conservative by construction:
+/// nothing a later `score >= floor` check would keep is ever dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LengthWindow {
+    /// Every candidate length is admitted (the classic, unfiltered lookup).
+    #[default]
+    Infinite,
+    /// Admit only lengths whose length-difference similarity bound can still reach
+    /// this floor against the query name.
+    FuzzyFloor(f64),
+}
+
+impl LengthWindow {
+    /// A window for a similarity floor; floors at or below zero admit everything
+    /// and collapse to [`LengthWindow::Infinite`].
+    pub fn fuzzy_floor(floor: f64) -> Self {
+        if floor <= 0.0 {
+            LengthWindow::Infinite
+        } else {
+            LengthWindow::FuzzyFloor(floor)
+        }
+    }
+
+    /// Whether the window admits every length.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, LengthWindow::Infinite)
+    }
+
+    /// Whether a candidate name of `candidate_chars` characters can still reach
+    /// the window's floor against a query of `query_chars` characters.
+    pub fn admits(&self, query_chars: usize, candidate_chars: usize) -> bool {
+        match *self {
+            LengthWindow::Infinite => true,
+            LengthWindow::FuzzyFloor(floor) => {
+                normalized_similarity(
+                    query_chars.abs_diff(candidate_chars),
+                    query_chars,
+                    candidate_chars,
+                ) >= floor
+            }
+        }
+    }
+}
+
+/// One approximate-candidate request against a [`NameIndex`]: the query name, the
+/// T-occurrence overlap requirement, and the length filter.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateQuery<'a> {
+    /// The query name (matched case-insensitively, like every kernel).
+    pub name: &'a str,
+    /// Minimum fraction of the query's distinct q-grams a candidate must share.
+    pub min_overlap_fraction: f64,
+    /// Which candidate name lengths are admitted at all.
+    pub length_window: LengthWindow,
+}
+
+impl<'a> CandidateQuery<'a> {
+    /// A query with an infinite length window (exact superset of the classic
+    /// lookup's behaviour).
+    pub fn new(name: &'a str, min_overlap_fraction: f64) -> Self {
+        CandidateQuery {
+            name,
+            min_overlap_fraction,
+            length_window: LengthWindow::Infinite,
+        }
+    }
+
+    /// Builder-style length-window override.
+    pub fn with_length_window(mut self, window: LengthWindow) -> Self {
+        self.length_window = window;
+        self
+    }
+}
+
+/// A query name resolved against one index's interner **once**: the sorted ids of
+/// its known grams, the distinct-gram denominator of the count filter, and the
+/// query's character length (the length-window anchor). Candidate lookup, volume
+/// estimation and the query planner all consume the same resolution instead of
+/// re-walking the name's grams per call site.
+#[derive(Debug, Clone)]
+pub struct ResolvedQuery {
+    known: Vec<u32>,
+    distinct: usize,
+    char_len: usize,
+}
+
+impl ResolvedQuery {
+    /// Sorted, deduplicated interned ids of the query grams present in the index.
+    pub fn known_grams(&self) -> &[u32] {
+        &self.known
+    }
+
+    /// Number of distinct query grams (known + unknown — the count filter's
+    /// denominator).
+    pub fn distinct_grams(&self) -> usize {
+        self.distinct
+    }
+
+    /// Character length of the lowercased query name.
+    pub fn char_len(&self) -> usize {
+        self.char_len
+    }
+}
+
+/// Which merge algorithm [`NameIndex::lookup_candidates_counted`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergePolicy {
+    /// Choose from the in-window posting volume (the serving default):
+    /// ScanCount at small volumes, ScanProbe beyond.
+    #[default]
+    Auto,
+    /// Force the dense-counter ScanCount merge over every in-window segment.
+    ScanCount,
+    /// Force the heap-based MergeSkip merge.
+    MergeSkip,
+    /// Force the long-segment-probing ScanCount merge.
+    ScanProbe,
+}
+
+/// The merge algorithm that actually served a lookup (reported in
+/// [`CandidateStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergeAlgorithm {
+    /// Dense-counter scan over every in-window segment.
+    #[default]
+    ScanCount,
+    /// Heap-based merge with skip-ahead.
+    MergeSkip,
+    /// Dense-counter scan over the short segments, binary probes into the
+    /// per-length heavy segments.
+    ScanProbe,
+}
+
+/// Reusable working memory for candidate generation. One instance per worker
+/// thread makes steady-state generation allocate nothing but the output `Vec`:
+/// the ScanCount counters persist (reset via the touched list, not wholesale),
+/// and the MergeSkip heap and cursor table keep their capacity across queries.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateScratch {
+    /// Dense per-node occurrence counters (ScanCount); only `touched` entries are
+    /// ever non-zero between queries.
+    counts: Vec<u8>,
+    /// Dense node indices whose counter was incremented this query.
+    touched: Vec<u32>,
+    /// Merge cursors: `(position, end)` into the index's posting arena.
+    runs: Vec<(u32, u32)>,
+    /// MergeSkip frontier: `Reverse((posting value, run index))`.
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Run indices popped in the current MergeSkip round.
+    popped: Vec<u32>,
+    /// ScanProbe: in-window segments as `(len, start, end)` awaiting partition.
+    segs: Vec<(u32, u32, u32)>,
+    /// ScanProbe: the probe-only segments, sorted by length.
+    long: Vec<(u32, u32, u32)>,
+    /// Surviving dense node indices.
+    out: Vec<u32>,
+}
+
+/// Work accounting of one candidate lookup (reported by the `candidates` bench).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CandidateStats {
+    /// Distinct nodes whose occurrence count was actually examined (ScanCount:
+    /// counter touches; ScanProbe: counter touches in the short segments;
+    /// MergeSkip: distinct frontier values processed — skipped and probe-only
+    /// postings are never examined).
+    pub candidates_examined: usize,
+    /// Posting entries never merged: MergeSkip binary-search jumps plus the full
+    /// volume of ScanProbe's probe-only segments.
+    pub postings_skipped: usize,
+    /// Length segments excluded by the window before merging.
+    pub segments_skipped: usize,
+    /// Binary probes into probe-only segments (ScanProbe).
+    pub probes: usize,
+    /// Summed posting volume of the in-window segments.
+    pub volume_in_window: usize,
+    /// Summed posting volume of all the query grams' segments.
+    pub volume_total: usize,
+    /// The merge algorithm that served the query.
+    pub algorithm: MergeAlgorithm,
+}
+
+/// One length-homogeneous slice of a gram's posting list.
+#[derive(Debug, Clone, Copy)]
+struct LenSegment {
+    /// Character length of every name in the segment.
+    len: u32,
+    /// Arena range of the segment's postings (dense node indices, ascending).
+    start: u32,
+    end: u32,
+}
 
 /// Inverted indexes from names and q-grams to repository nodes, plus the node
 /// feature store the similarity kernels score against.
@@ -25,8 +261,16 @@ use crate::repository::SchemaRepository;
 pub struct NameIndex {
     /// lowercase name → nodes carrying exactly that name.
     exact: HashMap<String, Vec<GlobalNodeId>>,
-    /// `postings[gram_id]` = nodes whose name contains that interned gram.
-    postings: Vec<Vec<GlobalNodeId>>,
+    /// All posting entries (dense node indices into the store), grouped by gram,
+    /// then by name length; ascending within each segment.
+    arena: Vec<u32>,
+    /// Length-segment directory; gram `g` owns
+    /// `segments[gram_segments[g] .. gram_segments[g + 1]]`.
+    segments: Vec<LenSegment>,
+    gram_segments: Vec<u32>,
+    /// Character length of every node's lowercased name, by dense index
+    /// (ScanProbe reads a candidate's length to pick its probe segments).
+    lens: Vec<u32>,
     /// Per-node features and the shared gram interner.
     store: FeatureStore,
     q: usize,
@@ -45,21 +289,53 @@ impl NameIndex {
         assert!(q >= 1, "q must be at least 1");
         let store = FeatureStore::build(repo, q);
         let mut exact: HashMap<String, Vec<GlobalNodeId>> = HashMap::new();
-        let mut postings: Vec<Vec<GlobalNodeId>> = vec![Vec::new(); store.interner().len()];
-        for (id, features) in store.iter() {
+        let gram_count = store.interner().len();
+        let mut per_gram: Vec<Vec<u32>> = vec![Vec::new(); gram_count];
+        let mut lens: Vec<u32> = Vec::with_capacity(store.len());
+        let mut total_postings = 0usize;
+        for (dense, (id, features)) in store.iter().enumerate() {
             exact
                 .entry(features.lower.to_string())
                 .or_default()
                 .push(id);
+            lens.push(features.char_len() as u32);
             // The signature is already sorted + deduplicated, so each node lands at
             // most once per posting list, in canonical node order.
             for &gram_id in features.gram_sig.iter() {
-                postings[gram_id as usize].push(id);
+                per_gram[gram_id as usize].push(dense as u32);
+                total_postings += 1;
             }
+        }
+        let mut arena: Vec<u32> = Vec::with_capacity(total_postings);
+        let mut segments: Vec<LenSegment> = Vec::new();
+        let mut gram_segments: Vec<u32> = Vec::with_capacity(gram_count + 1);
+        gram_segments.push(0);
+        for list in &mut per_gram {
+            // Stable by-length sort keeps the dense indices ascending within each
+            // segment (they were pushed in canonical order).
+            list.sort_by_key(|&dense| lens[dense as usize]);
+            let mut k = 0;
+            while k < list.len() {
+                let len = lens[list[k] as usize];
+                let start = arena.len() as u32;
+                while k < list.len() && lens[list[k] as usize] == len {
+                    arena.push(list[k]);
+                    k += 1;
+                }
+                segments.push(LenSegment {
+                    len,
+                    start,
+                    end: arena.len() as u32,
+                });
+            }
+            gram_segments.push(segments.len() as u32);
         }
         NameIndex {
             exact,
-            postings,
+            arena,
+            segments,
+            gram_segments,
+            lens,
             store,
             q,
         }
@@ -84,30 +360,368 @@ impl NameIndex {
             .unwrap_or(&[])
     }
 
+    /// Resolve a query name against this index's interner once; the result feeds
+    /// [`NameIndex::lookup_candidates_resolved`] and
+    /// [`NameIndex::estimate_candidate_volume_resolved`] without re-walking the
+    /// name's grams.
+    pub fn resolve_query(&self, name: &str) -> ResolvedQuery {
+        let (known, distinct, char_len) = self.store.query_profile(name);
+        ResolvedQuery {
+            known,
+            distinct,
+            char_len,
+        }
+    }
+
     /// Candidate nodes whose name shares at least `min_overlap_fraction` of the query
     /// name's q-grams (a conservative pre-filter: every node with fuzzy similarity
     /// above a moderate threshold shares a large q-gram fraction, so the exact kernel
     /// only has to be run on the returned candidates).
+    ///
+    /// Compatibility entry point running the classic merge
+    /// ([`NameIndex::lookup_approximate_baseline`] — byte-identical results by the
+    /// equivalence suite, and its working memory scales with the candidates
+    /// touched rather than the corpus, which suits one-shot callers). Hot paths
+    /// hold a [`CandidateScratch`] per worker and call
+    /// [`NameIndex::lookup_candidates`] instead.
     pub fn lookup_approximate(&self, name: &str, min_overlap_fraction: f64) -> Vec<GlobalNodeId> {
+        self.lookup_approximate_baseline(name, min_overlap_fraction)
+    }
+
+    /// The filter–verify candidate lookup (see the module docs): length segments
+    /// outside the window are skipped wholesale, the survivors are merged with a
+    /// T-occurrence count filter (ScanCount or MergeSkip, chosen from the
+    /// in-window volume). Returns candidate ids ascending.
+    pub fn lookup_candidates(
+        &self,
+        query: &CandidateQuery<'_>,
+        scratch: &mut CandidateScratch,
+    ) -> Vec<GlobalNodeId> {
+        self.lookup_candidates_counted(query, MergePolicy::Auto, scratch)
+            .0
+    }
+
+    /// [`NameIndex::lookup_candidates`] with an explicit merge policy, also
+    /// returning the work accounting (bench and test instrumentation).
+    pub fn lookup_candidates_counted(
+        &self,
+        query: &CandidateQuery<'_>,
+        policy: MergePolicy,
+        scratch: &mut CandidateScratch,
+    ) -> (Vec<GlobalNodeId>, CandidateStats) {
+        let resolved = self.resolve_query(query.name);
+        self.lookup_candidates_resolved(
+            &resolved,
+            query.min_overlap_fraction,
+            query.length_window,
+            policy,
+            scratch,
+        )
+    }
+
+    /// The resolved-query core of the filter–verify lookup.
+    pub fn lookup_candidates_resolved(
+        &self,
+        resolved: &ResolvedQuery,
+        min_overlap_fraction: f64,
+        window: LengthWindow,
+        policy: MergePolicy,
+        scratch: &mut CandidateScratch,
+    ) -> (Vec<GlobalNodeId>, CandidateStats) {
+        let mut stats = CandidateStats::default();
+        if resolved.distinct == 0 {
+            return (Vec::new(), stats);
+        }
+        let needed = ((min_overlap_fraction * resolved.distinct as f64).ceil() as usize).max(1);
+
+        // Length filter: collect the in-window segments.
+        scratch.segs.clear();
+        for &gram_id in &resolved.known {
+            let (seg_start, seg_end) = self.segment_range(gram_id);
+            for seg in &self.segments[seg_start..seg_end] {
+                let size = (seg.end - seg.start) as usize;
+                stats.volume_total += size;
+                if window.admits(resolved.char_len, seg.len as usize) {
+                    scratch.segs.push((seg.len, seg.start, seg.end));
+                    stats.volume_in_window += size;
+                } else {
+                    stats.segments_skipped += 1;
+                }
+            }
+        }
+        // A node can occur at most once per known gram, so a bound above the known
+        // gram count (or the surviving segment count) is unreachable.
+        if needed > resolved.known.len()
+            || needed > scratch.segs.len()
+            || stats.volume_in_window == 0
+        {
+            return (Vec::new(), stats);
+        }
+
+        // The `u8` counters cap both the reachable count (≤ known grams) and the
+        // bound itself; queries past 255 known grams always take MergeSkip.
+        let scan_safe = resolved.known.len() <= u8::MAX as usize;
+        let algorithm = match policy {
+            MergePolicy::ScanCount if scan_safe => MergeAlgorithm::ScanCount,
+            MergePolicy::ScanProbe if scan_safe => MergeAlgorithm::ScanProbe,
+            MergePolicy::MergeSkip | MergePolicy::ScanCount | MergePolicy::ScanProbe => {
+                MergeAlgorithm::MergeSkip
+            }
+            MergePolicy::Auto if !scan_safe => MergeAlgorithm::MergeSkip,
+            MergePolicy::Auto if stats.volume_in_window <= SCAN_COUNT_MAX_VOLUME => {
+                MergeAlgorithm::ScanCount
+            }
+            MergePolicy::Auto => MergeAlgorithm::ScanProbe,
+        };
+        stats.algorithm = algorithm;
+        match algorithm {
+            MergeAlgorithm::ScanCount => {
+                scratch.runs.clear();
+                scratch
+                    .runs
+                    .extend(scratch.segs.iter().map(|&(_, s, e)| (s, e)));
+                self.merge_scan_count(needed, scratch, &mut stats);
+            }
+            MergeAlgorithm::ScanProbe => self.merge_scan_probe(needed, scratch, &mut stats),
+            MergeAlgorithm::MergeSkip => {
+                scratch.runs.clear();
+                scratch
+                    .runs
+                    .extend(scratch.segs.iter().map(|&(_, s, e)| (s, e)));
+                self.merge_skip(needed, scratch, &mut stats);
+            }
+        }
+        let ids = self.store.node_ids();
+        let out = scratch
+            .out
+            .iter()
+            .map(|&dense| ids[dense as usize])
+            .collect();
+        (out, stats)
+    }
+
+    /// The counting pass shared by ScanCount and ScanProbe: dense `u8` counters
+    /// over `scratch.runs`, first touches recorded so the counters can be reset
+    /// in time proportional to the candidates touched, not the corpus.
+    fn scan_runs(&self, scratch: &mut CandidateScratch, stats: &mut CandidateStats) {
+        scratch.counts.resize(self.store.len(), 0);
+        scratch.touched.clear();
+        for &(start, end) in &scratch.runs {
+            for &dense in &self.arena[start as usize..end as usize] {
+                let count = &mut scratch.counts[dense as usize];
+                if *count == 0 {
+                    scratch.touched.push(dense);
+                }
+                *count += 1;
+            }
+        }
+        stats.candidates_examined = scratch.touched.len();
+    }
+
+    /// ScanCount: one dense `u8` counter per node, reset through the touched list
+    /// so the per-query cost scales with the candidates touched, not the corpus.
+    fn merge_scan_count(
+        &self,
+        needed: usize,
+        scratch: &mut CandidateScratch,
+        stats: &mut CandidateStats,
+    ) {
+        self.scan_runs(scratch, stats);
+        scratch.out.clear();
+        for &dense in &scratch.touched {
+            if scratch.counts[dense as usize] as usize >= needed {
+                scratch.out.push(dense);
+            }
+            scratch.counts[dense as usize] = 0;
+        }
+        scratch.out.sort_unstable();
+    }
+
+    /// ScanProbe: the length-bucketed refinement of DivideSkip (Li et al.). A
+    /// candidate has exactly one name length, so per length bucket the up-to
+    /// `needed − 1` largest segments can be excluded from scanning: a candidate
+    /// appearing **only** in those probe segments tops out at `needed − 1`
+    /// occurrences and can never qualify. The short segments are ScanCounted;
+    /// each touched candidate that could still reach the bound binary-probes the
+    /// probe segments **of its own length**. The heaviest postings — common grams
+    /// at common lengths — are never merged at all.
+    fn merge_scan_probe(
+        &self,
+        needed: usize,
+        scratch: &mut CandidateScratch,
+        stats: &mut CandidateStats,
+    ) {
+        // Partition: group segments by length, largest first within a group, and
+        // designate up to `needed − 1` worthwhile leaders per group probe-only.
+        scratch
+            .segs
+            .sort_unstable_by_key(|&(len, start, end)| (len, Reverse(end - start)));
+        scratch.long.clear();
+        scratch.runs.clear();
+        let mut group_len = u32::MAX;
+        let mut group_taken = 0usize;
+        for &(len, start, end) in scratch.segs.iter() {
+            if len != group_len {
+                group_len = len;
+                group_taken = 0;
+            }
+            if group_taken < needed - 1 && (end - start) as usize >= PROBE_MIN_SEGMENT {
+                scratch.long.push((len, start, end));
+                group_taken += 1;
+                stats.postings_skipped += (end - start) as usize;
+            } else {
+                scratch.runs.push((start, end));
+            }
+        }
+
+        // ScanCount over the short segments.
+        self.scan_runs(scratch, stats);
+
+        // Qualification: top a candidate's short count up with probes into the
+        // probe segments of its length (`scratch.long` is sorted by length, so the
+        // per-length slice is one binary-searched range).
+        scratch.out.clear();
+        for &dense in &scratch.touched {
+            let short_count = scratch.counts[dense as usize] as usize;
+            scratch.counts[dense as usize] = 0;
+            let len = self.lens[dense as usize];
+            let group_start = scratch.long.partition_point(|&(l, _, _)| l < len);
+            let group_end =
+                scratch.long[group_start..].partition_point(|&(l, _, _)| l == len) + group_start;
+            let potential = group_end - group_start;
+            if short_count + potential < needed {
+                continue;
+            }
+            let mut total = short_count;
+            for &(_, start, end) in &scratch.long[group_start..group_end] {
+                stats.probes += 1;
+                if self.arena[start as usize..end as usize]
+                    .binary_search(&dense)
+                    .is_ok()
+                {
+                    total += 1;
+                }
+                if total >= needed {
+                    break;
+                }
+            }
+            if total >= needed {
+                scratch.out.push(dense);
+            }
+        }
+        scratch.out.sort_unstable();
+    }
+
+    /// MergeSkip (Li et al.): a heap over the sorted runs pops candidates in
+    /// ascending order; whenever the minimum's multiplicity cannot reach the
+    /// T-occurrence bound, the `T - 1` smallest cursors jump forward by binary
+    /// search to the next frontier value, so postings of candidates that can never
+    /// qualify are skipped unexamined. Terminates as soon as fewer than `T`
+    /// cursors remain.
+    fn merge_skip(
+        &self,
+        needed: usize,
+        scratch: &mut CandidateScratch,
+        stats: &mut CandidateStats,
+    ) {
+        scratch.heap.clear();
+        scratch.out.clear();
+        for (run_idx, &(pos, _)) in scratch.runs.iter().enumerate() {
+            scratch
+                .heap
+                .push(Reverse((self.arena[pos as usize], run_idx as u32)));
+        }
+        while scratch.heap.len() >= needed {
+            let value = scratch.heap.peek().expect("heap non-empty").0 .0;
+            scratch.popped.clear();
+            while let Some(&Reverse((v, run_idx))) = scratch.heap.peek() {
+                if v != value {
+                    break;
+                }
+                scratch.heap.pop();
+                scratch.popped.push(run_idx);
+            }
+            stats.candidates_examined += 1;
+            if scratch.popped.len() >= needed {
+                scratch.out.push(value);
+                for &run_idx in &scratch.popped {
+                    let (pos, end) = &mut scratch.runs[run_idx as usize];
+                    *pos += 1;
+                    if pos < end {
+                        scratch
+                            .heap
+                            .push(Reverse((self.arena[*pos as usize], run_idx)));
+                    }
+                }
+            } else {
+                // Pop until T - 1 cursors are in hand; if the heap empties first,
+                // fewer than T runs remain and nothing can reach the bound.
+                while scratch.popped.len() < needed - 1 {
+                    match scratch.heap.pop() {
+                        Some(Reverse((_, run_idx))) => scratch.popped.push(run_idx),
+                        None => break,
+                    }
+                }
+                let Some(&Reverse((frontier, _))) = scratch.heap.peek() else {
+                    break;
+                };
+                for &run_idx in &scratch.popped {
+                    let (pos, end) = &mut scratch.runs[run_idx as usize];
+                    let slice = &self.arena[*pos as usize..*end as usize];
+                    let jump = slice.partition_point(|&v| v < frontier);
+                    stats.postings_skipped += jump.saturating_sub(1);
+                    *pos += jump as u32;
+                    if pos < end {
+                        scratch
+                            .heap
+                            .push(Reverse((self.arena[*pos as usize], run_idx)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The classic pre-filter–verify lookup, kept verbatim as the equivalence
+    /// reference and bench baseline: merge **every** posting of the query's grams
+    /// through a per-query hash map, then apply the count filter. Returns the
+    /// candidates ascending plus the number of distinct nodes examined.
+    pub fn lookup_approximate_baseline_counted(
+        &self,
+        name: &str,
+        min_overlap_fraction: f64,
+    ) -> (Vec<GlobalNodeId>, usize) {
         let (known, distinct) = self.store.query_signature(name);
         if distinct == 0 {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
+        let ids = self.store.node_ids();
         let mut counts: HashMap<GlobalNodeId, usize> = HashMap::new();
         for &gram_id in &known {
-            for &id in &self.postings[gram_id as usize] {
-                *counts.entry(id).or_default() += 1;
+            let (start, end) = self.arena_span(gram_id);
+            for &dense in &self.arena[start..end] {
+                *counts.entry(ids[dense as usize]).or_default() += 1;
             }
         }
         let needed = (min_overlap_fraction * distinct as f64).ceil() as usize;
         let needed = needed.max(1);
+        let examined = counts.len();
         let mut out: Vec<GlobalNodeId> = counts
             .into_iter()
             .filter(|&(_, c)| c >= needed)
             .map(|(id, _)| id)
             .collect();
         out.sort();
-        out
+        (out, examined)
+    }
+
+    /// [`NameIndex::lookup_approximate_baseline_counted`] without the accounting.
+    pub fn lookup_approximate_baseline(
+        &self,
+        name: &str,
+        min_overlap_fraction: f64,
+    ) -> Vec<GlobalNodeId> {
+        self.lookup_approximate_baseline_counted(name, min_overlap_fraction)
+            .0
     }
 
     /// The q used when the index was built.
@@ -120,12 +734,36 @@ impl NameIndex {
         self.store.len()
     }
 
+    /// Segment-directory range of one gram.
+    fn segment_range(&self, gram_id: u32) -> (usize, usize) {
+        (
+            self.gram_segments[gram_id as usize] as usize,
+            self.gram_segments[gram_id as usize + 1] as usize,
+        )
+    }
+
+    /// Arena span of one gram's full posting list (all length segments — they are
+    /// laid out contiguously per gram).
+    fn arena_span(&self, gram_id: u32) -> (usize, usize) {
+        let (seg_start, seg_end) = self.segment_range(gram_id);
+        if seg_start == seg_end {
+            return (0, 0);
+        }
+        (
+            self.segments[seg_start].start as usize,
+            self.segments[seg_end - 1].end as usize,
+        )
+    }
+
     /// Length of the posting list of one q-gram (0 for grams absent from the index).
     pub fn gram_posting_len(&self, gram: &str) -> usize {
         self.store
             .interner()
             .lookup(gram)
-            .map(|id| self.postings[id as usize].len())
+            .map(|id| {
+                let (start, end) = self.arena_span(id);
+                end - start
+            })
             .unwrap_or(0)
     }
 
@@ -133,13 +771,46 @@ impl NameIndex {
     /// summed posting-list lengths of the query's distinct q-grams. Query planners use
     /// this to decide between index-pruned and exhaustive candidate generation without
     /// materialising the candidates. Pure integer work: grams are resolved to interned
-    /// ids once and the sums read the dense posting table.
+    /// ids once and the sums read the dense segment directory.
     pub fn estimate_candidate_volume(&self, name: &str) -> usize {
-        let (known, _) = self.store.query_signature(name);
-        known
-            .iter()
-            .map(|&id| self.postings[id as usize].len())
-            .sum()
+        self.estimate_candidate_volume_resolved(&self.resolve_query(name), LengthWindow::Infinite)
+    }
+
+    /// The length-aware volume estimate: summed posting volume of the resolved
+    /// query's **in-window** segments — the post-length-filter work bound the
+    /// planner's pruned-vs-exhaustive decision uses.
+    pub fn estimate_candidate_volume_resolved(
+        &self,
+        resolved: &ResolvedQuery,
+        window: LengthWindow,
+    ) -> usize {
+        let mut volume = 0usize;
+        for &gram_id in &resolved.known {
+            let (seg_start, seg_end) = self.segment_range(gram_id);
+            for seg in &self.segments[seg_start..seg_end] {
+                if window.admits(resolved.char_len, seg.len as usize) {
+                    volume += (seg.end - seg.start) as usize;
+                }
+            }
+        }
+        volume
+    }
+
+    /// Per-name-length breakdown of the resolved query's posting volume, ascending
+    /// by length: what a planner (or an operator) sees before choosing a window.
+    pub fn candidate_volume_by_length(&self, resolved: &ResolvedQuery) -> Vec<(usize, usize)> {
+        let mut by_len: Vec<(usize, usize)> = Vec::new();
+        for &gram_id in &resolved.known {
+            let (seg_start, seg_end) = self.segment_range(gram_id);
+            for seg in &self.segments[seg_start..seg_end] {
+                let size = (seg.end - seg.start) as usize;
+                match by_len.binary_search_by_key(&(seg.len as usize), |&(l, _)| l) {
+                    Ok(pos) => by_len[pos].1 += size,
+                    Err(pos) => by_len.insert(pos, (seg.len as usize, size)),
+                }
+            }
+        }
+        by_len
     }
 
     /// Number of q-grams the indexed node's name produced (0 for unknown nodes).
@@ -248,6 +919,116 @@ mod tests {
     }
 
     #[test]
+    fn windowed_estimate_never_exceeds_the_infinite_one() {
+        let repo = small_repo();
+        let idx = NameIndex::build(&repo);
+        for name in ["address", "email", "person", "na"] {
+            let resolved = idx.resolve_query(name);
+            let infinite =
+                idx.estimate_candidate_volume_resolved(&resolved, LengthWindow::Infinite);
+            assert_eq!(infinite, idx.estimate_candidate_volume(name));
+            let mut last = infinite;
+            for floor in [0.2, 0.5, 0.8, 1.0] {
+                let windowed = idx.estimate_candidate_volume_resolved(
+                    &resolved,
+                    LengthWindow::fuzzy_floor(floor),
+                );
+                assert!(windowed <= last, "{name}: tighter floor grew the volume");
+                last = windowed;
+            }
+            // The by-length breakdown sums back to the infinite estimate.
+            let by_len = idx.candidate_volume_by_length(&resolved);
+            assert_eq!(by_len.iter().map(|&(_, v)| v).sum::<usize>(), infinite);
+            assert!(by_len.windows(2).all(|w| w[0].0 < w[1].0), "ascending");
+        }
+    }
+
+    #[test]
+    fn filter_verify_matches_the_baseline_on_the_small_repo() {
+        let repo = small_repo();
+        let idx = NameIndex::build(&repo);
+        let mut scratch = CandidateScratch::default();
+        for name in ["address", "email", "person", "authorName", "x", ""] {
+            for frac in [0.0, 0.3, 0.5, 0.99] {
+                let baseline = idx.lookup_approximate_baseline(name, frac);
+                for policy in [
+                    MergePolicy::Auto,
+                    MergePolicy::ScanCount,
+                    MergePolicy::MergeSkip,
+                    MergePolicy::ScanProbe,
+                ] {
+                    let (got, _) = idx.lookup_candidates_counted(
+                        &CandidateQuery::new(name, frac),
+                        policy,
+                        &mut scratch,
+                    );
+                    assert_eq!(got, baseline, "{name} frac={frac} policy={policy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_window_drops_only_sub_floor_candidates() {
+        let repo = small_repo();
+        let idx = NameIndex::build(&repo);
+        let mut scratch = CandidateScratch::default();
+        for (name, floor) in [("email", 0.5), ("address", 0.7), ("person", 0.9)] {
+            let baseline = idx.lookup_approximate_baseline(name, 0.2);
+            let query =
+                CandidateQuery::new(name, 0.2).with_length_window(LengthWindow::fuzzy_floor(floor));
+            let windowed = idx.lookup_candidates(&query, &mut scratch);
+            // Subset of the baseline…
+            assert!(windowed.iter().all(|id| baseline.contains(id)));
+            // …and nothing that clears the fuzzy floor was dropped.
+            for &id in &baseline {
+                let sim = xsm_similarity::compare_string_fuzzy(name, repo.name_of(id));
+                if sim >= floor {
+                    assert!(
+                        windowed.contains(&id),
+                        "{name}: dropped {:?} with sim {sim} >= {floor}",
+                        repo.name_of(id)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_overlap_bounds_return_empty() {
+        let repo = small_repo();
+        let idx = NameIndex::build(&repo);
+        let mut scratch = CandidateScratch::default();
+        // "emailx" has grams unknown to the corpus; a 0.99 fraction of its distinct
+        // grams exceeds the known-gram count, so no candidate can qualify.
+        let (got, stats) = idx.lookup_candidates_counted(
+            &CandidateQuery::new("emailxyzq", 0.99),
+            MergePolicy::Auto,
+            &mut scratch,
+        );
+        assert!(got.is_empty());
+        assert_eq!(stats.candidates_examined, 0);
+        assert_eq!(got, idx.lookup_approximate_baseline("emailxyzq", 0.99));
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_queries() {
+        let repo = small_repo();
+        let idx = NameIndex::build(&repo);
+        let mut scratch = CandidateScratch::default();
+        for _ in 0..3 {
+            for name in ["address", "email", "person"] {
+                let fresh = idx.lookup_candidates(
+                    &CandidateQuery::new(name, 0.3),
+                    &mut CandidateScratch::default(),
+                );
+                let reused = idx.lookup_candidates(&CandidateQuery::new(name, 0.3), &mut scratch);
+                assert_eq!(fresh, reused, "dirty scratch changed {name}");
+            }
+        }
+    }
+
+    #[test]
     fn features_are_exposed_for_scoring() {
         let repo = small_repo();
         let idx = NameIndex::build(&repo);
@@ -257,6 +1038,23 @@ mod tests {
             let f = idx.features().features_of(id).unwrap();
             assert_eq!(&*f.lower, node.name.to_lowercase().as_str());
         }
+    }
+
+    #[test]
+    fn length_window_admits_conservatively() {
+        let w = LengthWindow::fuzzy_floor(0.5);
+        // Query of 6 chars: lengths 3..=12 can still reach 0.5.
+        assert!(w.admits(6, 3));
+        assert!(w.admits(6, 12));
+        assert!(!w.admits(6, 2));
+        assert!(!w.admits(6, 13));
+        // Floors at or below zero collapse to Infinite.
+        assert!(LengthWindow::fuzzy_floor(0.0).is_infinite());
+        assert!(LengthWindow::fuzzy_floor(-1.0).is_infinite());
+        assert!(LengthWindow::Infinite.admits(0, 1_000_000));
+        // Empty query vs empty candidate is a perfect pair.
+        assert!(LengthWindow::fuzzy_floor(1.0).admits(0, 0));
+        assert!(!LengthWindow::fuzzy_floor(1.0).admits(0, 1));
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub mod sampling;
 
 pub use features::FeatureStore;
 pub use generator::{GeneratorConfig, RepositoryGenerator};
-pub use index::NameIndex;
+pub use index::{
+    CandidateQuery, CandidateScratch, CandidateStats, LengthWindow, MergeAlgorithm, MergePolicy,
+    NameIndex, ResolvedQuery,
+};
 pub use partition::{RepositoryPartition, ShardPlacement};
 pub use repository::SchemaRepository;

@@ -1,0 +1,194 @@
+//! Property suite: the filter–verify candidate lookup is a pure optimisation.
+//!
+//! Under an **infinite** length window, `NameIndex::lookup_candidates` must return
+//! exactly the classic merge-everything count filter's candidate set
+//! (`lookup_approximate_baseline`): same ids, same (ascending) order — for every
+//! merge policy, every q, and overlap fractions across the whole range. Under a
+//! **finite** window the result is a subset of the baseline that never drops a
+//! node whose fuzzy similarity clears the window's floor (the length-difference
+//! bound is conservative with respect to the kernel's own normalization).
+//!
+//! Corpora are random forests over a small alphabet (maximising shared grams and
+//! count-filter collisions) mixed with schema-ish names; queries include corpus
+//! names, near-misses and corpus-unrelated strings.
+
+use proptest::prelude::*;
+use xsm_repo::index::MergeAlgorithm;
+use xsm_repo::{
+    CandidateQuery, CandidateScratch, LengthWindow, MergePolicy, NameIndex, SchemaRepository,
+};
+use xsm_schema::{SchemaNode, TreeBuilder};
+use xsm_similarity::compare_string_fuzzy;
+
+/// Build a forest from a flat name list, breaking it into trees of ~7 nodes.
+fn forest_of(names: &[String]) -> SchemaRepository {
+    let mut repo = SchemaRepository::new();
+    for chunk in names.chunks(7) {
+        let mut builder = TreeBuilder::new("t").root(SchemaNode::element(&chunk[0]));
+        for name in &chunk[1..] {
+            builder = builder.sibling(SchemaNode::element(name));
+        }
+        repo.add_tree(builder.build());
+    }
+    repo
+}
+
+const FRACTIONS: [f64; 3] = [0.0, 0.3, 0.99];
+const FLOORS: [f64; 3] = [0.3, 0.6, 0.9];
+
+proptest! {
+    /// Infinite window ⇒ byte-identical candidate sets for both merge algorithms
+    /// and the auto policy, across q ∈ {2, 3} and the overlap-fraction spread.
+    #[test]
+    fn infinite_window_replays_the_baseline(
+        names in proptest::collection::vec("[a-d]{1,8}", 4..40),
+        queries in proptest::collection::vec("[a-e]{0,10}", 1..6),
+    ) {
+        let repo = forest_of(&names);
+        for q in [2usize, 3] {
+            let index = NameIndex::build_with_q(&repo, q);
+            let mut scratch = CandidateScratch::default();
+            for query in &queries {
+                for frac in FRACTIONS {
+                    let baseline = index.lookup_approximate_baseline(query, frac);
+                    for policy in [
+                        MergePolicy::Auto,
+                        MergePolicy::ScanCount,
+                        MergePolicy::MergeSkip,
+                        MergePolicy::ScanProbe,
+                    ] {
+                        let (got, _) = index.lookup_candidates_counted(
+                            &CandidateQuery::new(query, frac),
+                            policy,
+                            &mut scratch,
+                        );
+                        prop_assert!(
+                            got == baseline,
+                            "q={} query={:?} frac={} policy={:?}: {:?} vs {:?}",
+                            q, query, frac, policy, got, baseline
+                        );
+                    }
+                    // The compatibility wrapper is the same path.
+                    prop_assert_eq!(index.lookup_approximate(query, frac), baseline);
+                }
+            }
+        }
+    }
+
+    /// Finite windows only ever remove candidates, and never one whose fuzzy
+    /// similarity clears the floor the window was derived from.
+    #[test]
+    fn finite_window_is_a_conservative_subset(
+        names in proptest::collection::vec("[a-d]{1,9}", 4..40),
+        queries in proptest::collection::vec("[a-d]{0,11}", 1..5),
+    ) {
+        let repo = forest_of(&names);
+        let index = NameIndex::build(&repo);
+        let mut scratch = CandidateScratch::default();
+        for query in &queries {
+            for frac in FRACTIONS {
+                let baseline = index.lookup_approximate_baseline(query, frac);
+                for floor in FLOORS {
+                    let cq = CandidateQuery::new(query, frac)
+                        .with_length_window(LengthWindow::fuzzy_floor(floor));
+                    for policy in [
+                        MergePolicy::Auto,
+                        MergePolicy::ScanCount,
+                        MergePolicy::MergeSkip,
+                        MergePolicy::ScanProbe,
+                    ] {
+                        let (windowed, _) =
+                            index.lookup_candidates_counted(&cq, policy, &mut scratch);
+                        // Subset, order preserved: every windowed id appears in the
+                        // baseline, and the sequence stays ascending.
+                        prop_assert!(windowed.windows(2).all(|w| w[0] < w[1]));
+                        let mut walk = baseline.iter();
+                        for id in &windowed {
+                            prop_assert!(
+                                walk.any(|b| b == id),
+                                "windowed produced {:?} outside the baseline (query {:?})",
+                                id, query
+                            );
+                        }
+                        // Nothing above the floor may be dropped.
+                        for &id in &baseline {
+                            if windowed.contains(&id) {
+                                continue;
+                            }
+                            let sim = compare_string_fuzzy(query, repo.name_of(id));
+                            prop_assert!(
+                                sim < floor,
+                                "query {:?}: dropped {:?} with sim {} >= floor {}",
+                                query, repo.name_of(id), sim, floor
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scratch reuse across queries of different shapes never leaks state between
+    /// lookups (counters reset through the touched list, cursors rebuilt).
+    #[test]
+    fn dirty_scratch_equals_fresh_scratch(
+        names in proptest::collection::vec("[a-c]{1,7}", 4..30),
+        queries in proptest::collection::vec("[a-c]{0,9}", 2..8),
+    ) {
+        let repo = forest_of(&names);
+        let index = NameIndex::build(&repo);
+        let mut reused = CandidateScratch::default();
+        for (i, query) in queries.iter().enumerate() {
+            let frac = FRACTIONS[i % FRACTIONS.len()];
+            let floor = FLOORS[i % FLOORS.len()];
+            let cq = CandidateQuery::new(query, frac)
+                .with_length_window(LengthWindow::fuzzy_floor(floor));
+            let policy = if i % 2 == 0 { MergePolicy::ScanCount } else { MergePolicy::MergeSkip };
+            let (dirty, _) = index.lookup_candidates_counted(&cq, policy, &mut reused);
+            let (fresh, _) =
+                index.lookup_candidates_counted(&cq, policy, &mut CandidateScratch::default());
+            prop_assert!(
+                dirty == fresh,
+                "query {:?} diverged on reused scratch",
+                query
+            );
+        }
+    }
+}
+
+/// Deterministic large-ish corpus crossing the ScanCount/ScanProbe auto boundary:
+/// common grams produce posting volumes past the crossover so the Auto policy
+/// takes the probing merge, and the result must still replay the baseline.
+#[test]
+fn auto_policy_crossover_replays_the_baseline() {
+    let names: Vec<String> = (0..1_500)
+        .map(|i| match i % 5 {
+            0 => format!("record{i:04}"),
+            1 => format!("name{}", i % 37),
+            2 => format!("address{}", i % 23),
+            3 => "shared".to_string(),
+            _ => format!("f{}x{}", i % 11, i % 7),
+        })
+        .collect();
+    let repo = forest_of(&names);
+    let index = NameIndex::build(&repo);
+    let mut scratch = CandidateScratch::default();
+    let mut saw_scan_probe = false;
+    let mut saw_scan_count = false;
+    for query in ["shared", "name3", "address7", "recard0100", "zzz"] {
+        for frac in [0.0, 0.4, 0.8] {
+            let baseline = index.lookup_approximate_baseline(query, frac);
+            let (got, stats) = index.lookup_candidates_counted(
+                &CandidateQuery::new(query, frac),
+                MergePolicy::Auto,
+                &mut scratch,
+            );
+            assert_eq!(got, baseline, "{query} frac={frac}");
+            saw_scan_probe |= stats.algorithm == MergeAlgorithm::ScanProbe;
+            saw_scan_count |=
+                stats.algorithm == MergeAlgorithm::ScanCount && stats.volume_in_window > 0;
+        }
+    }
+    assert!(saw_scan_probe, "no query crossed into ScanProbe");
+    assert!(saw_scan_count, "no query stayed on ScanCount");
+}

@@ -34,17 +34,18 @@ use std::time::{Duration, Instant};
 
 use xsm_core::{ClusteredMatcher, ClusteringVariant};
 use xsm_matcher::element::{
-    match_elements_features, match_elements_with_index_features, ElementMatchConfig,
+    match_elements_features, match_elements_with_index_features_resolved, resolve_personal_queries,
+    ElementMatchConfig,
 };
 use xsm_matcher::generator::branch_and_bound::BranchAndBoundGenerator;
 use xsm_matcher::{MatchingProblem, ObjectiveConfig};
-use xsm_repo::{NameIndex, SchemaRepository};
+use xsm_repo::{CandidateScratch, NameIndex, SchemaRepository};
 use xsm_similarity::SimScratch;
 
 use crate::cache::{ResultCache, DEFAULT_RESULT_CACHE_CAPACITY};
 use crate::metrics::{EngineMetrics, MetricsRegistry, ServedVia};
 use crate::planner::{PlannerConfig, QueryPlanner};
-use crate::query::{MatchQuery, MatchResponse, PlannedStrategy};
+use crate::query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};
 use crate::singleflight::{Join, Singleflight};
 
 /// Construction-time configuration of a [`MatchEngine`].
@@ -128,6 +129,16 @@ impl EngineConfig {
     }
 }
 
+/// Per-worker reusable working memory: the similarity kernels' scratch rows plus
+/// the candidate generator's counters/heap. One bundle per worker thread keeps the
+/// whole serving hot path allocation-free in steady state (candidate generation
+/// allocates only its output `Vec`).
+#[derive(Default)]
+struct WorkerScratch {
+    sim: SimScratch,
+    candidates: CandidateScratch,
+}
+
 /// Everything the workers share; lives behind one `Arc` so worker threads can outlive
 /// borrows of the engine handle.
 struct EngineCore {
@@ -207,7 +218,7 @@ impl EngineCore {
     /// generation (feature kernels) → clustered pipeline → top-k cut. This is the
     /// sequential unit of work; concurrency only ever runs *whole* queries in
     /// parallel, which is what makes worker-count invisible in the results.
-    fn answer(&self, query: &MatchQuery, scratch: &mut SimScratch) -> MatchResponse {
+    fn answer(&self, query: &MatchQuery, scratch: &mut WorkerScratch) -> MatchResponse {
         serve_with_caches(
             &self.results,
             &self.inflight,
@@ -217,17 +228,38 @@ impl EngineCore {
         )
     }
 
-    /// The uncached pipeline: plan, generate candidates through the feature
-    /// kernels, run the clustered matcher, cut to top-k.
+    /// The uncached pipeline: plan, generate candidates through the filter–verify
+    /// index and the feature kernels, run the clustered matcher, cut to top-k.
     fn run_pipeline(
         &self,
         query: &MatchQuery,
         fingerprint: &str,
-        scratch: &mut SimScratch,
+        scratch: &mut WorkerScratch,
     ) -> MatchResponse {
-        let plan = self
-            .planner
-            .plan(&query.personal, query.strategy, &self.index);
+        // The element floor doubles as the candidate generator's length-window
+        // anchor: pairs outside the window cannot clear the floor after scoring.
+        let length_floor = self.matcher.element_config().min_similarity;
+        // Resolve every personal name against the index once; the Auto plan
+        // estimate and index-pruned generation consume the same resolutions.
+        // Forced-exhaustive queries never touch the gram index, so they skip it.
+        let resolved = match query.strategy {
+            QueryStrategy::Exhaustive => None,
+            QueryStrategy::Auto | QueryStrategy::IndexPruned => {
+                Some(resolve_personal_queries(&query.personal, &self.index))
+            }
+        };
+        let plan = match &resolved {
+            Some(resolved) => self.planner.plan_resolved(
+                &query.personal,
+                query.strategy,
+                &self.index,
+                length_floor,
+                resolved,
+            ),
+            None => self
+                .planner
+                .plan(&query.personal, query.strategy, &self.index, length_floor),
+        };
         // The pub `threshold` field (and a future deserialized front-end) can bypass
         // the builder's clamp; sanitise here so NaN can't poison every `Δ ≥ δ`
         // comparison. NaN reads as "no threshold given a garbage value" → strictest.
@@ -238,18 +270,24 @@ impl EngineCore {
         };
         let problem = MatchingProblem::new(query.personal.clone(), self.objective, threshold);
         let candidates = match plan.strategy {
-            PlannedStrategy::IndexPruned => match_elements_with_index_features(
+            // The pruned path only ever resolves out of Auto or forced
+            // IndexPruned requests, both of which resolved above.
+            PlannedStrategy::IndexPruned => match_elements_with_index_features_resolved(
                 &problem.personal,
                 &self.index,
                 self.matcher.element_config(),
                 self.planner.config().min_overlap,
-                scratch,
+                resolved
+                    .as_deref()
+                    .expect("index-pruned serving implies resolved queries"),
+                &mut scratch.sim,
+                &mut scratch.candidates,
             ),
             PlannedStrategy::Exhaustive => match_elements_features(
                 &problem.personal,
                 self.index.features(),
                 self.matcher.element_config(),
-                scratch,
+                &mut scratch.sim,
             ),
         };
         let candidate_count = candidates.total_candidates();
@@ -343,9 +381,10 @@ impl MatchEngine {
                 std::thread::Builder::new()
                     .name(format!("xsm-serve-{i}"))
                     .spawn(move || {
-                        // Per-worker scratch: the similarity kernels' only mutable
-                        // working memory, reused across every query this worker serves.
-                        let mut scratch = SimScratch::default();
+                        // Per-worker scratch: the similarity kernels' and candidate
+                        // generator's only mutable working memory, reused across
+                        // every query this worker serves.
+                        let mut scratch = WorkerScratch::default();
                         loop {
                             // Hold the queue lock only while popping, never while
                             // matching.
@@ -422,7 +461,7 @@ impl MatchEngine {
     /// to [`MatchEngine::query`] (same caches, same planner); used as the sequential
     /// baseline in benches and determinism tests.
     pub fn answer_inline(&self, query: &MatchQuery) -> MatchResponse {
-        let mut scratch = SimScratch::default();
+        let mut scratch = WorkerScratch::default();
         self.core.answer(query, &mut scratch)
     }
 

@@ -6,11 +6,17 @@
 //! lists cover most of the repository and the index adds overhead without pruning
 //! anything. The planner resolves [`QueryStrategy::Auto`] per query from the index's
 //! posting-list statistics — no candidates are materialised to make the decision.
+//!
+//! Since the filter–verify rewrite the estimate is **length-aware**: every personal
+//! name is resolved against each index's interner exactly once
+//! ([`NameIndex::resolve_query`] — the same resolution the candidate lookup runs
+//! on), and only posting segments inside the [`LengthWindow`] derived from the
+//! engine's similarity floor are charged, because those are the only postings the
+//! index-pruned path will merge.
 
 use serde::{Deserialize, Serialize};
-use xsm_repo::NameIndex;
+use xsm_repo::{LengthWindow, NameIndex, ResolvedQuery};
 use xsm_schema::SchemaTree;
-use xsm_similarity::features::for_each_gram;
 
 use crate::query::{PlannedStrategy, QueryStrategy};
 
@@ -39,9 +45,11 @@ impl Default for PlannerConfig {
 pub struct QueryPlan {
     /// The chosen candidate-generation path.
     pub strategy: PlannedStrategy,
-    /// Estimated index work: summed posting-list lengths over the personal names.
-    /// Only computed when the decision needed it, i.e. for [`QueryStrategy::Auto`];
-    /// forced strategies skip the estimation pass and report 0.
+    /// Estimated index work: summed **in-window** posting-segment lengths over the
+    /// personal names (the post-length-filter volume the filter–verify lookup will
+    /// actually merge). Only computed when the decision needed it, i.e. for
+    /// [`QueryStrategy::Auto`]; forced strategies skip the estimation pass and
+    /// report 0.
     pub estimated_volume: usize,
     /// Exhaustive work: `|N_s| · |N_R|` kernel evaluations.
     pub exhaustive_volume: usize,
@@ -67,13 +75,18 @@ impl QueryPlanner {
     /// Resolve the strategy for one query. Forced strategies are honoured verbatim;
     /// `Auto` compares the index's estimated candidate volume against the exhaustive
     /// scan and picks whichever is cheaper by [`PlannerConfig::max_pruned_fraction`].
+    ///
+    /// `length_floor` is the similarity floor the index-pruned path will derive its
+    /// length window from (the engine's `ElementMatchConfig::min_similarity`);
+    /// `0.0` disables length filtering and reproduces the unwindowed estimate.
     pub fn plan(
         &self,
         personal: &SchemaTree,
         requested: QueryStrategy,
         index: &NameIndex,
+        length_floor: f64,
     ) -> QueryPlan {
-        self.plan_over(personal, requested, std::iter::once(index))
+        self.plan_over(personal, requested, std::iter::once(index), length_floor)
     }
 
     /// [`QueryPlanner::plan`] over a repository served by several indexes (one per
@@ -90,55 +103,87 @@ impl QueryPlanner {
         personal: &SchemaTree,
         requested: QueryStrategy,
         indexes: impl Iterator<Item = &'a NameIndex> + Clone,
+        length_floor: f64,
     ) -> QueryPlan {
         let indexed_nodes: usize = indexes.clone().map(|i| i.indexed_nodes()).sum();
         let exhaustive_volume = personal.len() * indexed_nodes;
-        // The estimation pass walks every personal name's grams; it only runs when
-        // the decision actually depends on it (forced strategies skip it).
+        // The estimation pass resolves every personal name's grams; it only runs
+        // when the decision actually depends on it (forced strategies skip it).
         let (strategy, estimated_volume) = match requested {
             QueryStrategy::IndexPruned => (PlannedStrategy::IndexPruned, 0),
             QueryStrategy::Exhaustive => (PlannedStrategy::Exhaustive, 0),
             QueryStrategy::Auto => {
-                // Each name's distinct grams are extracted once — gram *strings*
-                // are shard-independent, only their interned ids differ per index —
-                // and every index is then charged a posting-length lookup per gram.
-                // All indexes must share one q (true by construction: a sharded
-                // engine builds every shard with the same configuration); summing
-                // `estimate_candidate_volume` per index would redo the gram
-                // extraction once per shard.
-                let q = indexes.clone().next().map_or(0, |i| i.q());
+                // One `resolve_query` per (name, index) — the same resolution the
+                // candidate lookup itself runs on, so the planner and the lookup
+                // can never disagree about a query's grams. Resolution is per
+                // index because interned ids are index-local; length segments are
+                // additive over a disjoint forest partition, so summing the
+                // windowed per-shard estimates reaches exactly the single-index
+                // estimate.
+                let window = LengthWindow::fuzzy_floor(length_floor);
                 let estimated: usize = personal
                     .nodes()
                     .map(|(_, node)| {
-                        let mut grams: Vec<String> = Vec::new();
-                        for_each_gram(&node.name.to_lowercase(), q.max(1), |gram| {
-                            if !grams.iter().any(|g| g == gram) {
-                                grams.push(gram.to_string());
-                            }
-                        });
-                        grams
-                            .iter()
-                            .map(|gram| {
-                                indexes
-                                    .clone()
-                                    .map(|i| i.gram_posting_len(gram))
-                                    .sum::<usize>()
+                        indexes
+                            .clone()
+                            .map(|index| {
+                                let resolved = index.resolve_query(&node.name);
+                                index.estimate_candidate_volume_resolved(&resolved, window)
                             })
                             .sum::<usize>()
                     })
                     .sum();
-                let budget = self.config.max_pruned_fraction * exhaustive_volume as f64;
-                if exhaustive_volume > 0 && (estimated as f64) <= budget {
-                    (PlannedStrategy::IndexPruned, estimated)
-                } else {
-                    (PlannedStrategy::Exhaustive, estimated)
-                }
+                self.decide(estimated, exhaustive_volume)
             }
         };
         QueryPlan {
             strategy,
             estimated_volume,
             exhaustive_volume,
+        }
+    }
+
+    /// [`QueryPlanner::plan`] when the caller has already resolved every personal
+    /// name against `index` ([`NameIndex::resolve_query`], one entry per node —
+    /// order does not matter for the additive estimate): the `Auto` decision
+    /// reuses those resolutions, so an engine that generates candidates from the
+    /// same slice resolves each query name exactly once end to end.
+    pub fn plan_resolved(
+        &self,
+        personal: &SchemaTree,
+        requested: QueryStrategy,
+        index: &NameIndex,
+        length_floor: f64,
+        resolved: &[ResolvedQuery],
+    ) -> QueryPlan {
+        let exhaustive_volume = personal.len() * index.indexed_nodes();
+        let (strategy, estimated_volume) = match requested {
+            QueryStrategy::IndexPruned => (PlannedStrategy::IndexPruned, 0),
+            QueryStrategy::Exhaustive => (PlannedStrategy::Exhaustive, 0),
+            QueryStrategy::Auto => {
+                let window = LengthWindow::fuzzy_floor(length_floor);
+                let estimated: usize = resolved
+                    .iter()
+                    .map(|r| index.estimate_candidate_volume_resolved(r, window))
+                    .sum();
+                self.decide(estimated, exhaustive_volume)
+            }
+        };
+        QueryPlan {
+            strategy,
+            estimated_volume,
+            exhaustive_volume,
+        }
+    }
+
+    /// The `Auto` resolution shared by every planning entry point: index-pruned
+    /// iff the estimated merge volume fits the pruning budget.
+    fn decide(&self, estimated: usize, exhaustive_volume: usize) -> (PlannedStrategy, usize) {
+        let budget = self.config.max_pruned_fraction * exhaustive_volume as f64;
+        if exhaustive_volume > 0 && (estimated as f64) <= budget {
+            (PlannedStrategy::IndexPruned, estimated)
+        } else {
+            (PlannedStrategy::Exhaustive, estimated)
         }
     }
 }
@@ -171,12 +216,14 @@ mod tests {
         let p = personal("alpha");
         assert_eq!(
             planner
-                .plan(&p, QueryStrategy::IndexPruned, &index)
+                .plan(&p, QueryStrategy::IndexPruned, &index, 0.5)
                 .strategy,
             PlannedStrategy::IndexPruned
         );
         assert_eq!(
-            planner.plan(&p, QueryStrategy::Exhaustive, &index).strategy,
+            planner
+                .plan(&p, QueryStrategy::Exhaustive, &index, 0.5)
+                .strategy,
             PlannedStrategy::Exhaustive
         );
     }
@@ -194,13 +241,71 @@ mod tests {
         let planner = QueryPlanner::default();
 
         // A name unrelated to everything: tiny posting volume → index pruning.
-        let rare = planner.plan(&personal("zzqx"), QueryStrategy::Auto, &index);
+        let rare = planner.plan(&personal("zzqx"), QueryStrategy::Auto, &index, 0.5);
         assert_eq!(rare.strategy, PlannedStrategy::IndexPruned);
         assert!(rare.estimated_volume < rare.exhaustive_volume / 2);
 
         // The ubiquitous name floods the postings → exhaustive scan.
-        let common = planner.plan(&personal("shared"), QueryStrategy::Auto, &index);
+        let common = planner.plan(&personal("shared"), QueryStrategy::Auto, &index, 0.5);
         assert_eq!(common.strategy, PlannedStrategy::Exhaustive);
+    }
+
+    #[test]
+    fn length_floor_shrinks_the_estimate_monotonically() {
+        // Short and long names sharing grams with a mid-length query: tighter
+        // floors exclude more length segments from the estimate.
+        let repo = repo_of(&[
+            "na",
+            "nam",
+            "name",
+            "names",
+            "nameplate",
+            "namespaces",
+            "namespaceuri",
+        ]);
+        let index = NameIndex::build(&repo);
+        let planner = QueryPlanner::default();
+        let p = personal("name");
+        let mut last = usize::MAX;
+        for floor in [0.0, 0.4, 0.7, 0.95] {
+            let plan = planner.plan(&p, QueryStrategy::Auto, &index, floor);
+            assert!(
+                plan.estimated_volume <= last,
+                "floor {floor} grew the estimate"
+            );
+            last = plan.estimated_volume;
+        }
+        // floor 0.0 must equal the unwindowed estimate.
+        let unwindowed = planner.plan(&p, QueryStrategy::Auto, &index, 0.0);
+        assert_eq!(
+            unwindowed.estimated_volume,
+            index.estimate_candidate_volume("name")
+        );
+        // A strict floor keeps only near-equal lengths.
+        assert!(last < unwindowed.estimated_volume);
+    }
+
+    #[test]
+    fn plan_resolved_matches_plan() {
+        let repo = repo_of(&["alpha", "beta", "gamma", "name", "names", "nameplate"]);
+        let index = NameIndex::build(&repo);
+        let planner = QueryPlanner::default();
+        for name in ["alpha", "name", "zzqx"] {
+            let p = personal(name);
+            let resolved = vec![index.resolve_query(name)];
+            for (requested, floor) in [
+                (QueryStrategy::Auto, 0.0),
+                (QueryStrategy::Auto, 0.6),
+                (QueryStrategy::IndexPruned, 0.5),
+                (QueryStrategy::Exhaustive, 0.5),
+            ] {
+                let direct = planner.plan(&p, requested, &index, floor);
+                let shared = planner.plan_resolved(&p, requested, &index, floor, &resolved);
+                assert_eq!(direct.strategy, shared.strategy, "{name}");
+                assert_eq!(direct.estimated_volume, shared.estimated_volume, "{name}");
+                assert_eq!(direct.exhaustive_volume, shared.exhaustive_volume, "{name}");
+            }
+        }
     }
 
     #[test]
@@ -225,15 +330,22 @@ mod tests {
                 let indexes: Vec<NameIndex> =
                     partition.shards().iter().map(NameIndex::build).collect();
                 for name in ["field07", "shared", "zzqx", "fiel"] {
-                    let single = planner.plan(&personal(name), QueryStrategy::Auto, &whole);
-                    let sharded =
-                        planner.plan_over(&personal(name), QueryStrategy::Auto, indexes.iter());
-                    assert_eq!(single.strategy, sharded.strategy, "{name}");
-                    assert_eq!(single.estimated_volume, sharded.estimated_volume, "{name}");
-                    assert_eq!(
-                        single.exhaustive_volume, sharded.exhaustive_volume,
-                        "{name}"
-                    );
+                    for floor in [0.0, 0.5, 0.9] {
+                        let single =
+                            planner.plan(&personal(name), QueryStrategy::Auto, &whole, floor);
+                        let sharded = planner.plan_over(
+                            &personal(name),
+                            QueryStrategy::Auto,
+                            indexes.iter(),
+                            floor,
+                        );
+                        assert_eq!(single.strategy, sharded.strategy, "{name}");
+                        assert_eq!(single.estimated_volume, sharded.estimated_volume, "{name}");
+                        assert_eq!(
+                            single.exhaustive_volume, sharded.exhaustive_volume,
+                            "{name}"
+                        );
+                    }
                 }
             }
         }
@@ -243,7 +355,7 @@ mod tests {
     fn empty_repository_falls_back_to_exhaustive() {
         let repo = SchemaRepository::new();
         let index = NameIndex::build(&repo);
-        let plan = QueryPlanner::default().plan(&personal("x"), QueryStrategy::Auto, &index);
+        let plan = QueryPlanner::default().plan(&personal("x"), QueryStrategy::Auto, &index, 0.5);
         assert_eq!(plan.strategy, PlannedStrategy::Exhaustive);
         assert_eq!(plan.exhaustive_volume, 0);
     }

@@ -151,6 +151,9 @@ struct RouterCore {
     /// Per shard: local `TreeId` index → global `TreeId` (ascending).
     tree_maps: Vec<Vec<TreeId>>,
     planner: QueryPlanner,
+    /// The shard engines' element floor, anchoring the planner's length window —
+    /// the router must estimate with the same window the shards will generate with.
+    length_floor: f64,
     results: ResultCache,
     inflight: Singleflight<MatchResponse>,
     metrics: MetricsRegistry,
@@ -178,6 +181,7 @@ impl RouterCore {
             &query.personal,
             query.strategy,
             self.engines.iter().map(|e| e.index()),
+            self.length_floor,
         );
         let forced = match plan.strategy {
             PlannedStrategy::IndexPruned => QueryStrategy::IndexPruned,
@@ -289,6 +293,7 @@ impl ShardedEngine {
             .collect();
         let core = Arc::new(RouterCore {
             planner: QueryPlanner::new(config.engine.planner),
+            length_floor: config.engine.element.min_similarity,
             engines,
             tree_maps,
             results: ResultCache::with_capacity(config.router_result_cache_capacity),

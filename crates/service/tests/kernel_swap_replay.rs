@@ -38,7 +38,7 @@ fn string_path_digest(
     matcher: &ClusteredMatcher,
 ) -> String {
     let planner = QueryPlanner::new(PlannerConfig::default());
-    let plan = planner.plan(&query.personal, query.strategy, index);
+    let plan = planner.plan(&query.personal, query.strategy, index, MIN_SIMILARITY);
     let threshold = if query.threshold.is_nan() {
         1.0
     } else {
