@@ -1,0 +1,301 @@
+//! Networked serving overhead: queries/sec of an in-process [`ShardedEngine`]
+//! vs. the same fleet served over loopback TCP through [`RemoteEngine`]
+//! clients, across 1/2/4 shards.
+//!
+//! ```text
+//! cargo run -p xsm-bench --bin net --release \
+//!     [seed=N] [elements=N] [queries=N] [workers=N] [routerworkers=N] \
+//!     [topk=N] [minsim=X] [delta=X] [out=BENCH_net.json]
+//! ```
+//!
+//! Before any number is reported, every response — in-process and networked —
+//! is asserted content-identical to the single-engine answer over the whole
+//! repository, so throughput can never come from divergent work. What this
+//! measures on loopback is the full protocol cost: serde framing both ways,
+//! the handshake-pooled socket hop, and the router's scatter threads. The run
+//! is recorded as machine-readable JSON (`out=`) for the CI bench trajectory.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use xsm_matcher::element::ElementMatchConfig;
+use xsm_repo::{
+    GeneratorConfig, RepositoryGenerator, RepositoryPartition, SchemaRepository, ShardPlacement,
+};
+use xsm_service::workload::seeded_personal_schemas;
+use xsm_service::{
+    EngineConfig, MatchEngine, MatchQuery, MatchResponse, MatchService, QueryStrategy,
+    RemoteEngine, RemoteEngineConfig, ShardServer, ShardedEngine, ShardedEngineConfig,
+};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct NetBenchConfig {
+    seed: u64,
+    elements: usize,
+    queries: usize,
+    workers: usize,
+    router_workers: usize,
+    top_k: usize,
+    min_similarity: f64,
+    delta: f64,
+    out: String,
+}
+
+impl Default for NetBenchConfig {
+    fn default() -> Self {
+        NetBenchConfig {
+            seed: 2006,
+            elements: 2_500,
+            queries: 200,
+            workers: 1,
+            router_workers: 4,
+            top_k: 5,
+            min_similarity: 0.5,
+            delta: 0.75,
+            out: "BENCH_net.json".to_string(),
+        }
+    }
+}
+
+impl NetBenchConfig {
+    fn apply_args<I: IntoIterator<Item = String>>(mut self, args: I) -> Result<Self, String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            match key {
+                "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "elements" => {
+                    self.elements = value.parse().map_err(|e| format!("elements: {e}"))?
+                }
+                "queries" => self.queries = value.parse().map_err(|e| format!("queries: {e}"))?,
+                "workers" => self.workers = value.parse().map_err(|e| format!("workers: {e}"))?,
+                "routerworkers" => {
+                    self.router_workers =
+                        value.parse().map_err(|e| format!("routerworkers: {e}"))?
+                }
+                "topk" => self.top_k = value.parse().map_err(|e| format!("topk: {e}"))?,
+                "minsim" => {
+                    self.min_similarity = value.parse().map_err(|e| format!("minsim: {e}"))?
+                }
+                "delta" => self.delta = value.parse().map_err(|e| format!("delta: {e}"))?,
+                "out" => self.out = value.to_string(),
+                other => return Err(format!("unknown parameter '{other}'")),
+            }
+        }
+        Ok(self)
+    }
+}
+
+/// One row of the record: a shard count with both transports timed.
+#[derive(Serialize)]
+struct NetRow {
+    shards: usize,
+    inprocess_time_s: f64,
+    inprocess_qps: f64,
+    tcp_time_s: f64,
+    tcp_qps: f64,
+    /// TCP throughput as a fraction of in-process throughput — the protocol
+    /// tax. 1.0 means the wire is free; lower is the serde + socket cost.
+    tcp_vs_inprocess: f64,
+}
+
+/// The machine-readable record of one `net` run.
+#[derive(Serialize)]
+struct NetRecord {
+    bench: String,
+    seed: u64,
+    elements: usize,
+    trees: usize,
+    queries: usize,
+    top_k: usize,
+    min_similarity: f64,
+    delta: f64,
+    workers_per_shard: usize,
+    router_workers: usize,
+    single_engine_qps: f64,
+    rows: Vec<NetRow>,
+}
+
+fn query_batch(repo: &SchemaRepository, config: &NetBenchConfig) -> Vec<MatchQuery> {
+    seeded_personal_schemas(repo, config.queries)
+        .into_iter()
+        .enumerate()
+        .map(|(i, personal)| {
+            let strategy = if i % 2 == 0 {
+                QueryStrategy::Auto
+            } else {
+                QueryStrategy::Exhaustive
+            };
+            MatchQuery::new(personal)
+                .with_top_k(config.top_k)
+                .with_threshold(config.delta)
+                .with_strategy(strategy)
+        })
+        .collect()
+}
+
+/// Serve `batch`, assert every response content-identical to `reference`, and
+/// hand back the elapsed seconds.
+fn timed_identical_batch(
+    label: &str,
+    shards: usize,
+    fleet: &ShardedEngine,
+    batch: &[MatchQuery],
+    reference: &[MatchResponse],
+) -> f64 {
+    let start = Instant::now();
+    let responses = fleet
+        .submit_batch(batch.to_vec())
+        .unwrap_or_else(|e| panic!("{label} fleet with {shards} shards failed: {e}"));
+    let elapsed = start.elapsed().as_secs_f64();
+    for (i, (a, b)) in reference.iter().zip(&responses).enumerate() {
+        assert!(
+            !b.incomplete,
+            "query {i} degraded on the {label} fleet with {shards} shards"
+        );
+        assert_eq!(
+            a.result_digest(),
+            b.result_digest(),
+            "query {i} diverged between the single engine and the {label} fleet \
+             with {shards} shards"
+        );
+    }
+    elapsed
+}
+
+fn main() {
+    let config = match NetBenchConfig::default().apply_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: net [seed=N] [elements=N] [queries=N] [workers=N] \
+                 [routerworkers=N] [topk=N] [minsim=X] [delta=X] [out=PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "building repository ({} elements, seed {})…",
+        config.elements, config.seed
+    );
+    let repo = RepositoryGenerator::new(
+        GeneratorConfig::paper_default()
+            .with_seed(config.seed)
+            .with_target_elements(config.elements),
+    )
+    .generate();
+    eprintln!(
+        "repository: {} elements over {} trees",
+        repo.total_nodes(),
+        repo.tree_count()
+    );
+
+    let engine_config = EngineConfig::builder()
+        .workers(config.workers)
+        .element(ElementMatchConfig::default().with_min_similarity(config.min_similarity))
+        .result_cache_capacity(config.queries.max(1))
+        .build()
+        .expect("bench engine config");
+    let batch = query_batch(&repo, &config);
+    eprintln!(
+        "serving {} queries (top-{}, δ={}) in-process vs loopback TCP, {:?} shards…",
+        config.queries, config.top_k, config.delta, SHARD_COUNTS
+    );
+
+    // The unsharded reference: both transports must reproduce these bytes.
+    let single = MatchEngine::new(repo.clone(), engine_config.clone());
+    let start = Instant::now();
+    let reference: Vec<MatchResponse> = single
+        .submit_batch(batch.clone())
+        .expect("the in-process worker pool cannot reject a batch");
+    let single_qps = batch.len() as f64 / start.elapsed().as_secs_f64();
+    println!("single engine\t{single_qps:.1} q/s");
+    println!("\nshards\tinproc q/s\ttcp q/s\ttcp/inproc");
+
+    let client_config = RemoteEngineConfig::default()
+        .with_request_deadline(Duration::from_secs(300))
+        .with_io_timeout(Duration::from_secs(30));
+    let mut rows = Vec::new();
+    for &shards in &SHARD_COUNTS {
+        let router_config = |engine: EngineConfig| {
+            ShardedEngineConfig::builder()
+                .shards(shards)
+                .placement(ShardPlacement::Contiguous)
+                .router_workers(config.router_workers)
+                .router_result_cache_capacity(config.queries.max(1))
+                .engine(engine)
+                .build()
+                .expect("bench router config")
+        };
+
+        let inprocess = ShardedEngine::new(repo.clone(), router_config(engine_config.clone()));
+        let inprocess_time_s =
+            timed_identical_batch("in-process", shards, &inprocess, &batch, &reference);
+        drop(inprocess);
+
+        // The same partition served over loopback TCP: one server per shard,
+        // one handshaked client per server, the identical router on top.
+        let partition = RepositoryPartition::build(&repo, shards, ShardPlacement::Contiguous);
+        let (parts, tree_maps) = partition.into_parts();
+        let mut servers = Vec::new();
+        let mut services: Vec<Box<dyn MatchService>> = Vec::new();
+        for part in parts {
+            let backend: Arc<dyn MatchService> =
+                Arc::new(MatchEngine::new(part, engine_config.clone()));
+            let server = ShardServer::bind("127.0.0.1:0", backend).expect("bind loopback");
+            let client =
+                RemoteEngine::connect(server.local_addr().to_string(), client_config.clone())
+                    .expect("handshake with own server");
+            services.push(Box::new(client));
+            servers.push(server);
+        }
+        let tcp =
+            ShardedEngine::from_services(services, tree_maps, router_config(engine_config.clone()))
+                .expect("assemble the TCP fleet");
+        let tcp_time_s = timed_identical_batch("TCP", shards, &tcp, &batch, &reference);
+        drop(tcp);
+        drop(servers);
+
+        let inprocess_qps = batch.len() as f64 / inprocess_time_s;
+        let tcp_qps = batch.len() as f64 / tcp_time_s;
+        println!(
+            "{shards}\t{inprocess_qps:.1}\t{tcp_qps:.1}\t{:.2}",
+            tcp_qps / inprocess_qps
+        );
+        rows.push(NetRow {
+            shards,
+            inprocess_time_s,
+            inprocess_qps,
+            tcp_time_s,
+            tcp_qps,
+            tcp_vs_inprocess: tcp_qps / inprocess_qps,
+        });
+    }
+
+    let record = NetRecord {
+        bench: "net".to_string(),
+        seed: config.seed,
+        elements: config.elements,
+        trees: repo.tree_count(),
+        queries: config.queries,
+        top_k: config.top_k,
+        min_similarity: config.min_similarity,
+        delta: config.delta,
+        workers_per_shard: config.workers,
+        router_workers: config.router_workers,
+        single_engine_qps: single_qps,
+        rows,
+    };
+    let json = serde_json::to_string(&record).expect("net record serializes");
+    std::fs::write(&config.out, &json).expect("write net benchmark JSON");
+    eprintln!(
+        "wrote {} (all {} fleet sizes byte-identical on both transports)",
+        config.out,
+        SHARD_COUNTS.len()
+    );
+}

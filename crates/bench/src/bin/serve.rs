@@ -126,7 +126,9 @@ fn query_batch(repo: &SchemaRepository, config: &ServeConfig) -> Vec<MatchQuery>
 
 fn run_batch(engine: &MatchEngine, batch: &[MatchQuery]) -> (Vec<MatchResponse>, f64, f64) {
     let start = Instant::now();
-    let responses = engine.submit_batch(batch.to_vec());
+    let responses = engine
+        .submit_batch(batch.to_vec())
+        .expect("the in-process worker pool cannot reject a batch");
     let elapsed = start.elapsed().as_secs_f64();
     (responses, elapsed, batch.len() as f64 / elapsed)
 }

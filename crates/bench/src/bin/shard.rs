@@ -178,7 +178,9 @@ fn main() {
     // The unsharded reference: every sharded fleet must reproduce these bytes.
     let single = MatchEngine::new(repo.clone(), engine_config.clone());
     let start = Instant::now();
-    let reference: Vec<MatchResponse> = single.submit_batch(batch.clone());
+    let reference: Vec<MatchResponse> = single
+        .submit_batch(batch.clone())
+        .expect("the in-process worker pool cannot reject a batch");
     let single_time = start.elapsed().as_secs_f64();
     let single_qps = batch.len() as f64 / single_time;
 
@@ -199,7 +201,9 @@ fn main() {
         );
         let build_seconds = build_start.elapsed().as_secs_f64();
         let start = Instant::now();
-        let responses = sharded.submit_batch(batch.clone());
+        let responses = sharded
+            .submit_batch(batch.clone())
+            .expect("in-process shards cannot reject a batch");
         let time_s = start.elapsed().as_secs_f64();
         let qps = batch.len() as f64 / time_s;
 

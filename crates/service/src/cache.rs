@@ -119,6 +119,8 @@ mod tests {
             mappings: Vec::new(),
             candidate_count: 0,
             total_matches: 0,
+            incomplete: false,
+            failed_shards: Vec::new(),
             latency: Duration::ZERO,
         }
     }

@@ -27,7 +27,7 @@
 //! workers, the interleaving of a batch, or whether a cache or a coalesced flight
 //! served it.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,16 +40,24 @@ use xsm_matcher::element::{
 use xsm_matcher::generator::branch_and_bound::BranchAndBoundGenerator;
 use xsm_matcher::{MatchingProblem, ObjectiveConfig};
 use xsm_repo::{CandidateScratch, NameIndex, SchemaRepository};
+use xsm_schema::SchemaTree;
 use xsm_similarity::SimScratch;
 
 use crate::cache::{ResultCache, DEFAULT_RESULT_CACHE_CAPACITY};
+use crate::error::{ConfigError, ServiceError, ServiceResult};
 use crate::metrics::{EngineMetrics, MetricsRegistry, ServedVia};
-use crate::planner::{PlannerConfig, QueryPlanner};
+use crate::planner::{PlanStats, PlannerConfig, QueryPlanner};
 use crate::query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};
+use crate::service::MatchService;
 use crate::singleflight::{Join, Singleflight};
 
 /// Construction-time configuration of a [`MatchEngine`].
+///
+/// `#[non_exhaustive]`: build one with [`EngineConfig::builder`] (validating) or
+/// [`EngineConfig::default`] plus the `with_*` methods (clamping) — future
+/// fields then cannot break downstream construction.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Number of worker threads (`>= 1`).
     pub workers: usize,
@@ -127,6 +135,79 @@ impl EngineConfig {
         self.planner = planner;
         self
     }
+
+    /// A validating builder seeded with the default configuration. Unlike the
+    /// `with_*` methods (which clamp nonsense values), the builder **rejects**
+    /// them: `build()` returns a [`ConfigError`] naming the bad field.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`EngineConfig`]; see [`EngineConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Number of worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Capacity of the bounded submission queue.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Capacity of the result cache (whole responses, LRU).
+    pub fn result_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.result_cache_capacity = capacity;
+        self
+    }
+
+    /// Element-matching configuration.
+    pub fn element(mut self, element: ElementMatchConfig) -> Self {
+        self.config.element = element;
+        self
+    }
+
+    /// Clustering variant the pipeline runs per query.
+    pub fn variant(mut self, variant: ClusteringVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Objective-function configuration.
+    pub fn objective(mut self, objective: ObjectiveConfig) -> Self {
+        self.config.objective = objective;
+        self
+    }
+
+    /// Planner tuning.
+    pub fn planner(mut self, planner: PlannerConfig) -> Self {
+        self.config.planner = planner;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<EngineConfig, ConfigError> {
+        if self.config.workers == 0 {
+            return Err(ConfigError::new("workers", "must be >= 1"));
+        }
+        if self.config.queue_capacity == 0 {
+            return Err(ConfigError::new("queue_capacity", "must be >= 1"));
+        }
+        if self.config.result_cache_capacity == 0 {
+            return Err(ConfigError::new("result_cache_capacity", "must be >= 1"));
+        }
+        Ok(self.config)
+    }
 }
 
 /// Per-worker reusable working memory: the similarity kernels' scratch rows plus
@@ -148,7 +229,7 @@ struct EngineCore {
     generator: BranchAndBoundGenerator,
     planner: QueryPlanner,
     results: ResultCache,
-    inflight: Singleflight<MatchResponse>,
+    inflight: Singleflight<ServiceResult<MatchResponse>>,
     metrics: MetricsRegistry,
     objective: ObjectiveConfig,
 }
@@ -156,17 +237,22 @@ struct EngineCore {
 /// The cache → singleflight → compute serving discipline shared by the engine's
 /// workers and the sharded router (`shard::RouterCore`): look the fingerprint up
 /// in the result cache, otherwise join the in-flight map — followers take a clone
-/// of the leader's response, the leader runs `compute`, publishes and caches. One
+/// of the leader's outcome, the leader runs `compute`, publishes and caches. One
 /// implementation, so the two serving layers cannot drift apart in accounting or
 /// in the leader's cache re-check. `compute` is `FnMut` because a caller can lose
 /// a cancelled leader's flight and end up leading a later one.
+///
+/// Outcomes are [`ServiceResult`]s: errors and **incomplete** (degraded-merge)
+/// responses are published to coalesced followers — everyone waiting on the
+/// flight shares the leader's fate — but are **never cached**, so the next
+/// non-concurrent submission retries against a possibly-recovered backend.
 pub(crate) fn serve_with_caches(
     results: &ResultCache,
-    inflight: &Singleflight<MatchResponse>,
+    inflight: &Singleflight<ServiceResult<MatchResponse>>,
     metrics: &MetricsRegistry,
     fingerprint: String,
-    mut compute: impl FnMut(&str) -> MatchResponse,
-) -> MatchResponse {
+    mut compute: impl FnMut(&str) -> ServiceResult<MatchResponse>,
+) -> ServiceResult<MatchResponse> {
     let start = Instant::now();
     if let Some(cached) = results.get(&fingerprint) {
         // Deep-clone outside the cache lock (get returns an Arc) so warm traffic
@@ -175,16 +261,26 @@ pub(crate) fn serve_with_caches(
         response.cache_hit = true;
         response.latency = start.elapsed();
         metrics.record(response.latency, response.strategy, ServedVia::ResultCache);
-        return response;
+        return Ok(response);
     }
     loop {
         match inflight.join(&fingerprint) {
-            Join::Follower(Some(leader_response)) => {
+            Join::Follower(Some(Ok(leader_response))) => {
                 let mut response = leader_response;
                 response.cache_hit = true;
                 response.latency = start.elapsed();
                 metrics.record(response.latency, response.strategy, ServedVia::Coalesced);
-                return response;
+                if response.incomplete {
+                    metrics.record_degraded();
+                }
+                return Ok(response);
+            }
+            Join::Follower(Some(Err(error))) => {
+                // The leader's scatter failed outright; every coalesced caller
+                // shares the failure (retrying here would thunder onto a dead
+                // backend).
+                metrics.record_failure();
+                return Err(error);
             }
             // The leader died without publishing (a pipeline panic is a bug, but
             // it must not strand followers): try to take the lead ourselves.
@@ -194,20 +290,36 @@ pub(crate) fn serve_with_caches(
                 // published between our miss and this join.
                 if let Some(cached) = results.get(&fingerprint) {
                     let response = (*cached).clone();
-                    guard.complete(response.clone());
+                    guard.complete(Ok(response.clone()));
                     let mut out = response;
                     out.cache_hit = true;
                     out.latency = start.elapsed();
                     metrics.record(out.latency, out.strategy, ServedVia::ResultCache);
-                    return out;
+                    return Ok(out);
                 }
-                let response = compute(&fingerprint);
-                results.insert(fingerprint, response.clone());
-                guard.complete(response.clone());
-                let mut out = response;
-                out.latency = start.elapsed();
-                metrics.record(out.latency, out.strategy, ServedVia::Pipeline);
-                return out;
+                match compute(&fingerprint) {
+                    Ok(response) => {
+                        if !response.incomplete {
+                            // Degraded merges stay out of the cache: caching one
+                            // would keep serving the partial answer long after
+                            // the failed shards recovered.
+                            results.insert(fingerprint, response.clone());
+                        }
+                        guard.complete(Ok(response.clone()));
+                        let mut out = response;
+                        out.latency = start.elapsed();
+                        metrics.record(out.latency, out.strategy, ServedVia::Pipeline);
+                        if out.incomplete {
+                            metrics.record_degraded();
+                        }
+                        return Ok(out);
+                    }
+                    Err(error) => {
+                        guard.complete(Err(error.clone()));
+                        metrics.record_failure();
+                        return Err(error);
+                    }
+                }
             }
         }
     }
@@ -218,13 +330,17 @@ impl EngineCore {
     /// generation (feature kernels) → clustered pipeline → top-k cut. This is the
     /// sequential unit of work; concurrency only ever runs *whole* queries in
     /// parallel, which is what makes worker-count invisible in the results.
-    fn answer(&self, query: &MatchQuery, scratch: &mut WorkerScratch) -> MatchResponse {
+    fn answer(
+        &self,
+        query: &MatchQuery,
+        scratch: &mut WorkerScratch,
+    ) -> ServiceResult<MatchResponse> {
         serve_with_caches(
             &self.results,
             &self.inflight,
             &self.metrics,
             query.fingerprint(),
-            |fingerprint| self.run_pipeline(query, fingerprint, scratch),
+            |fingerprint| Ok(self.run_pipeline(query, fingerprint, scratch)),
         )
     }
 
@@ -305,6 +421,8 @@ impl EngineCore {
             mappings,
             candidate_count,
             total_matches,
+            incomplete: false,
+            failed_shards: Vec::new(),
             latency: Duration::ZERO,
         }
     }
@@ -313,31 +431,73 @@ impl EngineCore {
 /// One queued unit of work: the query plus the submitter's reply channel.
 struct Job {
     query: MatchQuery,
-    reply: SyncSender<MatchResponse>,
+    reply: SyncSender<ServiceResult<MatchResponse>>,
 }
 
-/// A handle to a submitted query; [`PendingResponse::wait`] blocks until a worker has
-/// answered it.
+/// The transports a [`PendingResponse`] can resolve through.
+#[derive(Debug)]
+enum PendingInner {
+    /// A reply channel a pool worker will answer on (in-process engines and the
+    /// sharded router).
+    Channel(Receiver<ServiceResult<MatchResponse>>),
+    /// A dedicated thread performing the request (the TCP client, one round
+    /// trip per thread).
+    Task(JoinHandle<ServiceResult<MatchResponse>>),
+    /// An outcome known at submission time (fault injection, immediate
+    /// rejections).
+    Ready(ServiceResult<MatchResponse>),
+}
+
+/// A handle to a submitted query; [`PendingResponse::wait`] blocks until the
+/// answer — or the serving error — is available.
+///
+/// Every [`crate::MatchService`] implementation hands these out, whatever its
+/// transport: in-process submissions resolve through a worker's reply channel,
+/// remote submissions through a request thread, injected faults immediately.
+#[derive(Debug)]
 pub struct PendingResponse {
-    rx: Receiver<MatchResponse>,
+    inner: PendingInner,
 }
 
 impl PendingResponse {
-    /// Wrap a reply channel (used by the sharded router, whose workers answer
-    /// through the same pending-response handle as the engine's).
-    pub(crate) fn new(rx: Receiver<MatchResponse>) -> Self {
-        PendingResponse { rx }
+    /// Wrap a reply channel (used by the engine's and the sharded router's
+    /// worker pools).
+    pub(crate) fn from_channel(rx: Receiver<ServiceResult<MatchResponse>>) -> Self {
+        PendingResponse {
+            inner: PendingInner::Channel(rx),
+        }
     }
 
-    /// Block until the response is ready.
-    ///
-    /// # Panics
-    /// Panics if the serving worker died before replying (a worker panic is a bug in
-    /// the pipeline, not a recoverable serving condition).
-    pub fn wait(self) -> MatchResponse {
-        self.rx
-            .recv()
-            .expect("match-engine worker dropped the reply channel")
+    /// Wrap a thread computing the response (used by transports that dedicate a
+    /// thread per in-flight request, e.g. the TCP client). A panicking thread
+    /// resolves to [`ServiceError::Internal`], never a caller panic.
+    pub fn from_task(handle: JoinHandle<ServiceResult<MatchResponse>>) -> Self {
+        PendingResponse {
+            inner: PendingInner::Task(handle),
+        }
+    }
+
+    /// A response (or error) that is already available; [`PendingResponse::wait`]
+    /// returns it without blocking. Useful for fault injection and for services
+    /// that can answer at submission time.
+    pub fn ready(result: ServiceResult<MatchResponse>) -> Self {
+        PendingResponse {
+            inner: PendingInner::Ready(result),
+        }
+    }
+
+    /// Block until the response is ready. A serving backend that died before
+    /// answering yields [`ServiceError::Internal`] — waiting never panics.
+    pub fn wait(self) -> ServiceResult<MatchResponse> {
+        match self.inner {
+            PendingInner::Channel(rx) => rx
+                .recv()
+                .map_err(|_| ServiceError::internal("serving worker dropped the reply channel"))?,
+            PendingInner::Task(handle) => handle
+                .join()
+                .map_err(|_| ServiceError::internal("response thread panicked"))?,
+            PendingInner::Ready(result) => result,
+        }
     }
 }
 
@@ -431,28 +591,55 @@ impl MatchEngine {
     }
 
     /// Enqueue one query; blocks while the submission queue is full (backpressure).
-    pub fn submit(&self, query: MatchQuery) -> PendingResponse {
+    /// Fails with [`ServiceError::Internal`] only if the worker pool died — an
+    /// engine bug, not a load condition.
+    pub fn submit(&self, query: MatchQuery) -> ServiceResult<PendingResponse> {
         let (reply, rx) = sync_channel(1);
         self.tx
             .as_ref()
             .expect("engine is running until dropped")
             .send(Job { query, reply })
-            .expect("match-engine workers are gone");
-        PendingResponse { rx }
+            .map_err(|_| ServiceError::internal("match-engine worker pool is gone"))?;
+        Ok(PendingResponse::from_channel(rx))
+    }
+
+    /// Like [`MatchEngine::submit`] but **never blocks**: a full submission
+    /// queue is reported as [`ServiceError::QueueFull`] instead of applying
+    /// backpressure. The shed-load entry point for latency-sensitive callers.
+    pub fn try_submit(&self, query: MatchQuery) -> ServiceResult<PendingResponse> {
+        let (reply, rx) = sync_channel(1);
+        match self
+            .tx
+            .as_ref()
+            .expect("engine is running until dropped")
+            .try_send(Job { query, reply })
+        {
+            Ok(()) => Ok(PendingResponse::from_channel(rx)),
+            Err(TrySendError::Full(_)) => Err(ServiceError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => {
+                Err(ServiceError::internal("match-engine worker pool is gone"))
+            }
+        }
     }
 
     /// Answer one query, blocking until it is served.
+    ///
+    /// # Panics
+    /// Panics if the worker pool died mid-request (an engine bug). Use
+    /// [`MatchEngine::submit`] for the `Result`-returning path.
     pub fn query(&self, query: MatchQuery) -> MatchResponse {
-        self.submit(query).wait()
+        self.submit(query)
+            .and_then(PendingResponse::wait)
+            .expect("in-process engine serving cannot fail while the pool lives")
     }
 
     /// Serve a whole batch through the worker pool and return the responses **in
     /// input order**. Submission applies the queue's backpressure; the workers shard
     /// the batch among themselves.
-    pub fn submit_batch(&self, queries: Vec<MatchQuery>) -> Vec<MatchResponse> {
+    pub fn submit_batch(&self, queries: Vec<MatchQuery>) -> ServiceResult<Vec<MatchResponse>> {
         let mut pending = Vec::with_capacity(queries.len());
         for query in queries {
-            pending.push(self.submit(query));
+            pending.push(self.submit(query)?);
         }
         pending.into_iter().map(PendingResponse::wait).collect()
     }
@@ -462,7 +649,9 @@ impl MatchEngine {
     /// baseline in benches and determinism tests.
     pub fn answer_inline(&self, query: &MatchQuery) -> MatchResponse {
         let mut scratch = WorkerScratch::default();
-        self.core.answer(query, &mut scratch)
+        self.core
+            .answer(query, &mut scratch)
+            .expect("the in-process pipeline is infallible")
     }
 
     /// A point-in-time snapshot of the serving metrics.
@@ -480,6 +669,24 @@ impl MatchEngine {
     /// repository names, so it stays.
     pub fn invalidate_results(&self) {
         self.core.results.clear();
+    }
+}
+
+impl MatchService for MatchEngine {
+    fn submit(&self, query: MatchQuery) -> ServiceResult<PendingResponse> {
+        MatchEngine::submit(self, query)
+    }
+
+    fn submit_batch(&self, queries: Vec<MatchQuery>) -> ServiceResult<Vec<MatchResponse>> {
+        MatchEngine::submit_batch(self, queries)
+    }
+
+    fn metrics_snapshot(&self) -> ServiceResult<EngineMetrics> {
+        Ok(self.metrics())
+    }
+
+    fn plan_stats(&self, personal: &SchemaTree, length_floor: f64) -> ServiceResult<PlanStats> {
+        Ok(PlanStats::measure(personal, &self.core.index, length_floor))
     }
 }
 
@@ -613,7 +820,7 @@ mod tests {
     fn batch_preserves_input_order() {
         let engine = engine(4);
         let queries: Vec<MatchQuery> = (1..=8).map(|k| book_query().with_top_k(k)).collect();
-        let responses = engine.submit_batch(queries.clone());
+        let responses = engine.submit_batch(queries.clone()).unwrap();
         assert_eq!(responses.len(), 8);
         for (query, response) in queries.iter().zip(&responses) {
             assert_eq!(response.fingerprint, query.fingerprint());
@@ -628,11 +835,12 @@ mod tests {
         // leader's in-flight computation. Which of the two depends on timing, but
         // the accounting invariant does not.
         let engine = engine(4);
-        let responses = engine.submit_batch(vec![
-            book_query()
-                .with_strategy(QueryStrategy::Exhaustive);
-            8
-        ]);
+        let responses = engine
+            .submit_batch(vec![
+                book_query().with_strategy(QueryStrategy::Exhaustive);
+                8
+            ])
+            .unwrap();
         let digest = responses[0].result_digest();
         for r in &responses {
             assert_eq!(r.result_digest(), digest, "duplicates must not diverge");
@@ -652,5 +860,99 @@ mod tests {
         let engine = engine(4);
         let _ = engine.query(book_query());
         drop(engine); // must not hang or panic
+    }
+
+    #[test]
+    fn builder_validates_instead_of_clamping() {
+        assert_eq!(
+            EngineConfig::builder()
+                .workers(0)
+                .build()
+                .unwrap_err()
+                .field,
+            "workers"
+        );
+        assert_eq!(
+            EngineConfig::builder()
+                .queue_capacity(0)
+                .build()
+                .unwrap_err()
+                .field,
+            "queue_capacity"
+        );
+        assert_eq!(
+            EngineConfig::builder()
+                .result_cache_capacity(0)
+                .build()
+                .unwrap_err()
+                .field,
+            "result_cache_capacity"
+        );
+        let config = EngineConfig::builder()
+            .workers(2)
+            .queue_capacity(7)
+            .result_cache_capacity(11)
+            .element(ElementMatchConfig::default().with_min_similarity(0.4))
+            .build()
+            .unwrap();
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.queue_capacity, 7);
+        assert_eq!(config.result_cache_capacity, 11);
+    }
+
+    #[test]
+    fn try_submit_reports_queue_full_instead_of_blocking() {
+        let engine = MatchEngine::new(
+            small_repo(),
+            EngineConfig::builder()
+                .workers(1)
+                .queue_capacity(1)
+                .build()
+                .unwrap(),
+        );
+        let blocker = book_query();
+        let fp = blocker.fingerprint();
+        // Take the singleflight lead for the blocker's fingerprint so the lone
+        // worker parks as a follower — the queue then backs up deterministically.
+        let guard = match engine.core.inflight.join(&fp) {
+            Join::Leader(g) => g,
+            Join::Follower(_) => panic!("nothing else is in flight"),
+        };
+        let parked = engine.submit(blocker.clone()).unwrap();
+        while engine.core.inflight.waiters(&fp) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Queue capacity 1: one more submission fits, the next must shed.
+        let queued = engine.try_submit(book_query().with_top_k(1)).unwrap();
+        let overflow = engine.try_submit(book_query().with_top_k(2));
+        assert_eq!(overflow.unwrap_err(), ServiceError::QueueFull);
+        // Publish a canned answer to release the parked worker.
+        guard.complete(Ok(MatchResponse {
+            fingerprint: fp,
+            strategy: PlannedStrategy::Exhaustive,
+            cache_hit: false,
+            mappings: Vec::new(),
+            candidate_count: 0,
+            total_matches: 0,
+            incomplete: false,
+            failed_shards: Vec::new(),
+            latency: Duration::ZERO,
+        }));
+        assert!(parked.wait().unwrap().cache_hit);
+        let _ = queued.wait().unwrap();
+    }
+
+    #[test]
+    fn engine_serves_through_the_service_trait_object() {
+        let service: Box<dyn MatchService> = Box::new(engine(2));
+        let response = service.submit(book_query()).unwrap().wait().unwrap();
+        assert!(!response.incomplete);
+        let batch = service.submit_batch(vec![book_query(); 3]).unwrap();
+        assert_eq!(batch.len(), 3);
+        let metrics = service.metrics_snapshot().unwrap();
+        assert_eq!(metrics.queries_served, 4);
+        assert_eq!(metrics.failed_queries, 0);
+        let stats = service.plan_stats(&paper_personal_schema(), 0.4).unwrap();
+        assert!(stats.indexed_nodes > 0);
     }
 }

@@ -1,0 +1,212 @@
+//! Structured, wire-serializable service errors.
+//!
+//! Before the `MatchService` redesign, serving failures were implicit: a full
+//! submission queue blocked forever, a dead worker panicked the submitter, and a
+//! shard that disappeared took the whole router down. Every failure mode is now an
+//! explicit [`ServiceError`] variant returned as `Result` through the
+//! [`crate::service::MatchService`] trait — and because the same enum crosses the
+//! wire (it is a [`crate::net::proto::WireResponse`] payload), a remote shard's
+//! failure deserializes into exactly the error an in-process shard would have
+//! returned.
+//!
+//! Construction-time validation failures are a separate, non-wire type:
+//! [`ConfigError`] is what `EngineConfig::builder()…build()` returns for nonsense
+//! configurations — those never travel, they are caller bugs caught before any
+//! serving starts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// `Result` alias used by every [`crate::service::MatchService`] method.
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+/// A serving failure, serializable onto the wire protocol.
+///
+/// The enum is `#[non_exhaustive]`: future protocol revisions may add variants,
+/// and matching code must keep a wildcard arm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The bounded submission queue was full and the caller asked not to block
+    /// (`try_submit`). Back off and resubmit.
+    QueueFull,
+    /// The per-request deadline elapsed before a response arrived (retries
+    /// included). The request may or may not have executed on the server.
+    Timeout,
+    /// A specific shard could not be reached or never answered; `shard` is the
+    /// router-side shard index.
+    ShardUnavailable {
+        /// Router-side index of the unreachable shard.
+        shard: u32,
+    },
+    /// The protocol-version handshake failed: the peer speaks a different frame
+    /// protocol revision. Never retried — no amount of retrying fixes a version
+    /// skew.
+    ProtocolMismatch {
+        /// The protocol version this side speaks.
+        expected: u32,
+        /// The protocol version the peer announced.
+        actual: u32,
+    },
+    /// The request was malformed (unparseable frame payload, unserializable
+    /// query such as a NaN threshold crossing the JSON wire).
+    BadRequest {
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
+    /// A transport-level failure after retries were exhausted: connect refused,
+    /// connection reset mid-frame, garbage framing.
+    Transport {
+        /// Human-readable description of the underlying I/O failure.
+        detail: String,
+    },
+    /// An invariant the service relies on broke (worker pool died, reply channel
+    /// dropped, response thread panicked). Always a bug, never load.
+    Internal {
+        /// Human-readable description of the broken invariant.
+        detail: String,
+    },
+}
+
+impl ServiceError {
+    /// Convenience constructor for [`ServiceError::Internal`].
+    pub fn internal(detail: impl Into<String>) -> Self {
+        ServiceError::Internal {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`ServiceError::Transport`].
+    pub fn transport(detail: impl Into<String>) -> Self {
+        ServiceError::Transport {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`ServiceError::BadRequest`].
+    pub fn bad_request(reason: impl Into<String>) -> Self {
+        ServiceError::BadRequest {
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether a retry of the same request can possibly succeed. Version skews
+    /// and malformed requests are permanent; queue pressure, timeouts and
+    /// transport hiccups are transient.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(
+            self,
+            ServiceError::ProtocolMismatch { .. } | ServiceError::BadRequest { .. }
+        )
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull => write!(f, "submission queue is full"),
+            ServiceError::Timeout => write!(f, "request deadline exceeded"),
+            ServiceError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is unavailable")
+            }
+            ServiceError::ProtocolMismatch { expected, actual } => write!(
+                f,
+                "protocol version mismatch: expected {expected}, peer speaks {actual}"
+            ),
+            ServiceError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServiceError::Transport { detail } => write!(f, "transport failure: {detail}"),
+            ServiceError::Internal { detail } => write!(f, "internal service error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A construction-time configuration error returned by the config builders
+/// (`EngineConfig::builder()`, `ShardedEngineConfig::builder()`).
+///
+/// Unlike [`ServiceError`] this type never crosses the wire: invalid
+/// configurations are local caller bugs, rejected before any thread spawns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The configuration field that was rejected.
+    pub field: &'static str,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl ConfigError {
+    pub(crate) fn new(field: &'static str, reason: &'static str) -> Self {
+        ConfigError { field, reason }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(
+            ServiceError::ShardUnavailable { shard: 3 }.to_string(),
+            "shard 3 is unavailable"
+        );
+        assert_eq!(
+            ServiceError::ProtocolMismatch {
+                expected: 1,
+                actual: 2
+            }
+            .to_string(),
+            "protocol version mismatch: expected 1, peer speaks 2"
+        );
+        assert_eq!(
+            ConfigError::new("workers", "must be >= 1").to_string(),
+            "invalid config `workers`: must be >= 1"
+        );
+    }
+
+    #[test]
+    fn retryability_partitions_the_variants() {
+        assert!(ServiceError::QueueFull.is_retryable());
+        assert!(ServiceError::Timeout.is_retryable());
+        assert!(ServiceError::ShardUnavailable { shard: 0 }.is_retryable());
+        assert!(ServiceError::transport("reset").is_retryable());
+        assert!(ServiceError::internal("bug").is_retryable());
+        assert!(!ServiceError::ProtocolMismatch {
+            expected: 1,
+            actual: 0
+        }
+        .is_retryable());
+        assert!(!ServiceError::bad_request("nan threshold").is_retryable());
+    }
+
+    #[test]
+    fn errors_round_trip_through_json() {
+        let errors = vec![
+            ServiceError::QueueFull,
+            ServiceError::Timeout,
+            ServiceError::ShardUnavailable { shard: 7 },
+            ServiceError::ProtocolMismatch {
+                expected: 1,
+                actual: 9,
+            },
+            ServiceError::bad_request("unicode λ"),
+            ServiceError::transport("connection reset by peer"),
+            ServiceError::internal("worker pool died"),
+        ];
+        for e in errors {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: ServiceError = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e, "{json}");
+        }
+    }
+}

@@ -18,6 +18,17 @@
 //! * [`shard`] — [`shard::ShardedEngine`]: the repository partitioned by tree
 //!   across N independent engines, queries scattered to all shards and merged with
 //!   a deterministic top-k merge — byte-identical to the single-engine answer,
+//! * [`service`] — the [`service::MatchService`] trait every serving backend
+//!   implements (`submit`, `submit_batch`, `metrics_snapshot`, `plan_stats`), so
+//!   the router is transport-blind: a shard slot holds `Box<dyn MatchService>`,
+//!   whether the shard is in-process or on another host,
+//! * [`error`] — [`error::ServiceError`], the structured, wire-serializable error
+//!   every fallible serving call returns, and [`error::ConfigError`] from the
+//!   validating config builders,
+//! * [`net`] — networked serving: a length-prefixed JSON frame protocol with a
+//!   versioned handshake, the thread-per-connection [`net::ShardServer`], the
+//!   [`net::RemoteEngine`] client (deadlines, bounded retry with backoff) and the
+//!   [`net::FaultyTransport`] fault-injection wrapper,
 //! * [`singleflight`] — in-flight deduplication: concurrent identical queries that
 //!   miss the result cache coalesce onto one pipeline execution,
 //! * [`metrics`] — queries served, cache hit rates, coalesced-query counts,
@@ -53,17 +64,23 @@
 
 pub mod cache;
 pub mod engine;
+pub mod error;
 pub mod metrics;
+pub mod net;
 pub mod planner;
 pub mod query;
+pub mod service;
 pub mod shard;
 pub mod singleflight;
 pub mod workload;
 
 pub use cache::ResultCache;
-pub use engine::{EngineConfig, MatchEngine, PendingResponse};
+pub use engine::{EngineConfig, EngineConfigBuilder, MatchEngine, PendingResponse};
+pub use error::{ConfigError, ServiceError, ServiceResult};
 pub use metrics::{EngineMetrics, LatencyHistogram};
-pub use planner::{PlannerConfig, QueryPlan, QueryPlanner};
+pub use net::{FaultyTransport, RemoteEngine, RemoteEngineConfig, ShardServer, PROTOCOL_VERSION};
+pub use planner::{PlanStats, PlannerConfig, QueryPlan, QueryPlanner};
 pub use query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};
-pub use shard::{ShardedEngine, ShardedEngineConfig, ShardedMetrics};
+pub use service::MatchService;
+pub use shard::{ShardedEngine, ShardedEngineConfig, ShardedEngineConfigBuilder, ShardedMetrics};
 pub use singleflight::Singleflight;

@@ -108,6 +108,8 @@ struct Inner {
     coalesced: u64,
     index_pruned: u64,
     exhaustive: u64,
+    degraded: u64,
+    failed: u64,
     histogram: LatencyHistogram,
 }
 
@@ -141,6 +143,24 @@ impl MetricsRegistry {
         inner.histogram.record(latency);
     }
 
+    /// Record one response returned to a caller with
+    /// [`crate::MatchResponse::incomplete`] set — some shards missed their
+    /// deadline and the answer covers only the survivors. Called *in addition
+    /// to* [`MetricsRegistry::record`]: a degraded response is still a served
+    /// query.
+    pub fn record_degraded(&self) {
+        self.inner.lock().unwrap().degraded += 1;
+    }
+
+    /// Record one query that returned a [`crate::ServiceError`] to its caller
+    /// (every shard failed, the queue rejected it, the transport gave up).
+    /// Failed queries are *not* counted in `queries_served` — nothing was
+    /// served — so `queries_served` keeps its accounting invariant with the
+    /// cache/coalesce/strategy counters.
+    pub fn record_failure(&self) {
+        self.inner.lock().unwrap().failed += 1;
+    }
+
     /// A consistent snapshot of everything recorded so far.
     pub fn snapshot(&self) -> EngineMetrics {
         let inner = self.inner.lock().unwrap();
@@ -156,6 +176,8 @@ impl MetricsRegistry {
             coalesced_queries: inner.coalesced,
             index_pruned_queries: inner.index_pruned,
             exhaustive_queries: inner.exhaustive,
+            degraded_responses: inner.degraded,
+            failed_queries: inner.failed,
             p50_latency_us: quantile_us(&inner.histogram, 0.50),
             p99_latency_us: quantile_us(&inner.histogram, 0.99),
         }
@@ -172,7 +194,7 @@ fn quantile_us(histogram: &LatencyHistogram, q: f64) -> u64 {
 }
 
 /// A point-in-time snapshot of the engine's serving metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct EngineMetrics {
     /// Total queries answered (cache hits and coalesced queries included).
     pub queries_served: u64,
@@ -190,6 +212,15 @@ pub struct EngineMetrics {
     /// Queries whose candidate generation actually ran the exhaustive scan
     /// (result-cache hits and coalesced queries excluded, as above).
     pub exhaustive_queries: u64,
+    /// Responses returned with [`crate::MatchResponse::incomplete`] set: some
+    /// shards missed their deadline and the answer merges only the survivors.
+    /// Counted in addition to `queries_served`. Always 0 for a single engine.
+    #[serde(default)]
+    pub degraded_responses: u64,
+    /// Queries that returned a [`crate::ServiceError`] to their caller instead
+    /// of any response. Not counted in `queries_served`.
+    #[serde(default)]
+    pub failed_queries: u64,
     /// Median serving latency, upper-bounded at bucket granularity (µs);
     /// `u64::MAX` means off-scale (beyond the largest histogram bucket).
     pub p50_latency_us: u64,

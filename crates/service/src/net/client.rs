@@ -1,0 +1,374 @@
+//! The remote-shard client: a [`MatchService`] whose backend is on the far
+//! side of a TCP connection.
+//!
+//! A [`RemoteEngine`] looks exactly like a local engine to its caller — the
+//! router holds it as `Box<dyn MatchService>` and never learns the difference.
+//! Underneath, each call frames one [`WireRequest`], sends it on a pooled
+//! handshaked connection, and reads back exactly one [`WireResponse`], with
+//! the failure policy the router's degraded mode is built on:
+//!
+//! * **Deadline** — every call is bounded by
+//!   [`RemoteEngineConfig::request_deadline`] across *all* its attempts;
+//!   when it elapses the call returns [`ServiceError::Timeout`] and the
+//!   router degrades around this shard.
+//! * **Bounded retry with backoff** — connect failures and mid-call I/O
+//!   errors redial and resend, up to [`RemoteEngineConfig::retries`] times
+//!   with exponential backoff. Safe because serving is read-only and
+//!   idempotent by fingerprint: replaying a query cannot produce a duplicate
+//!   side effect, at worst a cache hit.
+//! * **Never retried** — [`ServiceError::ProtocolMismatch`] and
+//!   [`ServiceError::BadRequest`] (the request itself is wrong), and any
+//!   error the *server* answered with (the shard spoke authoritatively;
+//!   retrying would just repeat it).
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::engine::PendingResponse;
+use crate::error::{ServiceError, ServiceResult};
+use crate::metrics::EngineMetrics;
+use crate::net::frame::{read_frame_poll, write_frame, FrameRead};
+use crate::net::proto::{
+    decode, encode, Hello, HelloOk, WireRequest, WireResponse, PROTOCOL_VERSION,
+};
+use crate::planner::PlanStats;
+use crate::query::{MatchQuery, MatchResponse};
+use crate::service::MatchService;
+use xsm_schema::SchemaTree;
+
+/// Idle connections kept for reuse per remote shard.
+const POOL_LIMIT: usize = 8;
+
+/// Timeouts and retry policy of a [`RemoteEngine`].
+#[derive(Debug, Clone)]
+pub struct RemoteEngineConfig {
+    /// TCP connect timeout per dial attempt.
+    pub connect_timeout: Duration,
+    /// Per-read/write I/O timeout once connected (also the handshake timeout).
+    pub io_timeout: Duration,
+    /// Hard wall-clock bound on one logical call, across all retries; on
+    /// expiry the call returns [`ServiceError::Timeout`].
+    pub request_deadline: Duration,
+    /// Retries after the first attempt on retryable transport errors.
+    pub retries: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub backoff: Duration,
+}
+
+impl Default for RemoteEngineConfig {
+    fn default() -> Self {
+        RemoteEngineConfig {
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(30),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RemoteEngineConfig {
+    /// Builder-style connect-timeout override.
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Builder-style I/O-timeout override.
+    pub fn with_io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// Builder-style request-deadline override.
+    pub fn with_request_deadline(mut self, deadline: Duration) -> Self {
+        self.request_deadline = deadline;
+        self
+    }
+
+    /// Builder-style retry-count override.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Builder-style initial-backoff override.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
+struct RemoteInner {
+    addr: String,
+    config: RemoteEngineConfig,
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+/// A [`MatchService`] client for one [`crate::net::ShardServer`]. Cheap to
+/// clone (all clones share the connection pool).
+#[derive(Clone)]
+pub struct RemoteEngine {
+    inner: Arc<RemoteInner>,
+}
+
+impl std::fmt::Debug for RemoteEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteEngine")
+            .field("addr", &self.inner.addr)
+            .field("config", &self.inner.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteEngine {
+    /// Connect to a shard server, performing one eager handshake so an
+    /// unreachable host or a protocol-version skew fails here — at wiring time
+    /// — rather than on the first query.
+    pub fn connect(addr: impl Into<String>, config: RemoteEngineConfig) -> ServiceResult<Self> {
+        let engine = RemoteEngine {
+            inner: Arc::new(RemoteInner {
+                addr: addr.into(),
+                config,
+                pool: Mutex::new(Vec::new()),
+            }),
+        };
+        let stream = engine.inner.dial()?;
+        engine.inner.park(stream);
+        Ok(engine)
+    }
+
+    /// [`RemoteEngine::connect`] with the default timeouts and retry policy.
+    pub fn with_defaults(addr: impl Into<String>) -> ServiceResult<Self> {
+        Self::connect(addr, RemoteEngineConfig::default())
+    }
+
+    /// The address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.inner.addr
+    }
+
+    /// Round-trip a liveness probe within the configured deadline.
+    pub fn ping(&self) -> ServiceResult<()> {
+        match self.inner.call(&WireRequest::Ping)? {
+            WireResponse::Pong => Ok(()),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+}
+
+impl MatchService for RemoteEngine {
+    /// Sends the query on a dedicated thread so the router's scatter stays
+    /// concurrent across shards; the handle resolves when the reply frame
+    /// lands (or the deadline/retry policy gives up).
+    fn submit(&self, query: MatchQuery) -> ServiceResult<PendingResponse> {
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name("xsm-remote-call".to_string())
+            .spawn(move || match inner.call(&WireRequest::Query(query))? {
+                WireResponse::Response(response) => Ok(response),
+                WireResponse::Error(error) => Err(error),
+                other => Err(unexpected_reply(&other)),
+            })
+            .map_err(|e| ServiceError::internal(format!("failed to spawn remote call: {e}")))?;
+        Ok(PendingResponse::from_task(handle))
+    }
+
+    /// One `Batch` frame for the whole batch — a single round trip, answers in
+    /// input order.
+    fn submit_batch(&self, queries: Vec<MatchQuery>) -> ServiceResult<Vec<MatchResponse>> {
+        match self.inner.call(&WireRequest::Batch(queries))? {
+            WireResponse::Batch(responses) => Ok(responses),
+            WireResponse::Error(error) => Err(error),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    fn metrics_snapshot(&self) -> ServiceResult<EngineMetrics> {
+        match self.inner.call(&WireRequest::Metrics)? {
+            WireResponse::Metrics(metrics) => Ok(metrics),
+            WireResponse::Error(error) => Err(error),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    fn plan_stats(&self, personal: &SchemaTree, length_floor: f64) -> ServiceResult<PlanStats> {
+        let request = WireRequest::PlanStats {
+            personal: personal.clone(),
+            length_floor,
+        };
+        match self.inner.call(&request)? {
+            WireResponse::PlanStats(stats) => Ok(stats),
+            WireResponse::Error(error) => Err(error),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+}
+
+/// The server answered with a variant the request cannot produce — a protocol
+/// violation, reported as a transport error (and therefore retryable).
+fn unexpected_reply(reply: &WireResponse) -> ServiceError {
+    let kind = match reply {
+        WireResponse::Pong => "Pong",
+        WireResponse::Response(_) => "Response",
+        WireResponse::Batch(_) => "Batch",
+        WireResponse::PlanStats(_) => "PlanStats",
+        WireResponse::Metrics(_) => "Metrics",
+        WireResponse::Error(_) => "Error",
+    };
+    ServiceError::transport(format!("protocol violation: unexpected {kind} reply"))
+}
+
+impl RemoteInner {
+    /// One logical call: attempt, and on retryable failure redial/resend with
+    /// exponential backoff until the retry budget or the deadline runs out.
+    fn call(&self, request: &WireRequest) -> ServiceResult<WireResponse> {
+        let payload = encode(request)?;
+        let deadline = Instant::now() + self.config.request_deadline;
+        let mut backoff = self.config.backoff;
+        let mut attempt = 0u32;
+        loop {
+            match self.attempt(&payload, deadline) {
+                Ok(reply) => return Ok(reply),
+                Err(error) => {
+                    if !error.is_retryable() || attempt >= self.config.retries {
+                        return Err(error);
+                    }
+                    if Instant::now() + backoff >= deadline {
+                        return Err(ServiceError::Timeout);
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One wire round trip on one connection. The connection returns to the
+    /// pool only after a complete success — any mid-call failure leaves it in
+    /// an unknown framing state, so it is dropped and the retry dials fresh.
+    fn attempt(&self, payload: &[u8], deadline: Instant) -> ServiceResult<WireResponse> {
+        if Instant::now() >= deadline {
+            return Err(ServiceError::Timeout);
+        }
+        let mut stream = self.checkout()?;
+        write_frame(&mut stream, payload)
+            .map_err(|e| ServiceError::transport(format!("send failed: {e}")))?;
+        // Wait for the reply in io_timeout slices, re-checking the deadline
+        // between slices: a shard legitimately computing a long query must not
+        // be cut off by the per-read timeout, only by the call deadline.
+        let reply = loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ServiceError::Timeout);
+            }
+            let slice = remaining
+                .min(self.config.io_timeout)
+                .max(Duration::from_millis(1));
+            stream
+                .set_read_timeout(Some(slice))
+                .map_err(|e| ServiceError::transport(format!("set_read_timeout failed: {e}")))?;
+            match read_frame_poll(&mut stream) {
+                Ok(FrameRead::Frame(payload)) => break payload,
+                Ok(FrameRead::Idle) => continue,
+                Ok(FrameRead::Eof) => {
+                    return Err(ServiceError::transport(
+                        "server closed the connection before replying",
+                    ))
+                }
+                Err(e) => return Err(ServiceError::transport(format!("receive failed: {e}"))),
+            }
+        };
+        let response = decode::<WireResponse>(&reply)
+            // An undecodable *reply* is the transport's fault, not the request's.
+            .map_err(|e| ServiceError::transport(format!("undecodable reply: {e}")))?;
+        self.park(stream);
+        Ok(response)
+    }
+
+    /// A pooled connection, or a fresh dial-and-handshake.
+    fn checkout(&self) -> ServiceResult<TcpStream> {
+        if let Some(stream) = self.pool.lock().unwrap().pop() {
+            return Ok(stream);
+        }
+        self.dial()
+    }
+
+    /// Return a healthy connection to the pool (bounded; extras just close).
+    fn park(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock().unwrap();
+        if pool.len() < POOL_LIMIT {
+            pool.push(stream);
+        }
+    }
+
+    /// Dial, configure timeouts, and run the version handshake.
+    fn dial(&self) -> ServiceResult<TcpStream> {
+        let addrs = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| ServiceError::transport(format!("cannot resolve {}: {e}", self.addr)))?;
+        let mut last: Option<std::io::Error> = None;
+        let mut stream: Option<TcpStream> = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let mut stream = stream.ok_or_else(|| {
+            ServiceError::transport(match last {
+                Some(e) => format!("cannot connect to {}: {e}", self.addr),
+                None => format!("{} resolves to no addresses", self.addr),
+            })
+        })?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(self.config.io_timeout))
+            .and_then(|_| stream.set_write_timeout(Some(self.config.io_timeout)))
+            .map_err(|e| ServiceError::transport(format!("cannot configure socket: {e}")))?;
+
+        let hello = encode(&Hello {
+            protocol_version: PROTOCOL_VERSION,
+        })?;
+        write_frame(&mut stream, &hello)
+            .map_err(|e| ServiceError::transport(format!("handshake send failed: {e}")))?;
+        let reply = match read_frame_poll(&mut stream) {
+            Ok(FrameRead::Frame(payload)) => payload,
+            Ok(FrameRead::Idle) => {
+                return Err(ServiceError::transport("handshake timed out"));
+            }
+            Ok(FrameRead::Eof) => {
+                return Err(ServiceError::transport(
+                    "server closed the connection during the handshake",
+                ))
+            }
+            Err(e) => {
+                return Err(ServiceError::transport(format!(
+                    "handshake receive failed: {e}"
+                )))
+            }
+        };
+        if let Ok(ok) = decode::<HelloOk>(&reply) {
+            if ok.protocol_version == PROTOCOL_VERSION {
+                return Ok(stream);
+            }
+            return Err(ServiceError::ProtocolMismatch {
+                expected: PROTOCOL_VERSION,
+                actual: ok.protocol_version,
+            });
+        }
+        // Not a HelloOk: a structured refusal (version skew) or garbage.
+        match decode::<WireResponse>(&reply) {
+            Ok(WireResponse::Error(error)) => Err(error),
+            _ => Err(ServiceError::transport(
+                "handshake reply is not part of the protocol",
+            )),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Deterministic fault injection for the degraded-mode and recovery tests.
+//!
+//! A [`FaultyTransport`] wraps any [`MatchService`] and misbehaves *on
+//! schedule*: a scripted queue of [`Fault`]s is consumed one per submission
+//! (first in, first applied), plus a whole-shard kill switch for the
+//! never-answering-shard scenarios. Because every fault is injected
+//! deterministically — no randomness, no timing races — the tests can assert
+//! exact outcomes: *this* submission fails at the submit stage, *that* one
+//! fails at the wait stage, the third is merely slow, and the merged router
+//! response must flag exactly these shards.
+//!
+//! The wrapper sits at the same seam a real transport does (a
+//! `Box<dyn MatchService>` shard slot), so the router code under test cannot
+//! tell fault injection from a genuinely flaky network.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::engine::PendingResponse;
+use crate::error::{ServiceError, ServiceResult};
+use crate::metrics::EngineMetrics;
+use crate::planner::PlanStats;
+use crate::query::MatchQuery;
+use crate::service::MatchService;
+use xsm_schema::SchemaTree;
+
+/// One scripted misbehavior, consumed by one submission.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// The submission itself is rejected with this error (the request never
+    /// reaches the backend) — a full queue or a dead connection at send time.
+    FailSubmit(ServiceError),
+    /// The submission is accepted but its [`PendingResponse`] resolves to this
+    /// error — a reply lost in flight or a deadline expiring mid-call. The
+    /// backend never sees the query.
+    FailWait(ServiceError),
+    /// The submission is served correctly but the response is delayed by this
+    /// long — a slow-but-healthy shard.
+    Delay(Duration),
+}
+
+/// A [`MatchService`] wrapper that injects scripted faults; see the module docs.
+pub struct FaultyTransport {
+    inner: Box<dyn MatchService>,
+    script: Arc<Mutex<VecDeque<Fault>>>,
+    dead: Arc<AtomicBool>,
+}
+
+impl FaultyTransport {
+    /// Wrap `inner` with an empty script (behaves perfectly until scripted).
+    pub fn new(inner: Box<dyn MatchService>) -> Self {
+        FaultyTransport {
+            inner,
+            script: Arc::new(Mutex::new(VecDeque::new())),
+            dead: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Append faults to the script, builder-style.
+    pub fn with_script(self, faults: impl IntoIterator<Item = Fault>) -> Self {
+        self.script.lock().unwrap().extend(faults);
+        self
+    }
+
+    /// A handle for appending faults after the transport was boxed into a
+    /// router slot.
+    pub fn script_handle(&self) -> Arc<Mutex<VecDeque<Fault>>> {
+        Arc::clone(&self.script)
+    }
+
+    /// A handle to the kill switch: while `true`, **every** call — submissions,
+    /// batches, planner statistics, metrics — fails immediately with a
+    /// transport error. This is the never-answering shard; flip it back to
+    /// `false` to simulate recovery.
+    pub fn kill_switch(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.dead)
+    }
+
+    fn check_alive(&self) -> ServiceResult<()> {
+        if self.dead.load(Ordering::SeqCst) {
+            Err(ServiceError::transport(
+                "fault injection: shard is unreachable",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl MatchService for FaultyTransport {
+    fn submit(&self, query: MatchQuery) -> ServiceResult<PendingResponse> {
+        self.check_alive()?;
+        match self.script.lock().unwrap().pop_front() {
+            None => self.inner.submit(query),
+            Some(Fault::FailSubmit(error)) => Err(error),
+            Some(Fault::FailWait(error)) => Ok(PendingResponse::ready(Err(error))),
+            Some(Fault::Delay(delay)) => {
+                let pending = self.inner.submit(query)?;
+                let handle = std::thread::Builder::new()
+                    .name("xsm-fault-delay".to_string())
+                    .spawn(move || {
+                        let result = pending.wait();
+                        std::thread::sleep(delay);
+                        result
+                    })
+                    .map_err(|e| ServiceError::internal(format!("failed to spawn delay: {e}")))?;
+                Ok(PendingResponse::from_task(handle))
+            }
+        }
+    }
+
+    fn metrics_snapshot(&self) -> ServiceResult<EngineMetrics> {
+        self.check_alive()?;
+        self.inner.metrics_snapshot()
+    }
+
+    fn plan_stats(&self, personal: &SchemaTree, length_floor: f64) -> ServiceResult<PlanStats> {
+        self.check_alive()?;
+        self.inner.plan_stats(personal, length_floor)
+    }
+}

@@ -1,0 +1,203 @@
+//! The frame codec: `u32` big-endian length prefix, then that many payload bytes.
+//!
+//! Frames are the only unit the transport knows; what the bytes mean is
+//! [`crate::net::proto`]'s business. The reader enforces [`MAX_FRAME_LEN`]
+//! *before* allocating, so a corrupt or hostile length header cannot balloon
+//! memory, and distinguishes three quiet outcomes a server loop needs to tell
+//! apart: a whole frame, a clean timeout between frames ([`FrameRead::Idle`] —
+//! keep polling), and a clean end of stream ([`FrameRead::Eof`] — peer hung up).
+//! A timeout *mid-frame* gets a short grace budget — TCP is free to split a
+//! frame across segments, and a reader with a fine-grained poll timeout can
+//! wake between them — but a peer that stalls for many consecutive slices
+//! inside one message is an error and the connection can only be closed.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame's payload size (32 MiB). Large enough for any real
+/// batch of schema trees, small enough that a garbage header cannot OOM the
+/// server.
+pub const MAX_FRAME_LEN: usize = 32 * 1024 * 1024;
+
+/// Consecutive timeout slices tolerated *inside* a frame before the peer is
+/// declared stalled. Any byte of progress resets the budget. One slice is
+/// enough for the between-segments race on loopback; a few more absorb real
+/// network jitter without letting a half-written frame pin a thread forever.
+const MID_FRAME_TIMEOUT_GRACE: u32 = 8;
+
+/// Outcome of one polling read attempt; see the module docs.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame's payload.
+    Frame(Vec<u8>),
+    /// The read timed out with **zero** header bytes consumed — no message was
+    /// in flight; poll again.
+    Idle,
+    /// The peer closed the stream at a clean frame boundary.
+    Eof,
+}
+
+/// Does this I/O error mean "the read timed out" on this platform?
+/// (`read_timeout` surfaces as `WouldBlock` on Unix, `TimedOut` on Windows.)
+fn is_timeout(error: &io::Error) -> bool {
+    matches!(
+        error.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Write one frame (length prefix + payload) and flush it.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN})",
+                payload.len()
+            ),
+        ));
+    }
+    // One buffer, one write: with `TCP_NODELAY` two separate writes become two
+    // segments, and a reader polling with a short timeout can wake between
+    // them — a single write keeps header and payload in one segment for every
+    // frame that fits.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+/// Read one frame, honouring the stream's read timeout as an idle poll.
+///
+/// With a read timeout configured on the stream, a timeout before the first
+/// header byte returns [`FrameRead::Idle`]; once any byte of a frame was
+/// consumed, timeouts are retried up to the mid-frame grace budget and only
+/// then become an error (the peer stalled mid-message).
+pub fn read_frame_poll<R: Read>(reader: &mut R) -> io::Result<FrameRead> {
+    let mut stalls = 0u32;
+    let mut header = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match reader.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(FrameRead::Eof)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream closed inside a frame header",
+                    ))
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) && filled == 0 => return Ok(FrameRead::Idle),
+            Err(e) if is_timeout(&e) => stall_budget(&mut stalls, e)?,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame header claims {len} bytes, exceeding MAX_FRAME_LEN ({MAX_FRAME_LEN})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        match reader.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed inside a frame payload",
+                ))
+            }
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => stall_budget(&mut stalls, e)?,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
+/// Charge one mid-frame timeout against the grace budget; error out once the
+/// peer has stalled for too many consecutive slices without a byte of progress.
+fn stall_budget(stalls: &mut u32, error: io::Error) -> io::Result<()> {
+    *stalls += 1;
+    if *stalls > MID_FRAME_TIMEOUT_GRACE {
+        return Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("peer stalled mid-frame for {MID_FRAME_TIMEOUT_GRACE} read slices: {error}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Read one frame, treating a timeout and a clean close as hard errors — the
+/// client-side shape, where a reply is expected.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
+    match read_frame_poll(reader)? {
+        FrameRead::Frame(payload) => Ok(payload),
+        FrameRead::Idle => Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "timed out waiting for a reply frame",
+        )),
+        FrameRead::Eof => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "peer closed the connection before replying",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"world");
+        assert!(matches!(
+            read_frame_poll(&mut cursor).unwrap(),
+            FrameRead::Eof
+        ));
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(b"junk");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = write_frame(&mut Vec::new(), &vec![0u8; MAX_FRAME_LEN + 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn truncated_streams_are_clean_errors() {
+        // Cut inside the header.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let err = read_frame(&mut Cursor::new(&buf[..2])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Cut inside the payload.
+        let err = read_frame(&mut Cursor::new(&buf[..6])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

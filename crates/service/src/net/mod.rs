@@ -1,0 +1,37 @@
+//! Networked shard serving: frames, protocol, server, client, fault injection.
+//!
+//! The wire protocol is deliberately boring — length-prefixed JSON frames over
+//! TCP, blocking I/O, one thread per connection — because the serving contract
+//! is not: a [`crate::ShardedEngine`] routing over [`RemoteEngine`] clients must
+//! return **byte-identical** answers to the single in-process engine, and must
+//! degrade (not fail, not lie) when a shard stops answering. Everything in this
+//! module exists to make that contract testable:
+//!
+//! * [`frame`] — `u32` big-endian length prefix + UTF-8 JSON payload, with a
+//!   hard size cap so a garbage header cannot allocate gigabytes,
+//! * [`proto`] — the versioned handshake ([`PROTOCOL_VERSION`]) and the
+//!   request/response DTOs; unknown versions are rejected before any query
+//!   flows,
+//! * [`ShardServer`] — binds a listener over any [`crate::MatchService`]
+//!   (an engine, a sharded engine, a faulty wrapper) and serves
+//!   thread-per-connection; [`ShardServer::suspend`] simulates a crashed
+//!   process without releasing the port,
+//! * [`RemoteEngine`] — the client side: a connection pool, per-request
+//!   deadlines, bounded retry with exponential backoff on transport errors —
+//!   and never on protocol or server-reported errors,
+//! * [`FaultyTransport`] — deterministic fault injection (scripted submit/wait
+//!   failures, delays, a whole-shard kill switch) for the degraded-mode tests.
+//!
+//! No async runtime, no external networking crates: `std::net` only.
+
+pub mod client;
+pub mod fault;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{RemoteEngine, RemoteEngineConfig};
+pub use fault::{Fault, FaultyTransport};
+pub use frame::{read_frame, write_frame, FrameRead, MAX_FRAME_LEN};
+pub use proto::{Hello, HelloOk, WireRequest, WireResponse, PROTOCOL_VERSION};
+pub use server::ShardServer;

@@ -1,0 +1,189 @@
+//! The wire protocol: a versioned handshake, then request/response DTOs.
+//!
+//! Every frame's payload is the UTF-8 JSON of exactly one of these types. A
+//! connection opens with [`Hello`] → [`HelloOk`] (or a
+//! [`crate::ServiceError::ProtocolMismatch`] and a close when the versions
+//! disagree); after that the client sends [`WireRequest`]s and the server
+//! answers each with one [`WireResponse`], in order, on the same connection.
+//!
+//! Versioning is deliberately blunt: [`PROTOCOL_VERSION`] is a single integer
+//! and any skew refuses the connection. The DTOs themselves stay evolvable —
+//! additions ride on `#[serde(default)]` fields (see
+//! [`crate::MatchResponse::incomplete`]), while anything that would change the
+//! *meaning* of existing fields must bump the version.
+
+use serde::{Deserialize, Serialize};
+use xsm_schema::SchemaTree;
+
+use crate::error::{ServiceError, ServiceResult};
+use crate::metrics::EngineMetrics;
+use crate::planner::PlanStats;
+use crate::query::{MatchQuery, MatchResponse};
+
+/// The wire-protocol version this build speaks. Connections between builds
+/// with different versions are refused at the handshake.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// First frame on every connection, client → server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hello {
+    /// The client's [`PROTOCOL_VERSION`].
+    pub protocol_version: u32,
+}
+
+/// The server's acceptance of a [`Hello`] (a version mismatch is answered with
+/// [`WireResponse::Error`] instead, then the connection closes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HelloOk {
+    /// The server's [`PROTOCOL_VERSION`] (equal to the client's, or the
+    /// handshake would have failed).
+    pub protocol_version: u32,
+}
+
+/// One request frame, client → server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WireRequest {
+    /// Liveness probe; answered with [`WireResponse::Pong`].
+    Ping,
+    /// Serve one match query.
+    Query(MatchQuery),
+    /// Serve a whole batch; the reply preserves input order.
+    Batch(Vec<MatchQuery>),
+    /// Report the shard's additive planner statistics for this personal schema
+    /// (the router's global `Auto` resolution depends on them).
+    PlanStats {
+        /// The personal schema the statistics are measured for.
+        personal: SchemaTree,
+        /// The element-similarity floor anchoring the planner's length window.
+        length_floor: f64,
+    },
+    /// Report the shard's serving-metrics snapshot.
+    Metrics,
+}
+
+/// One response frame, server → client; always exactly one per request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WireResponse {
+    /// Answer to [`WireRequest::Ping`].
+    Pong,
+    /// Answer to [`WireRequest::Query`].
+    Response(MatchResponse),
+    /// Answer to [`WireRequest::Batch`], in input order.
+    Batch(Vec<MatchResponse>),
+    /// Answer to [`WireRequest::PlanStats`].
+    PlanStats(PlanStats),
+    /// Answer to [`WireRequest::Metrics`].
+    Metrics(EngineMetrics),
+    /// The request failed server-side (or the handshake was refused); the
+    /// structured error crosses the wire intact.
+    Error(ServiceError),
+}
+
+/// Serialize one protocol message to a frame payload. Fails only on values
+/// JSON cannot carry (a NaN threshold, say) — reported as
+/// [`ServiceError::BadRequest`] because the *request* is unservable, not the
+/// transport.
+pub fn encode<T: Serialize>(message: &T) -> ServiceResult<Vec<u8>> {
+    serde_json::to_string(message)
+        .map(String::into_bytes)
+        .map_err(|e| ServiceError::bad_request(format!("unserializable message: {e}")))
+}
+
+/// Decode one frame payload as a protocol message. Any failure — bad UTF-8,
+/// bad JSON, the wrong shape — is [`ServiceError::BadRequest`]: the bytes
+/// arrived fine but do not speak the protocol.
+pub fn decode<T: serde::de::DeserializeOwned>(payload: &[u8]) -> ServiceResult<T> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ServiceError::bad_request(format!("frame is not UTF-8: {e}")))?;
+    serde_json::from_str(text)
+        .map_err(|e| ServiceError::bad_request(format!("undecodable frame: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xsm_schema::{SchemaNode, TreeBuilder};
+
+    #[test]
+    fn handshake_messages_round_trip() {
+        let hello = Hello {
+            protocol_version: PROTOCOL_VERSION,
+        };
+        let bytes = encode(&hello).unwrap();
+        assert_eq!(decode::<Hello>(&bytes).unwrap(), hello);
+        let ok = HelloOk {
+            protocol_version: PROTOCOL_VERSION,
+        };
+        let bytes = encode(&ok).unwrap();
+        assert_eq!(decode::<HelloOk>(&bytes).unwrap(), ok);
+    }
+
+    #[test]
+    fn requests_round_trip_through_frames() {
+        let personal = TreeBuilder::new("personal")
+            .root(SchemaNode::element("book"))
+            .child(SchemaNode::element("tïtle"))
+            .build();
+        let query = MatchQuery::new(personal).with_top_k(3);
+        for request in [
+            WireRequest::Ping,
+            WireRequest::Query(query.clone()),
+            WireRequest::Batch(vec![query.clone(), query.clone()]),
+            WireRequest::PlanStats {
+                personal: query.personal.clone(),
+                length_floor: 0.6,
+            },
+            WireRequest::Metrics,
+        ] {
+            let bytes = encode(&request).unwrap();
+            let back: WireRequest = decode(&bytes).unwrap();
+            // Fingerprint equality is the strongest cheap check for the query
+            // payloads; the unit variants just need to survive.
+            match (&request, &back) {
+                (WireRequest::Query(a), WireRequest::Query(b)) => {
+                    assert_eq!(a.fingerprint(), b.fingerprint());
+                }
+                (WireRequest::Batch(a), WireRequest::Batch(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    assert_eq!(a[0].fingerprint(), b[0].fingerprint());
+                }
+                (
+                    WireRequest::PlanStats { length_floor, .. },
+                    WireRequest::PlanStats {
+                        length_floor: back_floor,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(length_floor.to_bits(), back_floor.to_bits());
+                }
+                (WireRequest::Ping, WireRequest::Ping) => {}
+                (WireRequest::Metrics, WireRequest::Metrics) => {}
+                (a, b) => panic!("variant changed across the wire: {a:?} -> {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_nan_threshold_cannot_cross_the_wire() {
+        let mut query = MatchQuery::new(
+            TreeBuilder::new("personal")
+                .root(SchemaNode::element("x"))
+                .build(),
+        );
+        query.threshold = f64::NAN;
+        let err = encode(&WireRequest::Query(query)).unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest { .. }));
+    }
+
+    #[test]
+    fn garbage_decodes_to_bad_request() {
+        assert!(matches!(
+            decode::<WireRequest>(b"\xff\xfe not json"),
+            Err(ServiceError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            decode::<WireRequest>(b"{\"NoSuchVariant\":1}"),
+            Err(ServiceError::BadRequest { .. })
+        ));
+    }
+}

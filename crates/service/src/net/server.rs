@@ -1,0 +1,252 @@
+//! The shard server: any [`MatchService`] behind a TCP listener.
+//!
+//! One accept thread polls a nonblocking listener; each accepted connection
+//! gets its own handler thread speaking the [`crate::net::proto`] protocol
+//! with blocking reads and a short poll timeout, so every thread notices
+//! shutdown within one poll interval. The served backend is an
+//! `Arc<dyn MatchService>` — a [`crate::MatchEngine`] for a single shard, a
+//! whole [`crate::ShardedEngine`] for a router-of-routers, or a
+//! [`crate::net::FaultyTransport`] in tests.
+//!
+//! [`ShardServer::suspend`] freezes the server **without releasing the port**:
+//! live handlers drop their connections, new connections are accepted and
+//! immediately closed. To a client this is indistinguishable from a crashed
+//! process that something keeps restarting — which is exactly what the
+//! recovery tests need, and avoids the rebind-same-port flakiness of
+//! `TIME_WAIT` (std's `TcpListener` cannot set `SO_REUSEADDR`).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::PendingResponse;
+use crate::error::ServiceError;
+use crate::net::frame::{read_frame_poll, write_frame, FrameRead};
+use crate::net::proto::{
+    decode, encode, Hello, HelloOk, WireRequest, WireResponse, PROTOCOL_VERSION,
+};
+use crate::service::MatchService;
+
+/// How often blocked reads and the accept loop wake to check the shutdown and
+/// suspend flags.
+const POLL: Duration = Duration::from_millis(25);
+
+/// A TCP server exposing one [`MatchService`] to [`crate::net::RemoteEngine`]
+/// clients. Shuts down (and joins every thread) on drop.
+pub struct ShardServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    suspended: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ShardServer {
+    /// Bind `addr` (use port 0 for an OS-assigned port — read it back with
+    /// [`ShardServer::local_addr`]) and start serving `service`.
+    pub fn bind<A: ToSocketAddrs>(addr: A, service: Arc<dyn MatchService>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let suspended = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let suspended = Arc::clone(&suspended);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name(format!("xsm-shard-server-{}", addr.port()))
+                .spawn(move || {
+                    while !shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                if suspended.load(Ordering::SeqCst) {
+                                    // Crash simulation: the process answers the
+                                    // TCP handshake (the port is taken) but the
+                                    // connection dies immediately.
+                                    drop(stream);
+                                    continue;
+                                }
+                                let service = Arc::clone(&service);
+                                let shutdown = Arc::clone(&shutdown);
+                                let suspended = Arc::clone(&suspended);
+                                let handle = std::thread::Builder::new()
+                                    .name("xsm-shard-conn".to_string())
+                                    .spawn(move || {
+                                        handle_connection(stream, &*service, &shutdown, &suspended)
+                                    })
+                                    .expect("failed to spawn connection handler");
+                                handlers.lock().unwrap().push(handle);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL)
+                            }
+                            Err(_) => std::thread::sleep(POLL),
+                        }
+                    }
+                })
+                .expect("failed to spawn shard-server accept loop")
+        };
+        Ok(ShardServer {
+            addr,
+            shutdown,
+            suspended,
+            accept_handle: Some(accept_handle),
+            handlers,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Simulate a crash: drop every live connection and refuse new ones until
+    /// [`ShardServer::resume`], while keeping the port bound.
+    pub fn suspend(&self) {
+        self.suspended.store(true, Ordering::SeqCst);
+    }
+
+    /// End a [`ShardServer::suspend`]: new connections serve normally again.
+    pub fn resume(&self) {
+        self.suspended.store(false, Ordering::SeqCst);
+    }
+
+    /// Stop accepting, drop every connection, join every thread. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = self.handlers.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ShardServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve one connection: handshake, then request/response until the peer hangs
+/// up, the protocol is violated, or the server shuts down / suspends.
+fn handle_connection(
+    mut stream: TcpStream,
+    service: &dyn MatchService,
+    shutdown: &AtomicBool,
+    suspended: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+
+    // Handshake: the first frame must be a Hello with our protocol version.
+    let hello: Hello = loop {
+        match read_frame_poll(&mut stream) {
+            Ok(FrameRead::Frame(payload)) => match decode(&payload) {
+                Ok(hello) => break hello,
+                Err(error) => {
+                    send(&mut stream, &WireResponse::Error(error));
+                    return;
+                }
+            },
+            Ok(FrameRead::Idle) => {
+                if shutdown.load(Ordering::SeqCst) || suspended.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(FrameRead::Eof) | Err(_) => return,
+        }
+    };
+    if hello.protocol_version != PROTOCOL_VERSION {
+        send(
+            &mut stream,
+            &WireResponse::Error(ServiceError::ProtocolMismatch {
+                expected: PROTOCOL_VERSION,
+                actual: hello.protocol_version,
+            }),
+        );
+        return;
+    }
+    if !send(
+        &mut stream,
+        &HelloOk {
+            protocol_version: PROTOCOL_VERSION,
+        },
+    ) {
+        return;
+    }
+
+    loop {
+        match read_frame_poll(&mut stream) {
+            Ok(FrameRead::Frame(payload)) => {
+                if suspended.load(Ordering::SeqCst) {
+                    return; // crash simulation: die mid-request
+                }
+                let request: WireRequest = match decode(&payload) {
+                    Ok(request) => request,
+                    Err(error) => {
+                        // One structured complaint, then close: a peer that
+                        // sends garbage cannot be trusted with framing.
+                        send(&mut stream, &WireResponse::Error(error));
+                        return;
+                    }
+                };
+                if !send(&mut stream, &dispatch(service, request)) {
+                    return;
+                }
+            }
+            Ok(FrameRead::Idle) => {
+                if shutdown.load(Ordering::SeqCst) || suspended.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(FrameRead::Eof) | Err(_) => return,
+        }
+    }
+}
+
+/// Serve one decoded request against the backend.
+fn dispatch(service: &dyn MatchService, request: WireRequest) -> WireResponse {
+    match request {
+        WireRequest::Ping => WireResponse::Pong,
+        WireRequest::Query(query) => match service.submit(query).and_then(PendingResponse::wait) {
+            Ok(response) => WireResponse::Response(response),
+            Err(error) => WireResponse::Error(error),
+        },
+        WireRequest::Batch(queries) => match service.submit_batch(queries) {
+            Ok(responses) => WireResponse::Batch(responses),
+            Err(error) => WireResponse::Error(error),
+        },
+        WireRequest::PlanStats {
+            personal,
+            length_floor,
+        } => match service.plan_stats(&personal, length_floor) {
+            Ok(stats) => WireResponse::PlanStats(stats),
+            Err(error) => WireResponse::Error(error),
+        },
+        WireRequest::Metrics => match service.metrics_snapshot() {
+            Ok(metrics) => WireResponse::Metrics(metrics),
+            Err(error) => WireResponse::Error(error),
+        },
+    }
+}
+
+/// Encode and write one message; `false` means the connection is done for
+/// (encoding failed or the peer is gone).
+fn send<T: serde::Serialize>(stream: &mut TcpStream, message: &T) -> bool {
+    match encode(message) {
+        Ok(payload) => write_frame(stream, &payload).is_ok(),
+        Err(_) => false,
+    }
+}

@@ -40,6 +40,56 @@ impl Default for PlannerConfig {
     }
 }
 
+/// Additive posting-list statistics of one repository slice, measured for one
+/// personal schema — the planner inputs that survive a wire boundary.
+///
+/// Stats are **additive over a disjoint partition of the repository**: a gram's
+/// posting lists across shards concatenate to its global posting list and
+/// indexed-node counts sum, so [`PlanStats::merge`]-ing per-shard measurements
+/// reaches exactly the numbers a single index over the whole repository reports.
+/// That additivity is what lets a router ask each shard for its local stats
+/// (`MatchService::plan_stats`, possibly over TCP) and resolve
+/// [`QueryStrategy::Auto`] globally with [`QueryPlanner::plan_from_stats`],
+/// reaching **exactly** the decision the unsharded planner reaches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Number of indexed repository nodes in this slice.
+    pub indexed_nodes: u64,
+    /// Summed in-window posting-segment lengths over the personal names — the
+    /// candidate volume the index-pruned path would merge against this slice.
+    pub estimated_volume: u64,
+}
+
+impl PlanStats {
+    /// Measure `personal` against one shard's index: the same per-name
+    /// [`NameIndex::resolve_query`] + windowed volume estimate the `Auto`
+    /// planning pass runs, so a stats-based plan can never diverge from a
+    /// direct one.
+    pub fn measure(personal: &SchemaTree, index: &NameIndex, length_floor: f64) -> PlanStats {
+        let window = LengthWindow::fuzzy_floor(length_floor);
+        let estimated: u64 = personal
+            .nodes()
+            .map(|(_, node)| {
+                let resolved = index.resolve_query(&node.name);
+                index.estimate_candidate_volume_resolved(&resolved, window) as u64
+            })
+            .sum();
+        PlanStats {
+            indexed_nodes: index.indexed_nodes() as u64,
+            estimated_volume: estimated,
+        }
+    }
+
+    /// Combine two disjoint slices' statistics (saturating; repositories nowhere
+    /// near overflow in practice).
+    pub fn merge(self, other: PlanStats) -> PlanStats {
+        PlanStats {
+            indexed_nodes: self.indexed_nodes.saturating_add(other.indexed_nodes),
+            estimated_volume: self.estimated_volume.saturating_add(other.estimated_volume),
+        }
+    }
+}
+
 /// The planner's decision for one query, with the statistics it was based on.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct QueryPlan {
@@ -105,36 +155,50 @@ impl QueryPlanner {
         indexes: impl Iterator<Item = &'a NameIndex> + Clone,
         length_floor: f64,
     ) -> QueryPlan {
-        let indexed_nodes: usize = indexes.clone().map(|i| i.indexed_nodes()).sum();
-        let exhaustive_volume = personal.len() * indexed_nodes;
-        // The estimation pass resolves every personal name's grams; it only runs
-        // when the decision actually depends on it (forced strategies skip it).
+        match requested {
+            QueryStrategy::IndexPruned | QueryStrategy::Exhaustive => {
+                // Forced strategies never need the estimation pass.
+                let indexed_nodes: u64 = indexes.map(|i| i.indexed_nodes() as u64).sum();
+                self.plan_from_stats(
+                    personal,
+                    requested,
+                    PlanStats {
+                        indexed_nodes,
+                        estimated_volume: 0,
+                    },
+                )
+            }
+            QueryStrategy::Auto => {
+                // One `PlanStats::measure` per index — the same per-name
+                // resolution the candidate lookup itself runs on, so the planner
+                // and the lookup can never disagree about a query's grams.
+                // Merging per-index stats reaches exactly the single-index
+                // numbers (posting segments are additive over a disjoint forest
+                // partition).
+                let stats = indexes.fold(PlanStats::default(), |acc, index| {
+                    acc.merge(PlanStats::measure(personal, index, length_floor))
+                });
+                self.plan_from_stats(personal, requested, stats)
+            }
+        }
+    }
+
+    /// Resolve a strategy from already-measured [`PlanStats`] — the entry point a
+    /// sharded router uses after gathering per-shard statistics (possibly over
+    /// the wire). Feeding the merged stats of every shard reaches **exactly**
+    /// the decision [`QueryPlanner::plan`] reaches over the whole index; the
+    /// property suite pins that equality.
+    pub fn plan_from_stats(
+        &self,
+        personal: &SchemaTree,
+        requested: QueryStrategy,
+        stats: PlanStats,
+    ) -> QueryPlan {
+        let exhaustive_volume = personal.len() * stats.indexed_nodes as usize;
         let (strategy, estimated_volume) = match requested {
             QueryStrategy::IndexPruned => (PlannedStrategy::IndexPruned, 0),
             QueryStrategy::Exhaustive => (PlannedStrategy::Exhaustive, 0),
-            QueryStrategy::Auto => {
-                // One `resolve_query` per (name, index) — the same resolution the
-                // candidate lookup itself runs on, so the planner and the lookup
-                // can never disagree about a query's grams. Resolution is per
-                // index because interned ids are index-local; length segments are
-                // additive over a disjoint forest partition, so summing the
-                // windowed per-shard estimates reaches exactly the single-index
-                // estimate.
-                let window = LengthWindow::fuzzy_floor(length_floor);
-                let estimated: usize = personal
-                    .nodes()
-                    .map(|(_, node)| {
-                        indexes
-                            .clone()
-                            .map(|index| {
-                                let resolved = index.resolve_query(&node.name);
-                                index.estimate_candidate_volume_resolved(&resolved, window)
-                            })
-                            .sum::<usize>()
-                    })
-                    .sum();
-                self.decide(estimated, exhaustive_volume)
-            }
+            QueryStrategy::Auto => self.decide(stats.estimated_volume as usize, exhaustive_volume),
         };
         QueryPlan {
             strategy,
@@ -346,6 +410,53 @@ mod tests {
                             "{name}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_from_merged_shard_stats_matches_the_whole_index() {
+        use xsm_repo::{RepositoryPartition, ShardPlacement};
+        let names: Vec<String> = (0..24)
+            .map(|i| format!("field{i:02}"))
+            .chain(std::iter::repeat_with(|| "shared".to_string()).take(12))
+            .collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let mut forest = SchemaRepository::new();
+        for chunk in refs.chunks(5) {
+            let mut b = TreeBuilder::new("t").root(SchemaNode::element(chunk[0]));
+            for n in &chunk[1..] {
+                b = b.sibling(SchemaNode::element(*n));
+            }
+            forest.add_tree(b.build());
+        }
+        let whole = NameIndex::build(&forest);
+        let planner = QueryPlanner::default();
+        for shards in [1, 3] {
+            let partition = RepositoryPartition::build(&forest, shards, ShardPlacement::Contiguous);
+            for name in ["shared", "field11", "zzqx"] {
+                for floor in [0.0, 0.5, 0.9] {
+                    let p = personal(name);
+                    // The router path: measure each shard independently, merge.
+                    let stats = partition
+                        .shards()
+                        .iter()
+                        .map(NameIndex::build)
+                        .fold(PlanStats::default(), |acc, index| {
+                            acc.merge(PlanStats::measure(&p, &index, floor))
+                        });
+                    let from_stats = planner.plan_from_stats(&p, QueryStrategy::Auto, stats);
+                    let direct = planner.plan(&p, QueryStrategy::Auto, &whole, floor);
+                    assert_eq!(direct.strategy, from_stats.strategy, "{name}/{floor}");
+                    assert_eq!(
+                        direct.estimated_volume, from_stats.estimated_volume,
+                        "{name}/{floor}"
+                    );
+                    assert_eq!(
+                        direct.exhaustive_volume, from_stats.exhaustive_volume,
+                        "{name}/{floor}"
+                    );
                 }
             }
         }

@@ -131,6 +131,19 @@ pub struct MatchResponse {
     pub candidate_count: usize,
     /// Total number of mappings that met the threshold (before the top-k cut).
     pub total_matches: usize,
+    /// Whether this answer is **degraded**: one or more shards failed to answer
+    /// within deadline and the response merges only the surviving shards'
+    /// results ([`MatchResponse::failed_shards`] lists the missing ones). A
+    /// degraded answer is never *wrong* — every mapping in it is a true mapping
+    /// of the surviving repository slice — but it may be missing mappings the
+    /// failed shards would have contributed. Degraded responses are never
+    /// cached. Always `false` from a single in-process engine.
+    #[serde(default)]
+    pub incomplete: bool,
+    /// Router-side indexes of the shards that failed to contribute (ascending);
+    /// empty iff [`MatchResponse::incomplete`] is `false`.
+    #[serde(default)]
+    pub failed_shards: Vec<u32>,
     /// Wall-clock serving latency of this response (cache lookup or full pipeline).
     #[serde(skip)]
     pub latency: Duration,
@@ -230,6 +243,8 @@ mod tests {
             mappings: Vec::new(),
             candidate_count: 5,
             total_matches: 0,
+            incomplete: false,
+            failed_shards: Vec::new(),
             latency: Duration::from_millis(3),
         };
         let mut r2 = r1.clone();

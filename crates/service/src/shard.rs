@@ -1,4 +1,4 @@
-//! The [`ShardedEngine`]: one repository served by N independent [`MatchEngine`]s.
+//! The [`ShardedEngine`]: one repository served by N shard services.
 //!
 //! A repository that outgrows a single host is partitioned **by tree**
 //! ([`xsm_repo::RepositoryPartition`]): every schema mapping lives inside one tree,
@@ -6,15 +6,26 @@
 //! additive over a disjoint partition — so a query scattered to all shards and
 //! gathered with a deterministic merge returns **byte-identical** answers to the
 //! unsharded engine. That equivalence is the module's contract, proven for
-//! 1/2/3/8 shards by the property suite in `tests/shard_equivalence.rs`.
+//! 1/2/3/8 shards by the property suite in `tests/shard_equivalence.rs` and over
+//! loopback TCP by `tests/net_equivalence.rs`.
+//!
+//! ## Transport blindness
+//!
+//! Since the `MatchService` redesign the router holds `Box<dyn MatchService>`
+//! slots, not concrete engines: a shard may be an in-process [`MatchEngine`]
+//! (the [`ShardedEngine::new`] path), a [`crate::net::RemoteEngine`] speaking
+//! the frame protocol to another host ([`ShardedEngine::from_services`]), or
+//! any other implementation of the trait. The scatter/gather logic is identical
+//! either way.
 //!
 //! ## Scatter
 //!
-//! The router resolves [`QueryStrategy::Auto`] **once**, from the shard indexes'
-//! aggregated posting statistics ([`QueryPlanner::plan_over`]), and forces the
-//! resolved strategy onto every shard — per-shard re-planning could split the fleet
-//! across strategies and silently diverge from the single-engine answer. Sub-queries
-//! flow through each shard engine's existing bounded submission queue.
+//! The router resolves [`QueryStrategy::Auto`] **once**, by gathering each
+//! shard's additive [`PlanStats`] and deciding globally
+//! ([`QueryPlanner::plan_from_stats`]), then forces the resolved strategy onto
+//! every shard — per-shard re-planning could split the fleet across strategies
+//! and silently diverge from the single-engine answer. Sub-queries flow through
+//! each shard service's own submission path.
 //!
 //! ## Gather
 //!
@@ -25,13 +36,24 @@
 //! `top_k`. The global top-k is always contained in the union of per-shard top-ks,
 //! so the merge loses nothing. `candidate_count` and `total_matches` are sums.
 //!
+//! ## Partial failure
+//!
+//! A shard that fails — submission rejected, transport gave up, deadline
+//! elapsed — does not fail the query: the router **degrades** to the shards
+//! that answered, marks the merged response
+//! [`MatchResponse::incomplete`] and lists the missing shard indexes in
+//! [`MatchResponse::failed_shards`]. A degraded answer is never *wrong* (every
+//! mapping is a true mapping of the surviving slice) and is never cached, so
+//! recovered shards rejoin on the next submission. Only when **every** shard
+//! fails does the query return the last shard's [`ServiceError`].
+//!
 //! ## Above the router
 //!
 //! The router carries its own bounded LRU [`ResultCache`] and [`Singleflight`] map
 //! keyed by the *original* query fingerprint (requested strategy included):
 //! concurrent identical queries coalesce onto one scatter, repeats are answered
 //! without touching any shard. [`ShardedEngine::metrics`] reports the router's own
-//! counters plus the per-shard engine breakdown.
+//! counters plus the per-shard breakdown.
 //!
 //! ## Restrictions
 //!
@@ -39,7 +61,8 @@
 //! unset: the cap keeps the
 //! globally best candidates per personal node, which per-shard engines cannot
 //! reconstruct from local views (each would cap against its own candidates, keeping
-//! pairs the global cut would drop). Construction panics rather than serving
+//! pairs the global cut would drop). Construction panics (or the builder and
+//! [`ShardedEngine::from_services`] return [`ConfigError`]) rather than serving
 //! subtly different answers.
 
 use std::sync::mpsc::{sync_channel, SyncSender};
@@ -50,17 +73,24 @@ use serde::{Deserialize, Serialize};
 use xsm_matcher::generator::sort_mappings;
 use xsm_matcher::{MappingElement, SchemaMapping};
 use xsm_repo::{RepositoryPartition, SchemaRepository, ShardPlacement};
-use xsm_schema::{GlobalNodeId, TreeId};
+use xsm_schema::{GlobalNodeId, SchemaTree, TreeId};
 
 use crate::cache::{ResultCache, DEFAULT_RESULT_CACHE_CAPACITY};
 use crate::engine::{EngineConfig, MatchEngine, PendingResponse};
+use crate::error::{ConfigError, ServiceError, ServiceResult};
 use crate::metrics::{EngineMetrics, MetricsRegistry};
-use crate::planner::QueryPlanner;
+use crate::planner::{PlanStats, QueryPlanner};
 use crate::query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};
+use crate::service::MatchService;
 use crate::singleflight::Singleflight;
 
 /// Construction-time configuration of a [`ShardedEngine`].
+///
+/// `#[non_exhaustive]`: build one with [`ShardedEngineConfig::builder`]
+/// (validating) or [`ShardedEngineConfig::default`] plus the `with_*` methods
+/// (clamping).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ShardedEngineConfig {
     /// Number of shards the repository is partitioned into (`>= 1`; shards beyond
     /// the tree count stay empty and answer instantly).
@@ -75,7 +105,10 @@ pub struct ShardedEngineConfig {
     /// Capacity of the router-level result cache (whole merged responses, LRU).
     pub router_result_cache_capacity: usize,
     /// Configuration applied to **every** shard engine (workers per shard, element
-    /// matching, clustering variant, objective, planner tuning).
+    /// matching, clustering variant, objective, planner tuning). For
+    /// [`ShardedEngine::from_services`] only the planner tuning and the element
+    /// floor are read — the remote shards were configured at their own
+    /// construction, and the caller is responsible for keeping them consistent.
     pub engine: EngineConfig,
 }
 
@@ -131,23 +164,106 @@ impl ShardedEngineConfig {
         self.engine = engine;
         self
     }
+
+    /// A validating builder seeded with the default configuration; `build()`
+    /// rejects nonsense values (and the sharded-incompatible per-node candidate
+    /// cap) with a [`ConfigError`] instead of clamping or panicking.
+    pub fn builder() -> ShardedEngineConfigBuilder {
+        ShardedEngineConfigBuilder {
+            config: ShardedEngineConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`ShardedEngineConfig`]; see
+/// [`ShardedEngineConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ShardedEngineConfigBuilder {
+    config: ShardedEngineConfig,
+}
+
+impl ShardedEngineConfigBuilder {
+    /// Number of shards.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Tree-placement policy.
+    pub fn placement(mut self, placement: ShardPlacement) -> Self {
+        self.config.placement = placement;
+        self
+    }
+
+    /// Router worker-thread count.
+    pub fn router_workers(mut self, workers: usize) -> Self {
+        self.config.router_workers = workers;
+        self
+    }
+
+    /// Router submission-queue capacity.
+    pub fn router_queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.router_queue_capacity = capacity;
+        self
+    }
+
+    /// Router result-cache capacity.
+    pub fn router_result_cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.router_result_cache_capacity = capacity;
+        self
+    }
+
+    /// Per-shard engine configuration.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ShardedEngineConfig, ConfigError> {
+        if self.config.shards == 0 {
+            return Err(ConfigError::new("shards", "must be >= 1"));
+        }
+        if self.config.router_workers == 0 {
+            return Err(ConfigError::new("router_workers", "must be >= 1"));
+        }
+        if self.config.router_queue_capacity == 0 {
+            return Err(ConfigError::new("router_queue_capacity", "must be >= 1"));
+        }
+        if self.config.router_result_cache_capacity == 0 {
+            return Err(ConfigError::new(
+                "router_result_cache_capacity",
+                "must be >= 1",
+            ));
+        }
+        if self.config.engine.element.max_candidates_per_node.is_some() {
+            return Err(ConfigError::new(
+                "engine.element.max_candidates_per_node",
+                "the per-node candidate cap is a global cut that per-shard \
+                 candidate generation cannot reproduce",
+            ));
+        }
+        Ok(self.config)
+    }
 }
 
 /// Router-level and per-shard serving metrics of a [`ShardedEngine`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShardedMetrics {
     /// The router's own counters: queries served (merged responses), router
-    /// result-cache hits, coalesced queries, per-strategy scatter counts and
-    /// end-to-end (scatter + gather) latency quantiles.
+    /// result-cache hits, coalesced queries, per-strategy scatter counts,
+    /// degraded/failed counts and end-to-end (scatter + gather) latency
+    /// quantiles.
     pub router: EngineMetrics,
-    /// One [`EngineMetrics`] per shard engine, in shard order. Every scattered
-    /// query appears once in each shard's `queries_served`.
+    /// One [`EngineMetrics`] per shard service, in shard order (zeroed for a
+    /// shard whose snapshot was unreachable). Every scattered query appears
+    /// once in each answering shard's `queries_served`.
     pub per_shard: Vec<EngineMetrics>,
 }
 
 /// Everything the router workers share.
 struct RouterCore {
-    engines: Vec<MatchEngine>,
+    services: Vec<Box<dyn MatchService>>,
     /// Per shard: local `TreeId` index → global `TreeId` (ascending).
     tree_maps: Vec<Vec<TreeId>>,
     planner: QueryPlanner,
@@ -155,7 +271,7 @@ struct RouterCore {
     /// the router must estimate with the same window the shards will generate with.
     length_floor: f64,
     results: ResultCache,
-    inflight: Singleflight<MatchResponse>,
+    inflight: Singleflight<ServiceResult<MatchResponse>>,
     metrics: MetricsRegistry,
 }
 
@@ -164,7 +280,7 @@ impl RouterCore {
     /// every shard → gather/merge. Runs the same `serve_with_caches` discipline as
     /// `EngineCore::answer`, so the sharded serving path inherits the engine's
     /// determinism and accounting contract by construction.
-    fn answer(&self, query: &MatchQuery) -> MatchResponse {
+    fn answer(&self, query: &MatchQuery) -> ServiceResult<MatchResponse> {
         crate::engine::serve_with_caches(
             &self.results,
             &self.inflight,
@@ -174,15 +290,49 @@ impl RouterCore {
         )
     }
 
-    /// One scatter/gather pass: plan globally, fan the sub-query out through every
-    /// shard engine's bounded queue, merge the per-shard answers deterministically.
-    fn scatter_gather(&self, query: &MatchQuery, fingerprint: &str) -> MatchResponse {
-        let plan = self.planner.plan_over(
-            &query.personal,
-            query.strategy,
-            self.engines.iter().map(|e| e.index()),
-            self.length_floor,
-        );
+    /// One scatter/gather pass: plan globally from the shards' additive
+    /// statistics, fan the sub-query out to every reachable shard, merge the
+    /// answers deterministically, degrading to the survivors on partial
+    /// failure.
+    fn scatter_gather(
+        &self,
+        query: &MatchQuery,
+        fingerprint: &str,
+    ) -> ServiceResult<MatchResponse> {
+        let mut failed: Vec<u32> = Vec::new();
+        let mut last_error: Option<ServiceError> = None;
+        let mut available = vec![true; self.services.len()];
+
+        // Plan once, globally. `Auto` needs every reachable shard's statistics;
+        // a shard that cannot even report stats is marked failed up front and
+        // excluded from the scatter. Forced strategies skip the stats pass
+        // entirely — exactly like the single engine's planner.
+        let plan = match query.strategy {
+            QueryStrategy::Auto => {
+                let mut stats = PlanStats::default();
+                for (shard, service) in self.services.iter().enumerate() {
+                    match service.plan_stats(&query.personal, self.length_floor) {
+                        Ok(s) => stats = stats.merge(s),
+                        Err(error) => {
+                            available[shard] = false;
+                            failed.push(shard as u32);
+                            last_error = Some(error);
+                        }
+                    }
+                }
+                if failed.len() == self.services.len() {
+                    return Err(last_error.unwrap_or_else(|| {
+                        ServiceError::internal("sharded engine has no shards")
+                    }));
+                }
+                self.planner
+                    .plan_from_stats(&query.personal, query.strategy, stats)
+            }
+            QueryStrategy::IndexPruned | QueryStrategy::Exhaustive => {
+                self.planner
+                    .plan_from_stats(&query.personal, query.strategy, PlanStats::default())
+            }
+        };
         let forced = match plan.strategy {
             PlannedStrategy::IndexPruned => QueryStrategy::IndexPruned,
             PlannedStrategy::Exhaustive => QueryStrategy::Exhaustive,
@@ -194,41 +344,64 @@ impl RouterCore {
             threshold: query.threshold,
         };
         // Scatter first, wait second: the shards work concurrently.
-        let pending: Vec<PendingResponse> = self
-            .engines
+        let submitted: Vec<(usize, ServiceResult<PendingResponse>)> = self
+            .services
             .iter()
-            .map(|engine| engine.submit(sub.clone()))
+            .enumerate()
+            .filter(|(shard, _)| available[*shard])
+            .map(|(shard, service)| (shard, service.submit(sub.clone())))
             .collect();
         let mut mappings: Vec<SchemaMapping> = Vec::new();
         let mut candidate_count = 0usize;
         let mut total_matches = 0usize;
-        for (shard, pending) in pending.into_iter().enumerate() {
-            let response = pending.wait();
-            candidate_count += response.candidate_count;
-            total_matches += response.total_matches;
-            let map = &self.tree_maps[shard];
-            mappings.extend(
-                response
-                    .mappings
-                    .into_iter()
-                    .map(|m| globalize_mapping(m, map)),
-            );
+        let mut answered = 0usize;
+        let mut nested_incomplete = false;
+        for (shard, outcome) in submitted {
+            match outcome.and_then(PendingResponse::wait) {
+                Ok(response) => {
+                    answered += 1;
+                    candidate_count += response.candidate_count;
+                    total_matches += response.total_matches;
+                    // A nested router may itself have degraded; our own
+                    // `failed_shards` lists only direct children, but the
+                    // incompleteness must propagate.
+                    nested_incomplete |= response.incomplete;
+                    let map = &self.tree_maps[shard];
+                    mappings.extend(
+                        response
+                            .mappings
+                            .into_iter()
+                            .map(|m| globalize_mapping(m, map)),
+                    );
+                }
+                Err(error) => {
+                    failed.push(shard as u32);
+                    last_error = Some(error);
+                }
+            }
+        }
+        if answered == 0 {
+            return Err(last_error
+                .unwrap_or_else(|| ServiceError::internal("sharded engine has no shards")));
         }
         // The same comparator the single engine's pipeline sorts with; per-shard
         // lists arrive pre-sorted under it, so the merged order equals the order a
         // single engine would have produced over the union.
         sort_mappings(&mut mappings);
         mappings.truncate(query.top_k);
+        failed.sort_unstable();
 
-        MatchResponse {
+        Ok(MatchResponse {
             fingerprint: fingerprint.to_string(),
             strategy: plan.strategy,
             cache_hit: false,
             mappings,
             candidate_count,
             total_matches,
+            incomplete: nested_incomplete || !failed.is_empty(),
+            failed_shards: failed,
             latency: std::time::Duration::ZERO,
-        }
+        })
     }
 }
 
@@ -253,7 +426,7 @@ fn globalize_mapping(mapping: SchemaMapping, tree_map: &[TreeId]) -> SchemaMappi
 /// One queued unit of router work.
 struct Job {
     query: MatchQuery,
-    reply: SyncSender<MatchResponse>,
+    reply: SyncSender<ServiceResult<MatchResponse>>,
 }
 
 /// A sharded match-serving engine over one repository.
@@ -262,9 +435,15 @@ struct Job {
 /// per shard (each with its own index, feature store and worker pool); serving
 /// scatters every query to all shards and merges the answers. The public API and
 /// the answers themselves are indistinguishable from a single [`MatchEngine`] over
-/// the whole repository — only capacity and the metrics breakdown differ.
+/// the whole repository — only capacity and the metrics breakdown differ. With
+/// [`ShardedEngine::from_services`] the shards can live anywhere a
+/// [`MatchService`] implementation reaches — including other hosts via
+/// [`crate::net::RemoteEngine`].
 pub struct ShardedEngine {
     core: Arc<RouterCore>,
+    /// The in-process shard engines when built by [`ShardedEngine::new`]
+    /// (empty for [`ShardedEngine::from_services`]).
+    local_engines: Vec<Arc<MatchEngine>>,
     tx: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -276,7 +455,8 @@ impl ShardedEngine {
     /// Panics when `config.engine.element.max_candidates_per_node` is set — the
     /// per-node candidate cap is a *global* cut that per-shard candidate generation
     /// cannot reproduce, so serving it sharded would violate the equivalence
-    /// contract (see the module docs).
+    /// contract (see the module docs). [`ShardedEngineConfig::builder`] rejects
+    /// the same configuration with a [`ConfigError`] instead.
     pub fn new(repo: SchemaRepository, config: ShardedEngineConfig) -> Self {
         assert!(
             config.engine.element.max_candidates_per_node.is_none(),
@@ -287,14 +467,67 @@ impl ShardedEngine {
         let shard_count = config.shards.max(1);
         let partition = RepositoryPartition::build(&repo, shard_count, config.placement);
         let (shards, tree_maps) = partition.into_parts();
-        let engines: Vec<MatchEngine> = shards
+        let local_engines: Vec<Arc<MatchEngine>> = shards
             .into_iter()
-            .map(|shard| MatchEngine::new(shard, config.engine.clone()))
+            .map(|shard| Arc::new(MatchEngine::new(shard, config.engine.clone())))
             .collect();
+        let services: Vec<Box<dyn MatchService>> = local_engines
+            .iter()
+            .map(|engine| Box::new(Arc::clone(engine)) as Box<dyn MatchService>)
+            .collect();
+        Self::start(services, tree_maps, local_engines, config)
+    }
+
+    /// A sharded engine with `shards` shards and default configuration otherwise.
+    pub fn with_defaults(repo: SchemaRepository, shards: usize) -> Self {
+        Self::new(repo, ShardedEngineConfig::default().with_shards(shards))
+    }
+
+    /// Build a router over externally-provided shard services — in-process
+    /// engines, [`crate::net::RemoteEngine`] clients, fault-injection wrappers,
+    /// or any mix. `tree_maps[shard]` translates shard-local tree indexes back
+    /// to global [`TreeId`]s, exactly as
+    /// [`xsm_repo::RepositoryPartition::into_parts`] produces them.
+    ///
+    /// The caller owns the equivalence contract's preconditions: every service
+    /// must serve a disjoint slice of the same repository, built with the same
+    /// element/clustering/objective configuration that `config.engine`
+    /// describes (the router reads only its planner tuning and element floor).
+    pub fn from_services(
+        services: Vec<Box<dyn MatchService>>,
+        tree_maps: Vec<Vec<TreeId>>,
+        config: ShardedEngineConfig,
+    ) -> Result<Self, ConfigError> {
+        if services.is_empty() {
+            return Err(ConfigError::new("services", "must not be empty"));
+        }
+        if services.len() != tree_maps.len() {
+            return Err(ConfigError::new(
+                "tree_maps",
+                "must have exactly one entry per service",
+            ));
+        }
+        if config.engine.element.max_candidates_per_node.is_some() {
+            return Err(ConfigError::new(
+                "engine.element.max_candidates_per_node",
+                "the per-node candidate cap is a global cut that per-shard \
+                 candidate generation cannot reproduce",
+            ));
+        }
+        Ok(Self::start(services, tree_maps, Vec::new(), config))
+    }
+
+    /// Shared tail of both constructors: build the router core and its pool.
+    fn start(
+        services: Vec<Box<dyn MatchService>>,
+        tree_maps: Vec<Vec<TreeId>>,
+        local_engines: Vec<Arc<MatchEngine>>,
+        config: ShardedEngineConfig,
+    ) -> Self {
         let core = Arc::new(RouterCore {
             planner: QueryPlanner::new(config.engine.planner),
             length_floor: config.engine.element.min_similarity,
-            engines,
+            services,
             tree_maps,
             results: ResultCache::with_capacity(config.router_result_cache_capacity),
             inflight: Singleflight::new(),
@@ -323,24 +556,22 @@ impl ShardedEngine {
             .collect();
         ShardedEngine {
             core,
+            local_engines,
             tx: Some(tx),
             workers,
         }
     }
 
-    /// A sharded engine with `shards` shards and default configuration otherwise.
-    pub fn with_defaults(repo: SchemaRepository, shards: usize) -> Self {
-        Self::new(repo, ShardedEngineConfig::default().with_shards(shards))
-    }
-
     /// Number of shards (empty shards included).
     pub fn shard_count(&self) -> usize {
-        self.core.engines.len()
+        self.core.services.len()
     }
 
-    /// The per-shard engines, in shard order (for inspection and tests).
-    pub fn shard_engines(&self) -> &[MatchEngine] {
-        &self.core.engines
+    /// The in-process shard engines in shard order (for inspection and tests);
+    /// empty when the router was built over external services with
+    /// [`ShardedEngine::from_services`].
+    pub fn shard_engines(&self) -> &[Arc<MatchEngine>] {
+        &self.local_engines
     }
 
     /// The global tree ids placed on shard `shard`, ascending.
@@ -353,44 +584,58 @@ impl ShardedEngine {
     }
 
     /// Enqueue one query with the router's backpressure; the returned handle blocks
-    /// until the merged response is ready.
-    pub fn submit(&self, query: MatchQuery) -> PendingResponse {
+    /// until the merged response (or the serving error) is ready.
+    pub fn submit(&self, query: MatchQuery) -> ServiceResult<PendingResponse> {
         let (reply, rx) = sync_channel(1);
         self.tx
             .as_ref()
             .expect("router is running until dropped")
             .send(Job { query, reply })
-            .expect("shard-router workers are gone");
-        PendingResponse::new(rx)
+            .map_err(|_| ServiceError::internal("shard-router worker pool is gone"))?;
+        Ok(PendingResponse::from_channel(rx))
     }
 
-    /// Answer one query, blocking until every shard contributed.
+    /// Answer one query, blocking until the merged response is ready.
+    ///
+    /// # Panics
+    /// Panics if serving returned a [`ServiceError`] — which cannot happen with
+    /// in-process shards, but can with remote ones (every shard unreachable).
+    /// Use [`ShardedEngine::submit`] for the `Result`-returning path when shards
+    /// live behind a real transport.
     pub fn query(&self, query: MatchQuery) -> MatchResponse {
-        self.submit(query).wait()
+        self.submit(query)
+            .and_then(PendingResponse::wait)
+            .expect("sharded serving failed on every shard")
     }
 
     /// Serve a whole batch through the router pool, responses in input order.
     /// Duplicate in-flight fingerprints coalesce at the router (one scatter).
-    pub fn submit_batch(&self, queries: Vec<MatchQuery>) -> Vec<MatchResponse> {
+    pub fn submit_batch(&self, queries: Vec<MatchQuery>) -> ServiceResult<Vec<MatchResponse>> {
         let mut pending = Vec::with_capacity(queries.len());
         for query in queries {
-            pending.push(self.submit(query));
+            pending.push(self.submit(query)?);
         }
         pending.into_iter().map(PendingResponse::wait).collect()
     }
 
     /// Answer a query on the calling thread, bypassing the router pool (identical
     /// results and accounting to [`ShardedEngine::query`]; the scatter still runs
-    /// through the shard engines' queues).
-    pub fn answer_inline(&self, query: &MatchQuery) -> MatchResponse {
+    /// through the shard services).
+    pub fn answer_inline(&self, query: &MatchQuery) -> ServiceResult<MatchResponse> {
         self.core.answer(query)
     }
 
-    /// Router-level metrics plus the per-shard engine breakdown.
+    /// Router-level metrics plus the per-shard breakdown (zeroed entries for
+    /// shards whose snapshot was unreachable).
     pub fn metrics(&self) -> ShardedMetrics {
         ShardedMetrics {
             router: self.core.metrics.snapshot(),
-            per_shard: self.core.engines.iter().map(|e| e.metrics()).collect(),
+            per_shard: self
+                .core
+                .services
+                .iter()
+                .map(|s| s.metrics_snapshot().unwrap_or_default())
+                .collect(),
         }
     }
 
@@ -399,19 +644,42 @@ impl ShardedEngine {
         self.core.results.len()
     }
 
-    /// Drop every cached response, router and shards alike.
+    /// Drop every cached response, router and in-process shards alike (remote
+    /// shards manage their own caches).
     pub fn invalidate_results(&self) {
         self.core.results.clear();
-        for engine in &self.core.engines {
+        for engine in &self.local_engines {
             engine.invalidate_results();
         }
     }
 }
 
+impl MatchService for ShardedEngine {
+    fn submit(&self, query: MatchQuery) -> ServiceResult<PendingResponse> {
+        ShardedEngine::submit(self, query)
+    }
+
+    fn submit_batch(&self, queries: Vec<MatchQuery>) -> ServiceResult<Vec<MatchResponse>> {
+        ShardedEngine::submit_batch(self, queries)
+    }
+
+    fn metrics_snapshot(&self) -> ServiceResult<EngineMetrics> {
+        Ok(self.core.metrics.snapshot())
+    }
+
+    fn plan_stats(&self, personal: &SchemaTree, length_floor: f64) -> ServiceResult<PlanStats> {
+        let mut stats = PlanStats::default();
+        for service in &self.core.services {
+            stats = stats.merge(service.plan_stats(personal, length_floor)?);
+        }
+        Ok(stats)
+    }
+}
+
 impl Drop for ShardedEngine {
     fn drop(&mut self) {
-        // Close the router queue and join its workers before the shard engines
-        // (dropped afterwards, field order) join their own pools.
+        // Close the router queue and join its workers before the shard services
+        // (dropped afterwards, field order) shut down their own backends.
         self.tx.take();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -431,14 +699,18 @@ mod tests {
     }
 
     fn config(shards: usize) -> ShardedEngineConfig {
-        ShardedEngineConfig::default()
-            .with_shards(shards)
-            .with_router_workers(2)
-            .with_engine_config(
-                EngineConfig::default()
-                    .with_workers(1)
-                    .with_element_config(ElementMatchConfig::default().with_min_similarity(0.5)),
+        ShardedEngineConfig::builder()
+            .shards(shards)
+            .router_workers(2)
+            .engine(
+                EngineConfig::builder()
+                    .workers(1)
+                    .element(ElementMatchConfig::default().with_min_similarity(0.5))
+                    .build()
+                    .unwrap(),
             )
+            .build()
+            .unwrap()
     }
 
     fn query() -> MatchQuery {
@@ -462,6 +734,8 @@ mod tests {
                 "{shards} shards diverged"
             );
             assert_eq!(response.fingerprint, query().fingerprint());
+            assert!(!response.incomplete);
+            assert!(response.failed_shards.is_empty());
         }
     }
 
@@ -477,6 +751,8 @@ mod tests {
         let metrics = sharded.metrics();
         assert_eq!(metrics.router.queries_served, 2);
         assert_eq!(metrics.router.result_cache_hits, 1);
+        assert_eq!(metrics.router.degraded_responses, 0);
+        assert_eq!(metrics.router.failed_queries, 0);
         assert_eq!(metrics.per_shard.len(), 3);
         // The scatter touched every shard exactly once (the repeat was served
         // entirely by the router cache).
@@ -511,6 +787,58 @@ mod tests {
                 .with_element_config(ElementMatchConfig::default().with_max_candidates(3)),
         );
         ShardedEngine::new(repo(), config);
+    }
+
+    #[test]
+    fn builder_rejects_the_candidate_cap_and_zero_knobs() {
+        let err = ShardedEngineConfig::builder()
+            .engine(
+                EngineConfig::default()
+                    .with_element_config(ElementMatchConfig::default().with_max_candidates(3)),
+            )
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "engine.element.max_candidates_per_node");
+        assert_eq!(
+            ShardedEngineConfig::builder()
+                .shards(0)
+                .build()
+                .unwrap_err()
+                .field,
+            "shards"
+        );
+        assert_eq!(
+            ShardedEngineConfig::builder()
+                .router_workers(0)
+                .build()
+                .unwrap_err()
+                .field,
+            "router_workers"
+        );
+    }
+
+    #[test]
+    fn from_services_over_local_engines_matches_new() {
+        let repo = repo();
+        let reference = ShardedEngine::new(repo.clone(), config(3)).query(query());
+
+        let partition = RepositoryPartition::build(&repo, 3, ShardPlacement::Contiguous);
+        let (shards, tree_maps) = partition.into_parts();
+        let services: Vec<Box<dyn MatchService>> = shards
+            .into_iter()
+            .map(|shard| {
+                Box::new(MatchEngine::new(shard, config(3).engine)) as Box<dyn MatchService>
+            })
+            .collect();
+        let router = ShardedEngine::from_services(services, tree_maps, config(3)).unwrap();
+        assert!(router.shard_engines().is_empty());
+        assert_eq!(router.shard_count(), 3);
+        let response = router.query(query());
+        assert_eq!(response.result_digest(), reference.result_digest());
+        assert!(!response.incomplete);
+
+        // Mismatched maps and empty fleets are rejected up front.
+        assert!(ShardedEngine::from_services(Vec::new(), Vec::new(), config(1)).is_err());
     }
 
     #[test]

@@ -46,8 +46,8 @@ fn one_and_eight_workers_serve_identical_batches() {
     assert_eq!(sequential.workers(), 1);
     assert_eq!(concurrent.workers(), 8);
 
-    let a = sequential.submit_batch(batch.clone());
-    let b = concurrent.submit_batch(batch.clone());
+    let a = sequential.submit_batch(batch.clone()).unwrap();
+    let b = concurrent.submit_batch(batch.clone()).unwrap();
     assert_eq!(a.len(), batch.len());
 
     for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
@@ -76,8 +76,8 @@ fn cache_hits_do_not_change_results() {
     let batch = query_batch(&repo, 30);
     let engine = MatchEngine::new(repo, config().with_workers(4));
 
-    let cold = engine.submit_batch(batch.clone());
-    let warm = engine.submit_batch(batch.clone());
+    let cold = engine.submit_batch(batch.clone()).unwrap();
+    let warm = engine.submit_batch(batch.clone()).unwrap();
 
     // Batches can repeat a fingerprint, so even the first pass may hit; the second
     // pass must be all hits.

@@ -118,7 +118,7 @@ fn engine_responses_replay_the_string_pipeline_byte_identically() {
         })
         .collect();
 
-    let responses = engine.submit_batch(queries.clone());
+    let responses = engine.submit_batch(queries.clone()).unwrap();
     let mut non_trivial = 0usize;
     for (i, (query, response)) in queries.iter().zip(&responses).enumerate() {
         let expected = string_path_digest(query, &repo, &reference_index, &reference_matcher);

@@ -47,8 +47,8 @@ fn batches_preserve_order_and_router_worker_count_is_invisible() {
     let batch = query_batch(&repo, 40);
     let one = ShardedEngine::new(repo.clone(), config(3, 1));
     let many = ShardedEngine::new(repo, config(3, 4));
-    let a = one.submit_batch(batch.clone());
-    let b = many.submit_batch(batch.clone());
+    let a = one.submit_batch(batch.clone()).unwrap();
+    let b = many.submit_batch(batch.clone()).unwrap();
     assert_eq!(a.len(), batch.len());
     for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
         assert_eq!(ra.fingerprint, batch[i].fingerprint(), "order broke at {i}");
@@ -75,7 +75,7 @@ fn duplicate_in_flight_queries_coalesce_exactly_once() {
         .with_top_k(4)
         .with_threshold(0.55)
         .with_strategy(QueryStrategy::Exhaustive);
-    let responses = sharded.submit_batch(vec![query; 12]);
+    let responses = sharded.submit_batch(vec![query; 12]).unwrap();
 
     let digest = responses[0].result_digest();
     for r in &responses {
@@ -105,7 +105,7 @@ fn mixed_duplicates_account_consistently() {
     for _ in 0..3 {
         batch.extend(base.clone());
     }
-    let responses = sharded.submit_batch(batch.clone());
+    let responses = sharded.submit_batch(batch.clone()).unwrap();
     for (query, response) in batch.iter().zip(&responses) {
         assert_eq!(response.fingerprint, query.fingerprint());
     }

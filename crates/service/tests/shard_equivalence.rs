@@ -61,7 +61,7 @@ fn assert_equivalence(repo: &SchemaRepository, placement: ShardPlacement, querie
     for &shards in &SHARD_COUNTS {
         let sharded = ShardedEngine::new(repo.clone(), sharded_config(shards, placement));
         for (query, reference) in queries.iter().zip(&references) {
-            let mut response = sharded.answer_inline(query);
+            let mut response = sharded.answer_inline(query).unwrap();
             // The single engine may have served a repeat from its own cache;
             // normalise the serving metadata, which is outside the contract.
             response.cache_hit = reference.cache_hit;
@@ -299,7 +299,7 @@ fn forced_strategies_round_trip_through_the_router() {
             .with_threshold(0.6)
             .with_strategy(strategy);
         let a = single.answer_inline(&query);
-        let b = sharded.answer_inline(&query);
+        let b = sharded.answer_inline(&query).unwrap();
         assert_eq!(a.strategy, b.strategy, "{strategy:?}");
         assert_identical(&a, &b, &format!("{strategy:?}"));
     }

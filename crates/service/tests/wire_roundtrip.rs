@@ -1,0 +1,285 @@
+//! Wire-DTO fidelity: everything the protocol carries survives
+//! serialize → deserialize → serialize bit-for-bit.
+//!
+//! The equivalence suites prove the *system* loses nothing over TCP; this one
+//! corners the *representation*: personal-schema names drawn from the whole
+//! Unicode range (astral planes, combining marks, control characters, embedded
+//! quotes and backslashes — the vendored proptest only generates ASCII char
+//! classes, so the Unicode is hand-rolled from `u32` seeds), scores at IEEE-754
+//! edge values compared by bit pattern, empty and `top_k`-overflow responses,
+//! and every [`ServiceError`] variant. Golden frames pin the handshake bytes
+//! and the externally-tagged enum layout so a silent serializer change cannot
+//! slip through as "both sides moved".
+
+use proptest::prelude::*;
+use xsm_matcher::{MappingElement, SchemaMapping};
+use xsm_schema::{GlobalNodeId, NodeId, SchemaNode, SchemaTree, TreeBuilder, TreeId};
+use xsm_service::net::proto::{decode, encode, Hello, HelloOk, WireRequest, WireResponse};
+use xsm_service::{
+    MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy, ServiceError, PROTOCOL_VERSION,
+};
+
+/// Map an arbitrary `u32` onto a valid `char`, covering all planes: the BMP
+/// below the surrogate gap, the gap folded away, and the astral planes.
+fn unicode_char(seed: u32) -> char {
+    let code = seed % 0x11_0000;
+    char::from_u32(code).unwrap_or_else(|| {
+        // Surrogate range: fold into the astral planes instead.
+        char::from_u32(code - 0xD800 + 0x1_0000).unwrap()
+    })
+}
+
+fn unicode_name(seeds: &[u32]) -> String {
+    seeds.iter().copied().map(unicode_char).collect()
+}
+
+/// IEEE-754 edge values a score or threshold could plausibly hold. NaN and the
+/// infinities are deliberately absent — they cannot cross a JSON wire and the
+/// protocol rejects them as `BadRequest` (tested in the proto unit tests).
+const SCORE_EDGES: [f64; 9] = [
+    0.0,
+    -0.0,
+    f64::MIN_POSITIVE,
+    5e-324, // smallest subnormal
+    0.1 + 0.2,
+    1.0,
+    1.0 - f64::EPSILON,
+    f64::MAX,
+    f64::MIN,
+];
+
+fn personal_tree(name_seeds: &[Vec<u32>]) -> SchemaTree {
+    let mut builder =
+        TreeBuilder::new("personal").root(SchemaNode::element(unicode_name(&name_seeds[0])));
+    for (i, seeds) in name_seeds[1..].iter().enumerate() {
+        let name = unicode_name(seeds);
+        builder = if i % 2 == 0 {
+            builder.child(SchemaNode::element(name))
+        } else {
+            builder.sibling(SchemaNode::element(name))
+        };
+    }
+    builder.build()
+}
+
+/// Round-trip `value` through the frame payload encoding and hand back the
+/// re-encoded bytes of the round-tripped value for byte comparison.
+fn reencode<T: serde::Serialize + serde::de::DeserializeOwned>(value: &T) -> (Vec<u8>, T) {
+    let bytes = encode(value).expect("encodable");
+    let back: T = decode(&bytes).expect("decodable");
+    let bytes_again = encode(&back).expect("re-encodable");
+    assert_eq!(bytes, bytes_again, "re-serialization must be a fixed point");
+    (bytes, back)
+}
+
+proptest! {
+    #[test]
+    fn queries_with_arbitrary_unicode_names_round_trip(
+        name_seeds in proptest::collection::vec(
+            proptest::collection::vec(0u32..u32::MAX, 1..6),
+            1..6,
+        ),
+        top_k in 0usize..1000,
+        threshold_pick in 0usize..9,
+        strategy_pick in 0usize..3,
+    ) {
+        let strategy = [
+            QueryStrategy::Auto,
+            QueryStrategy::IndexPruned,
+            QueryStrategy::Exhaustive,
+        ][strategy_pick];
+        let mut query = MatchQuery::new(personal_tree(&name_seeds))
+            .with_top_k(top_k)
+            .with_strategy(strategy);
+        // Bypass the clamping builder: the wire must carry whatever bits the
+        // struct holds, including a threshold no builder would produce.
+        query.threshold = SCORE_EDGES[threshold_pick];
+
+        let (_, back) = reencode(&WireRequest::Query(query.clone()));
+        let WireRequest::Query(back) = back else {
+            panic!("variant changed across the wire");
+        };
+        // The fingerprint folds every name, the depth structure, top_k, the
+        // strategy and the threshold bits — one equality pins them all.
+        prop_assert_eq!(back.fingerprint(), query.fingerprint());
+        prop_assert_eq!(back.threshold.to_bits(), query.threshold.to_bits());
+    }
+
+    #[test]
+    fn responses_round_trip_with_score_edge_values(
+        fingerprint_seeds in proptest::collection::vec(0u32..u32::MAX, 0..8),
+        mapping_count in 0usize..4,
+        pair_count in 1usize..4,
+        score_pick in 0usize..9,
+        similarity_pick in 0usize..9,
+        candidate_count in 0usize..5000,
+        total_matches in 0usize..5000,
+        incomplete_pick in 0usize..2,
+        strategy_pick in 0usize..2,
+    ) {
+        let mappings: Vec<SchemaMapping> = (0..mapping_count)
+            .map(|m| {
+                let pairs = (0..pair_count)
+                    .map(|p| MappingElement::new(
+                        NodeId(p as u32),
+                        GlobalNodeId::new(TreeId(m as u32), NodeId(100 + p as u32)),
+                        SCORE_EDGES[similarity_pick],
+                    ))
+                    .collect();
+                SchemaMapping::with_score(pairs, SCORE_EDGES[score_pick])
+            })
+            .collect();
+        let incomplete = incomplete_pick == 1;
+        let response = MatchResponse {
+            fingerprint: unicode_name(&fingerprint_seeds),
+            strategy: [PlannedStrategy::IndexPruned, PlannedStrategy::Exhaustive][strategy_pick],
+            cache_hit: false,
+            mappings,
+            // total_matches may exceed mappings.len() (the top-k cut) and
+            // top_k may exceed total_matches (the overflow case): the wire
+            // carries both without reconciling them.
+            candidate_count,
+            total_matches,
+            incomplete,
+            failed_shards: if incomplete { vec![0, 3, 17] } else { Vec::new() },
+            latency: std::time::Duration::from_millis(7),
+        };
+
+        let (_, back) = reencode(&WireResponse::Response(response.clone()));
+        let WireResponse::Response(back) = back else {
+            panic!("variant changed across the wire");
+        };
+        prop_assert_eq!(back.result_digest(), response.result_digest());
+        prop_assert_eq!(&back.fingerprint, &response.fingerprint);
+        prop_assert_eq!(back.incomplete, response.incomplete);
+        prop_assert_eq!(&back.failed_shards, &response.failed_shards);
+        for (a, b) in back.mappings.iter().zip(&response.mappings) {
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            for (pa, pb) in a.pairs().iter().zip(pb_pairs(b)) {
+                prop_assert_eq!(pa.similarity.to_bits(), pb.similarity.to_bits());
+                prop_assert_eq!(pa.personal, pb.personal);
+                prop_assert_eq!(pa.repo, pb.repo);
+            }
+        }
+        // Latency is serving-local metadata and must NOT cross the wire.
+        prop_assert_eq!(back.latency, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn service_errors_round_trip_with_unicode_details(
+        detail_seeds in proptest::collection::vec(0u32..u32::MAX, 0..12),
+        shard in 0u32..u32::MAX,
+        expected in 0u32..u32::MAX,
+        actual in 0u32..u32::MAX,
+    ) {
+        let detail = unicode_name(&detail_seeds);
+        for error in [
+            ServiceError::QueueFull,
+            ServiceError::Timeout,
+            ServiceError::ShardUnavailable { shard },
+            ServiceError::ProtocolMismatch { expected, actual },
+            ServiceError::bad_request(detail.clone()),
+            ServiceError::transport(detail.clone()),
+            ServiceError::internal(detail.clone()),
+        ] {
+            let (_, back) = reencode(&WireResponse::Error(error.clone()));
+            let WireResponse::Error(back) = back else {
+                panic!("variant changed across the wire");
+            };
+            prop_assert_eq!(back, error);
+        }
+    }
+}
+
+fn pb_pairs(mapping: &SchemaMapping) -> &[MappingElement] {
+    mapping.pairs()
+}
+
+#[test]
+fn empty_and_overflow_responses_round_trip() {
+    // No mappings at all (threshold excluded everything)...
+    let empty = MatchResponse {
+        fingerprint: String::new(),
+        strategy: PlannedStrategy::IndexPruned,
+        cache_hit: true,
+        mappings: Vec::new(),
+        candidate_count: 0,
+        total_matches: 0,
+        incomplete: false,
+        failed_shards: Vec::new(),
+        latency: std::time::Duration::ZERO,
+    };
+    let (_, back) = reencode(&empty);
+    assert_eq!(back.result_digest(), empty.result_digest());
+    assert!(back.mappings.is_empty());
+
+    // ...and a top_k far beyond the matches: the response just carries fewer
+    // mappings than requested, and the wire must not invent or drop any.
+    let overflow = MatchResponse {
+        total_matches: 2,
+        mappings: vec![SchemaMapping::with_score(
+            vec![MappingElement::new(
+                NodeId(0),
+                GlobalNodeId::new(TreeId(0), NodeId(1)),
+                0.75,
+            )],
+            0.75,
+        )],
+        ..empty
+    };
+    let (_, back) = reencode(&overflow);
+    assert_eq!(back.mappings.len(), 1);
+    assert_eq!(back.total_matches, 2);
+    assert_eq!(back.result_digest(), overflow.result_digest());
+}
+
+#[test]
+fn golden_frames_pin_the_wire_format() {
+    // The handshake bytes, exactly. If either golden breaks, PROTOCOL_VERSION
+    // must be bumped — both sides of a mixed-version fleet read these bytes.
+    assert_eq!(
+        encode(&Hello {
+            protocol_version: PROTOCOL_VERSION
+        })
+        .unwrap(),
+        br#"{"protocol_version":1}"#
+    );
+    assert_eq!(
+        encode(&HelloOk {
+            protocol_version: PROTOCOL_VERSION
+        })
+        .unwrap(),
+        br#"{"protocol_version":1}"#
+    );
+
+    // Externally-tagged enum layout: unit variants are bare strings, payload
+    // variants single-key maps.
+    assert_eq!(encode(&WireRequest::Ping).unwrap(), br#""Ping""#);
+    assert_eq!(encode(&WireRequest::Metrics).unwrap(), br#""Metrics""#);
+    assert_eq!(encode(&WireResponse::Pong).unwrap(), br#""Pong""#);
+    assert_eq!(
+        encode(&WireResponse::Error(ServiceError::QueueFull)).unwrap(),
+        br#"{"Error":"QueueFull"}"#
+    );
+    assert_eq!(
+        encode(&WireResponse::Error(ServiceError::ProtocolMismatch {
+            expected: 1,
+            actual: 2
+        }))
+        .unwrap(),
+        br#"{"Error":{"ProtocolMismatch":{"expected":1,"actual":2}}}"#
+    );
+    assert_eq!(
+        encode(&WireResponse::Error(ServiceError::ShardUnavailable {
+            shard: 3
+        }))
+        .unwrap(),
+        br#"{"Error":{"ShardUnavailable":{"shard":3}}}"#
+    );
+
+    // And back: a frame written by this golden layout decodes to the value.
+    match decode::<WireResponse>(br#"{"Error":{"BadRequest":{"reason":"nope"}}}"#).unwrap() {
+        WireResponse::Error(error) => assert_eq!(error, ServiceError::bad_request("nope")),
+        other => panic!("golden frame decoded to the wrong variant: {other:?}"),
+    }
+}

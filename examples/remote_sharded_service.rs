@@ -1,0 +1,141 @@
+//! Networked sharded serving: every shard of the repository lives behind its
+//! own TCP server, the router talks to them through [`RemoteEngine`] clients,
+//! and the answers are still byte-identical to one in-process engine over the
+//! whole repository. The transport is invisible in the content — and when a
+//! shard process "crashes", the router degrades to the survivors instead of
+//! failing, flags the response, and heals as soon as the shard is back.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example remote_sharded_service
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bellflower::matcher::element::ElementMatchConfig;
+use bellflower::repo::{GeneratorConfig, RepositoryGenerator, RepositoryPartition, ShardPlacement};
+use bellflower::schema::{SchemaNode, TreeBuilder};
+use bellflower::service::{
+    EngineConfig, MatchEngine, MatchQuery, MatchService, RemoteEngine, RemoteEngineConfig,
+    ShardServer, ShardedEngine, ShardedEngineConfig,
+};
+
+const SHARDS: usize = 3;
+
+fn main() {
+    let repository = RepositoryGenerator::new(
+        GeneratorConfig::default()
+            .with_seed(1)
+            .with_target_elements(2_000),
+    )
+    .generate();
+    println!(
+        "repository: {} trees, {} elements across {SHARDS} TCP shards",
+        repository.tree_count(),
+        repository.total_nodes()
+    );
+
+    let engine_config = EngineConfig::builder()
+        .workers(2)
+        .element(ElementMatchConfig::default().with_min_similarity(0.5))
+        .build()
+        .expect("static engine config");
+
+    // One server process per shard (here: per thread, on loopback). In a real
+    // deployment these binds happen on different hosts and the router is handed
+    // the addresses; nothing else changes.
+    let partition = RepositoryPartition::build(&repository, SHARDS, ShardPlacement::TreeHash);
+    let (parts, tree_maps) = partition.into_parts();
+    let mut servers = Vec::new();
+    let mut services: Vec<Box<dyn MatchService>> = Vec::new();
+    let client_config = RemoteEngineConfig::default()
+        .with_request_deadline(Duration::from_secs(30))
+        .with_retries(2);
+    for (shard, part) in parts.into_iter().enumerate() {
+        let backend: Arc<dyn MatchService> =
+            Arc::new(MatchEngine::new(part, engine_config.clone()));
+        let server = ShardServer::bind("127.0.0.1:0", backend).expect("bind a loopback port");
+        println!("  shard {shard} serving on {}", server.local_addr());
+        let client = RemoteEngine::connect(server.local_addr().to_string(), client_config.clone())
+            .expect("handshake with the shard server");
+        services.push(Box::new(client));
+        servers.push(server);
+    }
+
+    // The router is transport-agnostic: it scatters over `MatchService` trait
+    // objects and never learns these are sockets.
+    let router_config = ShardedEngineConfig::builder()
+        .shards(SHARDS)
+        .placement(ShardPlacement::TreeHash)
+        .engine(engine_config.clone())
+        .build()
+        .expect("static router config");
+    let router = ShardedEngine::from_services(services, tree_maps, router_config)
+        .expect("assemble the remote fleet");
+
+    let personal = TreeBuilder::new("personal")
+        .root(SchemaNode::element("person"))
+        .child(SchemaNode::element("name"))
+        .sibling(SchemaNode::element("email"))
+        .build();
+    let query = MatchQuery::new(personal).with_top_k(5).with_threshold(0.6);
+    let response = router
+        .answer_inline(&query)
+        .expect("a healthy fleet answers");
+    println!(
+        "\nnetworked answer: {} of {} matches (strategy {:?}, incomplete: {})",
+        response.mappings.len(),
+        response.total_matches,
+        response.strategy,
+        response.incomplete
+    );
+
+    // The contract survives the wire: a single in-process engine over the whole
+    // repository produces the same bytes.
+    let single = MatchEngine::new(repository, engine_config);
+    let reference = single.query(query.clone());
+    assert_eq!(reference.result_digest(), response.result_digest());
+    println!("single-engine digest matches: the transport is invisible in the answer");
+
+    // Crash one shard and ask something new (the first answer is already in
+    // the router's result cache — complete answers stay servable even with a
+    // shard down). The router degrades to the survivors and says so:
+    // `incomplete` is set and `failed_shards` names the hole.
+    servers[0].suspend();
+    let fresh = MatchQuery::new(query.personal.clone())
+        .with_top_k(3)
+        .with_threshold(0.55);
+    let degraded = router
+        .answer_inline(&fresh)
+        .expect("survivors still answer");
+    println!(
+        "\nshard 0 down: {} matches from the survivors (incomplete: {}, failed shards {:?})",
+        degraded.mappings.len(),
+        degraded.incomplete,
+        degraded.failed_shards
+    );
+    assert!(degraded.incomplete);
+    assert_eq!(degraded.failed_shards, vec![0]);
+
+    // Bring it back and re-ask the same query: degraded responses are never
+    // cached, so the router re-scatters, the client redials, and the full
+    // answer returns — identical to the single engine's.
+    servers[0].resume();
+    let healed = router.answer_inline(&fresh).expect("healed fleet answers");
+    assert!(!healed.incomplete);
+    assert_eq!(healed.result_digest(), single.query(fresh).result_digest());
+    println!("shard 0 back: full answer restored, digest identical again");
+
+    let metrics = router.metrics();
+    println!(
+        "\nrouter: {} served, {} degraded; per-shard served = {:?}",
+        metrics.router.queries_served,
+        metrics.router.degraded_responses,
+        metrics
+            .per_shard
+            .iter()
+            .map(|m| m.queries_served)
+            .collect::<Vec<_>>()
+    );
+}

@@ -98,7 +98,9 @@ fn main() {
         )
         .with_strategy(QueryStrategy::IndexPruned),
     ];
-    let responses = engine.submit_batch(batch);
+    let responses = engine
+        .submit_batch(batch)
+        .expect("the in-process worker pool cannot reject a batch");
     println!("\nbatch of {}:", responses.len());
     for r in &responses {
         println!(

@@ -12,17 +12,20 @@
 //! * tuple structs (newtypes serialize transparently, wider ones as
 //!   sequences),
 //! * unit structs,
-//! * enums whose variants all carry no data (serialized as the variant name).
+//! * enums, externally tagged exactly like real serde: unit variants as the
+//!   bare variant-name string, newtype variants as `{"Variant": value}`,
+//!   tuple variants as `{"Variant": [..]}` and struct variants as
+//!   `{"Variant": {..}}`.
 //!
-//! Generics, data-carrying enum variants, and unknown `#[serde(...)]`
-//! attributes produce a `compile_error!` naming the construct, so misuse
-//! fails loudly instead of round-tripping incorrectly.
+//! Generics and unknown `#[serde(...)]` attributes produce a
+//! `compile_error!` naming the construct, so misuse fails loudly instead of
+//! round-tripping incorrectly.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 mod parse;
 
-use parse::{Field, Input};
+use parse::{Field, Input, Variant, VariantShape};
 
 /// Derive `serde::Serialize`.
 #[proc_macro_derive(Serialize, attributes(serde))]
@@ -89,11 +92,10 @@ fn gen_serialize(input: &Input) -> String {
         Input::Enum { name, variants } => {
             let arms: Vec<String> = variants
                 .iter()
-                .map(|v| format!("{name}::{v} => {v:?},"))
+                .map(|v| serialize_variant_arm(name, v))
                 .collect();
             format!(
-                "serializer.serialize_value(::serde::__private::Value::Str(\
-                 ::std::string::String::from(match self {{ {} }})))",
+                "serializer.serialize_value(match self {{ {} }})",
                 arms.join(" ")
             )
         }
@@ -116,7 +118,7 @@ fn gen_deserialize(input: &Input) -> String {
         Input::NamedStruct { name, fields } => {
             let mut inits = String::new();
             for field in fields {
-                inits.push_str(&field_init(name, field));
+                inits.push_str(&field_init(name, field, "__map"));
             }
             format!(
                 "let __map = match deserializer.deserialize_value()? {{\n\
@@ -150,23 +152,42 @@ fn gen_deserialize(input: &Input) -> String {
         ),
         Input::UnitStruct { name } => format!("::std::result::Result::Ok({name})"),
         Input::Enum { name, variants } => {
-            let arms: Vec<String> = variants
+            let unit_arms: Vec<String> = variants
                 .iter()
-                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .filter(|v| matches!(v.shape, parse::VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "{n:?} => ::std::result::Result::Ok({name}::{n}),",
+                        n = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, parse::VariantShape::Unit))
+                .map(|v| deserialize_variant_arm(name, v))
                 .collect();
             format!(
-                "let __s = match deserializer.deserialize_value()? {{\n\
-                     ::serde::__private::Value::Str(s) => s,\n\
-                     other => return ::std::result::Result::Err(\n\
+                "match deserializer.deserialize_value()? {{\n\
+                     ::serde::__private::Value::Str(__s) => match __s.as_str() {{\n\
+                         {units}\n\
+                         other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                             format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::__private::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __payload) = __m.into_iter().next().expect(\"length checked\");\n\
+                         match __tag.as_str() {{\n\
+                             {tagged}\n\
+                             other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                                 format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(\n\
                          <D::Error as ::serde::de::Error>::custom(\n\
-                             format!(\"{name}: expected variant string, found {{}}\", other.kind()))),\n\
-                 }};\n\
-                 match __s.as_str() {{\n\
-                     {}\n\
-                     other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
-                         format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                             format!(\"{name}: expected variant string or single-entry map, found {{}}\", other.kind()))),\n\
                  }}",
-                arms.join("\n")
+                units = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
             )
         }
     };
@@ -181,12 +202,110 @@ fn gen_deserialize(input: &Input) -> String {
     )
 }
 
-fn field_init(struct_name: &str, field: &Field) -> String {
+/// One match arm serializing a single enum variant (externally tagged: unit
+/// variants are the bare name string, newtype variants `{"V": value}`, tuple
+/// variants `{"V": [..]}`, struct variants `{"V": {..}}` — real serde's layout).
+fn serialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => format!(
+            "{enum_name}::{v} => ::serde::__private::Value::Str(::std::string::String::from({v:?})),"
+        ),
+        VariantShape::Tuple { arity: 1 } => format!(
+            "{enum_name}::{v}(__f0) => ::serde::__private::Value::Map(::std::vec![(\
+             ::std::string::String::from({v:?}), \
+             ::serde::__private::to_value(__f0).map_err({SER_ERR})?)]),"
+        ),
+        VariantShape::Tuple { arity } => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::__private::to_value(__f{i}).map_err({SER_ERR})?"))
+                .collect();
+            format!(
+                "{enum_name}::{v}({binds}) => ::serde::__private::Value::Map(::std::vec![(\
+                 ::std::string::String::from({v:?}), \
+                 ::serde::__private::Value::Seq(::std::vec![{items}]))]),",
+                binds = binds.join(", "),
+                items = items.join(", "),
+            )
+        }
+        VariantShape::Struct { fields } => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let pushes: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), \
+                         ::serde::__private::to_value({n}).map_err({SER_ERR})?)",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {binds} }} => ::serde::__private::Value::Map(::std::vec![(\
+                 ::std::string::String::from({v:?}), \
+                 ::serde::__private::Value::Map(::std::vec![{pushes}]))]),",
+                binds = binds.join(", "),
+                pushes = pushes.join(", "),
+            )
+        }
+    }
+}
+
+/// One match arm deserializing a data-carrying enum variant from its
+/// externally-tagged `(tag, payload)` entry.
+fn deserialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => unreachable!("unit variants deserialize from the string arm"),
+        VariantShape::Tuple { arity: 1 } => format!(
+            "{v:?} => ::std::result::Result::Ok({enum_name}::{v}(\
+             ::serde::__private::from_value(__payload).map_err({DE_ERR})?)),"
+        ),
+        VariantShape::Tuple { arity } => {
+            let fields: String = (0..*arity)
+                .map(|_| {
+                    format!(
+                        "::serde::__private::from_value(__iter.next().expect(\"length checked\"))\
+                         .map_err({DE_ERR})?, "
+                    )
+                })
+                .collect();
+            format!(
+                "{v:?} => match __payload {{\n\
+                     ::serde::__private::Value::Seq(__items) if __items.len() == {arity} => {{\n\
+                         let mut __iter = __items.into_iter();\n\
+                         ::std::result::Result::Ok({enum_name}::{v}({fields}))\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                         format!(\"{enum_name}::{v}: expected {arity}-element sequence, found {{}}\", other.kind()))),\n\
+                 }},"
+            )
+        }
+        VariantShape::Struct { fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| field_init(&format!("{enum_name}::{v}"), f, "__vmap"))
+                .collect();
+            format!(
+                "{v:?} => match __payload {{\n\
+                     ::serde::__private::Value::Map(__vmap) => \
+                         ::std::result::Result::Ok({enum_name}::{v} {{\n{inits}}}),\n\
+                     other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                         format!(\"{enum_name}::{v}: expected field map, found {{}}\", other.kind()))),\n\
+                 }},"
+            )
+        }
+    }
+}
+
+fn field_init(struct_name: &str, field: &Field, map_ident: &str) -> String {
     let f = &field.name;
     if field.skip {
         return format!("{f}: ::std::default::Default::default(),\n");
     }
-    let lookup = format!("::serde::__private::get_field(&__map, {f:?})");
+    let lookup = format!("::serde::__private::get_field(&{map_ident}, {f:?})");
     let missing = if field.default {
         // `#[serde(default)]`: absent field falls back to Default.
         String::new()

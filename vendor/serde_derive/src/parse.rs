@@ -16,12 +16,39 @@ pub struct Field {
     pub with: Option<String>,
 }
 
+/// The payload shape of one enum variant.
+pub enum VariantShape {
+    /// `Variant` — serialized as the bare variant-name string.
+    Unit,
+    /// `Variant(T)` / `Variant(T, U, …)` — externally tagged newtype/sequence.
+    Tuple { arity: usize },
+    /// `Variant { a: T, … }` — externally tagged map.
+    Struct { fields: Vec<Field> },
+}
+
+/// One enum variant: its name plus the payload it carries.
+pub struct Variant {
+    pub name: String,
+    pub shape: VariantShape,
+}
+
 /// The shapes of type definition the stub derives support.
 pub enum Input {
-    NamedStruct { name: String, fields: Vec<Field> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<String> },
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 impl Input {
@@ -263,8 +290,9 @@ fn parse_tuple_arity(body: TokenStream, _struct_name: &str) -> Result<usize, Str
     Ok(arity)
 }
 
-/// Parse enum variants, rejecting any that carry data.
-fn parse_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+/// Parse enum variants: unit variants, tuple variants (`V(T, …)`) and struct
+/// variants (`V { a: T, … }`), serialized externally tagged like real serde.
+fn parse_variants(body: TokenStream, enum_name: &str) -> Result<Vec<Variant>, String> {
     let mut tokens = body.into_iter().peekable();
     let mut variants = Vec::new();
     loop {
@@ -272,30 +300,62 @@ fn parse_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, Str
         if tokens.peek().is_none() {
             break;
         }
-        let variant = expect_ident(&mut tokens)?;
+        let name = expect_ident(&mut tokens)?;
         match tokens.next() {
             None => {
-                variants.push(variant);
+                variants.push(Variant {
+                    name,
+                    shape: VariantShape::Unit,
+                });
                 break;
             }
-            Some(t) if is_punct(&t, ',') => variants.push(variant),
-            Some(TokenTree::Group(_)) => {
-                return Err(format!(
-                    "serde stub derive: variant `{enum_name}::{variant}` carries data; \
-                     only unit variants are supported"
-                ));
+            Some(t) if is_punct(&t, ',') => variants.push(Variant {
+                name,
+                shape: VariantShape::Unit,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream(), enum_name)?;
+                let shape = if arity == 0 {
+                    VariantShape::Unit
+                } else {
+                    VariantShape::Tuple { arity }
+                };
+                variants.push(Variant { name, shape });
+                expect_variant_separator(&mut tokens, enum_name)?;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream(), enum_name)?;
+                variants.push(Variant {
+                    name,
+                    shape: VariantShape::Struct { fields },
+                });
+                expect_variant_separator(&mut tokens, enum_name)?;
             }
             Some(t) if is_punct(&t, '=') => {
                 // Explicit discriminant: skip the expression.
                 consume_type(&mut tokens);
-                variants.push(variant);
+                variants.push(Variant {
+                    name,
+                    shape: VariantShape::Unit,
+                });
             }
             Some(other) => {
                 return Err(format!(
-                    "serde stub derive: unexpected token {other} after `{enum_name}::{variant}`"
+                    "serde stub derive: unexpected token {other} after `{enum_name}::{name}`"
                 ));
             }
         }
     }
     Ok(variants)
+}
+
+/// After a data-carrying variant's payload group: a `,` or the end of the body.
+fn expect_variant_separator(tokens: &mut Tokens, enum_name: &str) -> Result<(), String> {
+    match tokens.next() {
+        None => Ok(()),
+        Some(t) if is_punct(&t, ',') => Ok(()),
+        Some(other) => Err(format!(
+            "serde stub derive: expected `,` between `{enum_name}` variants, found {other}"
+        )),
+    }
 }

@@ -1,0 +1,73 @@
+//! Round-trips of the derive stub's data-carrying enum variants through JSON
+//! text, pinning the externally-tagged layout real serde uses.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Message {
+    Ping,
+    Text(String),
+    Pair(u32, u32),
+    Report { code: u64, detail: String },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum AllTagged {
+    One { x: f64 },
+    Two(Vec<u8>),
+}
+
+fn roundtrip<T: Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(value: &T) {
+    let json = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, value, "lossy round-trip through {json}");
+}
+
+#[test]
+fn externally_tagged_layout_is_pinned() {
+    assert_eq!(serde_json::to_string(&Message::Ping).unwrap(), "\"Ping\"");
+    assert_eq!(
+        serde_json::to_string(&Message::Text("hi".into())).unwrap(),
+        "{\"Text\":\"hi\"}"
+    );
+    assert_eq!(
+        serde_json::to_string(&Message::Pair(3, 4)).unwrap(),
+        "{\"Pair\":[3,4]}"
+    );
+    assert_eq!(
+        serde_json::to_string(&Message::Report {
+            code: 7,
+            detail: "x".into()
+        })
+        .unwrap(),
+        "{\"Report\":{\"code\":7,\"detail\":\"x\"}}"
+    );
+}
+
+#[test]
+fn all_variant_shapes_round_trip() {
+    roundtrip(&Message::Ping);
+    roundtrip(&Message::Text(String::new()));
+    roundtrip(&Message::Text("unicode αβγ 🦀".into()));
+    roundtrip(&Message::Pair(u32::MAX, 0));
+    roundtrip(&Message::Report {
+        code: u64::MAX,
+        detail: "tab\tquote\"".into(),
+    });
+    roundtrip(&AllTagged::One { x: -0.0 });
+    roundtrip(&AllTagged::One {
+        x: f64::MIN_POSITIVE,
+    });
+    roundtrip(&AllTagged::Two(vec![0, 255]));
+    roundtrip(&Some(Message::Pair(1, 2)));
+    roundtrip(&vec![Message::Ping, Message::Text("a".into())]);
+}
+
+#[test]
+fn unknown_and_malformed_variants_are_rejected() {
+    assert!(serde_json::from_str::<Message>("\"Pong\"").is_err());
+    assert!(serde_json::from_str::<Message>("{\"Pair\":[1]}").is_err());
+    assert!(serde_json::from_str::<Message>("{\"Report\":{\"code\":1}}").is_err());
+    assert!(serde_json::from_str::<Message>("{\"Text\":\"a\",\"Pair\":[1,2]}").is_err());
+    assert!(serde_json::from_str::<Message>("3").is_err());
+}
