@@ -300,7 +300,7 @@ fn main() {
             config.reps,
             |_| (),
             |_, qi, ci| {
-                levenshtein_chars(&query_features[qi].chars, &w.corpus_features[ci].chars) as f64
+                levenshtein_chars(query_features[qi].chars(), w.corpus_features[ci].chars()) as f64
             },
         );
         let (fs, fcs) = time_pairs(

@@ -1,0 +1,482 @@
+//! Benchmark: cold process restart vs. snapshot-backed warm restart.
+//!
+//! ```text
+//! cargo run -p xsm-bench --bin snapshot --release \
+//!     [seed=N] [sizes=10000,100000,500000] [queries=N] [reps=N] \
+//!     [generation=N] [out=BENCH_snapshot.json]
+//! ```
+//!
+//! Both legs start from files on disk and end at the same place: an engine
+//! that is fully warm — index built, features extracted, per-tree centroids
+//! resolved — and ready to answer queries. What differs is the road:
+//!
+//! * **cold restart** — what a process start pays without a snapshot: read
+//!   the persisted schema corpus (serde JSON, the portable interchange form),
+//!   parse it, rebuild the repository and its labelings
+//!   (`SchemaRepository::from_trees`), build the engine (`MatchEngine::new`:
+//!   q-gram index construction, feature extraction, worker spawn), then
+//!   compute the per-tree centroid table the routing layer needs,
+//! * **warm restart** — `MatchEngine::from_snapshot` on the same corpus: one
+//!   sequential read, checksum validation, in-place reconstruction; the
+//!   centroid table comes out of the file,
+//! * **snapshot write** — `MatchEngine::write_snapshot`, reported with the
+//!   file size (amortized once per repository generation, off the serving
+//!   path).
+//!
+//! Every warm engine answers the same seeded query mix as its cold twin and
+//! the harness asserts the order-sensitive answer checksums are **identical**
+//! — a snapshot that loads fast but answers differently is a failure, not a
+//! result. The headline per size is `speedup = cold_restart / warm_restart`.
+//!
+//! Each restart leg runs in a **fresh child process** (the binary re-execs
+//! itself): a restart benchmark that reuses one process's heap measures the
+//! allocator's history, not the restart — on a single-core host the in-process
+//! variant swung 5× from page-fault and writeback hangover of the previous
+//! leg. The child times its own leg and reports on stdout, so process spawn
+//! overhead is excluded and every leg starts from the clean slate a real
+//! restart gets.
+
+use std::hint::black_box;
+use std::io::Read as _;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use xsm_repo::{GeneratorConfig, RepositoryGenerator, SchemaRepository};
+use xsm_schema::SchemaTree;
+use xsm_service::workload::seeded_personal_schemas;
+use xsm_service::{EngineConfig, MatchEngine, MatchQuery, QueryStrategy, StartupSource};
+
+struct BenchConfig {
+    seed: u64,
+    sizes: Vec<usize>,
+    queries: usize,
+    reps: usize,
+    generation: u64,
+    out: String,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            seed: 2006,
+            sizes: vec![10_000, 100_000, 500_000],
+            queries: 24,
+            reps: 3,
+            generation: 1,
+            out: "BENCH_snapshot.json".to_string(),
+        }
+    }
+}
+
+impl BenchConfig {
+    fn apply_args<I: IntoIterator<Item = String>>(mut self, args: I) -> Result<Self, String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            match key {
+                "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "sizes" => {
+                    self.sizes = value
+                        .split(',')
+                        .map(|s| s.parse().map_err(|e| format!("sizes: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "queries" => self.queries = value.parse().map_err(|e| format!("queries: {e}"))?,
+                "reps" => self.reps = value.parse().map_err(|e| format!("reps: {e}"))?,
+                "generation" => {
+                    self.generation = value.parse().map_err(|e| format!("generation: {e}"))?
+                }
+                "out" => self.out = value.to_string(),
+                other => return Err(format!("unknown parameter '{other}'")),
+            }
+        }
+        self.queries = self.queries.max(1);
+        self.reps = self.reps.max(1);
+        if self.sizes.is_empty() {
+            return Err("sizes must name at least one corpus size".to_string());
+        }
+        Ok(self)
+    }
+}
+
+/// One corpus size's restart comparison.
+#[derive(Serialize)]
+struct SizeRow {
+    nodes: usize,
+    trees: usize,
+    /// Persisted schema corpus (serde JSON) size in bytes — the cold leg's input.
+    schema_file_bytes: u64,
+    /// Snapshot file size in bytes — the warm leg's input.
+    snapshot_bytes: u64,
+    /// Mean wall time of the full cold restart, seconds.
+    cold_restart_s: f64,
+    /// Cold breakdown: read + parse the persisted schemas.
+    cold_parse_s: f64,
+    /// Cold breakdown: repository + labelings + engine (index, features).
+    cold_build_s: f64,
+    /// Cold breakdown: per-tree centroid computation.
+    cold_centroids_s: f64,
+    /// Mean wall time of `MatchEngine::write_snapshot`, seconds.
+    snapshot_write_s: f64,
+    /// Mean wall time of the full warm restart (load + centroid table), seconds.
+    warm_restart_s: f64,
+    /// cold_restart_s / warm_restart_s — the acceptance headline.
+    speedup: f64,
+    /// Order-sensitive checksum over every response digest of the query mix.
+    cold_checksum: u64,
+    warm_checksum: u64,
+    /// The two checksums agree: the warm engine answers identically.
+    answers_identical: bool,
+}
+
+#[derive(Serialize)]
+struct SnapshotRecord {
+    bench: String,
+    seed: u64,
+    queries: usize,
+    reps: usize,
+    generation: u64,
+    rows: Vec<SizeRow>,
+}
+
+/// What one restart leg (a child process) reports back on stdout.
+#[derive(Serialize, Deserialize)]
+struct LegReport {
+    /// Cold breakdown: read + parse the persisted schemas (0 for warm legs).
+    parse_s: f64,
+    /// Cold breakdown: repository + labelings + engine (0 for warm legs).
+    build_s: f64,
+    /// Cold breakdown: per-tree centroid computation (0 for warm legs).
+    centroids_s: f64,
+    /// Full leg wall time: files on disk → fully warm engine.
+    total_s: f64,
+    /// Answer checksum over the seeded query mix (when requested, untimed).
+    checksum: Option<u64>,
+}
+
+/// The seeded query mix every engine answers — derived from the repository,
+/// so the cold and warm legs (separate processes) rebuild the same mix.
+fn query_mix(repo: &SchemaRepository, queries: usize) -> Vec<MatchQuery> {
+    seeded_personal_schemas(repo, queries)
+        .into_iter()
+        .enumerate()
+        .map(|(i, personal)| {
+            MatchQuery::new(personal)
+                .with_top_k(5)
+                .with_threshold(0.5)
+                .with_strategy(if i % 2 == 0 {
+                    QueryStrategy::Auto
+                } else {
+                    QueryStrategy::IndexPruned
+                })
+        })
+        .collect()
+}
+
+/// Fold every response's digest string into one order-sensitive FNV-1a
+/// checksum: pins the strategy, counts, every score bit and every node id of
+/// every answer in the mix.
+fn answer_checksum(engine: &MatchEngine, queries: &[MatchQuery]) -> u64 {
+    let mut checksum: u64 = 0xcbf2_9ce4_8422_2325;
+    for query in queries {
+        for b in engine.answer_inline(query).result_digest().bytes() {
+            checksum ^= b as u64;
+            checksum = checksum.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    checksum
+}
+
+/// Child-process entry: run one restart leg from a clean slate and print a
+/// [`LegReport`] as JSON on stdout. Timing happens here, inside the child, so
+/// the parent's spawn overhead never lands in the measurement.
+fn run_leg(role: &str, path: &str, queries: usize) -> Result<LegReport, String> {
+    let engine_config = EngineConfig::default().with_workers(1);
+    let (report, engine) = match role {
+        "cold" => {
+            let start = Instant::now();
+            let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let parsed: Vec<SchemaTree> =
+                serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+            drop(json);
+            let parse_s = start.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let rebuilt = SchemaRepository::from_trees(parsed);
+            let engine = MatchEngine::new(rebuilt, engine_config);
+            let build_s = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            black_box(engine.tree_centroids());
+            let centroids_s = t.elapsed().as_secs_f64();
+            let total_s = start.elapsed().as_secs_f64();
+            if engine.metrics().startup_source != StartupSource::ColdBuild {
+                return Err("cold leg did not report ColdBuild".to_string());
+            }
+            (
+                LegReport {
+                    parse_s,
+                    build_s,
+                    centroids_s,
+                    total_s,
+                    checksum: None,
+                },
+                engine,
+            )
+        }
+        "warm" => {
+            let start = Instant::now();
+            let engine =
+                MatchEngine::from_snapshot(path, engine_config).map_err(|e| format!("{e}"))?;
+            black_box(engine.tree_centroids());
+            let total_s = start.elapsed().as_secs_f64();
+            if engine.metrics().startup_source != StartupSource::SnapshotLoad {
+                return Err("warm leg did not report SnapshotLoad".to_string());
+            }
+            (
+                LegReport {
+                    parse_s: 0.0,
+                    build_s: 0.0,
+                    centroids_s: 0.0,
+                    total_s,
+                    checksum: None,
+                },
+                engine,
+            )
+        }
+        other => return Err(format!("unknown leg role '{other}'")),
+    };
+    let mut report = report;
+    if queries > 0 {
+        let mix = query_mix(engine.repository(), queries);
+        report.checksum = Some(answer_checksum(&engine, &mix));
+    }
+    Ok(report)
+}
+
+/// Spawn this binary as a one-leg child process and collect its report.
+fn spawn_leg(role: &str, path: &std::path::Path, queries: usize) -> LegReport {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut child = std::process::Command::new(exe)
+        .arg("__leg")
+        .arg(role)
+        .arg(path)
+        .arg(queries.to_string())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("restart leg spawns");
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .expect("child stdout is piped")
+        .read_to_string(&mut stdout)
+        .expect("read leg report");
+    let status = child.wait().expect("restart leg exits");
+    assert!(status.success(), "{role} leg failed: {stdout}");
+    serde_json::from_str(stdout.trim()).expect("leg report parses")
+}
+
+fn bench_size(config: &BenchConfig, nodes: usize) -> SizeRow {
+    eprintln!("building {nodes}-node corpus (seed {})…", config.seed);
+    let repo = RepositoryGenerator::new(
+        GeneratorConfig::paper_default()
+            .with_seed(config.seed)
+            .with_target_elements(nodes),
+    )
+    .generate();
+    let engine_config = EngineConfig::default().with_workers(1);
+    let dir = std::env::temp_dir().join(format!("xsm-bench-snapshot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir creates");
+    let snapshot_path = dir.join(format!("{nodes}.xsmsnap"));
+    let schema_path = dir.join(format!("{nodes}.schemas.json"));
+
+    // Setup, untimed: persist the schema corpus (the cold leg's input) and a
+    // snapshot written by a fully built engine (the warm leg's input).
+    let trees: Vec<SchemaTree> = repo.trees().map(|(_, tree)| tree.clone()).collect();
+    std::fs::write(
+        &schema_path,
+        serde_json::to_string(&trees).expect("schema corpus serializes"),
+    )
+    .expect("schema corpus writes");
+    drop(trees);
+    let schema_file_bytes = std::fs::metadata(&schema_path)
+        .expect("schema file exists")
+        .len();
+
+    // Snapshot write, off the serving path (amortized per generation) — timed
+    // on the setup engine so neither restart leg shares its heap with it.
+    let setup = MatchEngine::new(repo.clone(), engine_config.clone());
+    let mut write_s = 0.0f64;
+    let mut snapshot_bytes = 0u64;
+    for _ in 0..config.reps {
+        let start = Instant::now();
+        snapshot_bytes = setup
+            .write_snapshot(&snapshot_path, config.generation)
+            .expect("snapshot writes");
+        write_s += start.elapsed().as_secs_f64();
+    }
+    drop(setup);
+    let (total_nodes, tree_count) = (repo.total_nodes(), repo.tree_count());
+    drop(repo);
+
+    // Drain writeback before the timed legs: on a small host the kernel
+    // flushing hundreds of dirty megabytes competes with the child for the
+    // CPU, and that cost belongs to setup, not to either restart.
+    for path in [&schema_path, &snapshot_path] {
+        std::fs::File::open(path)
+            .and_then(|f| f.sync_all())
+            .expect("setup files sync");
+    }
+
+    let mut parse_s = 0.0f64;
+    let mut build_s = 0.0f64;
+    let mut centroids_s = 0.0f64;
+    let mut cold_s = 0.0f64;
+    let mut warm_s = 0.0f64;
+    let mut cold_checksum = 0u64;
+    let mut warm_checksum = 0u64;
+    for rep in 0..config.reps {
+        // One fresh process per leg: rep 0 also answers the query mix
+        // (untimed, after the clock stops) so the checksums can be compared.
+        let queries = if rep == 0 { config.queries } else { 0 };
+        let cold = spawn_leg("cold", &schema_path, queries);
+        parse_s += cold.parse_s;
+        build_s += cold.build_s;
+        centroids_s += cold.centroids_s;
+        cold_s += cold.total_s;
+        let warm = spawn_leg("warm", &snapshot_path, queries);
+        warm_s += warm.total_s;
+        if rep == 0 {
+            cold_checksum = cold.checksum.expect("cold leg answered the mix");
+            warm_checksum = warm.checksum.expect("warm leg answered the mix");
+        }
+    }
+    let _ = std::fs::remove_file(&snapshot_path);
+    let _ = std::fs::remove_file(&schema_path);
+    let reps = config.reps as f64;
+    let row = SizeRow {
+        nodes: total_nodes,
+        trees: tree_count,
+        schema_file_bytes,
+        snapshot_bytes,
+        cold_restart_s: cold_s / reps,
+        cold_parse_s: parse_s / reps,
+        cold_build_s: build_s / reps,
+        cold_centroids_s: centroids_s / reps,
+        snapshot_write_s: write_s / reps,
+        warm_restart_s: warm_s / reps,
+        speedup: cold_s / warm_s.max(1e-12),
+        cold_checksum,
+        warm_checksum,
+        answers_identical: cold_checksum == warm_checksum,
+    };
+    eprintln!(
+        "  cold {:.3}s (parse {:.3} + build {:.3} + centroids {:.3})  write {:.3}s ({:.1} MiB)  \
+         warm {:.3}s  speedup {:.1}x  answers {}",
+        row.cold_restart_s,
+        row.cold_parse_s,
+        row.cold_build_s,
+        row.cold_centroids_s,
+        row.snapshot_write_s,
+        row.snapshot_bytes as f64 / (1024.0 * 1024.0),
+        row.warm_restart_s,
+        row.speedup,
+        if row.answers_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    row
+}
+
+fn main() {
+    // Child mode: `snapshot __leg <cold|warm> <path> <queries>` runs one
+    // restart leg in this (fresh) process and reports on stdout.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("__leg") {
+        if args.len() != 4 {
+            eprintln!("usage: snapshot __leg <cold|warm> <path> <queries>");
+            std::process::exit(2);
+        }
+        let queries: usize = args[3].parse().unwrap_or_else(|e| {
+            eprintln!("queries: {e}");
+            std::process::exit(2);
+        });
+        match run_leg(&args[1], &args[2], queries) {
+            Ok(report) => {
+                println!(
+                    "{}",
+                    serde_json::to_string(&report).expect("leg report serializes")
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let config = match BenchConfig::default().apply_args(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: snapshot [seed=N] [sizes=A,B,C] [queries=N] [reps=N] [generation=N] \
+                 [out=PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let rows: Vec<SizeRow> = config
+        .sizes
+        .iter()
+        .map(|&n| bench_size(&config, n))
+        .collect();
+
+    println!(
+        "{:>9}  {:>11} {:>11} {:>11}  {:>10}  {:>8}  {:>9}",
+        "nodes", "cold s", "write s", "warm s", "bytes", "speedup", "answers"
+    );
+    for r in &rows {
+        println!(
+            "{:>9}  {:>11.3} {:>11.3} {:>11.3}  {:>10}  {:>7.1}x  {}",
+            r.nodes,
+            r.cold_restart_s,
+            r.snapshot_write_s,
+            r.warm_restart_s,
+            r.snapshot_bytes,
+            r.speedup,
+            if r.answers_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+    let diverged: Vec<usize> = rows
+        .iter()
+        .filter(|r| !r.answers_identical)
+        .map(|r| r.nodes)
+        .collect();
+    assert!(
+        diverged.is_empty(),
+        "snapshot-loaded engines answered differently at sizes {diverged:?}"
+    );
+
+    let record = SnapshotRecord {
+        bench: "snapshot".to_string(),
+        seed: config.seed,
+        queries: config.queries,
+        reps: config.reps,
+        generation: config.generation,
+        rows,
+    };
+    let json = serde_json::to_string(&record).expect("snapshot record serializes");
+    std::fs::write(&config.out, &json).expect("write snapshot benchmark JSON");
+    eprintln!("wrote {}", config.out);
+}

@@ -54,6 +54,58 @@ pub fn medoid(
     best.map(|(_, node)| node)
 }
 
+/// The medoid of one whole tree, over plain node ids (no cluster membership
+/// required): the node minimising the summed [`ClusterDistance`] to a
+/// deterministic sample of the tree's nodes. Same sampling stride, same
+/// tie-break and same unreachable-pair penalty as [`medoid`], so the result
+/// is a stable per-tree summary. Returns `None` for an empty tree.
+pub fn tree_medoid(
+    repo: &SchemaRepository,
+    distance: &dyn ClusterDistance,
+    nodes: &[GlobalNodeId],
+) -> Option<GlobalNodeId> {
+    if nodes.is_empty() {
+        return None;
+    }
+    if nodes.len() == 1 {
+        return Some(nodes[0]);
+    }
+    let stride = (nodes.len() / MEDOID_SAMPLE_LIMIT).max(1);
+    let reference: Vec<GlobalNodeId> = nodes.iter().step_by(stride).copied().collect();
+
+    let mut best: Option<(f64, GlobalNodeId)> = None;
+    for &candidate in nodes {
+        let mut sum = 0.0;
+        for &other in &reference {
+            sum += distance
+                .distance(repo, candidate, other)
+                .unwrap_or(f64::MAX / reference.len() as f64);
+        }
+        let better = match best {
+            None => true,
+            Some((best_sum, best_node)) => {
+                sum < best_sum - 1e-12 || (sum < best_sum + 1e-12 && candidate < best_node)
+            }
+        };
+        if better {
+            best = Some((sum, candidate));
+        }
+    }
+    best.map(|(_, node)| node)
+}
+
+/// One [`tree_medoid`] per tree of the repository, in tree order — the
+/// per-tree centroid table a snapshot persists. Deterministic given the
+/// repository; empty trees get `None`.
+pub fn tree_centroids(
+    repo: &SchemaRepository,
+    distance: &dyn ClusterDistance,
+) -> Vec<Option<GlobalNodeId>> {
+    repo.trees()
+        .map(|(tid, _)| tree_medoid(repo, distance, &repo.tree_node_ids(tid)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,14 +13,74 @@ use xsm_similarity::features::{for_each_gram, GramInterner, NameFeatures};
 
 use crate::repository::SchemaRepository;
 
+/// The flat per-node feature columns a snapshot load hands over instead of
+/// materialised [`NameFeatures`]: concatenated name blobs and the decoded
+/// signature / multiplicity / match-vector arenas, each with `node_count + 1`
+/// prefix-sum offsets. Holding these and building each node's `NameFeatures`
+/// on first use keeps snapshot startup at a handful of bulk allocations —
+/// the ~4 boxed slices per node are deferred to the first query that actually
+/// scores the node (and are identical to an eager build when they do happen).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FeatureColumns {
+    /// Every node's lowercased name, concatenated.
+    pub lower_blob: String,
+    /// Byte offsets into [`FeatureColumns::lower_blob`] (`node_count + 1`).
+    pub lower_offsets: Vec<u32>,
+    /// Original spellings, concatenated — only for nodes where lowercasing
+    /// changed the name (an empty range means `lower` *is* the original).
+    pub orig_blob: String,
+    /// Byte offsets into [`FeatureColumns::orig_blob`] (`node_count + 1`).
+    pub orig_offsets: Vec<u32>,
+    /// All gram signatures, concatenated in node order.
+    pub sig_flat: Vec<u32>,
+    /// Multiplicities parallel to [`FeatureColumns::sig_flat`].
+    pub count_flat: Vec<u32>,
+    /// Entry offsets into the two gram arenas (`node_count + 1`).
+    pub sig_offsets: Vec<u32>,
+    /// All Myers match vectors, concatenated in node order.
+    pub peq_flat: Vec<(char, u64)>,
+    /// Entry offsets into [`FeatureColumns::peq_flat`] (`node_count + 1`).
+    pub peq_offsets: Vec<u32>,
+}
+
+impl FeatureColumns {
+    /// Materialise node `dense`'s features — exactly what an eager
+    /// [`NameFeatures::build`] against the same interner produced at write time.
+    fn materialize(&self, dense: usize) -> NameFeatures {
+        let lower: Box<str> = self.lower_blob
+            [self.lower_offsets[dense] as usize..self.lower_offsets[dense + 1] as usize]
+            .into();
+        let orig = &self.orig_blob
+            [self.orig_offsets[dense] as usize..self.orig_offsets[dense + 1] as usize];
+        let original: Option<Box<str>> = (!orig.is_empty()).then(|| orig.into());
+        let sig_range = self.sig_offsets[dense] as usize..self.sig_offsets[dense + 1] as usize;
+        let grams: Box<[u32]> = self.sig_flat[sig_range.clone()]
+            .iter()
+            .chain(self.count_flat[sig_range].iter())
+            .copied()
+            .collect();
+        let peq: Box<[(char, u64)]> = self.peq_flat
+            [self.peq_offsets[dense] as usize..self.peq_offsets[dense + 1] as usize]
+            .into();
+        NameFeatures::from_parts(lower, original, grams, peq)
+    }
+}
+
 /// Precomputed name features for every node of a repository, plus the shared gram
 /// interner. Node lookup is `O(1)` arithmetic: per-tree offsets into one dense
 /// feature vector, no hashing.
+///
+/// A store built with [`FeatureStore::build`] is fully materialised. A store
+/// reassembled from a snapshot keeps the flat `FeatureColumns` and fills each
+/// node's slot on first access (thread-safe; concurrent first touches race
+/// benignly on the slot's `OnceLock`) — same values, none of the startup cost.
 #[derive(Debug, Clone, Default)]
 pub struct FeatureStore {
     interner: GramInterner,
     ids: Vec<GlobalNodeId>,
-    features: Vec<NameFeatures>,
+    features: Vec<std::sync::OnceLock<NameFeatures>>,
+    /// Set only for snapshot-loaded stores; `None` means every slot is filled.
+    columns: Option<FeatureColumns>,
     /// `offsets[t]..offsets[t+1]` is the feature range of tree `t` (one trailing
     /// entry, so the slice bounds of the last tree need no special case).
     offsets: Vec<u32>,
@@ -39,7 +99,10 @@ impl FeatureStore {
         for (tid, tree) in repo.trees() {
             for (nid, node) in tree.nodes() {
                 ids.push(GlobalNodeId::new(tid, nid));
-                features.push(NameFeatures::build(&node.name, &mut interner));
+                features.push(std::sync::OnceLock::from(NameFeatures::build(
+                    &node.name,
+                    &mut interner,
+                )));
             }
             offsets.push(features.len() as u32);
         }
@@ -47,8 +110,52 @@ impl FeatureStore {
             interner,
             ids,
             features,
+            columns: None,
             offsets,
         }
+    }
+
+    /// Reassemble a store from snapshot parts: the rebuilt interner, the flat
+    /// per-node feature columns, and the per-tree offsets (`tree_count + 1`
+    /// entries, prefix sums of tree node counts). The dense id table is
+    /// rederived from the offsets — node `n` of tree `t` is always
+    /// `offsets[t] + n` — so it never needs to be serialized. Per-node
+    /// features materialise lazily out of the columns.
+    pub(crate) fn from_columns(
+        interner: GramInterner,
+        columns: FeatureColumns,
+        offsets: Vec<u32>,
+    ) -> Self {
+        let node_count = columns.lower_offsets.len().saturating_sub(1);
+        let mut ids = Vec::with_capacity(node_count);
+        for (tree, window) in offsets.windows(2).enumerate() {
+            for node in 0..(window[1] - window[0]) {
+                ids.push(GlobalNodeId::new(
+                    xsm_schema::TreeId(tree as u32),
+                    xsm_schema::NodeId(node),
+                ));
+            }
+        }
+        let mut features = Vec::new();
+        features.resize_with(node_count, std::sync::OnceLock::new);
+        FeatureStore {
+            interner,
+            ids,
+            features,
+            columns: Some(columns),
+            offsets,
+        }
+    }
+
+    /// The slot's features, materialising them from the columns on first touch.
+    /// `dense` must be in bounds (callers have checked against `len()`).
+    fn slot(&self, dense: usize) -> &NameFeatures {
+        self.features[dense].get_or_init(|| {
+            self.columns
+                .as_ref()
+                .expect("an unfilled slot exists only in a column-backed store")
+                .materialize(dense)
+        })
     }
 
     /// The shared gram interner (frozen after the build).
@@ -73,16 +180,21 @@ impl FeatureStore {
         let start = *self.offsets.get(tree)? as usize;
         let end = *self.offsets.get(tree + 1)? as usize;
         let idx = start + id.node.index();
-        if idx < end {
-            self.features.get(idx)
+        if idx < end && idx < self.features.len() {
+            Some(self.slot(idx))
         } else {
             None
         }
     }
 
-    /// Iterate `(node id, features)` in the repository's canonical node order.
+    /// Iterate `(node id, features)` in the repository's canonical node order
+    /// (materialising any still-lazy slots as it goes).
     pub fn iter(&self) -> impl Iterator<Item = (GlobalNodeId, &NameFeatures)> + '_ {
-        self.ids.iter().copied().zip(self.features.iter())
+        self.ids
+            .iter()
+            .copied()
+            .enumerate()
+            .map(move |(dense, id)| (id, self.slot(dense)))
     }
 
     /// Build features for a *query* name against the frozen interner (unseen grams

@@ -247,12 +247,12 @@ pub struct CandidateStats {
 
 /// One length-homogeneous slice of a gram's posting list.
 #[derive(Debug, Clone, Copy)]
-struct LenSegment {
+pub(crate) struct LenSegment {
     /// Character length of every name in the segment.
-    len: u32,
+    pub(crate) len: u32,
     /// Arena range of the segment's postings (dense node indices, ascending).
-    start: u32,
-    end: u32,
+    pub(crate) start: u32,
+    pub(crate) end: u32,
 }
 
 /// Inverted indexes from names and q-grams to repository nodes, plus the node
@@ -276,6 +276,23 @@ pub struct NameIndex {
     q: usize,
 }
 
+/// Build the exact lowercase-name map over a feature store. Keyed lookups
+/// before insertion keep it to one owned `String` per *distinct* name —
+/// repositories repeat names heavily, and an `entry(name.to_string())` loop
+/// would allocate per node instead.
+fn exact_name_map(store: &FeatureStore) -> HashMap<String, Vec<GlobalNodeId>> {
+    let mut exact: HashMap<String, Vec<GlobalNodeId>> = HashMap::with_capacity(store.len() / 2 + 1);
+    for (id, features) in store.iter() {
+        match exact.get_mut(&*features.lower) {
+            Some(nodes) => nodes.push(id),
+            None => {
+                exact.insert(features.lower.to_string(), vec![id]);
+            }
+        }
+    }
+    exact
+}
+
 impl NameIndex {
     /// Build the index over all nodes of a repository with the default `q = 3`.
     pub fn build(repo: &SchemaRepository) -> Self {
@@ -288,20 +305,16 @@ impl NameIndex {
     pub fn build_with_q(repo: &SchemaRepository, q: usize) -> Self {
         assert!(q >= 1, "q must be at least 1");
         let store = FeatureStore::build(repo, q);
-        let mut exact: HashMap<String, Vec<GlobalNodeId>> = HashMap::new();
+        let exact = exact_name_map(&store);
         let gram_count = store.interner().len();
         let mut per_gram: Vec<Vec<u32>> = vec![Vec::new(); gram_count];
         let mut lens: Vec<u32> = Vec::with_capacity(store.len());
         let mut total_postings = 0usize;
-        for (dense, (id, features)) in store.iter().enumerate() {
-            exact
-                .entry(features.lower.to_string())
-                .or_default()
-                .push(id);
+        for (dense, (_, features)) in store.iter().enumerate() {
             lens.push(features.char_len() as u32);
             // The signature is already sorted + deduplicated, so each node lands at
             // most once per posting list, in canonical node order.
-            for &gram_id in features.gram_sig.iter() {
+            for &gram_id in features.gram_sig() {
                 per_gram[gram_id as usize].push(dense as u32);
                 total_postings += 1;
             }
@@ -339,6 +352,56 @@ impl NameIndex {
             store,
             q,
         }
+    }
+
+    /// Reassemble an index from snapshot parts. The parts must be a dump of a
+    /// previously built index over the same repository the `store` covers —
+    /// including the exact-name map, rebuilt by the caller with one insert per
+    /// distinct name (hashing every node again is measurable at load time).
+    pub(crate) fn from_parts(
+        exact: HashMap<String, Vec<GlobalNodeId>>,
+        arena: Vec<u32>,
+        segments: Vec<LenSegment>,
+        gram_segments: Vec<u32>,
+        lens: Vec<u32>,
+        store: FeatureStore,
+        q: usize,
+    ) -> Self {
+        NameIndex {
+            exact,
+            arena,
+            segments,
+            gram_segments,
+            lens,
+            store,
+            q,
+        }
+    }
+
+    /// The exact lowercase-name map, for serialization. Hash-ordered — a
+    /// deterministic writer must sort before laying it out.
+    pub(crate) fn exact_raw(&self) -> &HashMap<String, Vec<GlobalNodeId>> {
+        &self.exact
+    }
+
+    /// The flat posting arena (dense node indices), for serialization.
+    pub(crate) fn arena_raw(&self) -> &[u32] {
+        &self.arena
+    }
+
+    /// The length-segment directory, for serialization.
+    pub(crate) fn segments_raw(&self) -> &[LenSegment] {
+        &self.segments
+    }
+
+    /// The per-gram segment-directory offsets, for serialization.
+    pub(crate) fn gram_segments_raw(&self) -> &[u32] {
+        &self.gram_segments
+    }
+
+    /// Character length of every node's lowercased name, for serialization.
+    pub(crate) fn lens_raw(&self) -> &[u32] {
+        &self.lens
     }
 
     /// Number of distinct names indexed.

@@ -33,6 +33,7 @@ pub mod index;
 pub mod partition;
 pub mod repository;
 pub mod sampling;
+pub mod snapshot;
 
 pub use features::FeatureStore;
 pub use generator::{GeneratorConfig, RepositoryGenerator};
@@ -42,3 +43,4 @@ pub use index::{
 };
 pub use partition::{RepositoryPartition, ShardPlacement};
 pub use repository::SchemaRepository;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};

@@ -29,6 +29,15 @@ impl SchemaRepository {
         SchemaRepository { trees, labelings }
     }
 
+    /// Build a repository from trees whose labellings are already available
+    /// (snapshot loading ships the label arrays instead of re-walking every
+    /// tree). One labelling per tree, in tree order; the caller vouches that
+    /// each describes its tree.
+    pub(crate) fn from_labeled_trees(trees: Vec<SchemaTree>, labelings: Vec<TreeLabeling>) -> Self {
+        debug_assert_eq!(trees.len(), labelings.len());
+        SchemaRepository { trees, labelings }
+    }
+
     /// Add a tree and return its id.
     pub fn add_tree(&mut self, tree: SchemaTree) -> TreeId {
         let id = TreeId(self.trees.len() as u32);

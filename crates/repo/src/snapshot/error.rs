@@ -1,0 +1,130 @@
+//! The typed failure taxonomy of snapshot loading (and writing).
+//!
+//! Every way a snapshot file can be wrong has its own variant, because the
+//! caller's remediation differs: a [`SnapshotError::BadMagic`] file was never
+//! a snapshot, a [`SnapshotError::UnsupportedVersion`] one needs regenerating
+//! with the current writer, a [`SnapshotError::GenerationMismatch`] one is
+//! stale, and checksum failures mean bit rot or a torn write — rebuild from
+//! the repository.
+
+use std::fmt;
+use std::io;
+
+/// Why a snapshot could not be written or loaded.
+///
+/// Loading is fail-closed: hostile or damaged input always lands in one of
+/// these variants, never in a panic and never in a silently wrong index.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The underlying file could not be read or written.
+    Io(io::Error),
+    /// The file does not start with the snapshot magic — it is not a snapshot.
+    BadMagic,
+    /// The file is a snapshot, but of a format revision this reader does not
+    /// speak. There is no cross-version migration: regenerate the snapshot.
+    UnsupportedVersion {
+        /// The format version the file declares.
+        found: u32,
+    },
+    /// The file ends before the data it promises: a header, section or footer
+    /// extends past the end of the file. Typically a torn or partial write.
+    Truncated {
+        /// What was being read when the file ran out.
+        detail: String,
+    },
+    /// A section's payload does not match the checksum recorded for it in the
+    /// section directory: bytes inside that section were altered.
+    SectionChecksum {
+        /// Name of the damaged section.
+        section: String,
+    },
+    /// The whole-file footer checksum does not match — bytes outside any
+    /// section payload (header, padding) were altered.
+    FooterChecksum,
+    /// The section directory lacks a section the format requires.
+    MissingSection {
+        /// Name of the absent section.
+        section: &'static str,
+    },
+    /// The bytes validate but do not decode into a well-formed snapshot
+    /// (inconsistent counts, dangling parent pointers, invalid UTF-8 or
+    /// enum discriminants). Always a writer bug or a deliberately crafted
+    /// file; never produced by the shipped writer.
+    Malformed {
+        /// What failed to decode.
+        detail: String,
+    },
+    /// The snapshot's generation stamp is not the one the caller requires —
+    /// the snapshot describes a different revision of the repository.
+    GenerationMismatch {
+        /// The generation the caller expected.
+        expected: u64,
+        /// The generation recorded in the snapshot header.
+        found: u64,
+    },
+}
+
+impl SnapshotError {
+    pub(crate) fn truncated(detail: impl Into<String>) -> Self {
+        SnapshotError::Truncated {
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn malformed(detail: impl Into<String>) -> Self {
+        SnapshotError::Malformed {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot format version {found} (this reader speaks {})",
+                    super::FORMAT_VERSION
+                )
+            }
+            SnapshotError::Truncated { detail } => {
+                write!(f, "snapshot file is truncated: {detail}")
+            }
+            SnapshotError::SectionChecksum { section } => {
+                write!(f, "checksum mismatch in snapshot section `{section}`")
+            }
+            SnapshotError::FooterChecksum => write!(f, "snapshot footer checksum mismatch"),
+            SnapshotError::MissingSection { section } => {
+                write!(f, "snapshot is missing required section `{section}`")
+            }
+            SnapshotError::Malformed { detail } => {
+                write!(f, "snapshot is malformed: {detail}")
+            }
+            SnapshotError::GenerationMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot generation mismatch: expected {expected}, file has {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}

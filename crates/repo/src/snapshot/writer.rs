@@ -1,0 +1,379 @@
+//! The snapshot writer: lay out every engine-startup artefact as flat
+//! little-endian sections and stamp the self-describing header around them.
+//!
+//! The writer is deliberately deterministic byte-for-byte: given the same
+//! repository, index, centroids, generation and tree map it produces the same
+//! file, which is what lets `tests/snapshot_golden.rs` pin the format. The
+//! hash-ordered structures in the engine are therefore laid out in a canonical
+//! order instead of map iteration order: the gram table in dense id order, the
+//! exact-name map sorted by name.
+
+use std::path::Path;
+
+use xsm_schema::{GlobalNodeId, TreeId, XsdType};
+
+use crate::index::NameIndex;
+use crate::repository::SchemaRepository;
+
+use super::format::{
+    checksum64, put_str_table, put_u32, put_u64, section, SectionEntry, SnapshotHeader, FOOTER_LEN,
+    FORMAT_VERSION, NONE_SENTINEL, SNAPSHOT_MAGIC,
+};
+use super::SnapshotError;
+
+/// Serializes a repository and its prebuilt index into the snapshot format.
+///
+/// ```
+/// use xsm_repo::{GeneratorConfig, NameIndex, RepositoryGenerator};
+/// use xsm_repo::snapshot::{SnapshotReader, SnapshotWriter};
+///
+/// let repo = RepositoryGenerator::new(GeneratorConfig::small(7)).generate();
+/// let index = NameIndex::build(&repo);
+/// let centroids = vec![None; repo.tree_count()];
+/// let bytes = SnapshotWriter::new(42)
+///     .to_bytes(&repo, &index, &centroids)
+///     .unwrap();
+/// let snapshot = SnapshotReader::read_bytes(&bytes).unwrap();
+/// assert_eq!(snapshot.generation, 42);
+/// assert_eq!(snapshot.repository.total_nodes(), repo.total_nodes());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnapshotWriter {
+    generation: u64,
+    tree_map: Option<Vec<TreeId>>,
+}
+
+impl SnapshotWriter {
+    /// A writer stamping `generation` into the header. The tree map defaults
+    /// to the identity (a whole-repository snapshot).
+    pub fn new(generation: u64) -> Self {
+        SnapshotWriter {
+            generation,
+            tree_map: None,
+        }
+    }
+
+    /// Record a non-identity local-tree → global-tree map (a per-shard
+    /// snapshot carrying its slice of the router's tree map). Must have one
+    /// entry per tree of the repository being written.
+    pub fn with_tree_map(mut self, tree_map: Vec<TreeId>) -> Self {
+        self.tree_map = Some(tree_map);
+        self
+    }
+
+    /// Serialize to an in-memory byte vector. `centroids` carries one entry
+    /// per tree (local tree order): the tree's centroid node, or `None` for
+    /// an empty tree.
+    pub fn to_bytes(
+        &self,
+        repo: &SchemaRepository,
+        index: &NameIndex,
+        centroids: &[Option<GlobalNodeId>],
+    ) -> Result<Vec<u8>, SnapshotError> {
+        let tree_count = repo.tree_count();
+        let node_count = repo.total_nodes();
+        assert_eq!(
+            centroids.len(),
+            tree_count,
+            "one centroid slot per tree required"
+        );
+        let tree_map: Vec<u32> = match &self.tree_map {
+            Some(map) => {
+                assert_eq!(map.len(), tree_count, "tree map must cover every tree");
+                map.iter().map(|t| t.0).collect()
+            }
+            None => (0..tree_count as u32).collect(),
+        };
+
+        let store = index.features();
+        let interner = store.interner();
+
+        let mut sections: Vec<(&'static str, Vec<u8>)> = Vec::with_capacity(16);
+
+        // trees: name table + per-tree node counts.
+        let mut buf = Vec::new();
+        put_str_table(&mut buf, repo.trees().map(|(_, t)| t.name()));
+        for (_, tree) in repo.trees() {
+            put_u32(&mut buf, tree.len() as u32);
+        }
+        sections.push((section::TREES, buf));
+
+        // node_names: every node's name, canonical (tree, slot) order.
+        let mut buf = Vec::new();
+        put_str_table(&mut buf, repo.nodes().map(|(_, n)| n.name.as_str()));
+        sections.push((section::NODE_NAMES, buf));
+
+        // node_meta: 8 bytes per node — parent, kind, cardinality, datatype, flags.
+        let mut buf = Vec::with_capacity(node_count * 8);
+        for (_tid, tree) in repo.trees() {
+            for (nid, node) in tree.nodes() {
+                let parent = tree.parent(nid).map(|p| p.0).unwrap_or(NONE_SENTINEL);
+                put_u32(&mut buf, parent);
+                buf.push(encode_kind(node.kind));
+                buf.push(encode_cardinality(node.cardinality));
+                buf.push(encode_datatype(node.datatype));
+                buf.push(0); // flags, reserved
+            }
+        }
+        sections.push((section::NODE_META, buf));
+
+        // node_props: sparse (node, key, value) triples — rare in practice.
+        let mut buf = Vec::new();
+        let mut entries = 0u32;
+        let mut body = Vec::new();
+        for (dense, (_, node)) in repo.nodes().enumerate() {
+            for (key, value) in node.properties() {
+                put_u32(&mut body, dense as u32);
+                put_u32(&mut body, key.len() as u32);
+                body.extend_from_slice(key.as_bytes());
+                put_u32(&mut body, value.len() as u32);
+                body.extend_from_slice(value.as_bytes());
+                entries += 1;
+            }
+        }
+        put_u32(&mut buf, entries);
+        buf.extend_from_slice(&body);
+        sections.push((section::NODE_PROPS, buf));
+
+        // labelings: each tree's flat label arrays (depth, first occurrence,
+        // Euler tour, pre, post), back to back in tree order. Every array
+        // length is determined by the tree's node count, so the section needs
+        // no directory of its own — the reader slices it apart. Shipping the
+        // arrays spares the loader a DFS over every tree; the sparse RMQ
+        // table is rebuilt (cheaper than its bytes).
+        let mut buf = Vec::new();
+        for (tid, _) in repo.trees() {
+            let labeling = repo.labeling(tid).expect("one labeling per tree");
+            let (depth, first, euler, pre, post) = labeling.raw_parts();
+            for arr in [depth, first, euler, pre, post] {
+                for &v in arr {
+                    put_u32(&mut buf, v);
+                }
+            }
+        }
+        sections.push((section::LABELINGS, buf));
+
+        // gram_table: the interner's grams in dense id order.
+        let gram_table = interner.gram_table();
+        let mut buf = Vec::new();
+        put_str_table(&mut buf, gram_table.iter().map(|s| s.as_str()));
+        sections.push((section::GRAM_TABLE, buf));
+
+        // gram_sigs / gram_counts / peq: per-node variable-length feature
+        // columns, each as offsets + one flat arena.
+        let mut sig_offsets = Vec::with_capacity(node_count + 1);
+        let mut sig_flat: Vec<u32> = Vec::new();
+        let mut count_flat: Vec<u32> = Vec::new();
+        let mut peq_offsets = Vec::with_capacity(node_count + 1);
+        let mut peq_flat: Vec<(char, u64)> = Vec::new();
+        sig_offsets.push(0u32);
+        peq_offsets.push(0u32);
+        for (_, features) in store.iter() {
+            sig_flat.extend_from_slice(features.gram_sig());
+            count_flat.extend_from_slice(features.gram_counts());
+            sig_offsets.push(sig_flat.len() as u32);
+            peq_flat.extend_from_slice(features.peq_pairs());
+            peq_offsets.push(peq_flat.len() as u32);
+        }
+
+        let mut buf = Vec::with_capacity(4 * (sig_offsets.len() + sig_flat.len()));
+        for &v in &sig_offsets {
+            put_u32(&mut buf, v);
+        }
+        for &v in &sig_flat {
+            put_u32(&mut buf, v);
+        }
+        sections.push((section::GRAM_SIGS, buf));
+
+        // Multiplicities fit a byte unless one name repeats a single gram 256+
+        // times; only such a pathological corpus pays for the wide encoding.
+        if count_flat.iter().all(|&c| c <= u8::MAX as u32) {
+            sections.push((
+                section::GRAM_COUNTS,
+                count_flat.iter().map(|&c| c as u8).collect(),
+            ));
+        } else {
+            let mut buf = Vec::with_capacity(4 * count_flat.len());
+            for &v in &count_flat {
+                put_u32(&mut buf, v);
+            }
+            sections.push((section::GRAM_COUNTS_WIDE, buf));
+        }
+
+        let mut buf = Vec::with_capacity(4 * peq_offsets.len() + 12 * peq_flat.len());
+        for &v in &peq_offsets {
+            put_u32(&mut buf, v);
+        }
+        for &(c, mask) in &peq_flat {
+            put_u32(&mut buf, c as u32);
+            put_u64(&mut buf, mask);
+        }
+        sections.push((section::PEQ, buf));
+
+        // The index: posting arena, length-segment directory, per-gram
+        // directory offsets, per-node name lengths.
+        let mut buf = Vec::with_capacity(4 * index.arena_raw().len());
+        for &v in index.arena_raw() {
+            put_u32(&mut buf, v);
+        }
+        sections.push((section::INDEX_ARENA, buf));
+
+        let mut buf = Vec::with_capacity(12 * index.segments_raw().len());
+        for seg in index.segments_raw() {
+            put_u32(&mut buf, seg.len);
+            put_u32(&mut buf, seg.start);
+            put_u32(&mut buf, seg.end);
+        }
+        sections.push((section::INDEX_SEGMENTS, buf));
+
+        let mut buf = Vec::with_capacity(4 * index.gram_segments_raw().len());
+        for &v in index.gram_segments_raw() {
+            put_u32(&mut buf, v);
+        }
+        sections.push((section::INDEX_GRAM_SEGMENTS, buf));
+
+        let mut buf = Vec::with_capacity(4 * index.lens_raw().len());
+        for &v in index.lens_raw() {
+            put_u32(&mut buf, v);
+        }
+        sections.push((section::INDEX_LENS, buf));
+
+        // exact_names / exact_nodes: the exact lowercase-name map — the
+        // engine's one remaining hash-ordered structure, laid out sorted by
+        // name so the file stays deterministic. Each name's posting list is
+        // its dense node indices in stored (ascending) order; shipping the
+        // map means the reader inserts once per *distinct* name instead of
+        // hashing every node again.
+        let exact = index.exact_raw();
+        let mut exact_names: Vec<&str> = exact.keys().map(|s| s.as_str()).collect();
+        exact_names.sort_unstable();
+        let mut buf = Vec::new();
+        put_str_table(&mut buf, exact_names.iter().copied());
+        sections.push((section::EXACT_NAMES, buf));
+
+        let tree_starts: Vec<u32> = {
+            let mut starts = Vec::with_capacity(tree_count + 1);
+            starts.push(0u32);
+            for (_, tree) in repo.trees() {
+                starts.push(starts.last().unwrap() + tree.len() as u32);
+            }
+            starts
+        };
+        let mut offsets = Vec::with_capacity(exact_names.len() + 1);
+        let mut flat: Vec<u32> = Vec::with_capacity(node_count);
+        offsets.push(0u32);
+        for name in &exact_names {
+            for id in &exact[*name] {
+                flat.push(tree_starts[id.tree.index()] + id.node.0);
+            }
+            offsets.push(flat.len() as u32);
+        }
+        let mut buf = Vec::with_capacity(4 * (offsets.len() + flat.len()));
+        for &v in &offsets {
+            put_u32(&mut buf, v);
+        }
+        for &v in &flat {
+            put_u32(&mut buf, v);
+        }
+        sections.push((section::EXACT_NODES, buf));
+
+        // centroids: one node slot per tree.
+        let mut buf = Vec::with_capacity(4 * tree_count);
+        for (t, centroid) in centroids.iter().enumerate() {
+            let slot = match centroid {
+                Some(id) => {
+                    assert_eq!(id.tree.index(), t, "centroid must belong to its tree");
+                    id.node.0
+                }
+                None => NONE_SENTINEL,
+            };
+            put_u32(&mut buf, slot);
+        }
+        sections.push((section::CENTROIDS, buf));
+
+        // Directory, header, and final assembly.
+        let mut directory = Vec::with_capacity(sections.len());
+        let mut offset = 0u64;
+        for (name, payload) in &sections {
+            directory.push(SectionEntry {
+                name: (*name).to_string(),
+                offset,
+                len: payload.len() as u64,
+                checksum: checksum64(payload),
+            });
+            offset += payload.len() as u64;
+        }
+        let header = SnapshotHeader {
+            generation: self.generation,
+            q: index.q() as u32,
+            tree_count: tree_count as u32,
+            node_count: node_count as u32,
+            tree_map,
+            sections: directory,
+        };
+        let header_bytes = serde_json::to_string(&header)
+            .map_err(|e| SnapshotError::malformed(format!("header serialization failed: {e}")))?
+            .into_bytes();
+
+        let total = 8 + 4 + 4 + header_bytes.len() + offset as usize + FOOTER_LEN;
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, header_bytes.len() as u32);
+        out.extend_from_slice(&header_bytes);
+        for (_, payload) in &sections {
+            out.extend_from_slice(payload);
+        }
+        // The footer checksums the header bytes only: the header carries every
+        // section checksum, so it transitively covers the body — one
+        // validation pass over the payload instead of two.
+        let footer = checksum64(&header_bytes);
+        put_u64(&mut out, footer);
+        Ok(out)
+    }
+
+    /// Serialize straight to `path` (atomically enough for our purposes: the
+    /// bytes are fully assembled in memory first, so a crash mid-write leaves
+    /// a truncated file the reader rejects, never a silently wrong one).
+    /// Returns the file size in bytes.
+    pub fn write(
+        &self,
+        repo: &SchemaRepository,
+        index: &NameIndex,
+        centroids: &[Option<GlobalNodeId>],
+        path: impl AsRef<Path>,
+    ) -> Result<u64, SnapshotError> {
+        let bytes = self.to_bytes(repo, index, centroids)?;
+        std::fs::write(path, &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+pub(super) fn encode_kind(kind: xsm_schema::NodeKind) -> u8 {
+    match kind {
+        xsm_schema::NodeKind::Element => 0,
+        xsm_schema::NodeKind::Attribute => 1,
+    }
+}
+
+pub(super) fn encode_cardinality(c: xsm_schema::Cardinality) -> u8 {
+    match c {
+        xsm_schema::Cardinality::One => 0,
+        xsm_schema::Cardinality::Optional => 1,
+        xsm_schema::Cardinality::OneOrMore => 2,
+        xsm_schema::Cardinality::ZeroOrMore => 3,
+    }
+}
+
+pub(super) fn encode_datatype(dt: Option<XsdType>) -> u8 {
+    match dt {
+        None => 0,
+        Some(t) => {
+            let pos = XsdType::all()
+                .iter()
+                .position(|&x| x == t)
+                .expect("XsdType::all covers every variant");
+            (pos + 1) as u8
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Hostile-input suite for the snapshot reader: every way a file can be wrong
+//! must map to the right [`SnapshotError`] variant — never a panic, never a
+//! silently wrong index.
+//!
+//! Coverage: truncation at *every* section boundary (and inside the preamble,
+//! header and footer), a flipped byte in *every* section (attributed to that
+//! section by name), magic/version mismatch, generation mismatch, and a few
+//! malformed-but-checksummed payloads (the checksums are recomputed so only
+//! the reconstruction validation can catch them).
+
+use xsm_repo::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, FORMAT_VERSION};
+use xsm_repo::{GeneratorConfig, NameIndex, RepositoryGenerator};
+use xsm_schema::{GlobalNodeId, NodeId};
+
+/// A small but fully featured snapshot (multiple trees, attributes,
+/// properties, a real index) to mutate.
+fn snapshot_bytes() -> Vec<u8> {
+    let repo = RepositoryGenerator::new(GeneratorConfig::small(9)).generate();
+    let index = NameIndex::build(&repo);
+    let centroids: Vec<Option<GlobalNodeId>> = repo
+        .trees()
+        .map(|(tid, tree)| (!tree.is_empty()).then(|| GlobalNodeId::new(tid, NodeId(0))))
+        .collect();
+    SnapshotWriter::new(3)
+        .to_bytes(&repo, &index, &centroids)
+        .expect("corpus serializes")
+}
+
+/// Byte offset where the section region starts (end of the JSON header).
+fn body_start(bytes: &[u8]) -> usize {
+    let header_len = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+    16 + header_len
+}
+
+#[test]
+fn intact_snapshot_loads() {
+    let bytes = snapshot_bytes();
+    let snapshot = SnapshotReader::read_bytes(&bytes).expect("intact bytes load");
+    assert_eq!(snapshot.generation, 3);
+}
+
+#[test]
+fn truncation_at_every_section_boundary_fails_closed() {
+    let bytes = snapshot_bytes();
+    let header = SnapshotReader::peek_bytes(&bytes).expect("intact header");
+    let start = body_start(&bytes);
+
+    // Cut the file exactly at the start of each section: the first missing
+    // section is reported as truncation (its directory entry points past the
+    // end), and nothing panics.
+    for entry in &header.sections {
+        let cut = start + entry.offset as usize;
+        let err = SnapshotReader::read_bytes(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Truncated { .. }),
+            "cut at section `{}` start gave {err:?}",
+            entry.name
+        );
+    }
+    // And one byte into each section's payload (a torn write mid-section).
+    for entry in &header.sections {
+        if entry.len == 0 {
+            continue;
+        }
+        let cut = start + entry.offset as usize + 1;
+        let err = SnapshotReader::read_bytes(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Truncated { .. }),
+            "cut inside section `{}` gave {err:?}",
+            entry.name
+        );
+    }
+    // Losing only the footer is also truncation.
+    let err = SnapshotReader::read_bytes(&bytes[..bytes.len() - 8]).unwrap_err();
+    assert!(matches!(err, SnapshotError::Truncated { .. }));
+}
+
+#[test]
+fn truncation_inside_the_preamble_and_header() {
+    let bytes = snapshot_bytes();
+    for cut in [0, 3, 7] {
+        let err = SnapshotReader::read_bytes(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Truncated { .. }),
+            "cut at {cut} gave {err:?}"
+        );
+    }
+    // Magic intact but version/header-length missing.
+    for cut in [8, 12, 15] {
+        let err = SnapshotReader::read_bytes(&bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Truncated { .. }),
+            "cut at {cut} gave {err:?}"
+        );
+    }
+    // Mid-header cut.
+    let err = SnapshotReader::read_bytes(&bytes[..20]).unwrap_err();
+    assert!(matches!(err, SnapshotError::Truncated { .. }));
+}
+
+#[test]
+fn a_flipped_byte_in_any_section_names_that_section() {
+    let bytes = snapshot_bytes();
+    let header = SnapshotReader::peek_bytes(&bytes).expect("intact header");
+    let start = body_start(&bytes);
+
+    for entry in &header.sections {
+        if entry.len == 0 {
+            continue;
+        }
+        let mut corrupt = bytes.clone();
+        // Flip a byte in the middle of the payload.
+        let at = start + entry.offset as usize + (entry.len as usize / 2);
+        corrupt[at] ^= 0x40;
+        let err = SnapshotReader::read_bytes(&corrupt).unwrap_err();
+        match err {
+            SnapshotError::SectionChecksum { ref section } => {
+                assert_eq!(
+                    section, &entry.name,
+                    "corruption in `{}` attributed to `{section}`",
+                    entry.name
+                );
+            }
+            other => panic!(
+                "flipped byte in `{}` gave {other:?}, want SectionChecksum",
+                entry.name
+            ),
+        }
+    }
+}
+
+#[test]
+fn a_flipped_footer_byte_is_a_footer_checksum_failure() {
+    let mut bytes = snapshot_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    let err = SnapshotReader::read_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, SnapshotError::FooterChecksum), "{err:?}");
+}
+
+#[test]
+fn wrong_magic_is_bad_magic() {
+    let mut bytes = snapshot_bytes();
+    bytes[0] = b'Y';
+    let err = SnapshotReader::read_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, SnapshotError::BadMagic), "{err:?}");
+    // An unrelated file is also BadMagic, not a panic.
+    let err = SnapshotReader::read_bytes(b"not a snapshot at all").unwrap_err();
+    assert!(matches!(err, SnapshotError::BadMagic), "{err:?}");
+}
+
+#[test]
+fn wrong_version_reports_the_version_found() {
+    let mut bytes = snapshot_bytes();
+    let next = FORMAT_VERSION + 1;
+    bytes[8..12].copy_from_slice(&next.to_le_bytes());
+    match SnapshotReader::read_bytes(&bytes).unwrap_err() {
+        SnapshotError::UnsupportedVersion { found } => assert_eq!(found, next),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn generation_mismatch_reports_both_generations() {
+    let bytes = snapshot_bytes();
+    let snapshot = SnapshotReader::read_bytes(&bytes).expect("intact bytes load");
+    match snapshot.expect_generation(99).unwrap_err() {
+        SnapshotError::GenerationMismatch { expected, found } => {
+            assert_eq!(expected, 99);
+            assert_eq!(found, 3);
+        }
+        other => panic!("{other:?}"),
+    }
+    // The matching generation passes through.
+    let snapshot = SnapshotReader::read_bytes(&bytes).unwrap();
+    assert!(snapshot.expect_generation(3).is_ok());
+}
+
+#[test]
+fn missing_file_is_an_io_error() {
+    let err = SnapshotReader::read("/nonexistent/path/shard-0.xsmsnap").unwrap_err();
+    assert!(matches!(err, SnapshotError::Io(_)), "{err:?}");
+}
+
+#[test]
+fn garbage_header_that_checksums_clean_is_malformed() {
+    // Hand-build a file whose preamble and footer are valid but whose header
+    // is not a SnapshotHeader: validation must fail with Malformed (from the
+    // header parse), not panic.
+    let header = b"{\"not\": \"a header\"}";
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"XSMSNAP1");
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(header.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(header);
+    let footer = checksum64(header);
+    bytes.extend_from_slice(&footer.to_le_bytes());
+    let err = SnapshotReader::read_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, SnapshotError::Malformed { .. }), "{err:?}");
+}
+
+#[test]
+fn header_length_overflow_is_truncated_not_panic() {
+    let mut bytes = snapshot_bytes();
+    bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = SnapshotReader::read_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, SnapshotError::Truncated { .. }), "{err:?}");
+}
+
+/// The snapshot checksum — four-lane word-folding FNV variant, duplicated here
+/// so the test can forge checksummed files without reaching into crate
+/// internals. Must match `snapshot::format::checksum64`.
+fn checksum64(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    const SEEDS: [u64; 4] = [
+        0xcbf2_9ce4_8422_2325,
+        0x9e37_79b9_7f4a_7c15,
+        0x8422_2325_cbf2_9ce4,
+        0x7f4a_7c15_9e37_79b9,
+    ];
+    let mut lanes = SEEDS;
+    let mut chunks = bytes.chunks_exact(32);
+    for c in &mut chunks {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let w = u64::from_le_bytes(c[i * 8..i * 8 + 8].try_into().unwrap());
+            *lane = (*lane ^ w).wrapping_mul(PRIME);
+        }
+    }
+    let mut hash = lanes[0];
+    for lane in &lanes[1..] {
+        hash = (hash ^ lane).wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        hash = (hash ^ b as u64).wrapping_mul(PRIME);
+    }
+    (hash ^ bytes.len() as u64).wrapping_mul(PRIME)
+}

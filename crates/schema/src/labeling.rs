@@ -11,10 +11,13 @@
 
 use crate::node::NodeId;
 use crate::tree::SchemaTree;
-use serde::{Deserialize, Serialize};
+
+/// The flat label arrays `(depth, first_occurrence, euler, pre, post)` as
+/// borrowed slices — what [`TreeLabeling::raw_parts`] hands to a serializer.
+pub type RawLabelParts<'a> = (&'a [u32], &'a [u32], &'a [u32], &'a [u32], &'a [u32]);
 
 /// Precomputed labels for one [`SchemaTree`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreeLabeling {
     /// depth[node] — number of edges from the root.
     depth: Vec<u32>,
@@ -22,9 +25,19 @@ pub struct TreeLabeling {
     first_occurrence: Vec<u32>,
     /// Euler tour of node indices.
     euler: Vec<u32>,
-    /// Sparse table over the Euler tour: `sparse[k][i]` is the index (into `euler`) of
-    /// the minimum-depth node in the window `[i, i + 2^k)`.
-    sparse: Vec<Vec<u32>>,
+    /// Sparse table over the Euler tour: `sparse[k][i]` packs
+    /// `depth << 32 | euler_index` for the minimum-depth node in the window
+    /// `[i, i + 2^k)`. Packing the comparison key next to the index makes the
+    /// table build a sequential branch-free `min` scan (no indirection through
+    /// `euler` and `depth` per cell) and ties break toward the lower euler
+    /// index — the same leftward preference the unpacked table had.
+    ///
+    /// Built **on the first range-minimum query** (thread-safe; concurrent
+    /// first calls race benignly): the depth/pre/post labels answer the
+    /// ancestor tests and depth lookups that dominate many workloads, and a
+    /// snapshot-loaded repository should not spend startup time on RMQ tables
+    /// for trees no LCA query ever touches.
+    sparse: std::sync::OnceLock<Vec<Vec<u64>>>,
     /// Pre-order entry numbers (for ancestor tests).
     pre: Vec<u32>,
     /// Pre-order exit numbers (size of subtree encoded as interval end).
@@ -89,15 +102,53 @@ impl TreeLabeling {
             }
         }
 
-        let sparse = build_sparse_table(&euler, &depth);
         TreeLabeling {
             depth,
             first_occurrence,
             euler,
-            sparse,
+            sparse: std::sync::OnceLock::new(),
             pre,
             post,
             node_count: n,
+        }
+    }
+
+    /// The flat label arrays, in `(depth, first_occurrence, euler, pre, post)`
+    /// order — everything [`TreeLabeling::from_raw_parts`] needs to reassemble
+    /// the labelling without re-walking the tree. The derived sparse RMQ table
+    /// is deliberately not exposed: it is lazily rebuilt on first use, so
+    /// shipping it would trade file size for nothing.
+    pub fn raw_parts(&self) -> RawLabelParts<'_> {
+        (
+            &self.depth,
+            &self.first_occurrence,
+            &self.euler,
+            &self.pre,
+            &self.post,
+        )
+    }
+
+    /// Reassemble a labelling from arrays previously obtained via
+    /// [`TreeLabeling::raw_parts`]; the sparse RMQ table stays lazy. The
+    /// arrays must describe the same tree they were built from; this
+    /// constructor trusts them (snapshot loading validates array lengths and
+    /// checksums before calling it, and equivalence tests pin the behaviour).
+    pub fn from_raw_parts(
+        depth: Vec<u32>,
+        first_occurrence: Vec<u32>,
+        euler: Vec<u32>,
+        pre: Vec<u32>,
+        post: Vec<u32>,
+    ) -> Self {
+        let node_count = depth.len();
+        TreeLabeling {
+            depth,
+            first_occurrence,
+            euler,
+            sparse: std::sync::OnceLock::new(),
+            pre,
+            post,
+            node_count,
         }
     }
 
@@ -161,35 +212,42 @@ impl TreeLabeling {
         }
         let span = hi - lo + 1;
         let k = usize::BITS as usize - 1 - span.leading_zeros() as usize;
-        let left = self.sparse[k][lo] as usize;
-        let right = self.sparse[k][hi + 1 - (1 << k)] as usize;
-        let dl = self.depth[self.euler[left] as usize];
-        let dr = self.depth[self.euler[right] as usize];
-        Some(if dl <= dr { left } else { right })
+        let sparse = self
+            .sparse
+            .get_or_init(|| build_sparse_table(&self.euler, &self.depth));
+        let left = sparse[k][lo];
+        let right = sparse[k][hi + 1 - (1 << k)];
+        Some((left.min(right) & 0xffff_ffff) as usize)
     }
 }
 
 /// Build the sparse table for range-minimum (by depth) queries over the Euler tour.
-fn build_sparse_table(euler: &[u32], depth: &[u32]) -> Vec<Vec<u32>> {
+///
+/// Cells pack `depth << 32 | euler_index`, so each level is a plain sequential
+/// `min` over the previous level with no lookups into `euler`/`depth`. On ties
+/// the lower euler index (the packed low bits) wins, preserving the leftward
+/// preference of the classic formulation.
+fn build_sparse_table(euler: &[u32], depth: &[u32]) -> Vec<Vec<u64>> {
     let m = euler.len();
     if m == 0 {
         return vec![];
     }
     let levels = (usize::BITS - m.leading_zeros()) as usize;
-    let mut sparse: Vec<Vec<u32>> = Vec::with_capacity(levels);
-    sparse.push((0..m as u32).collect());
+    let mut sparse: Vec<Vec<u64>> = Vec::with_capacity(levels);
+    sparse.push(
+        euler
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (depth[e as usize] as u64) << 32 | i as u64)
+            .collect(),
+    );
     let mut k = 1usize;
     while (1 << k) <= m {
         let prev = &sparse[k - 1];
         let width = 1 << (k - 1);
-        let mut row = Vec::with_capacity(m + 1 - (1 << k));
-        for i in 0..=(m - (1 << k)) {
-            let a = prev[i] as usize;
-            let b = prev[i + width] as usize;
-            let da = depth[euler[a] as usize];
-            let db = depth[euler[b] as usize];
-            row.push(if da <= db { a as u32 } else { b as u32 });
-        }
+        let row = (0..=(m - (1 << k)))
+            .map(|i| prev[i].min(prev[i + width]))
+            .collect();
         sparse.push(row);
         k += 1;
     }

@@ -86,6 +86,64 @@ impl SchemaTree {
         Ok(id)
     }
 
+    /// Rebuild a tree from a parent table in one pass: `parents[i]` is the
+    /// parent slot of node `i` (`None` for the root), and a parent must
+    /// precede its children. Children keep slot order, which is insertion
+    /// order — the exact shape a sequence of [`SchemaTree::add_root`] /
+    /// [`SchemaTree::add_child`] calls produces, validated the same way
+    /// ([`SchemaError::UnknownNode`] for a parent at or after its child,
+    /// [`SchemaError::MultipleRoots`] for a second root) but without the
+    /// per-node slot growth — bulk callers (snapshot load) allocate each
+    /// child list exactly once.
+    pub fn from_parent_table(
+        name: impl Into<String>,
+        nodes: Vec<SchemaNode>,
+        parents: &[Option<NodeId>],
+    ) -> Result<Self> {
+        if nodes.len() != parents.len() {
+            return Err(SchemaError::UnknownNode(parents.len() as u32));
+        }
+        let mut child_counts = vec![0u32; nodes.len()];
+        let mut root = None;
+        for (i, parent) in parents.iter().enumerate() {
+            match parent {
+                None => {
+                    if root.is_some() {
+                        return Err(SchemaError::MultipleRoots);
+                    }
+                    root = Some(NodeId::from_index(i));
+                }
+                // `parent < i` also forces slot 0 to be the root, so `depth`
+                // and `children` fill in a single forward pass below.
+                Some(p) if p.index() < i => child_counts[p.index()] += 1,
+                Some(p) => return Err(SchemaError::UnknownNode(p.0)),
+            }
+        }
+        let mut slots: Vec<NodeSlot> = nodes
+            .into_iter()
+            .zip(parents)
+            .enumerate()
+            .map(|(i, (data, &parent))| NodeSlot {
+                data,
+                parent,
+                children: Vec::with_capacity(child_counts[i] as usize),
+                depth: 0,
+            })
+            .collect();
+        for i in 0..slots.len() {
+            if let Some(p) = slots[i].parent {
+                let depth = slots[p.index()].depth + 1;
+                slots[i].depth = depth;
+                slots[p.index()].children.push(NodeId::from_index(i));
+            }
+        }
+        Ok(SchemaTree {
+            name: name.into(),
+            slots,
+            root,
+        })
+    }
+
     /// Add a child of `parent`. Children are ordered by insertion.
     pub fn add_child(&mut self, parent: NodeId, node: SchemaNode) -> Result<NodeId> {
         let parent_depth = self

@@ -39,13 +39,14 @@ use xsm_matcher::element::{
 };
 use xsm_matcher::generator::branch_and_bound::BranchAndBoundGenerator;
 use xsm_matcher::{MatchingProblem, ObjectiveConfig};
+use xsm_repo::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use xsm_repo::{CandidateScratch, NameIndex, SchemaRepository};
-use xsm_schema::SchemaTree;
+use xsm_schema::{GlobalNodeId, SchemaTree};
 use xsm_similarity::SimScratch;
 
 use crate::cache::{ResultCache, DEFAULT_RESULT_CACHE_CAPACITY};
 use crate::error::{ConfigError, ServiceError, ServiceResult};
-use crate::metrics::{EngineMetrics, MetricsRegistry, ServedVia};
+use crate::metrics::{EngineMetrics, MetricsRegistry, ServedVia, StartupSource};
 use crate::planner::{PlanStats, PlannerConfig, QueryPlanner};
 use crate::query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};
 use crate::service::MatchService;
@@ -232,6 +233,10 @@ struct EngineCore {
     inflight: Singleflight<ServiceResult<MatchResponse>>,
     metrics: MetricsRegistry,
     objective: ObjectiveConfig,
+    /// Per-tree centroid nodes: pre-populated on a snapshot load, computed on
+    /// first use on a cold build (the query pipeline never reads them, so cold
+    /// construction pays nothing).
+    centroids: std::sync::OnceLock<Vec<Option<GlobalNodeId>>>,
 }
 
 /// The cache → singleflight → compute serving discipline shared by the engine's
@@ -518,7 +523,92 @@ impl MatchEngine {
     /// Build an engine over `repo` (index and feature-store construction happens
     /// here) and start the worker pool.
     pub fn new(repo: SchemaRepository, config: EngineConfig) -> Self {
+        let start = Instant::now();
         let index = NameIndex::build(&repo);
+        Self::assemble(repo, index, None, config, start, StartupSource::ColdBuild)
+    }
+
+    /// Start an engine from the snapshot file at `path` — no index rebuild, no
+    /// feature recomputation; everything `MatchEngine::new` constructs is read
+    /// back from the file. Fails closed with a typed [`SnapshotError`] on any
+    /// corrupt, truncated or version-skewed snapshot.
+    pub fn from_snapshot(
+        path: impl AsRef<std::path::Path>,
+        config: EngineConfig,
+    ) -> Result<Self, SnapshotError> {
+        let start = Instant::now();
+        let snapshot = SnapshotReader::read(path)?;
+        Ok(Self::from_snapshot_parts(snapshot, config, start))
+    }
+
+    /// [`MatchEngine::from_snapshot`], additionally requiring the snapshot's
+    /// generation stamp to equal `generation` —
+    /// [`SnapshotError::GenerationMismatch`] otherwise. The guard callers use
+    /// to refuse serving a stale index for a repository that has moved on.
+    pub fn from_snapshot_expecting(
+        path: impl AsRef<std::path::Path>,
+        config: EngineConfig,
+        generation: u64,
+    ) -> Result<Self, SnapshotError> {
+        let start = Instant::now();
+        let snapshot = SnapshotReader::read(path)?.expect_generation(generation)?;
+        Ok(Self::from_snapshot_parts(snapshot, config, start))
+    }
+
+    /// Assemble an engine from an already-loaded [`Snapshot`] (the in-memory
+    /// entry point [`MatchEngine::from_snapshot`] wraps with file I/O).
+    pub fn from_snapshot_parts(snapshot: Snapshot, config: EngineConfig, start: Instant) -> Self {
+        Self::assemble(
+            snapshot.repository,
+            snapshot.index,
+            Some(snapshot.centroids),
+            config,
+            start,
+            StartupSource::SnapshotLoad,
+        )
+    }
+
+    /// Serialize this engine's startup artefacts — repository, index, feature
+    /// store and per-tree centroids — to a snapshot file stamped `generation`.
+    /// Returns the file size in bytes.
+    pub fn write_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        generation: u64,
+    ) -> Result<u64, SnapshotError> {
+        SnapshotWriter::new(generation).write(
+            &self.core.repo,
+            &self.core.index,
+            self.tree_centroids(),
+            path,
+        )
+    }
+
+    /// The per-tree centroid (medoid) table: loaded from the snapshot on a warm
+    /// start, computed on first use (deterministically) on a cold build.
+    pub fn tree_centroids(&self) -> &[Option<GlobalNodeId>] {
+        self.core.centroids.get_or_init(|| {
+            xsm_core::centroid::tree_centroids(
+                &self.core.repo,
+                &xsm_core::distance::PathLengthDistance,
+            )
+        })
+    }
+
+    /// The shared constructor tail: wrap prebuilt artefacts in the core, stamp
+    /// the startup metrics, and start the worker pool.
+    fn assemble(
+        repo: SchemaRepository,
+        index: NameIndex,
+        centroids: Option<Vec<Option<GlobalNodeId>>>,
+        config: EngineConfig,
+        start: Instant,
+        source: StartupSource,
+    ) -> Self {
+        let centroid_cell = std::sync::OnceLock::new();
+        if let Some(centroids) = centroids {
+            let _ = centroid_cell.set(centroids);
+        }
         let core = Arc::new(EngineCore {
             index,
             matcher: ClusteredMatcher::for_variant(config.variant)
@@ -529,6 +619,7 @@ impl MatchEngine {
             inflight: Singleflight::new(),
             metrics: MetricsRegistry::new(),
             objective: config.objective,
+            centroids: centroid_cell,
             repo,
         });
         let worker_count = config.workers.max(1);
@@ -563,6 +654,10 @@ impl MatchEngine {
                     .expect("failed to spawn match-engine worker")
             })
             .collect();
+        core.metrics.set_startup(
+            start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            source,
+        );
         MatchEngine {
             core,
             tx: Some(tx),

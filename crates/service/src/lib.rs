@@ -72,15 +72,17 @@ pub mod query;
 pub mod service;
 pub mod shard;
 pub mod singleflight;
+pub mod snapshot;
 pub mod workload;
 
 pub use cache::ResultCache;
 pub use engine::{EngineConfig, EngineConfigBuilder, MatchEngine, PendingResponse};
 pub use error::{ConfigError, ServiceError, ServiceResult};
-pub use metrics::{EngineMetrics, LatencyHistogram};
+pub use metrics::{EngineMetrics, LatencyHistogram, StartupSource};
 pub use net::{FaultyTransport, RemoteEngine, RemoteEngineConfig, ShardServer, PROTOCOL_VERSION};
 pub use planner::{PlanStats, PlannerConfig, QueryPlan, QueryPlanner};
 pub use query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};
 pub use service::MatchService;
 pub use shard::{ShardedEngine, ShardedEngineConfig, ShardedEngineConfigBuilder, ShardedMetrics};
 pub use singleflight::Singleflight;
+pub use snapshot::{write_shard_snapshots, SnapshotServeError};

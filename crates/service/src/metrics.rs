@@ -100,6 +100,27 @@ pub enum ServedVia {
     Coalesced,
 }
 
+/// How an engine's startup artefacts (index, feature store, centroids) came to
+/// exist — the warm-vs-cold restart tag carried in [`EngineMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StartupSource {
+    /// Built from the repository at construction time (`MatchEngine::new`).
+    #[default]
+    ColdBuild,
+    /// Loaded from a snapshot file (`MatchEngine::from_snapshot`).
+    SnapshotLoad,
+}
+
+impl StartupSource {
+    /// Stable label used in reports (`cold_build` / `snapshot_load`).
+    pub fn label(self) -> &'static str {
+        match self {
+            StartupSource::ColdBuild => "cold_build",
+            StartupSource::SnapshotLoad => "snapshot_load",
+        }
+    }
+}
+
 /// Aggregated counters behind the metrics lock.
 #[derive(Debug, Default)]
 struct Inner {
@@ -110,6 +131,8 @@ struct Inner {
     exhaustive: u64,
     degraded: u64,
     failed: u64,
+    startup_micros: u64,
+    startup_source: StartupSource,
     histogram: LatencyHistogram,
 }
 
@@ -161,6 +184,14 @@ impl MetricsRegistry {
         self.inner.lock().unwrap().failed += 1;
     }
 
+    /// Record how (and how fast) the engine came up. Called once at
+    /// construction; the values surface unchanged in every snapshot.
+    pub fn set_startup(&self, micros: u64, source: StartupSource) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.startup_micros = micros;
+        inner.startup_source = source;
+    }
+
     /// A consistent snapshot of everything recorded so far.
     pub fn snapshot(&self) -> EngineMetrics {
         let inner = self.inner.lock().unwrap();
@@ -178,6 +209,8 @@ impl MetricsRegistry {
             exhaustive_queries: inner.exhaustive,
             degraded_responses: inner.degraded,
             failed_queries: inner.failed,
+            startup_micros: inner.startup_micros,
+            startup_source: inner.startup_source,
             p50_latency_us: quantile_us(&inner.histogram, 0.50),
             p99_latency_us: quantile_us(&inner.histogram, 0.99),
         }
@@ -221,6 +254,14 @@ pub struct EngineMetrics {
     /// of any response. Not counted in `queries_served`.
     #[serde(default)]
     pub failed_queries: u64,
+    /// Wall-clock time from the start of engine construction to the worker
+    /// pool being up — the cost a restart pays before it can serve.
+    #[serde(default)]
+    pub startup_micros: u64,
+    /// Whether the engine's startup artefacts were built from the repository
+    /// or loaded from a snapshot file.
+    #[serde(default)]
+    pub startup_source: StartupSource,
     /// Median serving latency, upper-bounded at bucket granularity (µs);
     /// `u64::MAX` means off-scale (beyond the largest histogram bucket).
     pub p50_latency_us: u64,

@@ -101,6 +101,26 @@ impl ShardServer {
         })
     }
 
+    /// Bind `addr` and serve a [`crate::MatchEngine`] reconstructed from the
+    /// snapshot file at `path` — the warm-restart entry point: no index
+    /// rebuild, just load, validate and listen. When `expected_generation` is
+    /// `Some`, a snapshot of any other generation fails closed with
+    /// [`crate::SnapshotServeError::Snapshot`] before the listener binds.
+    pub fn bind_snapshot<A: ToSocketAddrs>(
+        addr: A,
+        path: impl AsRef<std::path::Path>,
+        config: crate::engine::EngineConfig,
+        expected_generation: Option<u64>,
+    ) -> Result<Self, crate::snapshot::SnapshotServeError> {
+        let start = std::time::Instant::now();
+        let mut snapshot = xsm_repo::snapshot::SnapshotReader::read(path.as_ref())?;
+        if let Some(expected) = expected_generation {
+            snapshot = snapshot.expect_generation(expected)?;
+        }
+        let engine = crate::engine::MatchEngine::from_snapshot_parts(snapshot, config, start);
+        Self::bind(addr, Arc::new(engine)).map_err(crate::snapshot::SnapshotServeError::Bind)
+    }
+
     /// The bound address (with the OS-assigned port when bound to port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr

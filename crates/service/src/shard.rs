@@ -517,6 +517,80 @@ impl ShardedEngine {
         Ok(Self::start(services, tree_maps, Vec::new(), config))
     }
 
+    /// Restart a sharded engine from per-shard snapshot files — one path per
+    /// shard, in shard order, as produced by
+    /// [`crate::snapshot::write_shard_snapshots`]. Every shard engine is
+    /// reconstructed from its file (no index rebuild), the router's tree maps
+    /// come from the snapshots themselves, and all shards must carry the same
+    /// generation stamp — a mixed fleet fails closed with
+    /// [`xsm_repo::SnapshotError::GenerationMismatch`] rather than serving a
+    /// repository that never existed.
+    pub fn from_snapshot_paths(
+        paths: &[impl AsRef<std::path::Path>],
+        config: ShardedEngineConfig,
+    ) -> Result<Self, crate::snapshot::SnapshotServeError> {
+        Self::from_snapshot_paths_inner(paths, config, None)
+    }
+
+    /// [`ShardedEngine::from_snapshot_paths`], additionally requiring every
+    /// shard snapshot to carry exactly `generation` — use when the expected
+    /// repository revision is known out of band (e.g. from a fleet manifest).
+    pub fn from_snapshot_paths_expecting(
+        paths: &[impl AsRef<std::path::Path>],
+        config: ShardedEngineConfig,
+        generation: u64,
+    ) -> Result<Self, crate::snapshot::SnapshotServeError> {
+        Self::from_snapshot_paths_inner(paths, config, Some(generation))
+    }
+
+    fn from_snapshot_paths_inner(
+        paths: &[impl AsRef<std::path::Path>],
+        config: ShardedEngineConfig,
+        expected_generation: Option<u64>,
+    ) -> Result<Self, crate::snapshot::SnapshotServeError> {
+        use xsm_repo::snapshot::{SnapshotError, SnapshotReader};
+        if paths.is_empty() {
+            return Err(ConfigError::new("paths", "must not be empty").into());
+        }
+        if config.engine.element.max_candidates_per_node.is_some() {
+            return Err(ConfigError::new(
+                "engine.element.max_candidates_per_node",
+                "the per-node candidate cap is a global cut that per-shard \
+                 candidate generation cannot reproduce",
+            )
+            .into());
+        }
+        let mut expected_generation = expected_generation;
+        let mut local_engines = Vec::with_capacity(paths.len());
+        let mut tree_maps = Vec::with_capacity(paths.len());
+        for path in paths {
+            let start = std::time::Instant::now();
+            let snapshot = SnapshotReader::read(path.as_ref())?;
+            match expected_generation {
+                None => expected_generation = Some(snapshot.generation),
+                Some(expected) if snapshot.generation != expected => {
+                    return Err(SnapshotError::GenerationMismatch {
+                        expected,
+                        found: snapshot.generation,
+                    }
+                    .into());
+                }
+                Some(_) => {}
+            }
+            tree_maps.push(snapshot.tree_map.clone());
+            local_engines.push(Arc::new(MatchEngine::from_snapshot_parts(
+                snapshot,
+                config.engine.clone(),
+                start,
+            )));
+        }
+        let services: Vec<Box<dyn MatchService>> = local_engines
+            .iter()
+            .map(|engine| Box::new(Arc::clone(engine)) as Box<dyn MatchService>)
+            .collect();
+        Ok(Self::start(services, tree_maps, local_engines, config))
+    }
+
     /// Shared tail of both constructors: build the router core and its pool.
     fn start(
         services: Vec<Box<dyn MatchService>>,

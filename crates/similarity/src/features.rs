@@ -89,6 +89,32 @@ impl GramInterner {
     pub fn lookup(&self, gram: &str) -> Option<u32> {
         self.map.get(gram).copied()
     }
+
+    /// The interned grams in id order (`table[id] == gram`). This is the
+    /// serialization-stable view of the interner: unlike iterating the internal
+    /// map, the returned order is the dense id space itself.
+    pub fn gram_table(&self) -> Vec<String> {
+        let mut table = vec![String::new(); self.map.len()];
+        for (gram, &id) in &self.map {
+            table[id as usize] = gram.clone();
+        }
+        table
+    }
+
+    /// Rebuild an interner from a [`GramInterner::gram_table`] dump: gram `i` of
+    /// `grams` gets id `i`, reproducing the exact id space the table was taken
+    /// from. Duplicate grams in `grams` are a caller bug (the later entry wins
+    /// and the id space develops holes), so the table must come from a trusted
+    /// dump, not hostile input.
+    pub fn from_table(q: usize, grams: Vec<String>) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        let map = grams
+            .into_iter()
+            .enumerate()
+            .map(|(id, gram)| (gram, id as u32))
+            .collect();
+        GramInterner { q, map }
+    }
 }
 
 /// `#`-padded character sequence of a lowercased name, exactly as
@@ -173,8 +199,16 @@ pub struct NameFeatures {
     /// The lowercased name (`String::to_lowercase`, matching every kernel's
     /// case-insensitivity convention).
     pub lower: Box<str>,
-    /// Unicode scalar values of [`NameFeatures::lower`].
-    pub chars: Box<[char]>,
+    /// Unicode scalar values of [`NameFeatures::lower`], materialised **on
+    /// first use** by a character-level kernel: the gram/Dice path (the serving
+    /// engine's pruning stage) never touches them, and on a snapshot load the
+    /// match vectors arrive precomputed, so eagerly unpacking every name into
+    /// `char`s would be pure startup cost. A fresh [`NameFeatures::build`]
+    /// still fills them immediately — it needs them to build `peq` anyway.
+    chars: std::sync::OnceLock<Box<[char]>>,
+    /// Character count of [`NameFeatures::lower`] (cheap, always available —
+    /// length filters must not force the lazy `chars`).
+    char_len: u32,
     /// The original name as given, kept **only when lowercasing changed it** — the
     /// tokenizer needs the original case (camelCase boundaries vanish in
     /// [`NameFeatures::lower`]), but for the common already-lowercase corpus name
@@ -187,10 +221,12 @@ pub struct NameFeatures {
     /// them — neither at [`NameFeatures::build`] time (repository-wide feature
     /// stores build one `NameFeatures` per node) nor per query.
     tokens: std::sync::OnceLock<Box<[TokenFeatures]>>,
-    /// Sorted, deduplicated interned ids of the name's padded q-grams.
-    pub gram_sig: Box<[u32]>,
-    /// Multiplicity of each gram in [`NameFeatures::gram_sig`] (parallel array).
-    gram_counts: Box<[u32]>,
+    /// The gram signature and its multiplicities in one allocation: the first
+    /// half holds the sorted, deduplicated interned gram ids, the second half
+    /// the multiplicity of each id (same order). Feature stores hold one
+    /// `NameFeatures` per repository node, so one box instead of two parallel
+    /// ones measurably cuts allocator traffic on build and snapshot load.
+    grams: Box<[u32]>,
     /// Total number of gram occurrences (`Σ gram_counts`).
     gram_total: u32,
     /// Myers match vectors of `chars` (empty when the name is empty or longer than
@@ -249,13 +285,14 @@ impl NameFeatures {
                 counts.push(1);
             }
         }
+        sig.extend_from_slice(&counts);
         NameFeatures {
             original: (name != lower).then(|| name.into()),
             lower: lower.into_boxed_str(),
-            chars,
+            char_len: chars.len() as u32,
+            chars: std::sync::OnceLock::from(chars),
             tokens: std::sync::OnceLock::new(),
-            gram_sig: sig.into_boxed_slice(),
-            gram_counts: counts.into_boxed_slice(),
+            grams: sig.into_boxed_slice(),
             gram_total: occurrences.len() as u32,
             peq,
         }
@@ -283,12 +320,85 @@ impl NameFeatures {
 
     /// Number of characters of the (lowercased) name.
     pub fn char_len(&self) -> usize {
-        self.chars.len()
+        self.char_len as usize
+    }
+
+    /// Unicode scalar values of [`NameFeatures::lower`], materialising them on
+    /// first call (thread-safe; concurrent first calls race benignly on one
+    /// `OnceLock`, exactly like [`NameFeatures::tokens`]).
+    pub fn chars(&self) -> &[char] {
+        self.chars.get_or_init(|| {
+            // `bytes()` knows its exact length, so the ASCII path allocates the
+            // boxed slice once; `chars()` has no useful size hint.
+            if self.lower.is_ascii() {
+                self.lower.bytes().map(char::from).collect()
+            } else {
+                self.lower.chars().collect()
+            }
+        })
     }
 
     /// Total number of q-gram occurrences the name produced (multiset size).
     pub fn gram_total(&self) -> usize {
         self.gram_total as usize
+    }
+
+    /// The original name when lowercasing changed it; `None` means
+    /// [`NameFeatures::lower`] *is* the original.
+    pub fn original(&self) -> Option<&str> {
+        self.original.as_deref()
+    }
+
+    /// Sorted, deduplicated interned ids of the name's padded q-grams.
+    pub fn gram_sig(&self) -> &[u32] {
+        &self.grams[..self.grams.len() / 2]
+    }
+
+    /// Multiplicity of each gram in [`NameFeatures::gram_sig`] (parallel array).
+    pub fn gram_counts(&self) -> &[u32] {
+        &self.grams[self.grams.len() / 2..]
+    }
+
+    /// The Myers match vectors: for each distinct character of the name, the
+    /// bitmask of its positions, sorted by character. Empty when the name is
+    /// empty or longer than the bit-parallel limit.
+    pub fn peq_pairs(&self) -> &[(char, u64)] {
+        &self.peq
+    }
+
+    /// Reassemble features from previously dumped parts (a snapshot load path).
+    ///
+    /// The parts must come from an earlier [`NameFeatures`] built against the
+    /// same interner id space: `grams` is the even-length concatenation of the
+    /// sorted, deduplicated gram signature and its parallel multiplicities
+    /// ([`NameFeatures::gram_sig`] then [`NameFeatures::gram_counts`]), `peq`
+    /// exactly the dump of [`NameFeatures::peq_pairs`]. Cheap derived fields
+    /// (`char_len`, `gram_total`) are recomputed here; `chars` and tokens stay
+    /// lazy — the match vectors arrive in `peq`, so nothing needs the char
+    /// slice until a character-level kernel runs.
+    pub fn from_parts(
+        lower: Box<str>,
+        original: Option<Box<str>>,
+        grams: Box<[u32]>,
+        peq: Box<[(char, u64)]>,
+    ) -> Self {
+        debug_assert!(grams.len() % 2 == 0, "grams must be sig ++ counts");
+        let char_len = if lower.is_ascii() {
+            lower.len()
+        } else {
+            lower.chars().count()
+        } as u32;
+        let gram_total = grams[grams.len() / 2..].iter().sum();
+        NameFeatures {
+            lower,
+            char_len,
+            chars: std::sync::OnceLock::new(),
+            original,
+            tokens: std::sync::OnceLock::new(),
+            grams,
+            gram_total,
+            peq,
+        }
     }
 }
 
@@ -367,18 +477,18 @@ fn hyyro_osa(peq: &[(char, u64)], m: usize, text: &[char]) -> usize {
 /// classic DP over the scratch rows otherwise. Equals
 /// `edit::levenshtein(a.lower, b.lower)`.
 pub fn levenshtein_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratch) -> usize {
-    if a.chars.is_empty() {
-        return b.chars.len();
+    if a.char_len == 0 {
+        return b.char_len();
     }
-    if b.chars.is_empty() {
-        return a.chars.len();
+    if b.char_len == 0 {
+        return a.char_len();
     }
-    if a.chars.len() <= BITPARALLEL_MAX_CHARS {
-        myers_levenshtein(&a.peq, a.chars.len(), &b.chars)
-    } else if b.chars.len() <= BITPARALLEL_MAX_CHARS {
-        myers_levenshtein(&b.peq, b.chars.len(), &a.chars)
+    if a.char_len() <= BITPARALLEL_MAX_CHARS {
+        myers_levenshtein(&a.peq, a.char_len(), b.chars())
+    } else if b.char_len() <= BITPARALLEL_MAX_CHARS {
+        myers_levenshtein(&b.peq, b.char_len(), a.chars())
     } else {
-        levenshtein_chars_scratch(&a.chars, &b.chars, &mut scratch.row0, &mut scratch.row1)
+        levenshtein_chars_scratch(a.chars(), b.chars(), &mut scratch.row0, &mut scratch.row1)
     }
 }
 
@@ -419,7 +529,7 @@ fn damerau_dispatch(
 /// path as in [`levenshtein_features`]. Equals
 /// `edit::damerau_levenshtein(a.lower, b.lower)`.
 pub fn damerau_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratch) -> usize {
-    damerau_dispatch(&a.chars, &a.peq, &b.chars, &b.peq, scratch)
+    damerau_dispatch(a.chars(), &a.peq, b.chars(), &b.peq, scratch)
 }
 
 /// The paper's kernel over features: normalized Damerau–Levenshtein, bit-identical
@@ -432,7 +542,7 @@ pub fn fuzzy_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScrat
         return 1.0;
     }
     let d = damerau_features(a, b, scratch);
-    normalized_similarity(d, a.chars.len(), b.chars.len())
+    normalized_similarity(d, a.char_len(), b.char_len())
 }
 
 fn fuzzy_tokens(a: &TokenFeatures, b: &TokenFeatures, scratch: &mut SimScratch) -> f64 {
@@ -470,24 +580,25 @@ pub fn token_set_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimS
 /// Jaro similarity over features, bit-identical to [`crate::jaro::jaro`] on the
 /// original names. The matched flags live in the scratch buffers.
 pub fn jaro_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratch) -> f64 {
-    let (la, lb) = (a.chars.len(), b.chars.len());
+    let (la, lb) = (a.char_len(), b.char_len());
     if la == 0 && lb == 0 {
         return 1.0;
     }
     if la == 0 || lb == 0 {
         return 0.0;
     }
+    let (a_chars, b_chars) = (a.chars(), b.chars());
     let match_window = (la.max(lb) / 2).saturating_sub(1);
     scratch.a_matched.clear();
     scratch.a_matched.resize(la, false);
     scratch.b_matched.clear();
     scratch.b_matched.resize(lb, false);
     let mut matches = 0usize;
-    for (i, &ca) in a.chars.iter().enumerate() {
+    for (i, &ca) in a_chars.iter().enumerate() {
         let lo = i.saturating_sub(match_window);
         let hi = (i + match_window + 1).min(lb);
-        for j in lo..hi {
-            if !scratch.b_matched[j] && b.chars[j] == ca {
+        for (j, &cb) in b_chars.iter().enumerate().take(hi).skip(lo) {
+            if !scratch.b_matched[j] && cb == ca {
                 scratch.a_matched[i] = true;
                 scratch.b_matched[j] = true;
                 matches += 1;
@@ -500,12 +611,12 @@ pub fn jaro_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratc
     }
     let mut transpositions = 0usize;
     let mut k = 0usize;
-    for (i, &ca) in a.chars.iter().enumerate() {
+    for (i, &ca) in a_chars.iter().enumerate() {
         if scratch.a_matched[i] {
             while !scratch.b_matched[k] {
                 k += 1;
             }
-            if ca != b.chars[k] {
+            if ca != b_chars[k] {
                 transpositions += 1;
             }
             k += 1;
@@ -524,9 +635,9 @@ pub fn jaro_winkler_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut S
         return 0.0;
     }
     let prefix = a
-        .chars
+        .chars()
         .iter()
-        .zip(b.chars.iter())
+        .zip(b.chars().iter())
         .take(4)
         .take_while(|(x, y)| x == y)
         .count() as f64;
@@ -544,14 +655,16 @@ pub fn dice_features(a: &NameFeatures, b: &NameFeatures) -> f64 {
     if a.gram_total == 0 || b.gram_total == 0 {
         return 0.0;
     }
+    let (a_sig, a_counts) = (a.gram_sig(), a.gram_counts());
+    let (b_sig, b_counts) = (b.gram_sig(), b.gram_counts());
     let mut overlap = 0usize;
     let (mut i, mut j) = (0usize, 0usize);
-    while i < a.gram_sig.len() && j < b.gram_sig.len() {
-        match a.gram_sig[i].cmp(&b.gram_sig[j]) {
+    while i < a_sig.len() && j < b_sig.len() {
+        match a_sig[i].cmp(&b_sig[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                overlap += a.gram_counts[i].min(b.gram_counts[j]) as usize;
+                overlap += a_counts[i].min(b_counts[j]) as usize;
                 i += 1;
                 j += 1;
             }
@@ -567,13 +680,14 @@ pub fn jaccard_features(a: &NameFeatures, b: &NameFeatures) -> f64 {
     if a.lower.is_empty() && b.lower.is_empty() {
         return 1.0;
     }
-    if a.gram_sig.is_empty() || b.gram_sig.is_empty() {
+    let (a_sig, b_sig) = (a.gram_sig(), b.gram_sig());
+    if a_sig.is_empty() || b_sig.is_empty() {
         return 0.0;
     }
     let mut inter = 0usize;
     let (mut i, mut j) = (0usize, 0usize);
-    while i < a.gram_sig.len() && j < b.gram_sig.len() {
-        match a.gram_sig[i].cmp(&b.gram_sig[j]) {
+    while i < a_sig.len() && j < b_sig.len() {
+        match a_sig[i].cmp(&b_sig[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
@@ -583,7 +697,7 @@ pub fn jaccard_features(a: &NameFeatures, b: &NameFeatures) -> f64 {
             }
         }
     }
-    let union = a.gram_sig.len() + b.gram_sig.len() - inter;
+    let union = a_sig.len() + b_sig.len() - inter;
     inter as f64 / union as f64
 }
 
@@ -637,7 +751,7 @@ mod tests {
         // "authorname" padded with ## on both sides → 12 grams of length 3.
         assert_eq!(f.gram_total(), 12);
         assert!(
-            f.gram_sig.windows(2).all(|w| w[0] < w[1]),
+            f.gram_sig().windows(2).all(|w| w[0] < w[1]),
             "sorted, deduped"
         );
     }

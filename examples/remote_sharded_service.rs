@@ -14,14 +14,20 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bellflower::matcher::element::ElementMatchConfig;
-use bellflower::repo::{GeneratorConfig, RepositoryGenerator, RepositoryPartition, ShardPlacement};
-use bellflower::schema::{SchemaNode, TreeBuilder};
+use bellflower::repo::{
+    GeneratorConfig, RepositoryGenerator, RepositoryPartition, ShardPlacement, SnapshotReader,
+};
+use bellflower::schema::{SchemaNode, TreeBuilder, TreeId};
 use bellflower::service::{
-    EngineConfig, MatchEngine, MatchQuery, MatchService, RemoteEngine, RemoteEngineConfig,
-    ShardServer, ShardedEngine, ShardedEngineConfig,
+    write_shard_snapshots, EngineConfig, MatchEngine, MatchQuery, MatchService, RemoteEngine,
+    RemoteEngineConfig, ShardServer, ShardedEngine, ShardedEngineConfig,
 };
 
 const SHARDS: usize = 3;
+
+/// The repository revision stamped into every shard snapshot; a restarting
+/// fleet refuses files of any other generation.
+const GENERATION: u64 = 42;
 
 fn main() {
     let repository = RepositoryGenerator::new(
@@ -91,9 +97,23 @@ fn main() {
         response.incomplete
     );
 
+    // Ship the fleet as files: one snapshot per shard, same partition the
+    // router serves, all stamped with the same generation. These are what the
+    // warm-restart leg below boots from.
+    let snapshot_dir = std::env::temp_dir().join("bellflower-remote-shards");
+    std::fs::create_dir_all(&snapshot_dir).expect("create snapshot directory");
+    let snapshot_paths = write_shard_snapshots(
+        &repository,
+        SHARDS,
+        ShardPlacement::TreeHash,
+        &snapshot_dir,
+        GENERATION,
+    )
+    .expect("write per-shard snapshots");
+
     // The contract survives the wire: a single in-process engine over the whole
     // repository produces the same bytes.
-    let single = MatchEngine::new(repository, engine_config);
+    let single = MatchEngine::new(repository, engine_config.clone());
     let reference = single.query(query.clone());
     assert_eq!(reference.result_digest(), response.result_digest());
     println!("single-engine digest matches: the transport is invisible in the answer");
@@ -136,6 +156,65 @@ fn main() {
             .per_shard
             .iter()
             .map(|m| m.queries_served)
+            .collect::<Vec<_>>()
+    );
+
+    // Warm restart: tear the whole fleet down and boot it again from the
+    // snapshot files — no JSON parse, no index rebuild, no relabeling. Each
+    // server loads its shard file (refusing any generation but GENERATION),
+    // and the router's tree maps come from the snapshot headers themselves.
+    drop(router);
+    drop(servers);
+    let mut restarted_servers = Vec::new();
+    let mut restarted_services: Vec<Box<dyn MatchService>> = Vec::new();
+    let mut restarted_tree_maps = Vec::new();
+    for (shard, path) in snapshot_paths.iter().enumerate() {
+        let header = SnapshotReader::peek(path).expect("snapshot header validates");
+        restarted_tree_maps.push(header.tree_map.iter().map(|&t| TreeId(t)).collect());
+        let server = ShardServer::bind_snapshot(
+            "127.0.0.1:0",
+            path,
+            engine_config.clone(),
+            Some(GENERATION),
+        )
+        .expect("boot a shard server from its snapshot");
+        println!(
+            "  shard {shard} restarted from {} on {}",
+            path.file_name().unwrap().to_string_lossy(),
+            server.local_addr()
+        );
+        let client = RemoteEngine::connect(server.local_addr().to_string(), client_config.clone())
+            .expect("handshake with the restarted shard");
+        restarted_services.push(Box::new(client));
+        restarted_servers.push(server);
+    }
+    let restarted = ShardedEngine::from_services(
+        restarted_services,
+        restarted_tree_maps,
+        ShardedEngineConfig::builder()
+            .shards(SHARDS)
+            .placement(ShardPlacement::TreeHash)
+            .engine(engine_config)
+            .build()
+            .expect("static router config"),
+    )
+    .expect("assemble the restarted fleet");
+
+    let warm = restarted
+        .answer_inline(&query)
+        .expect("restarted fleet answers");
+    assert_eq!(reference.result_digest(), warm.result_digest());
+    let warm_metrics = restarted.metrics();
+    println!(
+        "\nwarm restart: digest identical to the cold fleet; per-shard startup = {:?}",
+        warm_metrics
+            .per_shard
+            .iter()
+            .map(|m| format!(
+                "{} in {:.1}ms",
+                m.startup_source.label(),
+                m.startup_micros as f64 / 1e3
+            ))
             .collect::<Vec<_>>()
     );
 }
