@@ -1,0 +1,315 @@
+//! What hedging buys: tail latency of a 2-replica [`ReplicaSet`] with one
+//! persistently slow backend, hedged vs. unhedged.
+//!
+//! ```text
+//! cargo run -p xsm-bench --bin replica --release \
+//!     [seed=N] [elements=N] [queries=N] [workers=N] [slowms=N] [hedgems=N] \
+//!     [topk=N] [minsim=X] [delta=X] [out=BENCH_replica.json]
+//! ```
+//!
+//! The slow backend is a [`FaultyTransport`] with a persistent `slowms`
+//! slowdown — healthy, correct, just late, the replica a breaker cannot help
+//! with. Round-robin routing starts half the queries on it. Unhedged, those
+//! queries eat the full delay and the p99 *is* the slowdown. Hedged, the set
+//! launches a second attempt on the fast replica after `hedgems` and takes
+//! whichever answers first — the paper-style p99 rescue, measured here
+//! end-to-end. Every response in both modes is asserted byte-identical to a
+//! single unreplicated engine (determinism is what makes the hedge's answer
+//! authoritative), and the run is recorded as machine-readable JSON (`out=`)
+//! for the CI bench trajectory.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use xsm_matcher::element::ElementMatchConfig;
+use xsm_repo::{GeneratorConfig, RepositoryGenerator, SchemaRepository};
+use xsm_service::workload::seeded_personal_schemas;
+use xsm_service::{
+    EngineConfig, FaultyTransport, HedgeConfig, MatchEngine, MatchQuery, MatchResponse,
+    MatchService, QueryStrategy, ReplicaSet, ReplicaSetConfig,
+};
+
+struct ReplicaBenchConfig {
+    seed: u64,
+    elements: usize,
+    queries: usize,
+    workers: usize,
+    slow_ms: u64,
+    hedge_ms: u64,
+    top_k: usize,
+    min_similarity: f64,
+    delta: f64,
+    out: String,
+}
+
+impl Default for ReplicaBenchConfig {
+    fn default() -> Self {
+        ReplicaBenchConfig {
+            seed: 2006,
+            elements: 2_500,
+            queries: 120,
+            workers: 1,
+            slow_ms: 80,
+            hedge_ms: 5,
+            top_k: 5,
+            min_similarity: 0.5,
+            delta: 0.75,
+            out: "BENCH_replica.json".to_string(),
+        }
+    }
+}
+
+impl ReplicaBenchConfig {
+    fn apply_args<I: IntoIterator<Item = String>>(mut self, args: I) -> Result<Self, String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            match key {
+                "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "elements" => {
+                    self.elements = value.parse().map_err(|e| format!("elements: {e}"))?
+                }
+                "queries" => self.queries = value.parse().map_err(|e| format!("queries: {e}"))?,
+                "workers" => self.workers = value.parse().map_err(|e| format!("workers: {e}"))?,
+                "slowms" => self.slow_ms = value.parse().map_err(|e| format!("slowms: {e}"))?,
+                "hedgems" => self.hedge_ms = value.parse().map_err(|e| format!("hedgems: {e}"))?,
+                "topk" => self.top_k = value.parse().map_err(|e| format!("topk: {e}"))?,
+                "minsim" => {
+                    self.min_similarity = value.parse().map_err(|e| format!("minsim: {e}"))?
+                }
+                "delta" => self.delta = value.parse().map_err(|e| format!("delta: {e}"))?,
+                "out" => self.out = value.to_string(),
+                other => return Err(format!("unknown parameter '{other}'")),
+            }
+        }
+        Ok(self)
+    }
+}
+
+/// One mode of the record: the same replica pair, hedging on or off.
+#[derive(Serialize)]
+struct ReplicaRow {
+    mode: String,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    total_time_s: f64,
+    qps: f64,
+    hedged_queries: u64,
+    hedge_wins: u64,
+    failed_queries: u64,
+}
+
+/// The machine-readable record of one `replica` run.
+#[derive(Serialize)]
+struct ReplicaRecord {
+    bench: String,
+    seed: u64,
+    elements: usize,
+    trees: usize,
+    queries: usize,
+    top_k: usize,
+    min_similarity: f64,
+    delta: f64,
+    workers: usize,
+    slow_ms: u64,
+    hedge_ms: u64,
+    rows: Vec<ReplicaRow>,
+    /// Hedged p99 over unhedged p99 — below 1.0 is the tail latency the
+    /// hedge clawed back from the slow replica.
+    hedged_p99_vs_unhedged: f64,
+}
+
+fn query_batch(repo: &SchemaRepository, config: &ReplicaBenchConfig) -> Vec<MatchQuery> {
+    seeded_personal_schemas(repo, config.queries)
+        .into_iter()
+        .enumerate()
+        .map(|(i, personal)| {
+            let strategy = if i % 2 == 0 {
+                QueryStrategy::Auto
+            } else {
+                QueryStrategy::Exhaustive
+            };
+            MatchQuery::new(personal)
+                .with_top_k(config.top_k)
+                .with_threshold(config.delta)
+                .with_strategy(strategy)
+        })
+        .collect()
+}
+
+/// A 2-replica set over the same repository: backend 0 persistently slow by
+/// `slow_ms`, backend 1 honest.
+fn build_set(
+    repo: &SchemaRepository,
+    engine_config: &EngineConfig,
+    config: &ReplicaBenchConfig,
+    hedge: HedgeConfig,
+) -> ReplicaSet {
+    let slow = FaultyTransport::new(Box::new(MatchEngine::new(
+        repo.clone(),
+        engine_config.clone(),
+    )));
+    slow.set_slowdown(Some(Duration::from_millis(config.slow_ms)));
+    let fast = MatchEngine::new(repo.clone(), engine_config.clone());
+    let backends: Vec<Box<dyn MatchService>> = vec![Box::new(slow), Box::new(fast)];
+    ReplicaSet::new(
+        backends,
+        ReplicaSetConfig::default()
+            .with_hedge(hedge)
+            .with_probe_interval(None),
+    )
+    .expect("bench replica set")
+}
+
+/// Serve the batch one query at a time (hedging is a per-query race, so the
+/// per-query latency is the quantity under test), asserting every response
+/// byte-identical to the reference. Returns sorted per-query latencies.
+fn timed_identical_queries(
+    label: &str,
+    set: &ReplicaSet,
+    batch: &[MatchQuery],
+    reference: &[MatchResponse],
+) -> Vec<Duration> {
+    let mut latencies = Vec::with_capacity(batch.len());
+    for (i, (query, expected)) in batch.iter().zip(reference).enumerate() {
+        let start = Instant::now();
+        let response = set
+            .submit(query.clone())
+            .and_then(|pending| pending.wait())
+            .unwrap_or_else(|e| panic!("{label} query {i} failed: {e}"));
+        latencies.push(start.elapsed());
+        assert_eq!(
+            expected.result_digest(),
+            response.result_digest(),
+            "query {i} diverged between the single engine and the {label} replica set"
+        );
+    }
+    latencies.sort();
+    latencies
+}
+
+fn quantile_ms(sorted: &[Duration], q: f64) -> f64 {
+    let index = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[index].as_secs_f64() * 1_000.0
+}
+
+fn main() {
+    let config = match ReplicaBenchConfig::default().apply_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: replica [seed=N] [elements=N] [queries=N] [workers=N] \
+                 [slowms=N] [hedgems=N] [topk=N] [minsim=X] [delta=X] [out=PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "building repository ({} elements, seed {})…",
+        config.elements, config.seed
+    );
+    let repo = RepositoryGenerator::new(
+        GeneratorConfig::paper_default()
+            .with_seed(config.seed)
+            .with_target_elements(config.elements),
+    )
+    .generate();
+    eprintln!(
+        "repository: {} elements over {} trees",
+        repo.total_nodes(),
+        repo.tree_count()
+    );
+
+    let engine_config = EngineConfig::builder()
+        .workers(config.workers)
+        .element(ElementMatchConfig::default().with_min_similarity(config.min_similarity))
+        .build()
+        .expect("bench engine config");
+    let batch = query_batch(&repo, &config);
+
+    // The unreplicated reference: both modes must reproduce these bytes.
+    let single = MatchEngine::new(repo.clone(), engine_config.clone());
+    let reference: Vec<MatchResponse> = single
+        .submit_batch(batch.clone())
+        .expect("the in-process worker pool cannot reject a batch");
+    drop(single);
+
+    eprintln!(
+        "serving {} queries against 2 replicas, one {}ms slow, hedge after {}ms…",
+        config.queries, config.slow_ms, config.hedge_ms
+    );
+    println!("mode\tp50 ms\tp99 ms\tq/s\thedges\twins");
+
+    let modes: [(&str, HedgeConfig); 2] = [
+        ("unhedged", HedgeConfig::disabled()),
+        (
+            "hedged",
+            // A fixed hedge delay: the adaptive percentile trigger would
+            // *also* work, but pinning the delay makes the two modes differ
+            // in exactly one variable.
+            HedgeConfig::default()
+                .with_initial_delay(Duration::from_millis(config.hedge_ms))
+                .with_min_observations(u64::MAX),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut p99_by_mode = Vec::new();
+    let start_all = Instant::now();
+    for (mode, hedge) in modes {
+        let set = Arc::new(build_set(&repo, &engine_config, &config, hedge));
+        let start = Instant::now();
+        let latencies = timed_identical_queries(mode, &set, &batch, &reference);
+        let total_time_s = start.elapsed().as_secs_f64();
+        let metrics = set
+            .metrics_snapshot()
+            .expect("replica set metrics are local");
+        let p50_ms = quantile_ms(&latencies, 0.50);
+        let p99_ms = quantile_ms(&latencies, 0.99);
+        let qps = batch.len() as f64 / total_time_s;
+        println!(
+            "{mode}\t{p50_ms:.1}\t{p99_ms:.1}\t{qps:.1}\t{}\t{}",
+            metrics.hedged_queries, metrics.hedge_wins
+        );
+        p99_by_mode.push(p99_ms);
+        rows.push(ReplicaRow {
+            mode: mode.to_string(),
+            p50_ms,
+            p99_ms,
+            max_ms: quantile_ms(&latencies, 1.0),
+            total_time_s,
+            qps,
+            hedged_queries: metrics.hedged_queries,
+            hedge_wins: metrics.hedge_wins,
+            failed_queries: metrics.failed_queries,
+        });
+    }
+
+    let record = ReplicaRecord {
+        bench: "replica".to_string(),
+        seed: config.seed,
+        elements: config.elements,
+        trees: repo.tree_count(),
+        queries: config.queries,
+        top_k: config.top_k,
+        min_similarity: config.min_similarity,
+        delta: config.delta,
+        workers: config.workers,
+        slow_ms: config.slow_ms,
+        hedge_ms: config.hedge_ms,
+        hedged_p99_vs_unhedged: p99_by_mode[1] / p99_by_mode[0],
+        rows,
+    };
+    let json = serde_json::to_string(&record).expect("replica record serializes");
+    std::fs::write(&config.out, &json).expect("write replica benchmark JSON");
+    eprintln!(
+        "wrote {} (both modes byte-identical to the single engine, {:.1}s total)",
+        config.out,
+        start_all.elapsed().as_secs_f64()
+    );
+}

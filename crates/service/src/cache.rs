@@ -121,6 +121,7 @@ mod tests {
             total_matches: 0,
             incomplete: false,
             failed_shards: Vec::new(),
+            generation: 0,
             latency: Duration::ZERO,
         }
     }

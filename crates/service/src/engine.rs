@@ -233,6 +233,11 @@ struct EngineCore {
     inflight: Singleflight<ServiceResult<MatchResponse>>,
     metrics: MetricsRegistry,
     objective: ObjectiveConfig,
+    /// Generation stamp of the snapshot this engine was loaded from (0 for a
+    /// cold build); stamped into every response so callers — and the sharded
+    /// router's mixed-generation guard — can tell which repository revision
+    /// answered.
+    generation: u64,
     /// Per-tree centroid nodes: pre-populated on a snapshot load, computed on
     /// first use on a cold build (the query pipeline never reads them, so cold
     /// construction pays nothing).
@@ -428,6 +433,7 @@ impl EngineCore {
             total_matches,
             incomplete: false,
             failed_shards: Vec::new(),
+            generation: self.generation,
             latency: Duration::ZERO,
         }
     }
@@ -525,7 +531,15 @@ impl MatchEngine {
     pub fn new(repo: SchemaRepository, config: EngineConfig) -> Self {
         let start = Instant::now();
         let index = NameIndex::build(&repo);
-        Self::assemble(repo, index, None, config, start, StartupSource::ColdBuild)
+        Self::assemble(
+            repo,
+            index,
+            None,
+            0,
+            config,
+            start,
+            StartupSource::ColdBuild,
+        )
     }
 
     /// Start an engine from the snapshot file at `path` — no index rebuild, no
@@ -562,10 +576,17 @@ impl MatchEngine {
             snapshot.repository,
             snapshot.index,
             Some(snapshot.centroids),
+            snapshot.generation,
             config,
             start,
             StartupSource::SnapshotLoad,
         )
+    }
+
+    /// The generation stamp of the snapshot this engine serves (0 for a
+    /// cold-built, unversioned engine). Every response carries the same value.
+    pub fn generation(&self) -> u64 {
+        self.core.generation
     }
 
     /// Serialize this engine's startup artefacts — repository, index, feature
@@ -601,6 +622,7 @@ impl MatchEngine {
         repo: SchemaRepository,
         index: NameIndex,
         centroids: Option<Vec<Option<GlobalNodeId>>>,
+        generation: u64,
         config: EngineConfig,
         start: Instant,
         source: StartupSource,
@@ -619,6 +641,7 @@ impl MatchEngine {
             inflight: Singleflight::new(),
             metrics: MetricsRegistry::new(),
             objective: config.objective,
+            generation,
             centroids: centroid_cell,
             repo,
         });
@@ -1031,6 +1054,7 @@ mod tests {
             total_matches: 0,
             incomplete: false,
             failed_shards: Vec::new(),
+            generation: 0,
             latency: Duration::ZERO,
         }));
         assert!(parked.wait().unwrap().cache_hit);

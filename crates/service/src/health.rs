@@ -1,0 +1,304 @@
+//! Per-backend health tracking: a circuit breaker with deterministic
+//! transitions.
+//!
+//! Every backend of a [`crate::ReplicaSet`] carries one [`CircuitBreaker`]
+//! summarising its recent behaviour into three states:
+//!
+//! * **Closed** — healthy; requests flow. [`HealthConfig::failure_threshold`]
+//!   *consecutive* failures trip the breaker open (one success resets the
+//!   count, so a backend that intermittently succeeds is never suspected).
+//! * **Open** — suspected dead; the replica set routes around it. After
+//!   [`HealthConfig::open_cooldown`] the breaker admits exactly **one** trial
+//!   request at a time (moving to `HalfProbe`); until then admission is
+//!   refused so a struggling backend is not hammered while it restarts.
+//! * **HalfProbe** — one trial in flight. Success closes the breaker
+//!   (full traffic resumes), failure re-opens it and restarts the cooldown.
+//!
+//! Two things make the breaker testable without timing sleeps, which is what
+//! the state-transition unit tests below rely on:
+//!
+//! 1. Transitions happen only inside explicit calls ([`CircuitBreaker::admit`],
+//!    [`CircuitBreaker::record_success`], [`CircuitBreaker::record_failure`]) —
+//!    there is no background timer mutating state.
+//! 2. The cooldown is data, not behaviour: with `open_cooldown = 0` every
+//!    `admit` after a trip immediately offers the trial slot, and with a large
+//!    cooldown it deterministically never does.
+//!
+//! The breaker itself never touches a backend; the [`crate::ReplicaSet`]'s
+//! routing consults it per query and its background prober thread redials
+//! open backends ([`crate::MatchService::ping`]) and closes the breaker on a
+//! successful handshake.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The three circuit-breaker states; see the module docs for the transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow freely.
+    Closed,
+    /// Suspected dead: requests are refused until the cooldown elapses.
+    Open,
+    /// One trial request in flight; its outcome decides Closed vs Open.
+    HalfProbe,
+}
+
+/// What a [`CircuitBreaker::record_failure`] / [`CircuitBreaker::record_success`]
+/// call did to the breaker — returned so the caller can count state changes
+/// (e.g. `breaker_opens`, `probe_redials`) without re-deriving them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerEvent {
+    /// The state did not change.
+    None,
+    /// The breaker tripped (Closed or HalfProbe → Open).
+    Opened,
+    /// The breaker closed (Open or HalfProbe → Closed).
+    Closed,
+}
+
+/// Tuning of one backend's [`CircuitBreaker`].
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive failures that trip Closed → Open (`>= 1`; a success resets
+    /// the count).
+    pub failure_threshold: u32,
+    /// How long an open breaker refuses all traffic before admitting one
+    /// trial request. `Duration::ZERO` makes every post-trip `admit` offer
+    /// the trial immediately — the deterministic-test configuration.
+    pub open_cooldown: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            failure_threshold: 3,
+            open_cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Builder-style failure-threshold override (`0` is clamped to `1`).
+    pub fn with_failure_threshold(mut self, threshold: u32) -> Self {
+        self.failure_threshold = threshold.max(1);
+        self
+    }
+
+    /// Builder-style cooldown override.
+    pub fn with_open_cooldown(mut self, cooldown: Duration) -> Self {
+        self.open_cooldown = cooldown;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// When the breaker last tripped (meaningful in `Open`).
+    opened_at: Instant,
+}
+
+/// One backend's error-window circuit breaker; see the module docs.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: HealthConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: HealthConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: Instant::now(),
+            }),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().unwrap().state
+    }
+
+    /// Ask to route one request through this backend.
+    ///
+    /// * `Closed` → admitted.
+    /// * `Open` before the cooldown → refused.
+    /// * `Open` after the cooldown → admitted as the trial (state becomes
+    ///   `HalfProbe`).
+    /// * `HalfProbe` → refused (exactly one trial at a time).
+    ///
+    /// An admitted caller **must** report the outcome with
+    /// [`CircuitBreaker::record_success`] or [`CircuitBreaker::record_failure`],
+    /// otherwise a `HalfProbe` trial slot leaks until the next outcome report.
+    pub fn admit(&self) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfProbe => false,
+            BreakerState::Open => {
+                if inner.opened_at.elapsed() >= self.config.open_cooldown {
+                    inner.state = BreakerState::HalfProbe;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Report a successful request (or probe). Closes an open breaker — a
+    /// probe that got through proves the backend is back — and completes a
+    /// `HalfProbe` trial.
+    pub fn record_success(&self) -> BreakerEvent {
+        let mut inner = self.inner.lock().unwrap();
+        inner.consecutive_failures = 0;
+        match inner.state {
+            BreakerState::Closed => BreakerEvent::None,
+            BreakerState::Open | BreakerState::HalfProbe => {
+                inner.state = BreakerState::Closed;
+                BreakerEvent::Closed
+            }
+        }
+    }
+
+    /// Report a failed request (or probe). Trips the breaker after
+    /// `failure_threshold` consecutive failures, re-opens a failed trial, and
+    /// restarts an open breaker's cooldown (the backend is still down).
+    pub fn record_failure(&self) -> BreakerEvent {
+        let mut inner = self.inner.lock().unwrap();
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        match inner.state {
+            BreakerState::Closed => {
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Instant::now();
+                    BreakerEvent::Opened
+                } else {
+                    BreakerEvent::None
+                }
+            }
+            BreakerState::HalfProbe => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Instant::now();
+                BreakerEvent::Opened
+            }
+            BreakerState::Open => {
+                inner.opened_at = Instant::now();
+                BreakerEvent::None
+            }
+        }
+    }
+
+    /// Whether a background probe is due: the breaker is open and the cooldown
+    /// has elapsed. (A `HalfProbe` breaker already has a trial in flight, so
+    /// probing it again would double up.)
+    pub fn probe_due(&self) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner.state == BreakerState::Open && inner.opened_at.elapsed() >= self.config.open_cooldown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker::new(
+            HealthConfig::default()
+                .with_failure_threshold(threshold)
+                .with_open_cooldown(cooldown),
+        )
+    }
+
+    #[test]
+    fn closed_admits_and_success_resets_the_failure_count() {
+        let b = breaker(2, Duration::ZERO);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit());
+        // fail, succeed, fail, fail: the success resets the streak, so only
+        // the last two failures count.
+        assert_eq!(b.record_failure(), BreakerEvent::None);
+        assert_eq!(b.record_success(), BreakerEvent::None);
+        assert_eq!(b.record_failure(), BreakerEvent::None);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.record_failure(), BreakerEvent::Opened);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_refuses_until_the_cooldown_then_admits_one_trial() {
+        let b = breaker(1, Duration::from_secs(3600));
+        assert_eq!(b.record_failure(), BreakerEvent::Opened);
+        // Cooldown far in the future: no admission, no probe due.
+        assert!(!b.admit());
+        assert!(!b.probe_due());
+        assert_eq!(b.state(), BreakerState::Open);
+
+        let b = breaker(1, Duration::ZERO);
+        assert_eq!(b.record_failure(), BreakerEvent::Opened);
+        assert!(b.probe_due());
+        // Zero cooldown: the next admit is the trial...
+        assert!(b.admit());
+        assert_eq!(b.state(), BreakerState::HalfProbe);
+        // ...and exactly one: concurrent admits are refused until the outcome.
+        assert!(!b.admit());
+        assert!(!b.probe_due());
+    }
+
+    #[test]
+    fn trial_success_closes_and_trial_failure_reopens() {
+        let b = breaker(1, Duration::ZERO);
+        b.record_failure();
+        assert!(b.admit());
+        assert_eq!(b.record_success(), BreakerEvent::Closed);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit());
+
+        let b = breaker(1, Duration::ZERO);
+        b.record_failure();
+        assert!(b.admit());
+        assert_eq!(b.record_failure(), BreakerEvent::Opened);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn probe_success_closes_an_open_breaker_directly() {
+        // The background prober path: ping succeeds while Open (no trial was
+        // admitted) — the breaker closes without passing through HalfProbe.
+        let b = breaker(1, Duration::ZERO);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.record_success(), BreakerEvent::Closed);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failures_while_open_restart_the_cooldown_without_reopening() {
+        let b = breaker(1, Duration::from_secs(3600));
+        assert_eq!(b.record_failure(), BreakerEvent::Opened);
+        // Further failures (e.g. a failed background probe) are not new trips.
+        assert_eq!(b.record_failure(), BreakerEvent::None);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn flapping_sequence_walks_every_state() {
+        // fail-2 / succeed-1 flapping against threshold 2: trip, trial, close,
+        // trip again — each step deterministic, no sleeps.
+        let b = breaker(2, Duration::ZERO);
+        assert_eq!(b.record_failure(), BreakerEvent::None);
+        assert_eq!(b.record_failure(), BreakerEvent::Opened); // Closed → Open
+        assert!(b.admit()); // Open → HalfProbe
+        assert_eq!(b.record_success(), BreakerEvent::Closed); // HalfProbe → Closed
+        assert_eq!(b.record_failure(), BreakerEvent::None);
+        assert_eq!(b.record_failure(), BreakerEvent::Opened); // and around again
+        assert!(b.admit());
+        assert_eq!(b.record_failure(), BreakerEvent::Opened); // HalfProbe → Open
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

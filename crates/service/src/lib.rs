@@ -65,24 +65,30 @@
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod health;
 pub mod metrics;
 pub mod net;
 pub mod planner;
 pub mod query;
+pub mod replica;
 pub mod service;
 pub mod shard;
 pub mod singleflight;
 pub mod snapshot;
+pub mod swap;
 pub mod workload;
 
 pub use cache::ResultCache;
 pub use engine::{EngineConfig, EngineConfigBuilder, MatchEngine, PendingResponse};
 pub use error::{ConfigError, ServiceError, ServiceResult};
+pub use health::{BreakerEvent, BreakerState, CircuitBreaker, HealthConfig};
 pub use metrics::{EngineMetrics, LatencyHistogram, StartupSource};
 pub use net::{FaultyTransport, RemoteEngine, RemoteEngineConfig, ShardServer, PROTOCOL_VERSION};
 pub use planner::{PlanStats, PlannerConfig, QueryPlan, QueryPlanner};
 pub use query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};
+pub use replica::{HedgeConfig, ReplicaSet, ReplicaSetConfig};
 pub use service::MatchService;
 pub use shard::{ShardedEngine, ShardedEngineConfig, ShardedEngineConfigBuilder, ShardedMetrics};
 pub use singleflight::Singleflight;
 pub use snapshot::{write_shard_snapshots, SnapshotServeError};
+pub use swap::SwappableEngine;

@@ -131,6 +131,12 @@ struct Inner {
     exhaustive: u64,
     degraded: u64,
     failed: u64,
+    hedged: u64,
+    hedge_wins: u64,
+    failovers: u64,
+    breaker_opens: u64,
+    probe_redials: u64,
+    generation_swaps: u64,
     startup_micros: u64,
     startup_source: StartupSource,
     histogram: LatencyHistogram,
@@ -184,6 +190,40 @@ impl MetricsRegistry {
         self.inner.lock().unwrap().failed += 1;
     }
 
+    /// Record one query whose primary replica was raced by a hedge request
+    /// (the replica set launched a second attempt after the hedge delay).
+    pub fn record_hedged(&self) {
+        self.inner.lock().unwrap().hedged += 1;
+    }
+
+    /// Record one hedged query whose *hedge* attempt answered first — the
+    /// race paid off. `hedge_wins <= hedged_queries` always.
+    pub fn record_hedge_win(&self) {
+        self.inner.lock().unwrap().hedge_wins += 1;
+    }
+
+    /// Record one failover: an attempt returned an error and the query was
+    /// re-routed to another replica instead of failing the caller.
+    pub fn record_failover(&self) {
+        self.inner.lock().unwrap().failovers += 1;
+    }
+
+    /// Record one circuit-breaker trip (Closed or HalfProbe → Open).
+    pub fn record_breaker_open(&self) {
+        self.inner.lock().unwrap().breaker_opens += 1;
+    }
+
+    /// Record one successful background probe that closed an open breaker —
+    /// a suspended or crashed backend answered a redial.
+    pub fn record_probe_redial(&self) {
+        self.inner.lock().unwrap().probe_redials += 1;
+    }
+
+    /// Record one completed zero-downtime generation swap.
+    pub fn record_generation_swap(&self) {
+        self.inner.lock().unwrap().generation_swaps += 1;
+    }
+
     /// Record how (and how fast) the engine came up. Called once at
     /// construction; the values surface unchanged in every snapshot.
     pub fn set_startup(&self, micros: u64, source: StartupSource) {
@@ -209,6 +249,12 @@ impl MetricsRegistry {
             exhaustive_queries: inner.exhaustive,
             degraded_responses: inner.degraded,
             failed_queries: inner.failed,
+            hedged_queries: inner.hedged,
+            hedge_wins: inner.hedge_wins,
+            failovers: inner.failovers,
+            breaker_opens: inner.breaker_opens,
+            probe_redials: inner.probe_redials,
+            generation_swaps: inner.generation_swaps,
             startup_micros: inner.startup_micros,
             startup_source: inner.startup_source,
             p50_latency_us: quantile_us(&inner.histogram, 0.50),
@@ -254,6 +300,30 @@ pub struct EngineMetrics {
     /// of any response. Not counted in `queries_served`.
     #[serde(default)]
     pub failed_queries: u64,
+    /// Queries whose primary replica was raced by a hedge attempt after the
+    /// hedge delay elapsed (replica-set serving only; 0 elsewhere).
+    #[serde(default)]
+    pub hedged_queries: u64,
+    /// Hedged queries whose hedge attempt answered first. Always
+    /// `<= hedged_queries`.
+    #[serde(default)]
+    pub hedge_wins: u64,
+    /// Attempts re-routed to another replica after an error instead of
+    /// failing the caller (replica-set serving only).
+    #[serde(default)]
+    pub failovers: u64,
+    /// Circuit-breaker trips (Closed or HalfProbe → Open) across the
+    /// replica set's backends.
+    #[serde(default)]
+    pub breaker_opens: u64,
+    /// Successful background probes that closed an open breaker — a crashed
+    /// or suspended backend answered a redial.
+    #[serde(default)]
+    pub probe_redials: u64,
+    /// Completed zero-downtime generation swaps
+    /// ([`crate::SwappableEngine`] flips counted by the engine that swapped).
+    #[serde(default)]
+    pub generation_swaps: u64,
     /// Wall-clock time from the start of engine construction to the worker
     /// pool being up — the cost a restart pays before it can serve.
     #[serde(default)]

@@ -13,7 +13,9 @@
 //!   router degrades around this shard.
 //! * **Bounded retry with backoff** — connect failures and mid-call I/O
 //!   errors redial and resend, up to [`RemoteEngineConfig::retries`] times
-//!   with exponential backoff. Safe because serving is read-only and
+//!   with jittered exponential backoff (deterministically seeded, so many
+//!   clients of one restarted server do not retry in lockstep — and test
+//!   runs stay reproducible). Safe because serving is read-only and
 //!   idempotent by fingerprint: replaying a query cannot produce a duplicate
 //!   side effect, at worst a cache hit.
 //! * **Never retried** — [`ServiceError::ProtocolMismatch`] and
@@ -52,7 +54,10 @@ pub struct RemoteEngineConfig {
     pub request_deadline: Duration,
     /// Retries after the first attempt on retryable transport errors.
     pub retries: u32,
-    /// Sleep before the first retry; doubles per retry.
+    /// Base sleep before the first retry; the base doubles per retry, and the
+    /// actual delay is the base scaled into `[0.5, 1.0)` by a deterministic
+    /// per-client jitter, so a fleet of clients retrying a recovering server
+    /// spreads out instead of re-dialing in lockstep.
     pub backoff: Duration,
 }
 
@@ -104,6 +109,35 @@ struct RemoteInner {
     addr: String,
     config: RemoteEngineConfig,
     pool: Mutex<Vec<TcpStream>>,
+    /// Per-client seed decorrelating retry backoff across clients (see
+    /// [`jittered_backoff`]): derived deterministically from a process-wide
+    /// construction counter — no clock, no RNG state.
+    jitter_seed: u64,
+    /// Per-call sequence mixed into the jitter so successive calls of one
+    /// client also spread out.
+    call_seq: std::sync::atomic::AtomicU64,
+}
+
+/// SplitMix64 — one multiply-xorshift round, enough to decorrelate seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The retry delay for one attempt: the exponential base scaled into
+/// `[0.5, 1.0)` by a deterministic per-(client, call, attempt) hash.
+///
+/// A *fixed* exponential schedule synchronizes clients: every client of a
+/// restarted server retries at exactly +50ms, +100ms, ... after the crash and
+/// the retries arrive as a thundering herd. Jitter spreads them across half
+/// the backoff window while keeping the same worst-case delay; seeding it
+/// from counters (not time or an RNG) keeps every run of a test bit-for-bit
+/// reproducible.
+fn jittered_backoff(base: Duration, seed: u64) -> Duration {
+    let fraction = (seed >> 11) as f64 / (1u64 << 53) as f64;
+    base.mul_f64(0.5 + 0.5 * fraction)
 }
 
 /// A [`MatchService`] client for one [`crate::net::ShardServer`]. Cheap to
@@ -132,6 +166,12 @@ impl RemoteEngine {
                 addr: addr.into(),
                 config,
                 pool: Mutex::new(Vec::new()),
+                jitter_seed: {
+                    static CLIENT_SEQ: std::sync::atomic::AtomicU64 =
+                        std::sync::atomic::AtomicU64::new(0);
+                    splitmix64(CLIENT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed))
+                },
+                call_seq: std::sync::atomic::AtomicU64::new(0),
             }),
         };
         let stream = engine.inner.dial()?;
@@ -204,6 +244,12 @@ impl MatchService for RemoteEngine {
             other => Err(unexpected_reply(&other)),
         }
     }
+
+    /// A real wire round trip (dial → handshake → `Ping`), so a prober that
+    /// calls this through the trait actually redials a crashed server.
+    fn ping(&self) -> ServiceResult<()> {
+        RemoteEngine::ping(self)
+    }
 }
 
 /// The server answered with a variant the request cannot produce — a protocol
@@ -222,12 +268,19 @@ fn unexpected_reply(reply: &WireResponse) -> ServiceError {
 
 impl RemoteInner {
     /// One logical call: attempt, and on retryable failure redial/resend with
-    /// exponential backoff until the retry budget or the deadline runs out.
+    /// jittered exponential backoff until the retry budget or the deadline
+    /// runs out.
     fn call(&self, request: &WireRequest) -> ServiceResult<WireResponse> {
         let payload = encode(request)?;
         let deadline = Instant::now() + self.config.request_deadline;
         let mut backoff = self.config.backoff;
         let mut attempt = 0u32;
+        let mut seed = splitmix64(
+            self.jitter_seed
+                ^ self
+                    .call_seq
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
         loop {
             match self.attempt(&payload, deadline) {
                 Ok(reply) => return Ok(reply),
@@ -235,10 +288,12 @@ impl RemoteInner {
                     if !error.is_retryable() || attempt >= self.config.retries {
                         return Err(error);
                     }
-                    if Instant::now() + backoff >= deadline {
+                    seed = splitmix64(seed);
+                    let delay = jittered_backoff(backoff, seed);
+                    if Instant::now() + delay >= deadline {
                         return Err(ServiceError::Timeout);
                     }
-                    std::thread::sleep(backoff);
+                    std::thread::sleep(delay);
                     backoff = backoff.saturating_mul(2);
                     attempt += 1;
                 }

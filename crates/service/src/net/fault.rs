@@ -41,11 +41,37 @@ pub enum Fault {
     Delay(Duration),
 }
 
+/// A deterministic fail-K/succeed-M flapping cycle (see
+/// [`FaultyTransport::set_flapping`]).
+#[derive(Debug, Clone, Copy)]
+struct Flapping {
+    fail: u64,
+    succeed: u64,
+    /// Calls observed so far; position within the cycle is `calls % (fail + succeed)`.
+    calls: u64,
+}
+
+impl Flapping {
+    /// Advance one call; `true` means this call fails.
+    fn next_fails(&mut self) -> bool {
+        let period = self.fail + self.succeed;
+        let position = self.calls % period;
+        self.calls += 1;
+        position < self.fail
+    }
+}
+
 /// A [`MatchService`] wrapper that injects scripted faults; see the module docs.
 pub struct FaultyTransport {
     inner: Box<dyn MatchService>,
     script: Arc<Mutex<VecDeque<Fault>>>,
     dead: Arc<AtomicBool>,
+    /// Scripted flapping (fail K calls, succeed M, repeat); applies to
+    /// submissions *and* pings, after the kill switch and before the script.
+    flapping: Arc<Mutex<Option<Flapping>>>,
+    /// A persistent delay added to every successful submission — the
+    /// always-slow-but-healthy replica (what the hedging bench races against).
+    slowdown: Arc<Mutex<Option<Duration>>>,
 }
 
 impl FaultyTransport {
@@ -55,6 +81,8 @@ impl FaultyTransport {
             inner,
             script: Arc::new(Mutex::new(VecDeque::new())),
             dead: Arc::new(AtomicBool::new(false)),
+            flapping: Arc::new(Mutex::new(None)),
+            slowdown: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -78,6 +106,33 @@ impl FaultyTransport {
         Arc::clone(&self.dead)
     }
 
+    /// Enter scripted flapping: fail the next `fail` calls, serve the `succeed`
+    /// after that, and repeat — a backend that keeps dying and recovering on a
+    /// *call-counted* schedule, so circuit-breaker transitions are testable
+    /// step by deterministic step instead of with timing sleeps. The cycle
+    /// counts submissions and pings alike (a prober's redial advances it just
+    /// like a query). `fail == 0` clears flapping; `succeed == 0` is pinned to
+    /// 1 so the cycle always makes progress.
+    pub fn set_flapping(&self, fail: u64, succeed: u64) {
+        *self.flapping.lock().unwrap() = if fail == 0 {
+            None
+        } else {
+            Some(Flapping {
+                fail,
+                succeed: succeed.max(1),
+                calls: 0,
+            })
+        };
+    }
+
+    /// Add (or with `None` remove) a persistent delay on every successful
+    /// submission — the always-slow-but-healthy replica. Unlike a scripted
+    /// [`Fault::Delay`] this never runs out, which is what the hedging
+    /// benchmark needs for its slow backend.
+    pub fn set_slowdown(&self, delay: Option<Duration>) {
+        *self.slowdown.lock().unwrap() = delay;
+    }
+
     fn check_alive(&self) -> ServiceResult<()> {
         if self.dead.load(Ordering::SeqCst) {
             Err(ServiceError::transport(
@@ -87,11 +142,37 @@ impl FaultyTransport {
             Ok(())
         }
     }
+
+    /// Advance the flapping cycle by one call, failing if it lands on the
+    /// fail phase.
+    fn check_flapping(&self) -> ServiceResult<()> {
+        if let Some(flapping) = self.flapping.lock().unwrap().as_mut() {
+            if flapping.next_fails() {
+                return Err(ServiceError::transport(
+                    "fault injection: flapping shard is down this call",
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl MatchService for FaultyTransport {
     fn submit(&self, query: MatchQuery) -> ServiceResult<PendingResponse> {
         self.check_alive()?;
+        self.check_flapping()?;
+        if let Some(delay) = *self.slowdown.lock().unwrap() {
+            let pending = self.inner.submit(query)?;
+            let handle = std::thread::Builder::new()
+                .name("xsm-fault-slowdown".to_string())
+                .spawn(move || {
+                    let result = pending.wait();
+                    std::thread::sleep(delay);
+                    result
+                })
+                .map_err(|e| ServiceError::internal(format!("failed to spawn slowdown: {e}")))?;
+            return Ok(PendingResponse::from_task(handle));
+        }
         match self.script.lock().unwrap().pop_front() {
             None => self.inner.submit(query),
             Some(Fault::FailSubmit(error)) => Err(error),
@@ -119,5 +200,11 @@ impl MatchService for FaultyTransport {
     fn plan_stats(&self, personal: &SchemaTree, length_floor: f64) -> ServiceResult<PlanStats> {
         self.check_alive()?;
         self.inner.plan_stats(personal, length_floor)
+    }
+
+    fn ping(&self) -> ServiceResult<()> {
+        self.check_alive()?;
+        self.check_flapping()?;
+        self.inner.ping()
     }
 }

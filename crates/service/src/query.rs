@@ -144,6 +144,12 @@ pub struct MatchResponse {
     /// empty iff [`MatchResponse::incomplete`] is `false`.
     #[serde(default)]
     pub failed_shards: Vec<u32>,
+    /// Generation stamp of the repository snapshot that answered (0 for a
+    /// cold-built, unversioned engine). A sharded merge carries the shards'
+    /// common generation — the router refuses to merge shards that disagree,
+    /// so one response can never mix repository revisions.
+    #[serde(default)]
+    pub generation: u64,
     /// Wall-clock serving latency of this response (cache lookup or full pipeline).
     #[serde(skip)]
     pub latency: Duration,
@@ -245,6 +251,7 @@ mod tests {
             total_matches: 0,
             incomplete: false,
             failed_shards: Vec::new(),
+            generation: 0,
             latency: Duration::from_millis(3),
         };
         let mut r2 = r1.clone();

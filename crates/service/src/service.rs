@@ -63,6 +63,15 @@ pub trait MatchService: Send + Sync {
     /// inputs a router needs to resolve [`crate::QueryStrategy::Auto`] globally
     /// (see [`crate::QueryPlanner::plan_from_stats`]).
     fn plan_stats(&self, personal: &SchemaTree, length_floor: f64) -> ServiceResult<PlanStats>;
+
+    /// A cheap liveness probe: `Ok(())` iff the endpoint can currently serve.
+    /// In-process services are alive by construction (the default); transports
+    /// override it to actually touch the backend — [`crate::net::RemoteEngine`]
+    /// dials and re-handshakes, which is exactly what a replica set's
+    /// background prober needs to detect a healed shard server.
+    fn ping(&self) -> ServiceResult<()> {
+        Ok(())
+    }
 }
 
 impl<T: MatchService + ?Sized> MatchService for Arc<T> {
@@ -81,6 +90,10 @@ impl<T: MatchService + ?Sized> MatchService for Arc<T> {
     fn plan_stats(&self, personal: &SchemaTree, length_floor: f64) -> ServiceResult<PlanStats> {
         (**self).plan_stats(personal, length_floor)
     }
+
+    fn ping(&self) -> ServiceResult<()> {
+        (**self).ping()
+    }
 }
 
 impl<T: MatchService + ?Sized> MatchService for Box<T> {
@@ -98,5 +111,9 @@ impl<T: MatchService + ?Sized> MatchService for Box<T> {
 
     fn plan_stats(&self, personal: &SchemaTree, length_floor: f64) -> ServiceResult<PlanStats> {
         (**self).plan_stats(personal, length_floor)
+    }
+
+    fn ping(&self) -> ServiceResult<()> {
+        (**self).ping()
     }
 }

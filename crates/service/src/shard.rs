@@ -66,7 +66,7 @@
 //! subtly different answers.
 
 use std::sync::mpsc::{sync_channel, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use serde::{Deserialize, Serialize};
@@ -83,6 +83,7 @@ use crate::planner::{PlanStats, QueryPlanner};
 use crate::query::{MatchQuery, MatchResponse, PlannedStrategy, QueryStrategy};
 use crate::service::MatchService;
 use crate::singleflight::Singleflight;
+use crate::swap::SwappableEngine;
 
 /// Construction-time configuration of a [`ShardedEngine`].
 ///
@@ -273,6 +274,14 @@ struct RouterCore {
     results: ResultCache,
     inflight: Singleflight<ServiceResult<MatchResponse>>,
     metrics: MetricsRegistry,
+    /// The generation-swap gate. Every query holds a **read** lock across its
+    /// whole cache-lookup → scatter → merge → cache-insert span;
+    /// [`ShardedEngine::swap_generation`] takes the **write** lock to flip
+    /// all shards and clear the router cache atomically. The read span must
+    /// cover the cache insert (which happens *after* the scatter returns):
+    /// otherwise a pre-swap scatter could insert its old-generation response
+    /// into the freshly cleared cache and serve it after the flip.
+    swap_gate: RwLock<()>,
 }
 
 impl RouterCore {
@@ -281,6 +290,12 @@ impl RouterCore {
     /// `EngineCore::answer`, so the sharded serving path inherits the engine's
     /// determinism and accounting contract by construction.
     fn answer(&self, query: &MatchQuery) -> ServiceResult<MatchResponse> {
+        // Hold the swap gate's read side for the entire serve — see the
+        // `swap_gate` field docs for why the span includes the cache insert.
+        let _gate = self
+            .swap_gate
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         crate::engine::serve_with_caches(
             &self.results,
             &self.inflight,
@@ -356,12 +371,23 @@ impl RouterCore {
         let mut total_matches = 0usize;
         let mut answered = 0usize;
         let mut nested_incomplete = false;
+        let mut generation: Option<u64> = None;
+        let mut mixed_generations = false;
         for (shard, outcome) in submitted {
             match outcome.and_then(PendingResponse::wait) {
                 Ok(response) => {
                     answered += 1;
                     candidate_count += response.candidate_count;
                     total_matches += response.total_matches;
+                    // Merging shards that answered from different repository
+                    // revisions would produce an answer no repository ever
+                    // had; the swap gate makes this impossible for swappable
+                    // fleets, so disagreement here is a deployment bug.
+                    match generation {
+                        None => generation = Some(response.generation),
+                        Some(g) if g != response.generation => mixed_generations = true,
+                        Some(_) => {}
+                    }
                     // A nested router may itself have degraded; our own
                     // `failed_shards` lists only direct children, but the
                     // incompleteness must propagate.
@@ -384,6 +410,11 @@ impl RouterCore {
             return Err(last_error
                 .unwrap_or_else(|| ServiceError::internal("sharded engine has no shards")));
         }
+        if mixed_generations {
+            return Err(ServiceError::internal(
+                "mixed-generation merge: shards answered from different repository generations",
+            ));
+        }
         // The same comparator the single engine's pipeline sorts with; per-shard
         // lists arrive pre-sorted under it, so the merged order equals the order a
         // single engine would have produced over the union.
@@ -400,6 +431,7 @@ impl RouterCore {
             total_matches,
             incomplete: nested_incomplete || !failed.is_empty(),
             failed_shards: failed,
+            generation: generation.unwrap_or(0),
             latency: std::time::Duration::ZERO,
         })
     }
@@ -444,6 +476,10 @@ pub struct ShardedEngine {
     /// The in-process shard engines when built by [`ShardedEngine::new`]
     /// (empty for [`ShardedEngine::from_services`]).
     local_engines: Vec<Arc<MatchEngine>>,
+    /// Per-shard swap handles when built by
+    /// [`ShardedEngine::from_swappable_snapshot_paths`] (empty otherwise);
+    /// what [`ShardedEngine::swap_generation`] flips.
+    swappable_engines: Vec<Arc<SwappableEngine>>,
     tx: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -591,6 +627,169 @@ impl ShardedEngine {
         Ok(Self::start(services, tree_maps, local_engines, config))
     }
 
+    /// [`ShardedEngine::from_snapshot_paths`], but every shard is wrapped in a
+    /// [`SwappableEngine`] so the whole fleet can later be flipped to a newer
+    /// snapshot generation **under live traffic** with
+    /// [`ShardedEngine::swap_generation`] — no restart, no failed queries, no
+    /// mixed-generation response.
+    pub fn from_swappable_snapshot_paths(
+        paths: &[impl AsRef<std::path::Path>],
+        config: ShardedEngineConfig,
+    ) -> Result<Self, crate::snapshot::SnapshotServeError> {
+        use xsm_repo::snapshot::{SnapshotError, SnapshotReader};
+        if paths.is_empty() {
+            return Err(ConfigError::new("paths", "must not be empty").into());
+        }
+        if config.engine.element.max_candidates_per_node.is_some() {
+            return Err(ConfigError::new(
+                "engine.element.max_candidates_per_node",
+                "the per-node candidate cap is a global cut that per-shard \
+                 candidate generation cannot reproduce",
+            )
+            .into());
+        }
+        let mut expected_generation: Option<u64> = None;
+        let mut swappable = Vec::with_capacity(paths.len());
+        let mut tree_maps = Vec::with_capacity(paths.len());
+        for path in paths {
+            let start = std::time::Instant::now();
+            let snapshot = SnapshotReader::read(path.as_ref())?;
+            match expected_generation {
+                None => expected_generation = Some(snapshot.generation),
+                Some(expected) if snapshot.generation != expected => {
+                    return Err(SnapshotError::GenerationMismatch {
+                        expected,
+                        found: snapshot.generation,
+                    }
+                    .into());
+                }
+                Some(_) => {}
+            }
+            tree_maps.push(snapshot.tree_map.clone());
+            swappable.push(Arc::new(SwappableEngine::from_snapshot_parts(
+                snapshot,
+                config.engine.clone(),
+                start,
+            )));
+        }
+        let services: Vec<Box<dyn MatchService>> = swappable
+            .iter()
+            .map(|engine| Box::new(Arc::clone(engine)) as Box<dyn MatchService>)
+            .collect();
+        let mut sharded = Self::start(services, tree_maps, Vec::new(), config);
+        sharded.swappable_engines = swappable;
+        Ok(sharded)
+    }
+
+    /// Flip the whole fleet to the snapshot generation in `paths` (one file
+    /// per shard, shard order) under live traffic. The sequence:
+    ///
+    /// 1. **Validate** — peek every header; refuse a wrong shard count, a
+    ///    mixed-generation set ([`xsm_repo::SnapshotError::GenerationMismatch`])
+    ///    or a snapshot that moves trees between shards (the router's tree
+    ///    maps are fixed; rebalancing is a different operation).
+    /// 2. **Load beside** — build every shard's new engine next to the
+    ///    serving one, traffic undisturbed.
+    /// 3. **Flip under the gate** — take the swap gate's write lock (queries
+    ///    hold read locks for their full serve span, so the gate waits for
+    ///    in-flight scatters and blocks new ones for microseconds), install
+    ///    every new engine, clear the router's result cache (its entries
+    ///    answer for the old generation), release.
+    /// 4. **Drain** — drop the old engines outside the gate; each finishes
+    ///    its queued queries and joins its workers.
+    ///
+    /// Returns the new serving generation. On any validation or load error
+    /// the old generation keeps serving untouched. Only routers built with
+    /// [`ShardedEngine::from_swappable_snapshot_paths`] can swap.
+    pub fn swap_generation(
+        &self,
+        paths: &[impl AsRef<std::path::Path>],
+    ) -> Result<u64, crate::snapshot::SnapshotServeError> {
+        use xsm_repo::snapshot::{SnapshotError, SnapshotReader};
+        if self.swappable_engines.is_empty() {
+            return Err(ConfigError::new(
+                "swap",
+                "this router has fixed shards; build it with \
+                 from_swappable_snapshot_paths to enable generation swaps",
+            )
+            .into());
+        }
+        if paths.len() != self.swappable_engines.len() {
+            return Err(
+                ConfigError::new("paths", "must have exactly one snapshot per shard").into(),
+            );
+        }
+        // Validate every header before loading anything: one bad file must
+        // leave the fleet untouched, and a mixed-generation set must never
+        // start flipping.
+        let mut generation: Option<u64> = None;
+        for (shard, path) in paths.iter().enumerate() {
+            let header = SnapshotReader::peek(path.as_ref())?;
+            match generation {
+                None => generation = Some(header.generation),
+                Some(expected) if header.generation != expected => {
+                    return Err(SnapshotError::GenerationMismatch {
+                        expected,
+                        found: header.generation,
+                    }
+                    .into());
+                }
+                Some(_) => {}
+            }
+            let expected_map = &self.core.tree_maps[shard];
+            let same_placement = header.tree_map.len() == expected_map.len()
+                && header
+                    .tree_map
+                    .iter()
+                    .zip(expected_map)
+                    .all(|(&raw, tree)| raw == tree.0);
+            if !same_placement {
+                return Err(ConfigError::new(
+                    "tree_map",
+                    "a generation swap must keep every tree on its shard; \
+                     re-placing trees needs a fleet rebuild",
+                )
+                .into());
+            }
+        }
+        let generation = generation.expect("paths verified non-empty");
+        // Load every new engine beside the serving ones — the expensive part,
+        // fully concurrent with traffic.
+        let mut next_engines = Vec::with_capacity(paths.len());
+        for (swappable, path) in self.swappable_engines.iter().zip(paths) {
+            next_engines.push(swappable.load_next(path.as_ref(), generation)?);
+        }
+        // The flip: exclusive gate, every shard, cache clear — one atomic
+        // cutover from the router's point of view.
+        let old_engines: Vec<Arc<MatchEngine>> = {
+            let _gate = self
+                .core
+                .swap_gate
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let old = self
+                .swappable_engines
+                .iter()
+                .zip(next_engines)
+                .map(|(swappable, next)| swappable.install(next))
+                .collect();
+            self.core.results.clear();
+            old
+        };
+        self.core.metrics.record_generation_swap();
+        // Drain outside the gate: late in-flight waits on the old generation
+        // finish here without stalling new traffic.
+        drop(old_engines);
+        Ok(generation)
+    }
+
+    /// The generation currently served by a swappable fleet (`None` when the
+    /// router was not built with
+    /// [`ShardedEngine::from_swappable_snapshot_paths`]).
+    pub fn serving_generation(&self) -> Option<u64> {
+        self.swappable_engines.first().map(|s| s.generation())
+    }
+
     /// Shared tail of both constructors: build the router core and its pool.
     fn start(
         services: Vec<Box<dyn MatchService>>,
@@ -606,6 +805,7 @@ impl ShardedEngine {
             results: ResultCache::with_capacity(config.router_result_cache_capacity),
             inflight: Singleflight::new(),
             metrics: MetricsRegistry::new(),
+            swap_gate: RwLock::new(()),
         });
         let (tx, rx) = sync_channel::<Job>(config.router_queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -631,6 +831,7 @@ impl ShardedEngine {
         ShardedEngine {
             core,
             local_engines,
+            swappable_engines: Vec::new(),
             tx: Some(tx),
             workers,
         }

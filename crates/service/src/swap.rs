@@ -1,0 +1,191 @@
+//! Zero-downtime generation swap: [`SwappableEngine`].
+//!
+//! A repository that moves on — new schemas ingested, the index rebuilt,
+//! a new snapshot written with generation N+1 — should replace generation N
+//! *under live traffic*, with no restart, no failed queries and no response
+//! that mixes the two revisions. The mechanism:
+//!
+//! 1. **Load beside** — the N+1 snapshot is validated
+//!    ([`xsm_repo::snapshot::SnapshotReader::peek`] first, so a corrupt or
+//!    wrong-generation file is refused before any expensive work) and a whole
+//!    new [`MatchEngine`] is built next to the serving one. Traffic continues
+//!    on N throughout; the only cost is memory for two indexes.
+//! 2. **Atomic flip** — the serving engine lives behind an `Arc` in a mutex;
+//!    the flip is one pointer swap. Queries submitted before the flip hold
+//!    their own `Arc` clone and complete on N (a valid, self-consistent
+//!    answer); queries submitted after see N+1. No query ever sees half of
+//!    each.
+//! 3. **Drain** — dropping the last old-generation `Arc` closes the old
+//!    engine's queue and joins its workers *after* they finish every
+//!    already-queued query ([`MatchEngine`]'s drop contract), so generation N
+//!    drains rather than aborts.
+//!
+//! `SwappableEngine` is itself a [`MatchService`], so it slots into a
+//! [`crate::ShardedEngine`] shard. The fleet-level counterpart —
+//! [`crate::ShardedEngine::swap_generation`] — flips every shard under a
+//! router-wide write gate and refuses mixed-generation fleets, so a scattered
+//! query can never merge shards from different repository revisions.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use xsm_repo::snapshot::{SnapshotError, SnapshotReader};
+use xsm_schema::SchemaTree;
+
+use crate::engine::{EngineConfig, MatchEngine, PendingResponse};
+use crate::error::ServiceResult;
+use crate::metrics::EngineMetrics;
+use crate::planner::PlanStats;
+use crate::query::{MatchQuery, MatchResponse};
+use crate::service::MatchService;
+
+/// A [`MatchService`] whose backing [`MatchEngine`] can be replaced by a
+/// newer snapshot generation without interrupting traffic; see the module
+/// docs for the load-beside / flip / drain lifecycle.
+pub struct SwappableEngine {
+    /// The serving engine. A mutex (not an `RwLock`): the critical section is
+    /// one `Arc` clone, far too short to contend, and a mutex keeps the flip
+    /// trivially atomic.
+    current: Mutex<Arc<MatchEngine>>,
+    /// The configuration every future generation is built with — a swap
+    /// changes the repository revision, never the serving semantics.
+    config: EngineConfig,
+    /// Completed swaps, surfaced as `generation_swaps` in
+    /// [`MatchService::metrics_snapshot`].
+    swaps: AtomicU64,
+}
+
+impl SwappableEngine {
+    /// Wrap an already-built engine (generation 0 unless it was
+    /// snapshot-loaded). `config` is what future generations will be built
+    /// with and should match the engine's own.
+    pub fn new(engine: MatchEngine, config: EngineConfig) -> Self {
+        SwappableEngine {
+            current: Mutex::new(Arc::new(engine)),
+            config,
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// Start from the snapshot file at `path`; future generations load with
+    /// the same `config`.
+    pub fn from_snapshot(
+        path: impl AsRef<Path>,
+        config: EngineConfig,
+    ) -> Result<Self, SnapshotError> {
+        let engine = MatchEngine::from_snapshot(path, config.clone())?;
+        Ok(Self::new(engine, config))
+    }
+
+    /// Assemble from an already-loaded snapshot (the in-memory entry point
+    /// the sharded constructor uses after reading the file once).
+    pub fn from_snapshot_parts(
+        snapshot: xsm_repo::snapshot::Snapshot,
+        config: EngineConfig,
+        start: Instant,
+    ) -> Self {
+        let engine = MatchEngine::from_snapshot_parts(snapshot, config.clone(), start);
+        Self::new(engine, config)
+    }
+
+    /// A handle to the engine serving right now. Holding it keeps that
+    /// generation alive across a concurrent swap — which is exactly how
+    /// in-flight queries finish on the generation they started on.
+    pub fn current(&self) -> Arc<MatchEngine> {
+        Arc::clone(&self.current.lock().unwrap())
+    }
+
+    /// The generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.current().generation()
+    }
+
+    /// Completed swaps since construction.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Build the engine for the snapshot at `path` *beside* the serving one —
+    /// no lock held, traffic undisturbed — requiring stamp `generation`.
+    /// The caller decides when to [`SwappableEngine::install`] it (the
+    /// sharded fleet loads every shard first, then flips all under one gate).
+    pub fn load_next(
+        &self,
+        path: impl AsRef<Path>,
+        generation: u64,
+    ) -> Result<MatchEngine, SnapshotError> {
+        // Peek first: refuse a corrupt header or a wrong generation before
+        // paying for the full deserialization.
+        let header = SnapshotReader::peek(path.as_ref())?;
+        if header.generation != generation {
+            return Err(SnapshotError::GenerationMismatch {
+                expected: generation,
+                found: header.generation,
+            });
+        }
+        MatchEngine::from_snapshot_expecting(path, self.config.clone(), generation)
+    }
+
+    /// Atomically flip to `next`, returning the old generation's `Arc`.
+    /// The flip itself is one pointer swap; dropping the returned handle
+    /// (once every in-flight clone is gone) drains and joins the old engine.
+    pub fn install(&self, next: MatchEngine) -> Arc<MatchEngine> {
+        let old = {
+            let mut current = self.current.lock().unwrap();
+            std::mem::replace(&mut *current, Arc::new(next))
+        };
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        old
+    }
+
+    /// Load the snapshot at `path` and swap to it: load-beside, flip, drain.
+    /// Returns the new serving generation. On any error the old generation
+    /// keeps serving untouched.
+    pub fn swap_to_snapshot(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        let generation = SnapshotReader::peek(path.as_ref())?.generation;
+        self.swap_to_snapshot_expecting(path, generation)
+    }
+
+    /// [`SwappableEngine::swap_to_snapshot`], additionally requiring the
+    /// snapshot to carry exactly `generation`.
+    pub fn swap_to_snapshot_expecting(
+        &self,
+        path: impl AsRef<Path>,
+        generation: u64,
+    ) -> Result<u64, SnapshotError> {
+        let next = self.load_next(path, generation)?;
+        let generation = next.generation();
+        drop(self.install(next));
+        Ok(generation)
+    }
+}
+
+impl MatchService for SwappableEngine {
+    fn submit(&self, query: MatchQuery) -> ServiceResult<PendingResponse> {
+        // The submitted query is queued on a specific generation's engine;
+        // its worker pool answers it even if a swap drops our reference
+        // moments later (drop drains the queue before joining).
+        self.current().submit(query)
+    }
+
+    fn submit_batch(&self, queries: Vec<MatchQuery>) -> ServiceResult<Vec<MatchResponse>> {
+        // One generation handle for the whole batch: a swap mid-batch must
+        // not split the batch across revisions.
+        self.current().submit_batch(queries)
+    }
+
+    /// The serving engine's metrics with this wrapper's swap count overlaid
+    /// (each generation starts its own registry; the swap count is the
+    /// wrapper's, surviving every flip).
+    fn metrics_snapshot(&self) -> ServiceResult<EngineMetrics> {
+        let mut metrics = self.current().metrics();
+        metrics.generation_swaps = self.swaps.load(Ordering::Relaxed);
+        Ok(metrics)
+    }
+
+    fn plan_stats(&self, personal: &SchemaTree, length_floor: f64) -> ServiceResult<PlanStats> {
+        self.current().plan_stats(personal, length_floor)
+    }
+}

@@ -114,6 +114,10 @@ proptest! {
             let a = fresh.answer_inline(&query);
             let mut b = loaded.answer_inline(&query);
             b.cache_hit = a.cache_hit;
+            // Serving metadata, not result content: the loaded engine stamps
+            // its snapshot generation where the fresh build stamps 0.
+            prop_assert_eq!(b.generation, generation);
+            b.generation = a.generation;
             assert_identical(&a, &b, &format!("seed {seed}, fp {}", query.fingerprint()));
         }
     }
@@ -151,6 +155,9 @@ proptest! {
             let a = cold.answer_inline(&query).unwrap();
             let mut b = warm.answer_inline(&query).unwrap();
             b.cache_hit = a.cache_hit;
+            // Serving metadata, not result content (see the single-engine test).
+            prop_assert_eq!(b.generation, seed);
+            b.generation = a.generation;
             assert_identical(
                 &a,
                 &b,

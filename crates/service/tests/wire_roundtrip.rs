@@ -142,6 +142,7 @@ proptest! {
             total_matches,
             incomplete,
             failed_shards: if incomplete { vec![0, 3, 17] } else { Vec::new() },
+            generation: incomplete_pick as u64,
             latency: std::time::Duration::from_millis(7),
         };
 
@@ -153,6 +154,7 @@ proptest! {
         prop_assert_eq!(&back.fingerprint, &response.fingerprint);
         prop_assert_eq!(back.incomplete, response.incomplete);
         prop_assert_eq!(&back.failed_shards, &response.failed_shards);
+        prop_assert_eq!(back.generation, response.generation);
         for (a, b) in back.mappings.iter().zip(&response.mappings) {
             prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
             for (pa, pb) in a.pairs().iter().zip(pb_pairs(b)) {
@@ -207,6 +209,7 @@ fn empty_and_overflow_responses_round_trip() {
         total_matches: 0,
         incomplete: false,
         failed_shards: Vec::new(),
+        generation: 0,
         latency: std::time::Duration::ZERO,
     };
     let (_, back) = reencode(&empty);
