@@ -130,6 +130,7 @@ struct KMeansRow {
 #[derive(Serialize)]
 struct CandidatesRecord {
     bench: String,
+    cores: usize,
     seed: u64,
     queries: usize,
     overlap: f64,
@@ -396,6 +397,7 @@ fn main() {
 
     let record = CandidatesRecord {
         bench: "candidates".to_string(),
+        cores: xsm_bench::cores(),
         seed: config.seed,
         queries: config.queries,
         overlap: config.overlap,

@@ -1,0 +1,299 @@
+//! Live-ingest throughput: appending and tombstone-deleting trees on a
+//! serving [`MatchEngine`] vs. rebuilding the engine from scratch at the same
+//! logical content.
+//!
+//! ```text
+//! cargo run -p xsm-bench --bin ingest --release \
+//!     [seed=N] [sizes=10000,100000] [frac=0.01] [queries=N] [workers=N] \
+//!     [out=BENCH_ingest.json]
+//! ```
+//!
+//! Per corpus size the harness builds one engine, then mutates **1%** of its
+//! trees (`frac=`): that many fresh trees appended in one batch, that many
+//! existing trees deleted in another — the churn a live schema repository
+//! sees, applied with `MatchEngine::{append_trees, delete_trees}` and **no
+//! rebuild**. The comparison leg pays what the same churn costs without live
+//! mutation: constructing a fresh engine (index build, feature extraction)
+//! over the final logical content. Both engines then answer the same seeded
+//! query mix and the harness asserts the order-sensitive answer checksums are
+//! **identical** before reporting — an incremental index that answers
+//! differently from the rebuild is a bug, not a speedup. The headline per
+//! size is `speedup = rebuild_s / (append_s + delete_s)`.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use xsm_matcher::element::ElementMatchConfig;
+use xsm_repo::{GeneratorConfig, RepositoryGenerator, SchemaRepository};
+use xsm_schema::{SchemaTree, TreeId};
+use xsm_service::workload::seeded_personal_schemas;
+use xsm_service::{EngineConfig, MatchEngine, MatchQuery, QueryStrategy};
+
+struct IngestConfig {
+    seed: u64,
+    sizes: Vec<usize>,
+    /// Fraction of the tree count appended and (separately) deleted.
+    frac: f64,
+    queries: usize,
+    workers: usize,
+    out: String,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            seed: 2006,
+            sizes: vec![10_000, 100_000],
+            frac: 0.01,
+            queries: 24,
+            workers: 1,
+            out: "BENCH_ingest.json".to_string(),
+        }
+    }
+}
+
+impl IngestConfig {
+    fn apply_args<I: IntoIterator<Item = String>>(mut self, args: I) -> Result<Self, String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got '{arg}'"));
+            };
+            match key {
+                "seed" => self.seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "sizes" => {
+                    self.sizes = value
+                        .split(',')
+                        .map(|s| s.parse().map_err(|e| format!("sizes: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "frac" => self.frac = value.parse().map_err(|e| format!("frac: {e}"))?,
+                "queries" => self.queries = value.parse().map_err(|e| format!("queries: {e}"))?,
+                "workers" => self.workers = value.parse().map_err(|e| format!("workers: {e}"))?,
+                "out" => self.out = value.to_string(),
+                other => return Err(format!("unknown parameter '{other}'")),
+            }
+        }
+        self.queries = self.queries.max(1);
+        self.workers = self.workers.max(1);
+        if self.sizes.is_empty() {
+            return Err("sizes must name at least one corpus size".to_string());
+        }
+        if !(self.frac > 0.0 && self.frac <= 1.0) {
+            return Err("frac must be within (0, 1]".to_string());
+        }
+        Ok(self)
+    }
+}
+
+/// One corpus size's live-mutation vs. rebuild comparison.
+#[derive(Serialize)]
+struct SizeRow {
+    nodes: usize,
+    trees: usize,
+    /// Trees appended (one batch) and deleted (one batch) — `frac` of the forest each.
+    appended_trees: usize,
+    deleted_trees: usize,
+    /// Postings tombstoned by the delete batch.
+    postings_dropped: usize,
+    /// Wall time of the one-batch live append, seconds.
+    append_s: f64,
+    /// Wall time of the one-batch live delete, seconds.
+    delete_s: f64,
+    /// append_s + delete_s: the full churn, applied live.
+    incremental_s: f64,
+    /// Wall time of a from-scratch engine build over the final logical content.
+    rebuild_s: f64,
+    /// rebuild_s / incremental_s — the acceptance headline.
+    speedup: f64,
+    /// Worker threads the engines ran with; flagged when beyond the host cores.
+    workers: usize,
+    underprovisioned: bool,
+    /// Order-sensitive checksum over every response digest of the query mix.
+    live_checksum: u64,
+    rebuild_checksum: u64,
+    /// The two checksums agree: the live engine answers identically.
+    answers_identical: bool,
+}
+
+#[derive(Serialize)]
+struct IngestRecord {
+    bench: String,
+    seed: u64,
+    frac: f64,
+    queries: usize,
+    cores: usize,
+    rows: Vec<SizeRow>,
+}
+
+fn engine_config(workers: usize) -> EngineConfig {
+    EngineConfig::default()
+        .with_workers(workers)
+        .with_element_config(ElementMatchConfig::default().with_min_similarity(0.5))
+}
+
+/// The seeded query mix both engines answer, derived from the *base*
+/// repository so the mix is independent of the mutation under test.
+fn query_mix(repo: &SchemaRepository, queries: usize) -> Vec<MatchQuery> {
+    seeded_personal_schemas(repo, queries)
+        .into_iter()
+        .enumerate()
+        .map(|(i, personal)| {
+            MatchQuery::new(personal)
+                .with_top_k(5)
+                .with_threshold(0.5)
+                .with_strategy(if i % 2 == 0 {
+                    QueryStrategy::Auto
+                } else {
+                    QueryStrategy::IndexPruned
+                })
+        })
+        .collect()
+}
+
+/// Order-sensitive FNV-1a over every response digest — pins the strategy,
+/// counts, every score bit and every node id of every answer in the mix.
+fn answer_checksum(engine: &MatchEngine, queries: &[MatchQuery]) -> u64 {
+    let mut checksum: u64 = 0xcbf2_9ce4_8422_2325;
+    for query in queries {
+        for b in engine.answer_inline(query).result_digest().bytes() {
+            checksum ^= b as u64;
+            checksum = checksum.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    checksum
+}
+
+fn run_size(config: &IngestConfig, nodes: usize) -> SizeRow {
+    let repo = RepositoryGenerator::new(
+        GeneratorConfig::paper_default()
+            .with_seed(config.seed)
+            .with_target_elements(nodes),
+    )
+    .generate();
+    let tree_count = repo.tree_count();
+    let churn = ((tree_count as f64 * config.frac).round() as usize).max(1);
+    eprintln!(
+        "  {} nodes over {tree_count} trees; churn = {churn} appends + {churn} deletes",
+        repo.total_nodes()
+    );
+
+    // The appended trees: a disjoint seeded corpus, `churn` trees of it.
+    let appended: Vec<SchemaTree> = RepositoryGenerator::new(
+        GeneratorConfig::paper_default()
+            .with_seed(config.seed ^ 0x9e37_79b9)
+            .with_target_elements((nodes / tree_count.max(1)) * churn + 64),
+    )
+    .generate()
+    .trees()
+    .map(|(_, t)| t.clone())
+    .take(churn)
+    .collect();
+    let appended_trees = appended.len();
+    // Victims spread across the id range, so the delete touches many segments.
+    let victims: Vec<TreeId> = (0..churn)
+        .map(|i| TreeId((i * tree_count / churn) as u32))
+        .collect();
+
+    let queries = query_mix(&repo, config.queries);
+
+    // Live leg: one engine, mutated in place while it could keep serving.
+    let live = MatchEngine::new(repo.clone(), engine_config(config.workers));
+    let start = Instant::now();
+    live.append_trees(appended.clone())
+        .expect("append succeeds");
+    let append_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let postings_dropped = live.delete_trees(&victims).expect("delete succeeds");
+    let delete_s = start.elapsed().as_secs_f64();
+    let incremental_s = append_s + delete_s;
+
+    // Rebuild leg: what the same churn costs without live mutation — a fresh
+    // engine over the final logical content (deleted trees as empty
+    // positional placeholders, exactly the live engine's logical state).
+    let mut rebuilt = SchemaRepository::new();
+    for (tid, tree) in repo.trees() {
+        if victims.binary_search(&tid).is_ok() {
+            rebuilt.add_tree(SchemaTree::new(tree.name()));
+        } else {
+            rebuilt.add_tree(tree.clone());
+        }
+    }
+    for tree in appended {
+        rebuilt.add_tree(tree);
+    }
+    let start = Instant::now();
+    let rebuild = MatchEngine::new(rebuilt, engine_config(config.workers));
+    let rebuild_s = start.elapsed().as_secs_f64();
+
+    // Guard the numbers: identical answers, or no report at all.
+    let live_checksum = answer_checksum(&live, &queries);
+    let rebuild_checksum = answer_checksum(&rebuild, &queries);
+    assert_eq!(
+        live_checksum, rebuild_checksum,
+        "live engine diverged from the rebuild at {nodes} nodes"
+    );
+
+    SizeRow {
+        nodes,
+        trees: tree_count,
+        appended_trees,
+        deleted_trees: victims.len(),
+        postings_dropped,
+        append_s,
+        delete_s,
+        incremental_s,
+        rebuild_s,
+        speedup: rebuild_s / incremental_s,
+        workers: config.workers,
+        underprovisioned: xsm_bench::underprovisioned(config.workers),
+        live_checksum,
+        rebuild_checksum,
+        answers_identical: live_checksum == rebuild_checksum,
+    }
+}
+
+fn main() {
+    let config = match IngestConfig::default().apply_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: ingest [seed=N] [sizes=10000,100000] [frac=0.01] [queries=N] \
+                 [workers=N] [out=PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "live ingest vs rebuild (seed {}, churn {:.1}% of trees)…",
+        config.seed,
+        config.frac * 100.0
+    );
+    let rows: Vec<SizeRow> = config.sizes.iter().map(|&n| run_size(&config, n)).collect();
+
+    println!("nodes\tappend_s\tdelete_s\trebuild_s\tspeedup\tidentical");
+    for row in &rows {
+        println!(
+            "{}\t{:.4}\t{:.4}\t{:.3}\t{:.1}\t{}",
+            row.nodes,
+            row.append_s,
+            row.delete_s,
+            row.rebuild_s,
+            row.speedup,
+            row.answers_identical
+        );
+    }
+
+    let record = IngestRecord {
+        bench: "ingest".to_string(),
+        seed: config.seed,
+        frac: config.frac,
+        queries: config.queries,
+        cores: xsm_bench::cores(),
+        rows,
+    };
+    let json = serde_json::to_string(&record).expect("ingest record serializes");
+    std::fs::write(&config.out, &json).expect("write ingest benchmark JSON");
+    eprintln!("wrote {}", config.out);
+}

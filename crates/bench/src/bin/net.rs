@@ -93,6 +93,9 @@ impl NetBenchConfig {
 #[derive(Serialize)]
 struct NetRow {
     shards: usize,
+    /// Total worker threads this row demanded (shards x workers + router)
+    /// exceeded the host cores — scaling numbers measure oversubscription.
+    underprovisioned: bool,
     inprocess_time_s: f64,
     inprocess_qps: f64,
     tcp_time_s: f64,
@@ -106,6 +109,7 @@ struct NetRow {
 #[derive(Serialize)]
 struct NetRecord {
     bench: String,
+    cores: usize,
     seed: u64,
     elements: usize,
     trees: usize,
@@ -269,6 +273,9 @@ fn main() {
         );
         rows.push(NetRow {
             shards,
+            underprovisioned: xsm_bench::underprovisioned(
+                shards * config.workers + config.router_workers,
+            ),
             inprocess_time_s,
             inprocess_qps,
             tcp_time_s,
@@ -279,6 +286,7 @@ fn main() {
 
     let record = NetRecord {
         bench: "net".to_string(),
+        cores: xsm_bench::cores(),
         seed: config.seed,
         elements: config.elements,
         trees: repo.tree_count(),

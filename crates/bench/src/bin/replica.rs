@@ -106,6 +106,9 @@ struct ReplicaRow {
 #[derive(Serialize)]
 struct ReplicaRecord {
     bench: String,
+    cores: usize,
+    /// The replica pair ran with more workers than the host has cores.
+    underprovisioned: bool,
     seed: u64,
     elements: usize,
     trees: usize,
@@ -292,6 +295,8 @@ fn main() {
 
     let record = ReplicaRecord {
         bench: "replica".to_string(),
+        cores: xsm_bench::cores(),
+        underprovisioned: xsm_bench::underprovisioned(config.workers),
         seed: config.seed,
         elements: config.elements,
         trees: repo.tree_count(),

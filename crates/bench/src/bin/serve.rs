@@ -38,6 +38,9 @@ struct ServeConfig {
 #[derive(Serialize)]
 struct ThroughputRow {
     workers: usize,
+    /// This row ran with more workers than the host has cores — its scaling
+    /// numbers measure oversubscription, not the engine.
+    underprovisioned: bool,
     warm: bool,
     time_s: f64,
     queries_per_sec: f64,
@@ -48,6 +51,7 @@ struct ThroughputRow {
 #[derive(Serialize)]
 struct ServeRecord {
     bench: String,
+    cores: usize,
     seed: u64,
     elements: usize,
     trees: usize,
@@ -228,6 +232,7 @@ fn main() {
 
     let record = ServeRecord {
         bench: "serve".to_string(),
+        cores: xsm_bench::cores(),
         seed: config.seed,
         elements: config.elements,
         trees: concurrent.repository().tree_count(),
@@ -239,6 +244,7 @@ fn main() {
         rows: vec![
             ThroughputRow {
                 workers: 1,
+                underprovisioned: xsm_bench::underprovisioned(1),
                 warm: false,
                 time_s: base_time,
                 queries_per_sec: base_qps,
@@ -246,6 +252,7 @@ fn main() {
             },
             ThroughputRow {
                 workers: config.workers,
+                underprovisioned: xsm_bench::underprovisioned(config.workers),
                 warm: false,
                 time_s: conc_time,
                 queries_per_sec: conc_qps,
@@ -253,6 +260,7 @@ fn main() {
             },
             ThroughputRow {
                 workers: config.workers,
+                underprovisioned: xsm_bench::underprovisioned(config.workers),
                 warm: true,
                 time_s: warm_time,
                 queries_per_sec: warm_qps,

@@ -90,6 +90,9 @@ impl ShardBenchConfig {
 #[derive(Serialize)]
 struct ShardRow {
     shards: usize,
+    /// Total worker threads this row demanded (shards x workers + router)
+    /// exceeded the host cores — scaling numbers measure oversubscription.
+    underprovisioned: bool,
     build_seconds: f64,
     time_s: f64,
     queries_per_sec: f64,
@@ -102,6 +105,7 @@ struct ShardRow {
 #[derive(Serialize)]
 struct ShardRecord {
     bench: String,
+    cores: usize,
     seed: u64,
     elements: usize,
     trees: usize,
@@ -223,6 +227,9 @@ fn main() {
         );
         rows.push(ShardRow {
             shards,
+            underprovisioned: xsm_bench::underprovisioned(
+                shards * config.workers + config.router_workers,
+            ),
             build_seconds,
             time_s,
             queries_per_sec: qps,
@@ -234,6 +241,7 @@ fn main() {
 
     let record = ShardRecord {
         bench: "shard".to_string(),
+        cores: xsm_bench::cores(),
         seed: config.seed,
         elements: config.elements,
         trees: repo.tree_count(),

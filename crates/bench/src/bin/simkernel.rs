@@ -96,6 +96,7 @@ struct MeasureRow {
 #[derive(Serialize)]
 struct SimkernelRecord {
     bench: String,
+    cores: usize,
     seed: u64,
     elements: usize,
     query_names: usize,
@@ -465,6 +466,7 @@ fn main() {
 
     let record = SimkernelRecord {
         bench: "simkernel".to_string(),
+        cores: xsm_bench::cores(),
         seed: config.seed,
         elements: config.elements,
         query_names: w.query_names.len(),

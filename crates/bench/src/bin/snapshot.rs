@@ -133,6 +133,7 @@ struct SizeRow {
 #[derive(Serialize)]
 struct SnapshotRecord {
     bench: String,
+    cores: usize,
     seed: u64,
     queries: usize,
     reps: usize,
@@ -249,7 +250,7 @@ fn run_leg(role: &str, path: &str, queries: usize) -> Result<LegReport, String> 
     };
     let mut report = report;
     if queries > 0 {
-        let mix = query_mix(engine.repository(), queries);
+        let mix = query_mix(&engine.repository(), queries);
         report.checksum = Some(answer_checksum(&engine, &mix));
     }
     Ok(report)
@@ -470,6 +471,7 @@ fn main() {
 
     let record = SnapshotRecord {
         bench: "snapshot".to_string(),
+        cores: xsm_bench::cores(),
         seed: config.seed,
         queries: config.queries,
         reps: config.reps,

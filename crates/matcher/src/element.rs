@@ -357,7 +357,9 @@ pub fn match_elements_features(
     for &pnode in &personal_nodes {
         let pdata = personal.node(pnode).expect("preorder yields valid ids");
         let pfeatures = store.query_features(&pdata.name);
-        for (rid, rfeatures) in store.iter() {
+        // Alive nodes only: tombstoned trees must be invisible to the
+        // exhaustive path exactly as the index-pruned path filters them.
+        for (rid, rfeatures) in store.iter_alive() {
             let sim = fuzzy_features(&pfeatures, rfeatures, scratch);
             if sim >= config.min_similarity && sim > 0.0 {
                 set.push(MappingElement::new(pnode, rid, sim));

@@ -8,7 +8,7 @@
 //! its posting lists in a dense `Vec` keyed by gram id and lets candidate scoring
 //! intersect signatures by integer merge.
 
-use xsm_schema::GlobalNodeId;
+use xsm_schema::{GlobalNodeId, SchemaTree, TreeId};
 use xsm_similarity::features::{for_each_gram, GramInterner, NameFeatures};
 
 use crate::repository::SchemaRepository;
@@ -84,6 +84,14 @@ pub struct FeatureStore {
     /// `offsets[t]..offsets[t+1]` is the feature range of tree `t` (one trailing
     /// entry, so the slice bounds of the last tree need no special case).
     offsets: Vec<u32>,
+    /// Tombstone bit per dense slot: a dead node keeps its slot (dense indices
+    /// are stable forever) but is skipped by alive iteration and candidate
+    /// emission. Always `features.len()` long.
+    dead: Vec<bool>,
+    /// The tombstoned trees, sorted ascending — the set a snapshot persists.
+    dead_trees: Vec<TreeId>,
+    /// Number of `false` entries in `dead`, maintained incrementally.
+    alive: usize,
 }
 
 impl FeatureStore {
@@ -106,12 +114,16 @@ impl FeatureStore {
             }
             offsets.push(features.len() as u32);
         }
+        let alive = features.len();
         FeatureStore {
             interner,
             ids,
             features,
             columns: None,
             offsets,
+            dead: vec![false; alive],
+            dead_trees: Vec::new(),
+            alive,
         }
     }
 
@@ -144,7 +156,79 @@ impl FeatureStore {
             features,
             columns: Some(columns),
             offsets,
+            dead: vec![false; node_count],
+            dead_trees: Vec::new(),
+            alive: node_count,
         }
+    }
+
+    /// Append one tree's nodes to the store: dense slots for the new nodes are
+    /// allocated at the tail, existing slots (ids, features, offsets, tombstone
+    /// bits) are untouched. `tid` must be the next tree index — appends never
+    /// leave holes in the tree table. New grams extend the shared interner.
+    pub(crate) fn append_tree(&mut self, tid: TreeId, tree: &SchemaTree) {
+        debug_assert_eq!(
+            tid.index() + 1,
+            self.offsets.len(),
+            "appends allocate the next tree index"
+        );
+        for (nid, node) in tree.nodes() {
+            self.ids.push(GlobalNodeId::new(tid, nid));
+            self.features
+                .push(std::sync::OnceLock::from(NameFeatures::build(
+                    &node.name,
+                    &mut self.interner,
+                )));
+            self.dead.push(false);
+            self.alive += 1;
+        }
+        self.offsets.push(self.features.len() as u32);
+    }
+
+    /// Tombstone every node of tree `tid`, returning the dense range killed.
+    /// Idempotent at the caller's discretion: tombstoning an already-dead tree
+    /// returns `None` and changes nothing.
+    pub(crate) fn tombstone_tree(&mut self, tid: TreeId) -> Option<std::ops::Range<usize>> {
+        let range = self.tree_range(tid)?;
+        match self.dead_trees.binary_search(&tid) {
+            Ok(_) => return None,
+            Err(pos) => self.dead_trees.insert(pos, tid),
+        }
+        for dense in range.clone() {
+            debug_assert!(!self.dead[dense], "a tree dies as a whole, exactly once");
+            self.dead[dense] = true;
+            self.alive -= 1;
+        }
+        Some(range)
+    }
+
+    /// The dense-slot range of tree `tid`, or `None` for unknown trees.
+    pub(crate) fn tree_range(&self, tid: TreeId) -> Option<std::ops::Range<usize>> {
+        let t = tid.index();
+        let start = *self.offsets.get(t)? as usize;
+        let end = *self.offsets.get(t + 1)? as usize;
+        Some(start..end)
+    }
+
+    /// Whether the dense slot is tombstoned. `dense` must be in bounds.
+    #[inline]
+    pub fn is_dead(&self, dense: usize) -> bool {
+        self.dead[dense]
+    }
+
+    /// Whether tree `tid` has been tombstoned.
+    pub fn is_tree_dead(&self, tid: TreeId) -> bool {
+        self.dead_trees.binary_search(&tid).is_ok()
+    }
+
+    /// The tombstoned trees, ascending.
+    pub fn dead_trees(&self) -> &[TreeId] {
+        &self.dead_trees
+    }
+
+    /// Number of nodes that are *not* tombstoned.
+    pub fn alive_len(&self) -> usize {
+        self.alive
     }
 
     /// The slot's features, materialising them from the columns on first touch.
@@ -158,7 +242,14 @@ impl FeatureStore {
         })
     }
 
-    /// The shared gram interner (frozen after the build).
+    /// The features of the dense slot `dense` (must be in bounds) — the
+    /// index's internal dense-order access path.
+    pub(crate) fn features_at(&self, dense: usize) -> &NameFeatures {
+        self.slot(dense)
+    }
+
+    /// The shared gram interner (frozen between mutations: only a live
+    /// append, via `NameIndex::append_tree`, extends it).
     pub fn interner(&self) -> &GramInterner {
         &self.interner
     }
@@ -188,12 +279,25 @@ impl FeatureStore {
     }
 
     /// Iterate `(node id, features)` in the repository's canonical node order
-    /// (materialising any still-lazy slots as it goes).
+    /// (materialising any still-lazy slots as it goes). Tombstoned nodes are
+    /// *included* — this is the physical order a snapshot serializes; logical
+    /// consumers want [`FeatureStore::iter_alive`].
     pub fn iter(&self) -> impl Iterator<Item = (GlobalNodeId, &NameFeatures)> + '_ {
         self.ids
             .iter()
             .copied()
             .enumerate()
+            .map(move |(dense, id)| (id, self.slot(dense)))
+    }
+
+    /// [`FeatureStore::iter`] restricted to nodes that are not tombstoned — the
+    /// node set an exhaustive matching pass scores.
+    pub fn iter_alive(&self) -> impl Iterator<Item = (GlobalNodeId, &NameFeatures)> + '_ {
+        self.ids
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(move |(dense, _)| !self.dead[*dense])
             .map(move |(dense, id)| (id, self.slot(dense)))
     }
 

@@ -265,9 +265,19 @@ pub struct NameIndex {
     /// then by name length; ascending within each segment.
     arena: Vec<u32>,
     /// Length-segment directory; gram `g` owns
-    /// `segments[gram_segments[g] .. gram_segments[g + 1]]`.
+    /// `segments[gram_segments[g] .. gram_segments[g + 1]]`. After appends a
+    /// gram may own several segments of the *same* length (the pre-append run
+    /// and one tail run per append, older first — dense order is preserved
+    /// across them); compaction merges them back into one.
     segments: Vec<LenSegment>,
     gram_segments: Vec<u32>,
+    /// Tombstoned postings per segment, parallel to `segments`: the live size
+    /// of segment `i` is `(end - start) - seg_dead[i]`. Volume estimates and
+    /// the planner read live sizes; the merge algorithms skip dead candidates
+    /// at emission time; compaction rewrites the arena and zeroes this.
+    seg_dead: Vec<u32>,
+    /// Total tombstoned postings in the arena (`seg_dead` summed).
+    dead_postings: usize,
     /// Character length of every node's lowercased name, by dense index
     /// (ScanProbe reads a candidate's length to pick its probe segments).
     lens: Vec<u32>,
@@ -343,11 +353,14 @@ impl NameIndex {
             }
             gram_segments.push(segments.len() as u32);
         }
+        let seg_dead = vec![0; segments.len()];
         NameIndex {
             exact,
             arena,
             segments,
             gram_segments,
+            seg_dead,
+            dead_postings: 0,
             lens,
             store,
             q,
@@ -367,15 +380,260 @@ impl NameIndex {
         store: FeatureStore,
         q: usize,
     ) -> Self {
+        let seg_dead = vec![0; segments.len()];
         NameIndex {
             exact,
             arena,
             segments,
             gram_segments,
+            seg_dead,
+            dead_postings: 0,
             lens,
             store,
             q,
         }
+    }
+
+    /// Replay a persisted tombstone set onto a freshly reassembled index (the
+    /// snapshot-load path): mark the trees dead in the store and recount the
+    /// per-segment dead postings in one arena pass. The exact-name map needs no
+    /// work — it was serialized already cleaned of dead nodes.
+    pub(crate) fn apply_tombstones(&mut self, trees: &[xsm_schema::TreeId]) {
+        for &tid in trees {
+            self.store.tombstone_tree(tid);
+        }
+        self.dead_postings = 0;
+        for (i, seg) in self.segments.iter().enumerate() {
+            let dead = self.arena[seg.start as usize..seg.end as usize]
+                .iter()
+                .filter(|&&dense| self.store.is_dead(dense as usize))
+                .count();
+            self.seg_dead[i] = dead as u32;
+            self.dead_postings += dead;
+        }
+    }
+
+    /// Append one tree's nodes to the index: the [`FeatureStore`] grows at the
+    /// tail, the new postings extend the arena as new length-segmented runs,
+    /// and the per-gram segment *directory* is remerged (metadata-sized work —
+    /// existing arena entries, dense indices and feature slots are untouched).
+    /// `tid` must be the next tree index of the repository the index covers.
+    pub fn append_tree(&mut self, tid: xsm_schema::TreeId, tree: &xsm_schema::SchemaTree) {
+        let old_total = self.store.len();
+        self.store.append_tree(tid, tree);
+        let new_total = self.store.len();
+
+        // Per-node lengths, exact-name postings, and the new per-gram lists.
+        let mut per_gram: HashMap<u32, Vec<u32>> = HashMap::new();
+        let ids = self.store.node_ids();
+        for (dense, &id) in ids.iter().enumerate().take(new_total).skip(old_total) {
+            let features = self.store.features_at(dense);
+            self.lens.push(features.char_len() as u32);
+            for &gram_id in features.gram_sig() {
+                per_gram.entry(gram_id).or_default().push(dense as u32);
+            }
+            let lower = &*features.lower;
+            match self.exact.get_mut(lower) {
+                // Dense order is ascending id order, so pushes keep the
+                // posting lists sorted.
+                Some(nodes) => nodes.push(id),
+                None => {
+                    self.exact.insert(lower.to_string(), vec![id]);
+                }
+            }
+        }
+
+        // Tail-extend the arena with the new runs, one segment per
+        // (gram, length) among the appended nodes.
+        let mut new_segments: HashMap<u32, Vec<(LenSegment, usize)>> =
+            HashMap::with_capacity(per_gram.len());
+        for (gram_id, mut list) in per_gram {
+            list.sort_by_key(|&dense| self.lens[dense as usize]);
+            let mut segs: Vec<(LenSegment, usize)> = Vec::new();
+            let mut k = 0;
+            while k < list.len() {
+                let len = self.lens[list[k] as usize];
+                let start = self.arena.len() as u32;
+                while k < list.len() && self.lens[list[k] as usize] == len {
+                    self.arena.push(list[k]);
+                    k += 1;
+                }
+                segs.push((
+                    LenSegment {
+                        len,
+                        start,
+                        end: self.arena.len() as u32,
+                    },
+                    0,
+                ));
+            }
+            new_segments.insert(gram_id, segs);
+        }
+
+        // Remerge the segment directory: per gram, old segments and the new
+        // tail run ordered by length, the old segment first on equal lengths
+        // (old dense indices < new ones, so ascending order is preserved
+        // across the same-length pair).
+        let gram_count = self.store.interner().len();
+        let mut segments = Vec::with_capacity(self.segments.len() + new_segments.len());
+        let mut seg_dead = Vec::with_capacity(segments.capacity());
+        let mut gram_segments = Vec::with_capacity(gram_count + 1);
+        gram_segments.push(0u32);
+        let old_gram_count = self.gram_segments.len() - 1;
+        for gram_id in 0..gram_count {
+            let old = if gram_id < old_gram_count {
+                let (s, e) = (
+                    self.gram_segments[gram_id] as usize,
+                    self.gram_segments[gram_id + 1] as usize,
+                );
+                s..e
+            } else {
+                0..0
+            };
+            let mut old_iter = old.clone().peekable();
+            let mut new_iter = new_segments
+                .remove(&(gram_id as u32))
+                .unwrap_or_default()
+                .into_iter()
+                .peekable();
+            loop {
+                let take_old = match (old_iter.peek(), new_iter.peek()) {
+                    (Some(&oi), Some((nseg, _))) => self.segments[oi].len <= nseg.len,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if take_old {
+                    let oi = old_iter.next().expect("peeked");
+                    segments.push(self.segments[oi]);
+                    seg_dead.push(self.seg_dead[oi]);
+                } else {
+                    let (seg, dead) = new_iter.next().expect("peeked");
+                    segments.push(seg);
+                    seg_dead.push(dead as u32);
+                }
+            }
+            gram_segments.push(segments.len() as u32);
+        }
+        self.segments = segments;
+        self.seg_dead = seg_dead;
+        self.gram_segments = gram_segments;
+    }
+
+    /// Tombstone tree `tid`: its nodes stop being returned by every lookup, the
+    /// exact-name map drops them eagerly, and their postings are recorded dead
+    /// per segment (filtered at candidate emission until a [`NameIndex::compact`]
+    /// physically reclaims them). Returns the number of postings tombstoned, or
+    /// `None` when the tree is unknown or already dead.
+    pub fn tombstone_tree(&mut self, tid: xsm_schema::TreeId) -> Option<usize> {
+        let range = self.store.tombstone_tree(tid)?;
+        let ids = self.store.node_ids();
+        let mut killed = 0usize;
+        for dense in range {
+            let features = self.store.features_at(dense);
+            let len = self.lens[dense];
+            // Drop the node from its exact-name posting list (kept sorted, so
+            // one binary search finds it).
+            let id = ids[dense];
+            if let Some(nodes) = self.exact.get_mut(&*features.lower) {
+                if let Ok(pos) = nodes.binary_search(&id) {
+                    nodes.remove(pos);
+                }
+                if nodes.is_empty() {
+                    self.exact.remove(&*features.lower);
+                }
+            }
+            // Record the posting dead in each gram's segment of this length
+            // that contains it (same-length twins hold disjoint dense ranges,
+            // so exactly one probe succeeds).
+            for &gram_id in features.gram_sig() {
+                let (seg_start, seg_end) = self.segment_range(gram_id);
+                for i in seg_start..seg_end {
+                    let seg = self.segments[i];
+                    if seg.len != len {
+                        continue;
+                    }
+                    if self.arena[seg.start as usize..seg.end as usize]
+                        .binary_search(&(dense as u32))
+                        .is_ok()
+                    {
+                        self.seg_dead[i] += 1;
+                        killed += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        self.dead_postings += killed;
+        Some(killed)
+    }
+
+    /// LSM-style compaction: rewrite the posting arena alive-only, merging a
+    /// gram's same-length segment twins (accumulated by appends) back into one
+    /// run each. Dense indices are *never* renumbered — dead feature slots
+    /// stay allocated so surviving postings keep their meaning — which makes
+    /// compaction a physical-layout operation with no logical effect (and no
+    /// generation bump). Returns the number of postings reclaimed.
+    pub fn compact(&mut self) -> usize {
+        let reclaimed = self.dead_postings;
+        let mut arena = Vec::with_capacity(self.arena.len() - self.dead_postings);
+        let mut segments = Vec::with_capacity(self.segments.len());
+        let mut gram_segments = Vec::with_capacity(self.gram_segments.len());
+        gram_segments.push(0u32);
+        for gram_id in 0..self.gram_segments.len() - 1 {
+            let (seg_start, seg_end) = self.segment_range(gram_id as u32);
+            let mut i = seg_start;
+            while i < seg_end {
+                let len = self.segments[i].len;
+                let start = arena.len() as u32;
+                // Adjacent directory entries of equal length are the old run
+                // followed by append runs, already ascending across the group.
+                while i < seg_end && self.segments[i].len == len {
+                    let seg = self.segments[i];
+                    arena.extend(
+                        self.arena[seg.start as usize..seg.end as usize]
+                            .iter()
+                            .copied()
+                            .filter(|&dense| !self.store.is_dead(dense as usize)),
+                    );
+                    i += 1;
+                }
+                if arena.len() as u32 > start {
+                    segments.push(LenSegment {
+                        len,
+                        start,
+                        end: arena.len() as u32,
+                    });
+                }
+            }
+            gram_segments.push(segments.len() as u32);
+        }
+        self.arena = arena;
+        self.segments = segments;
+        self.gram_segments = gram_segments;
+        self.seg_dead = vec![0; self.segments.len()];
+        self.dead_postings = 0;
+        reclaimed
+    }
+
+    /// Tombstoned postings still occupying the arena.
+    pub fn dead_postings(&self) -> usize {
+        self.dead_postings
+    }
+
+    /// Fraction of the arena occupied by tombstoned postings (0 when empty) —
+    /// the dead-weight measure compaction thresholds are expressed in.
+    pub fn dead_posting_fraction(&self) -> f64 {
+        if self.arena.is_empty() {
+            0.0
+        } else {
+            self.dead_postings as f64 / self.arena.len() as f64
+        }
+    }
+
+    /// The tombstoned trees, ascending — what a snapshot persists.
+    pub fn tombstoned_trees(&self) -> &[xsm_schema::TreeId] {
+        self.store.dead_trees()
     }
 
     /// The exact lowercase-name map, for serialization. Hash-ordered — a
@@ -497,12 +755,20 @@ impl NameIndex {
         }
         let needed = ((min_overlap_fraction * resolved.distinct as f64).ceil() as usize).max(1);
 
-        // Length filter: collect the in-window segments.
+        // Length filter: collect the in-window segments. Sizes and volumes are
+        // *live* (dead postings subtracted), so the planner-facing numbers and
+        // the merge-policy choice match a from-scratch rebuild of the same
+        // logical content; fully-dead segments vanish entirely, like the
+        // rebuild never having had them.
         scratch.segs.clear();
         for &gram_id in &resolved.known {
             let (seg_start, seg_end) = self.segment_range(gram_id);
-            for seg in &self.segments[seg_start..seg_end] {
-                let size = (seg.end - seg.start) as usize;
+            for i in seg_start..seg_end {
+                let seg = self.segments[i];
+                let size = (seg.end - seg.start - self.seg_dead[i]) as usize;
+                if size == 0 {
+                    continue;
+                }
                 stats.volume_total += size;
                 if window.admits(resolved.char_len, seg.len as usize) {
                     scratch.segs.push((seg.len, seg.start, seg.end));
@@ -592,7 +858,9 @@ impl NameIndex {
         self.scan_runs(scratch, stats);
         scratch.out.clear();
         for &dense in &scratch.touched {
-            if scratch.counts[dense as usize] as usize >= needed {
+            if scratch.counts[dense as usize] as usize >= needed
+                && !self.store.is_dead(dense as usize)
+            {
                 scratch.out.push(dense);
             }
             scratch.counts[dense as usize] = 0;
@@ -647,6 +915,9 @@ impl NameIndex {
         for &dense in &scratch.touched {
             let short_count = scratch.counts[dense as usize] as usize;
             scratch.counts[dense as usize] = 0;
+            if self.store.is_dead(dense as usize) {
+                continue;
+            }
             let len = self.lens[dense as usize];
             let group_start = scratch.long.partition_point(|&(l, _, _)| l < len);
             let group_end =
@@ -706,7 +977,9 @@ impl NameIndex {
             }
             stats.candidates_examined += 1;
             if scratch.popped.len() >= needed {
-                scratch.out.push(value);
+                if !self.store.is_dead(value as usize) {
+                    scratch.out.push(value);
+                }
                 for &run_idx in &scratch.popped {
                     let (pos, end) = &mut scratch.runs[run_idx as usize];
                     *pos += 1;
@@ -760,9 +1033,14 @@ impl NameIndex {
         let ids = self.store.node_ids();
         let mut counts: HashMap<GlobalNodeId, usize> = HashMap::new();
         for &gram_id in &known {
-            let (start, end) = self.arena_span(gram_id);
-            for &dense in &self.arena[start..end] {
-                *counts.entry(ids[dense as usize]).or_default() += 1;
+            let (seg_start, seg_end) = self.segment_range(gram_id);
+            for seg in &self.segments[seg_start..seg_end] {
+                for &dense in &self.arena[seg.start as usize..seg.end as usize] {
+                    if self.store.is_dead(dense as usize) {
+                        continue;
+                    }
+                    *counts.entry(ids[dense as usize]).or_default() += 1;
+                }
             }
         }
         let needed = (min_overlap_fraction * distinct as f64).ceil() as usize;
@@ -792,9 +1070,10 @@ impl NameIndex {
         self.q
     }
 
-    /// Number of nodes indexed (one per repository node).
+    /// Number of nodes indexed and alive (tombstoned nodes are not served, so
+    /// they do not count).
     pub fn indexed_nodes(&self) -> usize {
-        self.store.len()
+        self.store.alive_len()
     }
 
     /// Segment-directory range of one gram.
@@ -805,27 +1084,19 @@ impl NameIndex {
         )
     }
 
-    /// Arena span of one gram's full posting list (all length segments — they are
-    /// laid out contiguously per gram).
-    fn arena_span(&self, gram_id: u32) -> (usize, usize) {
-        let (seg_start, seg_end) = self.segment_range(gram_id);
-        if seg_start == seg_end {
-            return (0, 0);
-        }
-        (
-            self.segments[seg_start].start as usize,
-            self.segments[seg_end - 1].end as usize,
-        )
-    }
-
-    /// Length of the posting list of one q-gram (0 for grams absent from the index).
+    /// Live length of the posting list of one q-gram (0 for grams absent from
+    /// the index; tombstoned postings do not count).
     pub fn gram_posting_len(&self, gram: &str) -> usize {
         self.store
             .interner()
             .lookup(gram)
             .map(|id| {
-                let (start, end) = self.arena_span(id);
-                end - start
+                let (seg_start, seg_end) = self.segment_range(id);
+                (seg_start..seg_end)
+                    .map(|i| {
+                        (self.segments[i].end - self.segments[i].start - self.seg_dead[i]) as usize
+                    })
+                    .sum()
             })
             .unwrap_or(0)
     }
@@ -850,9 +1121,10 @@ impl NameIndex {
         let mut volume = 0usize;
         for &gram_id in &resolved.known {
             let (seg_start, seg_end) = self.segment_range(gram_id);
-            for seg in &self.segments[seg_start..seg_end] {
+            for i in seg_start..seg_end {
+                let seg = self.segments[i];
                 if window.admits(resolved.char_len, seg.len as usize) {
-                    volume += (seg.end - seg.start) as usize;
+                    volume += (seg.end - seg.start - self.seg_dead[i]) as usize;
                 }
             }
         }
@@ -865,8 +1137,12 @@ impl NameIndex {
         let mut by_len: Vec<(usize, usize)> = Vec::new();
         for &gram_id in &resolved.known {
             let (seg_start, seg_end) = self.segment_range(gram_id);
-            for seg in &self.segments[seg_start..seg_end] {
-                let size = (seg.end - seg.start) as usize;
+            for i in seg_start..seg_end {
+                let seg = self.segments[i];
+                let size = (seg.end - seg.start - self.seg_dead[i]) as usize;
+                if size == 0 {
+                    continue;
+                }
                 match by_len.binary_search_by_key(&(seg.len as usize), |&(l, _)| l) {
                     Ok(pos) => by_len[pos].1 += size,
                     Err(pos) => by_len.insert(pos, (seg.len as usize, size)),

@@ -30,6 +30,7 @@ pub mod corpus;
 pub mod features;
 pub mod generator;
 pub mod index;
+pub mod live;
 pub mod partition;
 pub mod repository;
 pub mod sampling;
@@ -41,6 +42,7 @@ pub use index::{
     CandidateQuery, CandidateScratch, CandidateStats, LengthWindow, MergeAlgorithm, MergePolicy,
     NameIndex, ResolvedQuery,
 };
-pub use partition::{RepositoryPartition, ShardPlacement};
+pub use live::{IngestLog, IngestOp, IngestRecord, LiveError, LiveRepository};
+pub use partition::{tree_hash_shard, RepositoryPartition, ShardPlacement};
 pub use repository::SchemaRepository;
 pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};

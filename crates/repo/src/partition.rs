@@ -60,7 +60,20 @@ impl RepositoryPartition {
         assert!(shard_count >= 1, "shard_count must be at least 1");
         let assignment = match placement {
             ShardPlacement::Contiguous => contiguous_assignment(repo, shard_count),
-            ShardPlacement::TreeHash => hash_assignment(repo, shard_count),
+            ShardPlacement::TreeHash => {
+                let assignment = hash_assignment(repo, shard_count);
+                // Append-stability is load-bearing for incremental ingest: a
+                // tree's shard must be a pure function of the tree itself —
+                // never of its id or of how many trees surround it — so that
+                // appending can route new trees without moving old ones.
+                debug_assert!(
+                    repo.trees()
+                        .all(|(tid, tree)| assignment[tid.index()]
+                            == tree_hash_shard(tree, shard_count)),
+                    "TreeHash placement must depend on the tree alone"
+                );
+                assignment
+            }
         };
         let mut trees: Vec<Vec<_>> = vec![Vec::new(); shard_count];
         let mut tree_maps: Vec<Vec<TreeId>> = vec![Vec::new(); shard_count];
@@ -154,20 +167,31 @@ fn contiguous_assignment(repo: &SchemaRepository, shard_count: usize) -> Vec<usi
     assignment
 }
 
-/// FNV-1a over the tree's root-element name bytes, mixed with its node count.
+/// The shard a tree lands on under [`ShardPlacement::TreeHash`]: FNV-1a over
+/// the tree's root-element name bytes, mixed with its node count, modulo the
+/// shard count.
+///
+/// This is deliberately a free function of the **tree alone** — not of its
+/// `TreeId`, not of the surrounding forest — which is exactly what makes the
+/// placement append-stable: a router ingesting new trees computes their shard
+/// with this function and knows no existing tree can move (the partition
+/// property suite pins that invariant).
+pub fn tree_hash_shard(tree: &xsm_schema::SchemaTree, shard_count: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let root_name = tree.root().map(|r| tree.name_of(r)).unwrap_or("");
+    for byte in root_name.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= tree.len() as u64;
+    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    (h % shard_count as u64) as usize
+}
+
+/// FNV-1a tree-hash placement for a whole forest; see [`tree_hash_shard`].
 fn hash_assignment(repo: &SchemaRepository, shard_count: usize) -> Vec<usize> {
     repo.trees()
-        .map(|(_, tree)| {
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            let root_name = tree.root().map(|r| tree.name_of(r)).unwrap_or("");
-            for byte in root_name.bytes() {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-            h ^= tree.len() as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            (h % shard_count as u64) as usize
-        })
+        .map(|(_, tree)| tree_hash_shard(tree, shard_count))
         .collect()
 }
 
@@ -317,5 +341,51 @@ mod tests {
     #[should_panic(expected = "shard_count must be at least 1")]
     fn zero_shards_panics() {
         RepositoryPartition::build(&SchemaRepository::new(), 0, ShardPlacement::Contiguous);
+    }
+
+    proptest::proptest! {
+        /// TreeHash placement never remaps an existing tree when trees are
+        /// appended — the invariant incremental ingest routes on.
+        #[test]
+        fn tree_hash_placement_is_append_stable(
+            seed in 0u64..1000,
+            base_elements in 50usize..300,
+            appended in 1usize..8,
+            shards in 1usize..6,
+        ) {
+            let base = RepositoryGenerator::new(
+                GeneratorConfig::small(seed).with_target_elements(base_elements),
+            )
+            .generate();
+            let before = RepositoryPartition::build(&base, shards, ShardPlacement::TreeHash);
+
+            let extra = RepositoryGenerator::new(
+                GeneratorConfig::small(seed ^ 0x9e37_79b9).with_target_elements(appended * 12),
+            )
+            .generate();
+            let mut grown = base.clone();
+            let mut new_ids = Vec::new();
+            for (_, tree) in extra.trees().take(appended) {
+                new_ids.push(grown.add_tree(tree.clone()));
+            }
+            let after = RepositoryPartition::build(&grown, shards, ShardPlacement::TreeHash);
+
+            for (tid, tree) in base.trees() {
+                proptest::prop_assert_eq!(before.shard_of(tid), after.shard_of(tid));
+                // The placement is a pure function of the tree alone.
+                proptest::prop_assert_eq!(
+                    after.shard_of(tid),
+                    Some(tree_hash_shard(tree, shards))
+                );
+            }
+            // New trees land where the free function says they land.
+            for tid in new_ids {
+                let tree = grown.tree(tid).unwrap();
+                proptest::prop_assert_eq!(
+                    after.shard_of(tid),
+                    Some(tree_hash_shard(tree, shards))
+                );
+            }
+        }
     }
 }

@@ -46,6 +46,10 @@ pub(crate) mod section {
     pub const EXACT_NAMES: &str = "exact_names";
     pub const EXACT_NODES: &str = "exact_nodes";
     pub const CENTROIDS: &str = "centroids";
+    /// Tombstoned tree ids (u32, ascending). **Optional**: written only when a
+    /// live repository has tombstones, so snapshots of never-mutated
+    /// repositories keep their byte layout (the golden-file suite pins it).
+    pub const TOMBSTONES: &str = "tombstones";
 }
 
 /// One entry of the section directory carried in the header.

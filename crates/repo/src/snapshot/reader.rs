@@ -227,6 +227,36 @@ fn reconstruct(header: &SnapshotHeader, body: &[u8]) -> Result<Snapshot, Snapsho
         )));
     }
 
+    // --- tombstones (optional; absent from never-mutated snapshots) --------
+    // Parsed early: the dead-node count below feeds the exact-map size check,
+    // and the ids are re-applied to the index after assembly.
+    let tombstoned: Vec<TreeId> = match maybe_section_payload(header, body, section::TOMBSTONES) {
+        None => Vec::new(),
+        Some(payload) => {
+            let raw = flat_u32s(header, body, section::TOMBSTONES)?;
+            debug_assert_eq!(payload.len(), raw.len() * 4);
+            let mut trees = Vec::with_capacity(raw.len());
+            for &t in &raw {
+                if t as usize >= tree_count {
+                    return Err(SnapshotError::malformed(format!(
+                        "tombstones name unknown tree {t} ({tree_count} trees)"
+                    )));
+                }
+                trees.push(TreeId(t));
+            }
+            if !trees.windows(2).all(|w| w[0] < w[1]) {
+                return Err(SnapshotError::malformed(
+                    "tombstoned trees must be strictly ascending".to_string(),
+                ));
+            }
+            trees
+        }
+    };
+    let dead_nodes: usize = tombstoned
+        .iter()
+        .map(|t| tree_sizes[t.index()] as usize)
+        .sum();
+
     // --- node names + fixed-width metadata ---------------------------------
     let mut cur = Cursor::new(
         section_payload(header, body, section::NODE_NAMES)?,
@@ -558,9 +588,12 @@ fn reconstruct(header: &SnapshotHeader, body: &[u8]) -> Result<Snapshot, Snapsho
     let exact_flat = cur.read_u32s(exact_total, "exact-name postings")?;
     cur.finish()?;
     check_offsets(&exact_offsets, exact_total, "exact-name offsets")?;
-    if exact_total != node_count {
+    // Tombstoned nodes are removed from the exact map at delete time, so the
+    // lists partition the *alive* node set.
+    if exact_total != node_count - dead_nodes {
         return Err(SnapshotError::malformed(format!(
-            "exact-name postings cover {exact_total} nodes, header says {node_count}"
+            "exact-name postings cover {exact_total} nodes, header says {node_count} \
+             ({dead_nodes} tombstoned)"
         )));
     }
     let dense_ids: Vec<GlobalNodeId> = {
@@ -591,7 +624,7 @@ fn reconstruct(header: &SnapshotHeader, body: &[u8]) -> Result<Snapshot, Snapsho
         }
     }
 
-    let index = NameIndex::from_parts(
+    let mut index = NameIndex::from_parts(
         exact,
         arena,
         segments,
@@ -600,6 +633,12 @@ fn reconstruct(header: &SnapshotHeader, body: &[u8]) -> Result<Snapshot, Snapsho
         store,
         header.q as usize,
     );
+    // Re-mark the dead trees: the arena still holds their postings (the writer
+    // serializes the physical state), so the live sizes and emission filters
+    // must be reconstructed exactly as the mutating engine had them.
+    if !tombstoned.is_empty() {
+        index.apply_tombstones(&tombstoned);
+    }
 
     // --- centroids ---------------------------------------------------------
     let centroid_slots = flat_u32s(header, body, section::CENTROIDS)?;

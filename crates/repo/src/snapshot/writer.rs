@@ -291,6 +291,18 @@ impl SnapshotWriter {
         }
         sections.push((section::CENTROIDS, buf));
 
+        // tombstones: the live repository's dead trees, ascending. Only
+        // written when present — never-mutated repositories keep the exact
+        // byte layout the golden suite pins.
+        let tombstones = index.tombstoned_trees();
+        if !tombstones.is_empty() {
+            let mut buf = Vec::with_capacity(4 * tombstones.len());
+            for t in tombstones {
+                put_u32(&mut buf, t.0);
+            }
+            sections.push((section::TOMBSTONES, buf));
+        }
+
         // Directory, header, and final assembly.
         let mut directory = Vec::with_capacity(sections.len());
         let mut offset = 0u64;

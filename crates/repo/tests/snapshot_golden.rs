@@ -142,6 +142,71 @@ fn wide_gram_counts_round_trip() {
 }
 
 #[test]
+fn tombstoned_snapshot_round_trips_and_stays_out_of_clean_snapshots() {
+    use xsm_repo::index::CandidateQuery;
+    use xsm_repo::{CandidateScratch, LiveRepository};
+
+    let repo =
+        RepositoryGenerator::new(GeneratorConfig::small(23).with_target_elements(400)).generate();
+    let mut live = LiveRepository::build(repo.clone());
+    let extra =
+        RepositoryGenerator::new(GeneratorConfig::small(24).with_target_elements(60)).generate();
+    let appended: Vec<_> = extra.trees().map(|(_, t)| t.clone()).take(3).collect();
+    live.append_trees(appended).unwrap();
+    let victims = [xsm_schema::TreeId(1), xsm_schema::TreeId(3)];
+    live.delete_trees(&victims).unwrap();
+
+    let centroids = vec![None; live.repo().tree_count()];
+    let bytes = SnapshotWriter::new(live.generation())
+        .to_bytes(live.repo(), live.index(), &centroids)
+        .expect("tombstoned repository serializes");
+
+    // The optional section is present exactly when tombstones exist.
+    let header = SnapshotReader::peek_bytes(&bytes).expect("header validates");
+    assert!(header.sections.iter().any(|s| s.name == "tombstones"));
+    let clean = SnapshotWriter::new(0)
+        .to_bytes(
+            &repo,
+            &NameIndex::build(&repo),
+            &vec![None; repo.tree_count()],
+        )
+        .expect("clean repository serializes");
+    let clean_header = SnapshotReader::peek_bytes(&clean).expect("header validates");
+    assert!(clean_header.sections.iter().all(|s| s.name != "tombstones"));
+
+    // Loading restores the tombstone set and the exact live behaviour.
+    let snapshot = SnapshotReader::read_bytes(&bytes).expect("tombstoned snapshot loads");
+    assert_eq!(snapshot.index.tombstoned_trees(), &victims[..]);
+    assert_eq!(
+        snapshot.index.indexed_nodes(),
+        live.index().indexed_nodes(),
+        "alive node count must survive the round trip"
+    );
+    let mut scratch = CandidateScratch::default();
+    for (_, tree) in repo.trees().take(5) {
+        for (_, node) in tree.nodes().take(4) {
+            let q = CandidateQuery::new(&node.name, 0.5);
+            assert_eq!(
+                snapshot.index.lookup_candidates(&q, &mut scratch),
+                live.index().lookup_candidates(&q, &mut scratch),
+                "candidates diverged after round trip for {:?}",
+                node.name
+            );
+            assert_eq!(
+                snapshot.index.lookup_exact(&node.name),
+                live.index().lookup_exact(&node.name)
+            );
+        }
+    }
+
+    // Write → read → write is the identity.
+    let rewritten = SnapshotWriter::new(live.generation())
+        .to_bytes(&snapshot.repository, &snapshot.index, &snapshot.centroids)
+        .expect("loaded snapshot re-serializes");
+    assert_eq!(rewritten, bytes);
+}
+
+#[test]
 fn peek_reports_the_header_without_reconstruction() {
     let golden = std::fs::read(GOLDEN_PATH).expect("golden snapshot present");
     let header = SnapshotReader::peek_bytes(&golden).expect("peek validates");

@@ -6,7 +6,7 @@
 //! evicts the least-recently-used entry, so a long-lived engine cannot grow without
 //! limit no matter the query mix.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
 use crate::query::MatchResponse;
@@ -15,22 +15,28 @@ use crate::query::MatchResponse;
 pub const DEFAULT_RESULT_CACHE_CAPACITY: usize = 256;
 
 struct Entry {
+    /// Shared with the map key and the order index, so recency updates move an
+    /// `Arc`, never clone the fingerprint string.
+    key: Arc<str>,
     response: Arc<MatchResponse>,
     last_used: u64,
 }
 
 #[derive(Default)]
 struct Inner {
-    map: HashMap<String, Entry>,
+    map: HashMap<Arc<str>, Entry>,
+    /// `last_used` tick → key. Ticks are unique (one per touching operation),
+    /// so this is a total recency order and its first entry is the LRU victim.
+    order: BTreeMap<u64, Arc<str>>,
     tick: u64,
 }
 
 /// A thread-safe, bounded, least-recently-used response cache.
 ///
-/// Eviction scans for the stalest entry, which is `O(len)` per overflowing insert;
-/// with the intended capacities (hundreds of entries guarding a multi-millisecond
-/// pipeline) that scan is noise. Recency is a logical tick, not wall-clock time, so
-/// behaviour is deterministic.
+/// Recency is a logical tick, not wall-clock time, so behaviour is
+/// deterministic. A tick-ordered index makes eviction `O(log len)` (the victim
+/// is the index's first entry — no full-map scan, no key clone), and a lookup
+/// miss touches nothing at all: only hits and inserts advance the clock.
 pub struct ResultCache {
     inner: Mutex<Inner>,
     capacity: usize,
@@ -50,17 +56,21 @@ impl ResultCache {
         self.capacity
     }
 
-    /// Look up a response by query fingerprint, refreshing its recency.
+    /// Look up a response by query fingerprint, refreshing its recency on a
+    /// hit. A miss is read-only — it neither advances the recency clock nor
+    /// perturbs the eviction order.
     ///
     /// Returns an `Arc` so the critical section stays `O(1)`: callers that need an
     /// owned copy (e.g. to stamp per-serve metadata) deep-clone *outside* the lock,
     /// and concurrent workers hitting the cache don't serialise on the clone.
     pub fn get(&self, fingerprint: &str) -> Option<Arc<MatchResponse>> {
         let mut inner = self.inner.lock().unwrap();
-        inner.tick += 1;
-        let tick = inner.tick;
-        let entry = inner.map.get_mut(fingerprint)?;
-        entry.last_used = tick;
+        let Inner { map, order, tick } = &mut *inner;
+        let entry = map.get_mut(fingerprint)?;
+        *tick += 1;
+        order.remove(&entry.last_used);
+        entry.last_used = *tick;
+        order.insert(*tick, Arc::clone(&entry.key));
         Some(Arc::clone(&entry.response))
     }
 
@@ -68,23 +78,30 @@ impl ResultCache {
     /// least-recently-used entry if the cache is full.
     pub fn insert(&self, fingerprint: String, response: MatchResponse) {
         let mut inner = self.inner.lock().unwrap();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&fingerprint) {
-            if let Some(victim) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                inner.map.remove(&victim);
+        let Inner { map, order, tick } = &mut *inner;
+        *tick += 1;
+        let now = *tick;
+        if let Some(entry) = map.get_mut(fingerprint.as_str()) {
+            // Replace in place: recency refreshes, nothing is evicted.
+            order.remove(&entry.last_used);
+            entry.last_used = now;
+            entry.response = Arc::new(response);
+            order.insert(now, Arc::clone(&entry.key));
+            return;
+        }
+        if map.len() >= self.capacity {
+            if let Some((_, victim)) = order.pop_first() {
+                map.remove(&victim);
             }
         }
-        inner.map.insert(
-            fingerprint,
+        let key: Arc<str> = fingerprint.into();
+        order.insert(now, Arc::clone(&key));
+        map.insert(
+            Arc::clone(&key),
             Entry {
+                key,
                 response: Arc::new(response),
-                last_used: tick,
+                last_used: now,
             },
         );
     }
@@ -101,7 +118,9 @@ impl ResultCache {
 
     /// Drop every cached response.
     pub fn clear(&self) {
-        self.inner.lock().unwrap().map.clear();
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.clear();
+        inner.order.clear();
     }
 }
 
@@ -172,5 +191,63 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn misses_do_not_perturb_the_eviction_order() {
+        let cache = ResultCache::with_capacity(2);
+        cache.insert("a".into(), resp("a"));
+        cache.insert("b".into(), resp("b"));
+        for _ in 0..10 {
+            assert!(cache.get("never-inserted").is_none());
+        }
+        // "a" is still the LRU victim: the misses changed nothing.
+        cache.insert("c".into(), resp("c"));
+        assert!(cache.get("a").is_none());
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("c").is_some());
+    }
+
+    /// The LRU behaviour at large capacity, pinned against a naive
+    /// recency-list model over a long deterministic mixed workload.
+    #[test]
+    fn stress_matches_a_naive_lru_model() {
+        const CAPACITY: usize = 512;
+        let cache = ResultCache::with_capacity(CAPACITY);
+        // The model: keys in recency order, front = least recently used.
+        let mut model: Vec<String> = Vec::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for step in 0..20_000 {
+            let key = format!("q{}", rng() % 2048);
+            if rng() % 3 < 2 {
+                let hit = cache.get(&key).is_some();
+                let model_pos = model.iter().position(|k| k == &key);
+                assert_eq!(hit, model_pos.is_some(), "step {step}, key {key}");
+                if let Some(pos) = model_pos {
+                    let k = model.remove(pos);
+                    model.push(k);
+                }
+            } else {
+                cache.insert(key.clone(), resp(&key));
+                if let Some(pos) = model.iter().position(|k| k == &key) {
+                    model.remove(pos);
+                } else if model.len() >= CAPACITY {
+                    model.remove(0);
+                }
+                model.push(key);
+            }
+            assert_eq!(cache.len(), model.len(), "step {step}");
+        }
+        assert_eq!(cache.len(), CAPACITY, "the workload fills the cache");
+        // Full sweep: cache and model agree on exactly which keys survived.
+        for key in &model {
+            assert!(cache.get(key).is_some(), "model key {key} missing");
+        }
     }
 }

@@ -28,7 +28,7 @@
 //! served it.
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,8 +40,8 @@ use xsm_matcher::element::{
 use xsm_matcher::generator::branch_and_bound::BranchAndBoundGenerator;
 use xsm_matcher::{MatchingProblem, ObjectiveConfig};
 use xsm_repo::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
-use xsm_repo::{CandidateScratch, NameIndex, SchemaRepository};
-use xsm_schema::{GlobalNodeId, SchemaTree};
+use xsm_repo::{CandidateScratch, LiveError, LiveRepository, NameIndex, SchemaRepository};
+use xsm_schema::{GlobalNodeId, SchemaTree, TreeId};
 use xsm_similarity::SimScratch;
 
 use crate::cache::{ResultCache, DEFAULT_RESULT_CACHE_CAPACITY};
@@ -75,6 +75,10 @@ pub struct EngineConfig {
     pub objective: ObjectiveConfig,
     /// Planner tuning (overlap fraction, pruning budget).
     pub planner: PlannerConfig,
+    /// Dead fraction of the posting arena at which a delete triggers
+    /// compaction (`0.0` compacts after every delete, `1.0` effectively
+    /// never). Compaction is physical-only — it cannot change any answer.
+    pub compaction_threshold: f64,
 }
 
 impl Default for EngineConfig {
@@ -90,6 +94,7 @@ impl Default for EngineConfig {
             variant: ClusteringVariant::Medium,
             objective: ObjectiveConfig::default(),
             planner: PlannerConfig::default(),
+            compaction_threshold: 0.3,
         }
     }
 }
@@ -134,6 +139,17 @@ impl EngineConfig {
     /// Builder-style planner override.
     pub fn with_planner(mut self, planner: PlannerConfig) -> Self {
         self.planner = planner;
+        self
+    }
+
+    /// Builder-style compaction-threshold override (clamped into `0.0..=1.0`;
+    /// NaN reads as "never compact").
+    pub fn with_compaction_threshold(mut self, threshold: f64) -> Self {
+        self.compaction_threshold = if threshold.is_nan() {
+            1.0
+        } else {
+            threshold.clamp(0.0, 1.0)
+        };
         self
     }
 
@@ -196,6 +212,12 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Compaction trigger threshold.
+    pub fn compaction_threshold(mut self, threshold: f64) -> Self {
+        self.config.compaction_threshold = threshold;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<EngineConfig, ConfigError> {
         if self.config.workers == 0 {
@@ -206,6 +228,12 @@ impl EngineConfigBuilder {
         }
         if self.config.result_cache_capacity == 0 {
             return Err(ConfigError::new("result_cache_capacity", "must be >= 1"));
+        }
+        if !(0.0..=1.0).contains(&self.config.compaction_threshold) {
+            return Err(ConfigError::new(
+                "compaction_threshold",
+                "must be within 0.0..=1.0",
+            ));
         }
         Ok(self.config)
     }
@@ -221,11 +249,52 @@ struct WorkerScratch {
     candidates: CandidateScratch,
 }
 
+/// The mutable half of the engine: the live repository (forest + index +
+/// generation) and the per-tree centroid table derived from it. Everything in
+/// here moves together under one [`RwLock`] — queries hold the read side for
+/// their whole serving span, mutations take the write side, so every response
+/// is computed against exactly one generation.
+struct EngineState {
+    live: LiveRepository,
+    /// Per-tree centroid nodes: pre-populated on a snapshot load, computed on
+    /// first use on a cold build (the query pipeline never reads them, so cold
+    /// construction pays nothing). Appends extend the table incrementally when
+    /// it is already materialised — a tree's medoid is tree-local, so the
+    /// extension equals a full recompute.
+    centroids: std::sync::OnceLock<Vec<Option<GlobalNodeId>>>,
+}
+
+impl EngineState {
+    /// The centroid table, computing it on first use.
+    fn centroids(&self) -> &[Option<GlobalNodeId>] {
+        self.centroids.get_or_init(|| {
+            xsm_core::centroid::tree_centroids(
+                self.live.repo(),
+                &xsm_core::distance::PathLengthDistance,
+            )
+        })
+    }
+
+    /// Keep an already-materialised centroid table covering newly appended
+    /// trees (an unmaterialised table needs nothing — first use covers them).
+    fn extend_centroids(&mut self, appended: &[TreeId]) {
+        let EngineState { live, centroids } = self;
+        if let Some(table) = centroids.get_mut() {
+            for &tid in appended {
+                table.push(xsm_core::centroid::tree_medoid(
+                    live.repo(),
+                    &xsm_core::distance::PathLengthDistance,
+                    &live.repo().tree_node_ids(tid),
+                ));
+            }
+        }
+    }
+}
+
 /// Everything the workers share; lives behind one `Arc` so worker threads can outlive
 /// borrows of the engine handle.
 struct EngineCore {
-    repo: SchemaRepository,
-    index: NameIndex,
+    state: RwLock<EngineState>,
     matcher: ClusteredMatcher,
     generator: BranchAndBoundGenerator,
     planner: QueryPlanner,
@@ -233,15 +302,8 @@ struct EngineCore {
     inflight: Singleflight<ServiceResult<MatchResponse>>,
     metrics: MetricsRegistry,
     objective: ObjectiveConfig,
-    /// Generation stamp of the snapshot this engine was loaded from (0 for a
-    /// cold build); stamped into every response so callers — and the sharded
-    /// router's mixed-generation guard — can tell which repository revision
-    /// answered.
-    generation: u64,
-    /// Per-tree centroid nodes: pre-populated on a snapshot load, computed on
-    /// first use on a cold build (the query pipeline never reads them, so cold
-    /// construction pays nothing).
-    centroids: std::sync::OnceLock<Vec<Option<GlobalNodeId>>>,
+    /// Dead-posting fraction at which a delete triggers arena compaction.
+    compaction_threshold: f64,
 }
 
 /// The cache → singleflight → compute serving discipline shared by the engine's
@@ -345,12 +407,18 @@ impl EngineCore {
         query: &MatchQuery,
         scratch: &mut WorkerScratch,
     ) -> ServiceResult<MatchResponse> {
+        // Hold the state read lock across the whole serving span — cache
+        // lookup, singleflight join, compute — the same write-gate discipline
+        // the sharded router's swap gate applies: a mutation's write lock
+        // drains every in-flight query first, so a response can never mix two
+        // generations and a cache insert can never race a mutation's clear.
+        let state = self.state.read().expect("engine state lock poisoned");
         serve_with_caches(
             &self.results,
             &self.inflight,
             &self.metrics,
             query.fingerprint(),
-            |fingerprint| Ok(self.run_pipeline(query, fingerprint, scratch)),
+            |fingerprint| Ok(self.run_pipeline(&state, query, fingerprint, scratch)),
         )
     }
 
@@ -358,10 +426,12 @@ impl EngineCore {
     /// index and the feature kernels, run the clustered matcher, cut to top-k.
     fn run_pipeline(
         &self,
+        state: &EngineState,
         query: &MatchQuery,
         fingerprint: &str,
         scratch: &mut WorkerScratch,
     ) -> MatchResponse {
+        let index = state.live.index();
         // The element floor doubles as the candidate generator's length-window
         // anchor: pairs outside the window cannot clear the floor after scoring.
         let length_floor = self.matcher.element_config().min_similarity;
@@ -371,20 +441,20 @@ impl EngineCore {
         let resolved = match query.strategy {
             QueryStrategy::Exhaustive => None,
             QueryStrategy::Auto | QueryStrategy::IndexPruned => {
-                Some(resolve_personal_queries(&query.personal, &self.index))
+                Some(resolve_personal_queries(&query.personal, index))
             }
         };
         let plan = match &resolved {
             Some(resolved) => self.planner.plan_resolved(
                 &query.personal,
                 query.strategy,
-                &self.index,
+                index,
                 length_floor,
                 resolved,
             ),
             None => self
                 .planner
-                .plan(&query.personal, query.strategy, &self.index, length_floor),
+                .plan(&query.personal, query.strategy, index, length_floor),
         };
         // The pub `threshold` field (and a future deserialized front-end) can bypass
         // the builder's clamp; sanitise here so NaN can't poison every `Δ ≥ δ`
@@ -400,7 +470,7 @@ impl EngineCore {
             // IndexPruned requests, both of which resolved above.
             PlannedStrategy::IndexPruned => match_elements_with_index_features_resolved(
                 &problem.personal,
-                &self.index,
+                index,
                 self.matcher.element_config(),
                 self.planner.config().min_overlap,
                 resolved
@@ -411,15 +481,18 @@ impl EngineCore {
             ),
             PlannedStrategy::Exhaustive => match_elements_features(
                 &problem.personal,
-                self.index.features(),
+                index.features(),
                 self.matcher.element_config(),
                 &mut scratch.sim,
             ),
         };
         let candidate_count = candidates.total_candidates();
-        let report =
-            self.matcher
-                .run_on_candidates(&problem, &self.repo, &candidates, &self.generator);
+        let report = self.matcher.run_on_candidates(
+            &problem,
+            state.live.repo(),
+            &candidates,
+            &self.generator,
+        );
         let total_matches = report.mappings.len();
         let mut mappings = report.mappings;
         mappings.truncate(query.top_k);
@@ -433,7 +506,7 @@ impl EngineCore {
             total_matches,
             incomplete: false,
             failed_shards: Vec::new(),
-            generation: self.generation,
+            generation: state.live.generation(),
             latency: Duration::ZERO,
         }
     }
@@ -583,37 +656,40 @@ impl MatchEngine {
         )
     }
 
-    /// The generation stamp of the snapshot this engine serves (0 for a
-    /// cold-built, unversioned engine). Every response carries the same value.
+    /// The engine's current repository generation: the snapshot stamp it was
+    /// loaded with (0 for a cold build), +1 per applied mutation batch. Every
+    /// response carries the generation it was computed against.
     pub fn generation(&self) -> u64 {
-        self.core.generation
+        self.read_state().live.generation()
     }
 
     /// Serialize this engine's startup artefacts — repository, index, feature
-    /// store and per-tree centroids — to a snapshot file stamped `generation`.
-    /// Returns the file size in bytes.
+    /// store, per-tree centroids and the tombstone set — to a snapshot file
+    /// stamped `generation`. Returns the file size in bytes.
     pub fn write_snapshot(
         &self,
         path: impl AsRef<std::path::Path>,
         generation: u64,
     ) -> Result<u64, SnapshotError> {
+        let state = self.read_state();
         SnapshotWriter::new(generation).write(
-            &self.core.repo,
-            &self.core.index,
-            self.tree_centroids(),
+            state.live.repo(),
+            state.live.index(),
+            state.centroids(),
             path,
         )
     }
 
     /// The per-tree centroid (medoid) table: loaded from the snapshot on a warm
-    /// start, computed on first use (deterministically) on a cold build.
-    pub fn tree_centroids(&self) -> &[Option<GlobalNodeId>] {
-        self.core.centroids.get_or_init(|| {
-            xsm_core::centroid::tree_centroids(
-                &self.core.repo,
-                &xsm_core::distance::PathLengthDistance,
-            )
-        })
+    /// start, computed on first use (deterministically) on a cold build, and
+    /// extended in place when trees are appended. Owned because the table
+    /// lives under the state lock.
+    pub fn tree_centroids(&self) -> Vec<Option<GlobalNodeId>> {
+        self.read_state().centroids().to_vec()
+    }
+
+    fn read_state(&self) -> RwLockReadGuard<'_, EngineState> {
+        self.core.state.read().expect("engine state lock poisoned")
     }
 
     /// The shared constructor tail: wrap prebuilt artefacts in the core, stamp
@@ -632,7 +708,10 @@ impl MatchEngine {
             let _ = centroid_cell.set(centroids);
         }
         let core = Arc::new(EngineCore {
-            index,
+            state: RwLock::new(EngineState {
+                live: LiveRepository::from_parts(repo, index, generation),
+                centroids: centroid_cell,
+            }),
             matcher: ClusteredMatcher::for_variant(config.variant)
                 .with_element_config(config.element.clone()),
             generator: BranchAndBoundGenerator::new(),
@@ -641,9 +720,7 @@ impl MatchEngine {
             inflight: Singleflight::new(),
             metrics: MetricsRegistry::new(),
             objective: config.objective,
-            generation,
-            centroids: centroid_cell,
-            repo,
+            compaction_threshold: config.compaction_threshold,
         });
         let worker_count = config.workers.max(1);
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity.max(1));
@@ -698,14 +775,133 @@ impl MatchEngine {
         self.workers.len()
     }
 
-    /// The repository the engine serves.
-    pub fn repository(&self) -> &SchemaRepository {
-        &self.core.repo
+    /// The repository the engine serves, behind the state read lock. Holding
+    /// the guard blocks mutations — drop it before calling [`MatchEngine::append_trees`]
+    /// and friends on the same thread.
+    pub fn repository(&self) -> RepositoryGuard<'_> {
+        RepositoryGuard {
+            state: self.read_state(),
+        }
     }
 
-    /// The prebuilt name index (its [`xsm_repo::FeatureStore`] included).
-    pub fn index(&self) -> &NameIndex {
-        &self.core.index
+    /// The name index (its [`xsm_repo::FeatureStore`] included), behind the
+    /// state read lock.
+    pub fn index(&self) -> IndexGuard<'_> {
+        IndexGuard {
+            state: self.read_state(),
+        }
+    }
+
+    /// Append a batch of trees without a rebuild: the index's posting arena,
+    /// the feature store and the tree table all grow tail-only, existing
+    /// entries untouched. One generation bump per batch; the result cache is
+    /// invalidated precisely (old responses carry the old generation).
+    /// Returns the consecutive [`TreeId`]s the trees received.
+    pub fn append_trees(&self, trees: Vec<SchemaTree>) -> ServiceResult<Vec<TreeId>> {
+        let mut state = self.write_state();
+        let ids = state.live.append_trees(trees).map_err(live_error)?;
+        state.extend_centroids(&ids);
+        self.core.results.clear();
+        Ok(ids)
+    }
+
+    /// [`MatchEngine::append_trees`] landing on an explicit target generation
+    /// (`> current`) — how a sharded router keeps every shard in step. The
+    /// target is validated before anything mutates.
+    pub fn append_trees_at(
+        &self,
+        trees: Vec<SchemaTree>,
+        generation: u64,
+    ) -> ServiceResult<Vec<TreeId>> {
+        let mut state = self.write_state();
+        if generation <= state.live.generation() {
+            return Err(live_error(LiveError::StaleGeneration {
+                current: state.live.generation(),
+                requested: generation,
+            }));
+        }
+        let ids = state.live.append_trees(trees).map_err(live_error)?;
+        if state.live.generation() < generation {
+            state
+                .live
+                .advance_generation(generation)
+                .expect("target was validated above");
+        }
+        state.extend_centroids(&ids);
+        self.core.results.clear();
+        Ok(ids)
+    }
+
+    /// Tombstone a batch of trees without a rebuild: their postings are
+    /// filtered out of candidate generation immediately and reclaimed by
+    /// LSM-style arena compaction once the dead fraction crosses
+    /// [`EngineConfig::compaction_threshold`]. The batch is validated before
+    /// anything mutates (atomic). One generation bump per batch; the result
+    /// cache is invalidated. Returns the number of postings tombstoned.
+    pub fn delete_trees(&self, trees: &[TreeId]) -> ServiceResult<usize> {
+        let mut state = self.write_state();
+        let dropped = state.live.delete_trees(trees).map_err(live_error)?;
+        state.live.maybe_compact(self.core.compaction_threshold);
+        self.core.results.clear();
+        Ok(dropped)
+    }
+
+    /// [`MatchEngine::delete_trees`] landing on an explicit target generation
+    /// (`> current`); see [`MatchEngine::append_trees_at`].
+    pub fn delete_trees_at(&self, trees: &[TreeId], generation: u64) -> ServiceResult<usize> {
+        let mut state = self.write_state();
+        if generation <= state.live.generation() {
+            return Err(live_error(LiveError::StaleGeneration {
+                current: state.live.generation(),
+                requested: generation,
+            }));
+        }
+        let dropped = state.live.delete_trees(trees).map_err(live_error)?;
+        if state.live.generation() < generation {
+            state
+                .live
+                .advance_generation(generation)
+                .expect("target was validated above");
+        }
+        state.live.maybe_compact(self.core.compaction_threshold);
+        self.core.results.clear();
+        Ok(dropped)
+    }
+
+    /// Force the arena compaction [`MatchEngine::delete_trees`] would trigger
+    /// at the threshold. Physical-only: answers and generation are unchanged,
+    /// so the result cache stays valid. Returns the postings reclaimed.
+    pub fn compact(&self) -> usize {
+        self.write_state().live.compact()
+    }
+
+    /// Advance the generation without a content change — how a router keeps
+    /// unmutated shards in step with mutated ones. Invalidates the result
+    /// cache (cached responses carry the old generation stamp).
+    pub fn advance_generation(&self, generation: u64) -> ServiceResult<()> {
+        let mut state = self.write_state();
+        state
+            .live
+            .advance_generation(generation)
+            .map_err(live_error)?;
+        self.core.results.clear();
+        Ok(())
+    }
+
+    /// The tombstoned trees, ascending (owned: the set lives under the state
+    /// lock).
+    pub fn tombstoned_trees(&self) -> Vec<TreeId> {
+        self.read_state().live.tombstoned_trees().to_vec()
+    }
+
+    /// Dead fraction of the index's posting arena — the compaction trigger
+    /// input, exposed for observability.
+    pub fn dead_posting_fraction(&self) -> f64 {
+        self.read_state().live.dead_posting_fraction()
+    }
+
+    fn write_state(&self) -> std::sync::RwLockWriteGuard<'_, EngineState> {
+        self.core.state.write().expect("engine state lock poisoned")
     }
 
     /// Enqueue one query; blocks while the submission queue is full (backpressure).
@@ -790,6 +986,41 @@ impl MatchEngine {
     }
 }
 
+/// Read-locked view of the engine's repository ([`MatchEngine::repository`]);
+/// derefs to [`SchemaRepository`]. Mutations block while a guard is held.
+pub struct RepositoryGuard<'a> {
+    state: RwLockReadGuard<'a, EngineState>,
+}
+
+impl std::ops::Deref for RepositoryGuard<'_> {
+    type Target = SchemaRepository;
+
+    fn deref(&self) -> &SchemaRepository {
+        self.state.live.repo()
+    }
+}
+
+/// Read-locked view of the engine's name index ([`MatchEngine::index`]);
+/// derefs to [`NameIndex`]. Mutations block while a guard is held.
+pub struct IndexGuard<'a> {
+    state: RwLockReadGuard<'a, EngineState>,
+}
+
+impl std::ops::Deref for IndexGuard<'_> {
+    type Target = NameIndex;
+
+    fn deref(&self) -> &NameIndex {
+        self.state.live.index()
+    }
+}
+
+/// Mutation rejections surface as [`ServiceError::BadRequest`]: the request
+/// itself was invalid (unknown tree, stale generation); nothing about the
+/// engine is broken and nothing was applied.
+fn live_error(error: LiveError) -> ServiceError {
+    ServiceError::bad_request(error.to_string())
+}
+
 impl MatchService for MatchEngine {
     fn submit(&self, query: MatchQuery) -> ServiceResult<PendingResponse> {
         MatchEngine::submit(self, query)
@@ -804,7 +1035,11 @@ impl MatchService for MatchEngine {
     }
 
     fn plan_stats(&self, personal: &SchemaTree, length_floor: f64) -> ServiceResult<PlanStats> {
-        Ok(PlanStats::measure(personal, &self.core.index, length_floor))
+        Ok(PlanStats::measure(
+            personal,
+            self.read_state().live.index(),
+            length_floor,
+        ))
     }
 }
 
@@ -1059,6 +1294,45 @@ mod tests {
         }));
         assert!(parked.wait().unwrap().cache_hit);
         let _ = queued.wait().unwrap();
+    }
+
+    #[test]
+    fn followers_retake_the_flight_when_the_leader_is_cancelled() {
+        let engine = engine(2);
+        let query = book_query();
+        let fp = query.fingerprint();
+        // Steal the singleflight lead for the fingerprint so both workers park
+        // as followers on a flight that will never publish.
+        let leader = match engine.core.inflight.join(&fp) {
+            Join::Leader(g) => g,
+            Join::Follower(_) => panic!("nothing else is in flight"),
+        };
+        let first = engine.submit(query.clone()).unwrap();
+        let second = engine.submit(query).unwrap();
+        while engine.core.inflight.waiters(&fp) < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Kill the leader without publishing — exactly what a pipeline panic
+        // does through the guard's Drop. Both followers observe the cancelled
+        // slot (`Join::Follower(None)`), loop, and one retakes the lead and
+        // computes the real answer instead of stranding or erroring.
+        drop(leader);
+        let a = first.wait().unwrap();
+        let b = second.wait().unwrap();
+        assert!(!a.mappings.is_empty(), "recovered leader computed for real");
+        assert_eq!(a.result_digest(), b.result_digest());
+        let metrics = engine.metrics();
+        assert_eq!(metrics.queries_served, 2);
+        assert_eq!(metrics.failed_queries, 0);
+        // Exactly one follower recomputed; the other coalesced onto the
+        // retaken flight or hit the freshly published cache entry. Either way
+        // the accounting adds up — the cancellation double-counts nothing.
+        assert_eq!(metrics.coalesced_queries + metrics.result_cache_hits, 1);
+        assert_eq!(
+            metrics.index_pruned_queries + metrics.exhaustive_queries,
+            1,
+            "the pipeline ran exactly once"
+        );
     }
 
     #[test]

@@ -55,6 +55,16 @@
 //! without touching any shard. [`ShardedEngine::metrics`] reports the router's own
 //! counters plus the per-shard breakdown.
 //!
+//! ## Live mutation
+//!
+//! A fleet with in-process shards is **live**: [`ShardedEngine::append_trees`]
+//! routes new trees by the construction placement (hash placement is a pure
+//! function of the tree, so existing trees never move) and
+//! [`ShardedEngine::delete_trees`] tombstones by global id. Both step every
+//! shard — mutated or not — to one target generation under the swap gate's
+//! write side, so an in-flight scatter never merges across a half-mutated
+//! fleet and the mixed-generation guard keeps holding.
+//!
 //! ## Restrictions
 //!
 //! [`xsm_matcher::element::ElementMatchConfig::max_candidates_per_node`] must be
@@ -72,7 +82,7 @@ use std::thread::JoinHandle;
 use serde::{Deserialize, Serialize};
 use xsm_matcher::generator::sort_mappings;
 use xsm_matcher::{MappingElement, SchemaMapping};
-use xsm_repo::{RepositoryPartition, SchemaRepository, ShardPlacement};
+use xsm_repo::{tree_hash_shard, RepositoryPartition, SchemaRepository, ShardPlacement};
 use xsm_schema::{GlobalNodeId, SchemaTree, TreeId};
 
 use crate::cache::{ResultCache, DEFAULT_RESULT_CACHE_CAPACITY};
@@ -265,8 +275,11 @@ pub struct ShardedMetrics {
 /// Everything the router workers share.
 struct RouterCore {
     services: Vec<Box<dyn MatchService>>,
-    /// Per shard: local `TreeId` index → global `TreeId` (ascending).
-    tree_maps: Vec<Vec<TreeId>>,
+    /// Per shard: local `TreeId` index → global `TreeId` (ascending). Behind a
+    /// lock because live appends extend the maps; tombstoned trees **stay** in
+    /// their map (shard-local ids are positional and never renumbered by a
+    /// delete). Lock order: always after `swap_gate`.
+    tree_maps: RwLock<Vec<Vec<TreeId>>>,
     planner: QueryPlanner,
     /// The shard engines' element floor, anchoring the planner's length window —
     /// the router must estimate with the same window the shards will generate with.
@@ -373,6 +386,10 @@ impl RouterCore {
         let mut nested_incomplete = false;
         let mut generation: Option<u64> = None;
         let mut mixed_generations = false;
+        let tree_maps = self
+            .tree_maps
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for (shard, outcome) in submitted {
             match outcome.and_then(PendingResponse::wait) {
                 Ok(response) => {
@@ -392,7 +409,7 @@ impl RouterCore {
                     // `failed_shards` lists only direct children, but the
                     // incompleteness must propagate.
                     nested_incomplete |= response.incomplete;
-                    let map = &self.tree_maps[shard];
+                    let map = &tree_maps[shard];
                     mappings.extend(
                         response
                             .mappings
@@ -476,6 +493,10 @@ pub struct ShardedEngine {
     /// The in-process shard engines when built by [`ShardedEngine::new`]
     /// (empty for [`ShardedEngine::from_services`]).
     local_engines: Vec<Arc<MatchEngine>>,
+    /// The placement policy live appends route with (from the construction
+    /// config; the caller owns its consistency with how the shards were
+    /// actually partitioned when restoring from snapshots).
+    placement: ShardPlacement,
     /// Per-shard swap handles when built by
     /// [`ShardedEngine::from_swappable_snapshot_paths`] (empty otherwise);
     /// what [`ShardedEngine::swap_generation`] flips.
@@ -723,6 +744,11 @@ impl ShardedEngine {
         // leave the fleet untouched, and a mixed-generation set must never
         // start flipping.
         let mut generation: Option<u64> = None;
+        let tree_maps = self
+            .core
+            .tree_maps
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for (shard, path) in paths.iter().enumerate() {
             let header = SnapshotReader::peek(path.as_ref())?;
             match generation {
@@ -736,7 +762,7 @@ impl ShardedEngine {
                 }
                 Some(_) => {}
             }
-            let expected_map = &self.core.tree_maps[shard];
+            let expected_map = &tree_maps[shard];
             let same_placement = header.tree_map.len() == expected_map.len()
                 && header
                     .tree_map
@@ -753,6 +779,9 @@ impl ShardedEngine {
             }
         }
         let generation = generation.expect("paths verified non-empty");
+        // Release the map lock before taking the swap gate below: the lock
+        // order everywhere is gate first, maps second.
+        drop(tree_maps);
         // Load every new engine beside the serving ones — the expensive part,
         // fully concurrent with traffic.
         let mut next_engines = Vec::with_capacity(paths.len());
@@ -790,6 +819,201 @@ impl ShardedEngine {
         self.swappable_engines.first().map(|s| s.generation())
     }
 
+    /// The error every live mutation returns on a router without in-process
+    /// shard engines (built over external services or swappable handles):
+    /// the router cannot reach inside a remote shard to mutate it.
+    fn require_local_engines(&self) -> ServiceResult<()> {
+        if self.local_engines.is_empty() {
+            return Err(ServiceError::bad_request(
+                "this router serves fixed shard services; live mutation needs \
+                 in-process shards (ShardedEngine::new or from_snapshot_paths)",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Append new trees to the live fleet without a rebuild, routed by the
+    /// construction-time [`ShardPlacement`]: [`ShardPlacement::TreeHash`]
+    /// sends each tree to [`xsm_repo::tree_hash_shard`] (a pure function of
+    /// the tree, so existing placements never move — see the append-stability
+    /// property in `xsm-repo`); [`ShardPlacement::Contiguous`] extends the
+    /// last shard (the only placement that keeps global id ranges contiguous).
+    ///
+    /// Every shard — mutated or not — lands on the same target generation
+    /// (max over the fleet, plus one), so the mixed-generation merge guard
+    /// holds across the mutation. The router's result cache is invalidated.
+    /// Returns the global [`TreeId`]s assigned, in input order.
+    pub fn append_trees(&self, trees: Vec<SchemaTree>) -> ServiceResult<Vec<TreeId>> {
+        self.require_local_engines()?;
+        if trees.is_empty() {
+            return Err(ServiceError::bad_request("append batch must not be empty"));
+        }
+        let shard_count = self.local_engines.len();
+        // Placement is a pure function of the tree: route before locking.
+        let routed: Vec<usize> = trees
+            .iter()
+            .map(|tree| match self.placement {
+                ShardPlacement::TreeHash => tree_hash_shard(tree, shard_count),
+                ShardPlacement::Contiguous => shard_count - 1,
+            })
+            .collect();
+        // The gate's write side drains every in-flight scatter (queries hold
+        // its read side across their whole serve span) and blocks new ones
+        // while the fleet steps generations — scatters can never observe a
+        // half-mutated fleet. Lock order: gate, then maps.
+        let _gate = self
+            .core
+            .swap_gate
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut tree_maps = self
+            .core
+            .tree_maps
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let target = self.fleet_target_generation();
+        // Global ids continue past every id ever assigned — tombstoned trees
+        // stay in the maps, so the sum counts them and ids are never reused.
+        let next_global = tree_maps.iter().map(Vec::len).sum::<usize>() as u32;
+        let mut assigned = Vec::with_capacity(trees.len());
+        let mut per_shard_trees: Vec<Vec<SchemaTree>> = vec![Vec::new(); shard_count];
+        let mut per_shard_ids: Vec<Vec<TreeId>> = vec![Vec::new(); shard_count];
+        for (global, (tree, &shard)) in (next_global..).zip(trees.into_iter().zip(&routed)) {
+            let global = TreeId(global);
+            assigned.push(global);
+            per_shard_trees[shard].push(tree);
+            per_shard_ids[shard].push(global);
+        }
+        for (shard, engine) in self.local_engines.iter().enumerate() {
+            if per_shard_trees[shard].is_empty() {
+                engine.advance_generation(target)?;
+            } else {
+                // Local ids are assigned sequentially in batch order, matching
+                // the order the map entries are pushed; global ids ascend, so
+                // the map's ascending invariant is preserved.
+                engine.append_trees_at(std::mem::take(&mut per_shard_trees[shard]), target)?;
+                tree_maps[shard].extend_from_slice(&per_shard_ids[shard]);
+            }
+        }
+        self.core.results.clear();
+        Ok(assigned)
+    }
+
+    /// Tombstone a batch of trees across the fleet without a rebuild. The
+    /// whole batch is validated against the router's maps and every shard's
+    /// tombstone set **before** any shard mutates — a half-applied cross-shard
+    /// delete would leave the fleet on diverged generations. Tombstoned trees
+    /// stay in the tree maps (local ids are positional); each shard reclaims
+    /// its arena independently once its dead fraction crosses
+    /// [`EngineConfig::compaction_threshold`]. Returns the number of postings
+    /// tombstoned fleet-wide.
+    pub fn delete_trees(&self, trees: &[TreeId]) -> ServiceResult<usize> {
+        self.require_local_engines()?;
+        if trees.is_empty() {
+            return Err(ServiceError::bad_request("delete batch must not be empty"));
+        }
+        let mut sorted = trees.to_vec();
+        sorted.sort_unstable();
+        if let Some(dup) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ServiceError::bad_request(format!(
+                "tree {:?} appears twice in the delete batch",
+                dup[0]
+            )));
+        }
+        let _gate = self
+            .core
+            .swap_gate
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let tree_maps = self
+            .core
+            .tree_maps
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Route every victim to (shard, local id) and validate it is alive.
+        let mut per_shard: Vec<Vec<TreeId>> = vec![Vec::new(); self.local_engines.len()];
+        for &tree in trees {
+            let Some((shard, local)) = tree_maps.iter().enumerate().find_map(|(shard, map)| {
+                map.binary_search(&tree)
+                    .ok()
+                    .map(|local| (shard, TreeId(local as u32)))
+            }) else {
+                return Err(ServiceError::bad_request(format!("unknown tree {tree:?}")));
+            };
+            if self.local_engines[shard]
+                .tombstoned_trees()
+                .binary_search(&local)
+                .is_ok()
+            {
+                return Err(ServiceError::bad_request(format!(
+                    "tree {tree:?} is already deleted"
+                )));
+            }
+            per_shard[shard].push(local);
+        }
+        let target = self.fleet_target_generation();
+        let mut dropped = 0usize;
+        for (shard, engine) in self.local_engines.iter().enumerate() {
+            if per_shard[shard].is_empty() {
+                engine.advance_generation(target)?;
+            } else {
+                dropped += engine.delete_trees_at(&per_shard[shard], target)?;
+            }
+        }
+        self.core.results.clear();
+        Ok(dropped)
+    }
+
+    /// Force arena compaction on every in-process shard (physical-only: no
+    /// generation step, answers unchanged, caches stay valid — see
+    /// [`MatchEngine::compact`]). Returns the postings reclaimed fleet-wide.
+    pub fn compact(&self) -> usize {
+        self.local_engines.iter().map(|e| e.compact()).sum()
+    }
+
+    /// The generation the in-process fleet serves (`None` without in-process
+    /// shards). Router mutations keep every shard in step, so the fleet has
+    /// one well-defined generation.
+    pub fn generation(&self) -> Option<u64> {
+        self.local_engines.first().map(|e| e.generation())
+    }
+
+    /// Every tombstoned tree across the fleet as global ids, ascending.
+    pub fn tombstoned_trees(&self) -> Vec<TreeId> {
+        let tree_maps = self
+            .core
+            .tree_maps
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut dead: Vec<TreeId> = self
+            .local_engines
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, engine)| {
+                let map = &tree_maps[shard];
+                engine
+                    .tombstoned_trees()
+                    .into_iter()
+                    .map(|local| map[local.index()])
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        dead.sort_unstable();
+        dead
+    }
+
+    /// The generation every shard lands on after a mutation: one past the
+    /// fleet maximum (the shards agree whenever the fleet is healthy, but a
+    /// max survives a half-applied mutation that errored midway).
+    fn fleet_target_generation(&self) -> u64 {
+        self.local_engines
+            .iter()
+            .map(|e| e.generation())
+            .max()
+            .unwrap_or(0)
+            + 1
+    }
+
     /// Shared tail of both constructors: build the router core and its pool.
     fn start(
         services: Vec<Box<dyn MatchService>>,
@@ -801,7 +1025,7 @@ impl ShardedEngine {
             planner: QueryPlanner::new(config.engine.planner),
             length_floor: config.engine.element.min_similarity,
             services,
-            tree_maps,
+            tree_maps: RwLock::new(tree_maps),
             results: ResultCache::with_capacity(config.router_result_cache_capacity),
             inflight: Singleflight::new(),
             metrics: MetricsRegistry::new(),
@@ -831,6 +1055,7 @@ impl ShardedEngine {
         ShardedEngine {
             core,
             local_engines,
+            placement: config.placement,
             swappable_engines: Vec::new(),
             tx: Some(tx),
             workers,
@@ -849,13 +1074,17 @@ impl ShardedEngine {
         &self.local_engines
     }
 
-    /// The global tree ids placed on shard `shard`, ascending.
-    pub fn shard_trees(&self, shard: usize) -> &[TreeId] {
+    /// The global tree ids placed on shard `shard`, ascending (owned: the
+    /// maps live behind the append lock). Tombstoned trees stay listed —
+    /// shard-local ids are positional.
+    pub fn shard_trees(&self, shard: usize) -> Vec<TreeId> {
         self.core
             .tree_maps
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(shard)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Enqueue one query with the router's backpressure; the returned handle blocks
@@ -1121,5 +1350,86 @@ mod tests {
         let sharded = ShardedEngine::new(repo(), config(2));
         let _ = sharded.query(query());
         drop(sharded);
+    }
+
+    #[test]
+    fn live_mutations_match_a_rebuilt_single_engine() {
+        for placement in [ShardPlacement::Contiguous, ShardPlacement::TreeHash] {
+            let repo = repo();
+            let base_trees = repo.tree_count();
+            let sharded = ShardedEngine::new(repo.clone(), config(3).with_placement(placement));
+            let extra: Vec<_> =
+                RepositoryGenerator::new(GeneratorConfig::small(29).with_target_elements(80))
+                    .generate()
+                    .trees()
+                    .map(|(_, t)| t.clone())
+                    .take(4)
+                    .collect();
+
+            let assigned = sharded.append_trees(extra.clone()).unwrap();
+            let expected: Vec<TreeId> = (0..extra.len())
+                .map(|i| TreeId((base_trees + i) as u32))
+                .collect();
+            assert_eq!(assigned, expected, "global ids are assigned sequentially");
+
+            let victims = [TreeId(0), TreeId(2)];
+            let dropped = sharded.delete_trees(&victims).unwrap();
+            assert!(dropped > 0);
+            assert_eq!(sharded.tombstoned_trees(), victims);
+            assert_eq!(
+                sharded.generation(),
+                Some(2),
+                "append and delete each step the fleet generation once"
+            );
+
+            // The oracle: a from-scratch single engine over the same logical
+            // content (deleted trees leave an empty positional placeholder).
+            let mut oracle_repo = SchemaRepository::new();
+            for (tid, tree) in repo.trees() {
+                if victims.contains(&tid) {
+                    oracle_repo.add_tree(xsm_schema::SchemaTree::new(tree.name()));
+                } else {
+                    oracle_repo.add_tree(tree.clone());
+                }
+            }
+            for tree in extra {
+                oracle_repo.add_tree(tree);
+            }
+            let oracle = MatchEngine::new(oracle_repo, config(1).engine);
+            assert_eq!(
+                sharded.query(query()).result_digest(),
+                oracle.query(query()).result_digest(),
+                "{placement:?} fleet diverged from the rebuilt oracle"
+            );
+
+            // Invalid batches are rejected atomically — nothing mutated.
+            assert!(sharded.delete_trees(&[TreeId(0)]).is_err(), "already dead");
+            assert!(sharded.delete_trees(&[TreeId(9999)]).is_err(), "unknown");
+            assert!(
+                sharded.delete_trees(&[TreeId(1), TreeId(1)]).is_err(),
+                "duplicate"
+            );
+            assert!(sharded.append_trees(Vec::new()).is_err(), "empty batch");
+            assert_eq!(sharded.generation(), Some(2), "failed batches do not step");
+        }
+    }
+
+    #[test]
+    fn routers_without_local_engines_reject_mutation() {
+        let repo = repo();
+        let partition = RepositoryPartition::build(&repo, 2, ShardPlacement::Contiguous);
+        let (shards, tree_maps) = partition.into_parts();
+        let services: Vec<Box<dyn MatchService>> = shards
+            .into_iter()
+            .map(|shard| {
+                Box::new(MatchEngine::new(shard, config(2).engine)) as Box<dyn MatchService>
+            })
+            .collect();
+        let router = ShardedEngine::from_services(services, tree_maps, config(2)).unwrap();
+        let tree = repo.trees().next().unwrap().1.clone();
+        assert!(router.append_trees(vec![tree]).is_err());
+        assert!(router.delete_trees(&[TreeId(0)]).is_err());
+        assert_eq!(router.generation(), None);
+        assert_eq!(router.compact(), 0);
     }
 }

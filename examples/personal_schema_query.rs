@@ -84,10 +84,8 @@ fn main() {
     );
     println!("\nranked mapping choices for the personal schema 'book(title, author)':");
     for (rank, mapping) in response.mappings.iter().enumerate() {
-        let tree = engine
-            .repository()
-            .tree(mapping.repo_tree().unwrap())
-            .unwrap();
+        let repository = engine.repository();
+        let tree = repository.tree(mapping.repo_tree().unwrap()).unwrap();
         let pairs: Vec<String> = mapping
             .pairs()
             .iter()
@@ -111,7 +109,8 @@ fn main() {
     // 4. Rewrite the user's personal-schema query against the best mapping: the paper's
     //    /book[title="Iliad"]/author example.
     if let Some(best) = response.mappings.first() {
-        let tree = engine.repository().tree(best.repo_tree().unwrap()).unwrap();
+        let repository = engine.repository();
+        let tree = repository.tree(best.repo_tree().unwrap()).unwrap();
         let book = personal.find_by_name("book").unwrap();
         let title = personal.find_by_name("title").unwrap();
         let author = personal.find_by_name("author").unwrap();

@@ -57,10 +57,8 @@ fn main() {
         response.candidate_count, response.strategy
     );
     for mapping in &response.mappings {
-        let tree = engine
-            .repository()
-            .tree(mapping.repo_tree().unwrap())
-            .unwrap();
+        let repository = engine.repository();
+        let tree = repository.tree(mapping.repo_tree().unwrap()).unwrap();
         let images: Vec<String> = mapping
             .pairs()
             .iter()
