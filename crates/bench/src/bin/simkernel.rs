@@ -1,5 +1,7 @@
 //! Microbenchmark: string-path similarity measures vs. the precomputed-feature
-//! kernels, plus bit-parallel Myers vs. the classic DP.
+//! kernels, plus bit-parallel Myers vs. the classic DP, the blocked multi-word
+//! Myers kernel on >64-char names, and the vectorized ScanCount counter core
+//! (for those two rows the "string" column is the scalar reference path).
 //!
 //! ```text
 //! cargo run -p xsm-bench --bin simkernel --release \
@@ -437,6 +439,127 @@ fn main() {
                 checksum: fcs,
             },
         ));
+    }
+
+    // --- blocked myers: >64-char names, multi-word bit-parallel vs scalar DP ---
+    // Long names are elongated corpus names (2- and 3-block pattern widths).
+    // Both paths run on the same precollected features, so the comparison
+    // isolates the blocked Myers kernel against the two-row DP it replaces.
+    {
+        let elongate = |s: &str, min_chars: usize| -> String {
+            let mut out = String::new();
+            while out.chars().count() < min_chars {
+                if !out.is_empty() {
+                    out.push('_');
+                }
+                out.push_str(s);
+            }
+            out
+        };
+        let long_queries: Vec<NameFeatures> = w
+            .query_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                w.store
+                    .query_features(&elongate(n, if i % 3 == 0 { 140 } else { 80 }))
+            })
+            .collect();
+        let long_corpus: Vec<NameFeatures> = w
+            .corpus_names
+            .iter()
+            .map(|n| w.store.query_features(&elongate(n, 96)))
+            .collect();
+        let (s, cs) = time_pairs(
+            &w,
+            config.reps,
+            |_| (),
+            |_, qi, ci| levenshtein_chars(long_queries[qi].chars(), long_corpus[ci].chars()) as f64,
+        );
+        let (fs, fcs) = time_pairs(
+            &w,
+            config.reps,
+            |_| (),
+            |_, qi, ci| {
+                levenshtein_features(&long_queries[qi], &long_corpus[ci], &mut scratch) as f64
+            },
+        );
+        rows.push(row(
+            "blocked-myers(>64)",
+            ops,
+            PathResult {
+                seconds: s,
+                checksum: cs,
+            },
+            PathResult {
+                seconds: fs,
+                checksum: fcs,
+            },
+        ));
+    }
+
+    // --- scancount: the dense u8 counter increment over posting runs ---
+    // The index's count-filter inner loop on synthetic posting runs shaped
+    // like arena segments: the vectorized core (prefetch + branchless touched
+    // maintenance) vs the scalar reference it must match byte for byte. The
+    // dense space is sized past L1/L2 — the high-volume regime where the
+    // Auto policy actually picks ScanCount merges of this shape.
+    {
+        let n = 262_144usize;
+        let mut state = config.seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut runs: Vec<Vec<u32>> = Vec::new();
+        let mut postings = 0usize;
+        // One "merge" visits about as many postings as the dense space has
+        // slots — what a broad fuzzy query over a large shard looks like.
+        while postings < n.max(config.pairs) {
+            let len = 16 + (next() as usize % 1_008);
+            let mut run: Vec<u32> = (0..len).map(|_| (next() % n as u64) as u32).collect();
+            // Posting runs are strictly ascending (a gram lists a node at
+            // most once), matching what the arena segments hand the kernel.
+            run.sort_unstable();
+            run.dedup();
+            postings += run.len();
+            runs.push(run);
+        }
+        let scan_reps = 4 * config.reps;
+        let scan_ops = postings * scan_reps;
+        type AccumulateFn = dyn Fn(&[u32], &mut [u8], &mut Vec<u32>);
+        let time_scan = |accumulate: &AccumulateFn| {
+            let mut counts = vec![0u8; n];
+            let mut touched: Vec<u32> = Vec::with_capacity(n);
+            let mut seconds = 0.0f64;
+            let mut checksum = 0.0f64;
+            for _ in 0..scan_reps {
+                // Only the accumulation is timed; the checksum fold doubles
+                // as the between-rep counter reset (the engine resets through
+                // the touched list the same way) but is identical for both
+                // paths and would otherwise drown the kernel difference.
+                let start = Instant::now();
+                for run in &runs {
+                    accumulate(black_box(run), &mut counts, &mut touched);
+                }
+                seconds += start.elapsed().as_secs_f64();
+                for &t in &touched {
+                    checksum += counts[t as usize] as f64;
+                    counts[t as usize] = 0;
+                }
+                touched.clear();
+            }
+            PathResult { seconds, checksum }
+        };
+        let scalar = time_scan(&|run, counts, touched| {
+            xsm_similarity::simd::accumulate_run_scalar(run, counts, touched)
+        });
+        let vectorized = time_scan(&|run, counts, touched| {
+            xsm_similarity::simd::accumulate_run(run, counts, touched)
+        });
+        rows.push(row("scancount(u8)", scan_ops, scalar, vectorized));
     }
 
     println!("measure          string ns/op  feature ns/op  speedup  checksums");

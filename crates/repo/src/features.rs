@@ -314,32 +314,49 @@ impl FeatureStore {
     /// needs, since unknown grams can never match a posting but still dilute the
     /// overlap fraction).
     pub fn query_signature(&self, name: &str) -> (Vec<u32>, usize) {
-        let (known, distinct, _) = self.query_profile(name);
+        let (known, _, distinct, _) = self.query_profile(name);
         (known, distinct)
     }
 
-    /// [`FeatureStore::query_signature`] plus the query's character length — the
-    /// **one** interner resolution every index-side consumer (candidate lookup,
-    /// volume estimation, the query planner) shares, so no call site re-walks the
-    /// query's grams. Returns `(known ids, distinct gram count, char length)`.
-    pub fn query_profile(&self, name: &str) -> (Vec<u32>, usize, usize) {
-        let lower = name.to_lowercase();
-        let mut known = Vec::new();
+    /// [`FeatureStore::query_signature`] plus per-gram positions and the query's
+    /// character length — the **one** interner resolution every index-side
+    /// consumer (candidate lookup, volume estimation, the query planner) shares,
+    /// so no call site re-walks the query's grams. Returns `(known ids, packed
+    /// first/last positions parallel to them, distinct gram count, char length)`.
+    /// Positions are packed `first << 16 | last` (clamped to `u16`) in the
+    /// padded gram stream, matching `NameFeatures::gram_positions`; they feed
+    /// the positional q-gram filter.
+    pub fn query_profile(&self, name: &str) -> (Vec<u32>, Vec<u32>, usize, usize) {
+        let lower = crate::simd::lowercase(name);
+        let mut occurrences: Vec<(u32, u32)> = Vec::new();
         let mut unknown: Vec<String> = Vec::new();
+        let mut pos = 0u32;
         for_each_gram(&lower, self.interner.q(), |gram| {
             match self.interner.lookup(gram) {
-                Some(id) => known.push(id),
+                Some(id) => occurrences.push((id, pos)),
                 None => {
                     if !unknown.iter().any(|g| g == gram) {
                         unknown.push(gram.to_string());
                     }
                 }
             }
+            pos += 1;
         });
-        known.sort_unstable();
-        known.dedup();
+        occurrences.sort_unstable();
+        let mut known: Vec<u32> = Vec::with_capacity(occurrences.len());
+        let mut known_pos: Vec<u32> = Vec::with_capacity(occurrences.len());
+        for &(id, p) in &occurrences {
+            let p16 = p.min(0xFFFF);
+            if known.last() == Some(&id) {
+                let packed = known_pos.last_mut().expect("parallel to known");
+                *packed = (*packed & 0xFFFF_0000) | p16;
+            } else {
+                known.push(id);
+                known_pos.push((p16 << 16) | p16);
+            }
+        }
         let distinct = known.len() + unknown.len();
-        (known, distinct, lower.chars().count())
+        (known, known_pos, distinct, lower.chars().count())
     }
 
     /// The node ids covered by the store, in canonical (ascending `GlobalNodeId`)

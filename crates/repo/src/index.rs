@@ -47,10 +47,9 @@ use xsm_similarity::edit::normalized_similarity;
 use crate::features::FeatureStore;
 use crate::repository::SchemaRepository;
 
-/// In-window posting volume at or below which the plain dense-counter ScanCount
-/// merge is preferred (at small volumes the long/short segment partition and the
-/// probe bookkeeping cost more than they save).
-const SCAN_COUNT_MAX_VOLUME: usize = 2_048;
+// The ScanCount-vs-ScanProbe volume threshold lives in `crate::simd`
+// (`scan_count_max_volume`): it depends on whether the vectorized counter
+// core is active on this host.
 
 /// Segments smaller than this are never designated probe-only: excluding a tiny
 /// segment saves almost no scanning but still charges every surviving candidate
@@ -146,6 +145,9 @@ impl<'a> CandidateQuery<'a> {
 #[derive(Debug, Clone)]
 pub struct ResolvedQuery {
     known: Vec<u32>,
+    /// Packed `first << 16 | last` occurrence positions, parallel to `known`
+    /// (the positional q-gram filter's query side).
+    known_pos: Vec<u32>,
     distinct: usize,
     char_len: usize,
 }
@@ -241,6 +243,9 @@ pub struct CandidateStats {
     pub volume_in_window: usize,
     /// Summed posting volume of all the query grams' segments.
     pub volume_total: usize,
+    /// Count-filter survivors rejected by the positional q-gram filter (their
+    /// matching grams were all displaced beyond the length-window edit bound).
+    pub positional_rejections: usize,
     /// The merge algorithm that served the query.
     pub algorithm: MergeAlgorithm,
 }
@@ -264,6 +269,11 @@ pub struct NameIndex {
     /// All posting entries (dense node indices into the store), grouped by gram,
     /// then by name length; ascending within each segment.
     arena: Vec<u32>,
+    /// Packed `first << 16 | last` occurrence positions of the posting's gram
+    /// within the posting's name, parallel to `arena` (the positional q-gram
+    /// filter's corpus side). Serialized with the arena so snapshot loads keep
+    /// the filter without re-deriving per-name gram positions.
+    arena_pos: Vec<u32>,
     /// Length-segment directory; gram `g` owns
     /// `segments[gram_segments[g] .. gram_segments[g + 1]]`. After appends a
     /// gram may own several segments of the *same* length (the pre-append run
@@ -317,32 +327,36 @@ impl NameIndex {
         let store = FeatureStore::build(repo, q);
         let exact = exact_name_map(&store);
         let gram_count = store.interner().len();
-        let mut per_gram: Vec<Vec<u32>> = vec![Vec::new(); gram_count];
+        let mut per_gram: Vec<Vec<(u32, u32)>> = vec![Vec::new(); gram_count];
         let mut lens: Vec<u32> = Vec::with_capacity(store.len());
         let mut total_postings = 0usize;
         for (dense, (_, features)) in store.iter().enumerate() {
             lens.push(features.char_len() as u32);
             // The signature is already sorted + deduplicated, so each node lands at
-            // most once per posting list, in canonical node order.
-            for &gram_id in features.gram_sig() {
-                per_gram[gram_id as usize].push(dense as u32);
+            // most once per posting list, in canonical node order. Fresh builds
+            // carry per-gram positions parallel to the signature.
+            debug_assert_eq!(features.gram_sig().len(), features.gram_positions().len());
+            for (&gram_id, &pos) in features.gram_sig().iter().zip(features.gram_positions()) {
+                per_gram[gram_id as usize].push((dense as u32, pos));
                 total_postings += 1;
             }
         }
         let mut arena: Vec<u32> = Vec::with_capacity(total_postings);
+        let mut arena_pos: Vec<u32> = Vec::with_capacity(total_postings);
         let mut segments: Vec<LenSegment> = Vec::new();
         let mut gram_segments: Vec<u32> = Vec::with_capacity(gram_count + 1);
         gram_segments.push(0);
         for list in &mut per_gram {
             // Stable by-length sort keeps the dense indices ascending within each
             // segment (they were pushed in canonical order).
-            list.sort_by_key(|&dense| lens[dense as usize]);
+            list.sort_by_key(|&(dense, _)| lens[dense as usize]);
             let mut k = 0;
             while k < list.len() {
-                let len = lens[list[k] as usize];
+                let len = lens[list[k].0 as usize];
                 let start = arena.len() as u32;
-                while k < list.len() && lens[list[k] as usize] == len {
-                    arena.push(list[k]);
+                while k < list.len() && lens[list[k].0 as usize] == len {
+                    arena.push(list[k].0);
+                    arena_pos.push(list[k].1);
                     k += 1;
                 }
                 segments.push(LenSegment {
@@ -357,6 +371,7 @@ impl NameIndex {
         NameIndex {
             exact,
             arena,
+            arena_pos,
             segments,
             gram_segments,
             seg_dead,
@@ -371,19 +386,23 @@ impl NameIndex {
     /// previously built index over the same repository the `store` covers —
     /// including the exact-name map, rebuilt by the caller with one insert per
     /// distinct name (hashing every node again is measurable at load time).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         exact: HashMap<String, Vec<GlobalNodeId>>,
         arena: Vec<u32>,
+        arena_pos: Vec<u32>,
         segments: Vec<LenSegment>,
         gram_segments: Vec<u32>,
         lens: Vec<u32>,
         store: FeatureStore,
         q: usize,
     ) -> Self {
+        debug_assert_eq!(arena.len(), arena_pos.len());
         let seg_dead = vec![0; segments.len()];
         NameIndex {
             exact,
             arena,
+            arena_pos,
             segments,
             gram_segments,
             seg_dead,
@@ -424,13 +443,17 @@ impl NameIndex {
         let new_total = self.store.len();
 
         // Per-node lengths, exact-name postings, and the new per-gram lists.
-        let mut per_gram: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut per_gram: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
         let ids = self.store.node_ids();
         for (dense, &id) in ids.iter().enumerate().take(new_total).skip(old_total) {
             let features = self.store.features_at(dense);
             self.lens.push(features.char_len() as u32);
-            for &gram_id in features.gram_sig() {
-                per_gram.entry(gram_id).or_default().push(dense as u32);
+            debug_assert_eq!(features.gram_sig().len(), features.gram_positions().len());
+            for (&gram_id, &pos) in features.gram_sig().iter().zip(features.gram_positions()) {
+                per_gram
+                    .entry(gram_id)
+                    .or_default()
+                    .push((dense as u32, pos));
             }
             let lower = &*features.lower;
             match self.exact.get_mut(lower) {
@@ -448,14 +471,15 @@ impl NameIndex {
         let mut new_segments: HashMap<u32, Vec<(LenSegment, usize)>> =
             HashMap::with_capacity(per_gram.len());
         for (gram_id, mut list) in per_gram {
-            list.sort_by_key(|&dense| self.lens[dense as usize]);
+            list.sort_by_key(|&(dense, _)| self.lens[dense as usize]);
             let mut segs: Vec<(LenSegment, usize)> = Vec::new();
             let mut k = 0;
             while k < list.len() {
-                let len = self.lens[list[k] as usize];
+                let len = self.lens[list[k].0 as usize];
                 let start = self.arena.len() as u32;
-                while k < list.len() && self.lens[list[k] as usize] == len {
-                    self.arena.push(list[k]);
+                while k < list.len() && self.lens[list[k].0 as usize] == len {
+                    self.arena.push(list[k].0);
+                    self.arena_pos.push(list[k].1);
                     k += 1;
                 }
                 segs.push((
@@ -577,6 +601,7 @@ impl NameIndex {
     pub fn compact(&mut self) -> usize {
         let reclaimed = self.dead_postings;
         let mut arena = Vec::with_capacity(self.arena.len() - self.dead_postings);
+        let mut arena_pos = Vec::with_capacity(arena.capacity());
         let mut segments = Vec::with_capacity(self.segments.len());
         let mut gram_segments = Vec::with_capacity(self.gram_segments.len());
         gram_segments.push(0u32);
@@ -590,12 +615,13 @@ impl NameIndex {
                 // followed by append runs, already ascending across the group.
                 while i < seg_end && self.segments[i].len == len {
                     let seg = self.segments[i];
-                    arena.extend(
-                        self.arena[seg.start as usize..seg.end as usize]
-                            .iter()
-                            .copied()
-                            .filter(|&dense| !self.store.is_dead(dense as usize)),
-                    );
+                    for k in seg.start as usize..seg.end as usize {
+                        let dense = self.arena[k];
+                        if !self.store.is_dead(dense as usize) {
+                            arena.push(dense);
+                            arena_pos.push(self.arena_pos[k]);
+                        }
+                    }
                     i += 1;
                 }
                 if arena.len() as u32 > start {
@@ -609,6 +635,7 @@ impl NameIndex {
             gram_segments.push(segments.len() as u32);
         }
         self.arena = arena;
+        self.arena_pos = arena_pos;
         self.segments = segments;
         self.gram_segments = gram_segments;
         self.seg_dead = vec![0; self.segments.len()];
@@ -645,6 +672,11 @@ impl NameIndex {
     /// The flat posting arena (dense node indices), for serialization.
     pub(crate) fn arena_raw(&self) -> &[u32] {
         &self.arena
+    }
+
+    /// Packed gram positions parallel to the arena, for serialization.
+    pub(crate) fn arena_pos_raw(&self) -> &[u32] {
+        &self.arena_pos
     }
 
     /// The length-segment directory, for serialization.
@@ -686,9 +718,10 @@ impl NameIndex {
     /// [`NameIndex::estimate_candidate_volume_resolved`] without re-walking the
     /// name's grams.
     pub fn resolve_query(&self, name: &str) -> ResolvedQuery {
-        let (known, distinct, char_len) = self.store.query_profile(name);
+        let (known, known_pos, distinct, char_len) = self.store.query_profile(name);
         ResolvedQuery {
             known,
+            known_pos,
             distinct,
             char_len,
         }
@@ -797,7 +830,7 @@ impl NameIndex {
                 MergeAlgorithm::MergeSkip
             }
             MergePolicy::Auto if !scan_safe => MergeAlgorithm::MergeSkip,
-            MergePolicy::Auto if stats.volume_in_window <= SCAN_COUNT_MAX_VOLUME => {
+            MergePolicy::Auto if stats.volume_in_window <= crate::simd::scan_count_max_volume() => {
                 MergeAlgorithm::ScanCount
             }
             MergePolicy::Auto => MergeAlgorithm::ScanProbe,
@@ -820,6 +853,9 @@ impl NameIndex {
                 self.merge_skip(needed, scratch, &mut stats);
             }
         }
+        if let LengthWindow::FuzzyFloor(floor) = window {
+            self.positional_filter(resolved, floor, scratch, &mut stats);
+        }
         let ids = self.store.node_ids();
         let out = scratch
             .out
@@ -829,6 +865,90 @@ impl NameIndex {
         (out, stats)
     }
 
+    /// Positional q-gram filter over the count-filter survivors in
+    /// `scratch.out` (the FuzzyFloor refinement of the classic count filter,
+    /// Gravano et al.'s position-augmented T-occurrence idea adapted to the
+    /// packed first/last intervals the arena stores).
+    ///
+    /// Soundness: a candidate scoring `>= floor` is within `k` OSA edits of
+    /// the query (same float expression as the kernel, see
+    /// [`max_edits_for_floor`]). Each edit destroys at most `q + 1` gram
+    /// occurrences and shifts no surviving occurrence by more than `k`
+    /// positions, so at least `distinct - k * (q + 1)` distinct query grams
+    /// keep a surviving occurrence — each of which the candidate contains at
+    /// a position within `k` of a query occurrence, making its packed
+    /// first/last intervals overlap under slack `k`. Counting the grams that
+    /// pass the interval test therefore reaches the bound for every true
+    /// match; candidates below it are provably below the floor.
+    fn positional_filter(
+        &self,
+        resolved: &ResolvedQuery,
+        floor: f64,
+        scratch: &mut CandidateScratch,
+        stats: &mut CandidateStats,
+    ) {
+        if resolved.known.is_empty() || scratch.out.is_empty() {
+            return;
+        }
+        let per_edit = (self.q + 1) as i64;
+        let mut kept = 0usize;
+        for idx in 0..scratch.out.len() {
+            let dense = scratch.out[idx];
+            let c_len = self.lens[dense as usize] as usize;
+            let k = max_edits_for_floor(floor, resolved.char_len, c_len);
+            let bound = resolved.distinct as i64 - k as i64 * per_edit;
+            if bound <= 0 {
+                // The edit budget could destroy every gram — nothing to test.
+                scratch.out[kept] = dense;
+                kept += 1;
+                continue;
+            }
+            let bound = bound as usize;
+            let mut compatible = 0usize;
+            for (g_i, (&gram_id, &q_pos)) in
+                resolved.known.iter().zip(&resolved.known_pos).enumerate()
+            {
+                if compatible + (resolved.known.len() - g_i) < bound {
+                    break; // the remaining grams cannot reach the bound
+                }
+                if let Some(c_pos) = self.posting_position(gram_id, dense) {
+                    if positions_compatible(q_pos, c_pos, k) {
+                        compatible += 1;
+                        if compatible >= bound {
+                            break;
+                        }
+                    }
+                }
+            }
+            if compatible >= bound {
+                scratch.out[kept] = dense;
+                kept += 1;
+            } else {
+                stats.positional_rejections += 1;
+            }
+        }
+        scratch.out.truncate(kept);
+    }
+
+    /// The packed gram-position entry of `dense` in `gram_id`'s posting list,
+    /// or `None` when the candidate does not contain the gram. Same-length
+    /// twin segments hold disjoint dense ranges, so at most one probe hits.
+    fn posting_position(&self, gram_id: u32, dense: u32) -> Option<u32> {
+        let len = self.lens[dense as usize];
+        let (seg_start, seg_end) = self.segment_range(gram_id);
+        for i in seg_start..seg_end {
+            let seg = self.segments[i];
+            if seg.len != len {
+                continue;
+            }
+            if let Ok(off) = self.arena[seg.start as usize..seg.end as usize].binary_search(&dense)
+            {
+                return Some(self.arena_pos[seg.start as usize + off]);
+            }
+        }
+        None
+    }
+
     /// The counting pass shared by ScanCount and ScanProbe: dense `u8` counters
     /// over `scratch.runs`, first touches recorded so the counters can be reset
     /// in time proportional to the candidates touched, not the corpus.
@@ -836,13 +956,11 @@ impl NameIndex {
         scratch.counts.resize(self.store.len(), 0);
         scratch.touched.clear();
         for &(start, end) in &scratch.runs {
-            for &dense in &self.arena[start as usize..end as usize] {
-                let count = &mut scratch.counts[dense as usize];
-                if *count == 0 {
-                    scratch.touched.push(dense);
-                }
-                *count += 1;
-            }
+            crate::simd::accumulate_run(
+                &self.arena[start as usize..end as usize],
+                &mut scratch.counts,
+                &mut scratch.touched,
+            );
         }
         stats.candidates_examined = scratch.touched.len();
     }
@@ -1159,6 +1277,46 @@ impl NameIndex {
             .map(|f| f.gram_total())
             .unwrap_or(0)
     }
+}
+
+/// Do the packed first/last position intervals of a query gram (`qp`) and a
+/// candidate gram (`cp`) overlap once widened by an edit budget of `k`?
+///
+/// Positions are window indices in the `#`-padded gram stream, packed as
+/// `first << 16 | last` with both halves clamped to `u16`. A clamped half
+/// (`0xFFFF`) means the true position may be larger than what was stored, so
+/// the test is inexact there and must keep the candidate.
+fn positions_compatible(qp: u32, cp: u32, k: u32) -> bool {
+    let (qmin, qmax) = (qp >> 16, qp & 0xFFFF);
+    let (cmin, cmax) = (cp >> 16, cp & 0xFFFF);
+    if qmin == 0xFFFF || qmax == 0xFFFF || cmin == 0xFFFF || cmax == 0xFFFF {
+        return true;
+    }
+    cmin <= qmax + k && cmax + k >= qmin
+}
+
+/// Largest edit distance `k` for which [`normalized_similarity`] of a
+/// `q_len`-char query and `c_len`-char candidate can still reach `floor`.
+///
+/// Evaluated against the exact float expression the scoring kernel uses (not
+/// its algebraic rearrangement) so the filter's edit budget can never be
+/// tighter than the verifier's accept region: start at the algebraic bound and
+/// settle with the real predicate in both directions.
+fn max_edits_for_floor(floor: f64, q_len: usize, c_len: usize) -> u32 {
+    let m = q_len.max(c_len);
+    if m == 0 {
+        // normalized_similarity(d, 0, 0) is 1.0 for every d; without this
+        // guard the widening loop below would never terminate.
+        return 0;
+    }
+    let mut k = (((1.0 - floor) * m as f64).floor() as i64).clamp(0, m as i64) as usize;
+    while k > 0 && normalized_similarity(k, q_len, c_len) < floor {
+        k -= 1;
+    }
+    while k < m && normalized_similarity(k + 1, q_len, c_len) >= floor {
+        k += 1;
+    }
+    k as u32
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ pub mod live;
 pub mod partition;
 pub mod repository;
 pub mod sampling;
+pub mod simd;
 pub mod snapshot;
 
 pub use features::FeatureStore;

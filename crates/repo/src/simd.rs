@@ -1,0 +1,26 @@
+//! Safe facade over the vectorized kernels in [`xsm_similarity::simd`].
+//!
+//! This crate stays `forbid(unsafe_code)`: all intrinsics live behind the safe
+//! API in `xsm-similarity`, and this module only re-exports the pieces the
+//! index hot paths use plus the index-side dispatch knobs that depend on
+//! which kernel tier is active.
+
+pub use xsm_similarity::simd::{
+    accumulate_run, accumulate_run_scalar, active_kernel, force_scalar, lowercase, simd_active,
+};
+
+/// In-window posting volume at or below which the plain dense-counter
+/// ScanCount merge is preferred over ScanProbe.
+///
+/// The vectorized [`accumulate_run`] core roughly halves the per-posting cost
+/// of the dense counter scan, so when it is active a larger volume still beats
+/// the probe bookkeeping; the forced-scalar/portable threshold is the
+/// pre-SIMD constant. Only the `MergePolicy::Auto` *choice* moves — every
+/// policy returns identical candidates, so equivalence suites are unaffected.
+pub fn scan_count_max_volume() -> usize {
+    if simd_active() {
+        8_192
+    } else {
+        2_048
+    }
+}

@@ -10,7 +10,10 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"XSMSNAP1";
 
 /// The format revision this build writes and the only one it reads. Bumped on
 /// any byte-layout change; there is no cross-version migration.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2 added the `index_pos` section (packed gram-position intervals parallel
+/// to the posting arena, feeding the positional q-gram filter).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Bytes before the header payload: magic + version (u32) + header length (u32).
 pub(crate) const PREAMBLE_LEN: usize = 8 + 4 + 4;
@@ -40,6 +43,9 @@ pub(crate) mod section {
     pub const GRAM_COUNTS_WIDE: &str = "gram_counts_wide";
     pub const PEQ: &str = "peq";
     pub const INDEX_ARENA: &str = "index_arena";
+    /// Packed `first << 16 | last` gram-position intervals, one `u32` per
+    /// posting-arena entry (the positional-filter sidecar). New in format v2.
+    pub const INDEX_POS: &str = "index_pos";
     pub const INDEX_SEGMENTS: &str = "index_segments";
     pub const INDEX_GRAM_SEGMENTS: &str = "index_gram_segments";
     pub const INDEX_LENS: &str = "index_lens";

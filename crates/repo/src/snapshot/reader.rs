@@ -526,6 +526,17 @@ fn reconstruct(header: &SnapshotHeader, body: &[u8]) -> Result<Snapshot, Snapsho
         }
         arena.push(d);
     }
+    // The positional sidecar is entry-for-entry parallel to the arena; no
+    // value validation is needed (any packed interval is a legal interval —
+    // the filter treats clamped halves as "inexact, keep").
+    let arena_pos = flat_u32s(header, body, section::INDEX_POS)?;
+    if arena_pos.len() != arena.len() {
+        return Err(SnapshotError::malformed(format!(
+            "index_pos has {} entries for a {}-posting arena",
+            arena_pos.len(),
+            arena.len()
+        )));
+    }
     let seg_raw = flat_u32s(header, body, section::INDEX_SEGMENTS)?;
     if seg_raw.len() % 3 != 0 {
         return Err(SnapshotError::malformed(format!(
@@ -627,6 +638,7 @@ fn reconstruct(header: &SnapshotHeader, body: &[u8]) -> Result<Snapshot, Snapsho
     let mut index = NameIndex::from_parts(
         exact,
         arena,
+        arena_pos,
         segments,
         gram_segments,
         lens,

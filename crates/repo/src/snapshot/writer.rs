@@ -218,6 +218,14 @@ impl SnapshotWriter {
         }
         sections.push((section::INDEX_ARENA, buf));
 
+        // index_pos: the packed first/last gram-position intervals, entry for
+        // entry parallel to the arena (new in format v2).
+        let mut buf = Vec::with_capacity(4 * index.arena_pos_raw().len());
+        for &v in index.arena_pos_raw() {
+            put_u32(&mut buf, v);
+        }
+        sections.push((section::INDEX_POS, buf));
+
         let mut buf = Vec::with_capacity(12 * index.segments_raw().len());
         for seg in index.segments_raw() {
             put_u32(&mut buf, seg.len);

@@ -156,12 +156,59 @@ proptest! {
     }
 }
 
+/// The positional q-gram filter must actually fire — rejecting count-filter
+/// survivors whose shared grams are displaced beyond the edit bound — while
+/// never rejecting a candidate that clears the floor. Rotated names share the
+/// full gram multiset (maximal count-filter collision) but displace every
+/// gram by the rotation distance.
+#[test]
+fn positional_filter_rejects_displaced_grams_and_nothing_else() {
+    let names: Vec<String> = vec![
+        "abcdefghijkl".into(), // the query itself
+        "ghijklabcdef".into(), // rotation by 6: same grams, all displaced
+        "abcdefghijkx".into(), // one substitution: genuinely close
+        "unrelatedzzz".into(),
+    ];
+    let repo = forest_of(&names);
+    let index = NameIndex::build(&repo);
+    let mut scratch = CandidateScratch::default();
+    let query = "abcdefghijkl";
+    let mut fired = false;
+    for floor in [0.6, 0.75, 0.9] {
+        let cq =
+            CandidateQuery::new(query, 0.0).with_length_window(LengthWindow::fuzzy_floor(floor));
+        let baseline = index.lookup_approximate_baseline(query, 0.0);
+        let (got, stats) =
+            index.lookup_candidates_counted(&cq, MergePolicy::ScanCount, &mut scratch);
+        fired |= stats.positional_rejections > 0;
+        for &id in &baseline {
+            let sim = compare_string_fuzzy(query, repo.name_of(id));
+            if sim >= floor {
+                assert!(
+                    got.contains(&id),
+                    "floor {floor}: dropped {:?} with sim {sim}",
+                    repo.name_of(id)
+                );
+            }
+        }
+    }
+    assert!(
+        fired,
+        "the rotated twin was never positionally rejected at any floor"
+    );
+}
+
 /// Deterministic large-ish corpus crossing the ScanCount/ScanProbe auto boundary:
 /// common grams produce posting volumes past the crossover so the Auto policy
 /// takes the probing merge, and the result must still replay the baseline.
 #[test]
 fn auto_policy_crossover_replays_the_baseline() {
-    let names: Vec<String> = (0..1_500)
+    // The crossover volume depends on the active kernel tier (the vectorized
+    // ScanCount core raises it), so size the corpus off the live threshold:
+    // "shared" appears count/5 times and spans ~8 grams, putting its posting
+    // volume well past any threshold-proportional corpus.
+    let count = 5 * xsm_repo::simd::scan_count_max_volume() / 4;
+    let names: Vec<String> = (0..count)
         .map(|i| match i % 5 {
             0 => format!("record{i:04}"),
             1 => format!("name{}", i % 37),

@@ -15,7 +15,7 @@ use xsm_repo::snapshot::{SnapshotReader, SnapshotWriter, FORMAT_VERSION, SNAPSHO
 use xsm_repo::{GeneratorConfig, NameIndex, RepositoryGenerator, SchemaRepository};
 use xsm_schema::{GlobalNodeId, NodeId};
 
-const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/snapshot_v1.bin");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/snapshot_v2.bin");
 const GOLDEN_GENERATION: u64 = 7;
 
 /// The deterministic corpus the golden file is built from. The centroids are
@@ -214,6 +214,6 @@ fn peek_reports_the_header_without_reconstruction() {
     assert_eq!(header.generation, GOLDEN_GENERATION);
     assert_eq!(header.tree_count as usize, repo.tree_count());
     assert_eq!(header.node_count as usize, repo.total_nodes());
-    assert_eq!(header.sections.len(), 16);
-    assert_eq!(FORMAT_VERSION, 1);
+    assert_eq!(header.sections.len(), 17);
+    assert_eq!(FORMAT_VERSION, 2);
 }

@@ -257,6 +257,7 @@ impl MetricsRegistry {
             generation_swaps: inner.generation_swaps,
             startup_micros: inner.startup_micros,
             startup_source: inner.startup_source,
+            simd_kernels: xsm_repo::simd::simd_active(),
             p50_latency_us: quantile_us(&inner.histogram, 0.50),
             p99_latency_us: quantile_us(&inner.histogram, 0.99),
         }
@@ -332,6 +333,11 @@ pub struct EngineMetrics {
     /// or loaded from a snapshot file.
     #[serde(default)]
     pub startup_source: StartupSource,
+    /// Whether the runtime-detected SIMD kernel tier is active on this host
+    /// (false when the CPU lacks SSE2/SSSE3 or `XSM_FORCE_SCALAR` is set —
+    /// see `xsm_repo::simd::active_kernel` for the precise tier).
+    #[serde(default)]
+    pub simd_kernels: bool,
     /// Median serving latency, upper-bounded at bucket granularity (µs);
     /// `u64::MAX` means off-scale (beyond the largest histogram bucket).
     pub p50_latency_us: u64,

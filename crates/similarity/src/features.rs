@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use crate::edit::{
     damerau_levenshtein_chars_scratch, levenshtein_chars_scratch, normalized_similarity,
 };
+use crate::simd::{BlockPeq, BlockScratch};
 use crate::token::tokenize;
 
 /// Maximum pattern length (in characters) served by the bit-parallel edit-distance
@@ -131,6 +132,21 @@ fn padded_chars(lower: &str, q: usize) -> Vec<char> {
 /// of [`crate::ngram::qgrams`] applied to the same name (`q >= 1`).
 pub fn for_each_gram(lower: &str, q: usize, mut f: impl FnMut(&str)) {
     assert!(q >= 1, "q must be at least 1");
+    if lower.is_ascii() && !crate::simd::force_scalar() {
+        // Byte-window fast path: padding and every window are pure ASCII, so
+        // each q-byte window is a valid &str with no per-window char copy.
+        let mut padded = Vec::with_capacity(lower.len() + 2 * (q - 1));
+        padded.resize(q - 1, b'#');
+        padded.extend_from_slice(lower.as_bytes());
+        padded.resize(padded.len() + q - 1, b'#');
+        if padded.len() < q {
+            return;
+        }
+        for window in padded.windows(q) {
+            f(std::str::from_utf8(window).expect("ascii window"));
+        }
+        return;
+    }
     let padded = padded_chars(lower, q);
     if padded.len() < q {
         return;
@@ -174,13 +190,20 @@ fn peq_lookup(peq: &[(char, u64)], c: char) -> u64 {
 pub struct TokenFeatures {
     chars: Box<[char]>,
     peq: Box<[(char, u64)]>,
+    /// Blocked match table for tokens past [`BITPARALLEL_MAX_CHARS`], built on
+    /// first use by the blocked Hyyrö kernel (rare: most tokens are short).
+    block_peq: std::sync::OnceLock<BlockPeq>,
 }
 
 impl TokenFeatures {
     fn new(token: &str) -> Self {
         let chars: Box<[char]> = token.chars().collect();
         let peq = build_peq(&chars);
-        TokenFeatures { chars, peq }
+        TokenFeatures {
+            chars,
+            peq,
+            block_peq: std::sync::OnceLock::new(),
+        }
     }
 
     /// The token's characters (lowercase).
@@ -232,6 +255,17 @@ pub struct NameFeatures {
     /// Myers match vectors of `chars` (empty when the name is empty or longer than
     /// [`BITPARALLEL_MAX_CHARS`]).
     peq: Box<[(char, u64)]>,
+    /// Packed per-gram positions, parallel to [`NameFeatures::gram_sig`]:
+    /// `first_occurrence << 16 | last_occurrence` (both clamped to `u16`) in the
+    /// padded gram stream. Feeds the positional q-gram filter in `xsm-repo`.
+    /// Empty on snapshot-loaded features ([`NameFeatures::from_parts`]) — only
+    /// fresh builds, which are the only index-construction path, carry it.
+    gram_pos: Box<[u32]>,
+    /// Blocked match table for names past [`BITPARALLEL_MAX_CHARS`], built on
+    /// first use by a blocked kernel. Lazy for the same reason `chars` is: the
+    /// gram pruning stage never needs it, and snapshot loads should not pay for
+    /// names that are never edit-scored.
+    block_peq: std::sync::OnceLock<BlockPeq>,
 }
 
 impl NameFeatures {
@@ -268,21 +302,32 @@ impl NameFeatures {
     }
 
     fn build_inner(name: &str, intern: &mut dyn FnMut(&str) -> u32, q: usize) -> Self {
-        let lower = name.to_lowercase();
+        let lower = crate::simd::lowercase(name);
         let chars: Box<[char]> = lower.chars().collect();
         let peq = build_peq(&chars);
 
-        let mut occurrences: Vec<u32> = Vec::new();
-        for_each_gram(&lower, q, |gram| occurrences.push(intern(gram)));
+        let mut occurrences: Vec<(u32, u32)> = Vec::new();
+        let mut pos = 0u32;
+        for_each_gram(&lower, q, |gram| {
+            occurrences.push((intern(gram), pos));
+            pos += 1;
+        });
         occurrences.sort_unstable();
         let mut sig: Vec<u32> = Vec::with_capacity(occurrences.len());
         let mut counts: Vec<u32> = Vec::with_capacity(occurrences.len());
-        for &id in &occurrences {
+        let mut gram_pos: Vec<u32> = Vec::with_capacity(occurrences.len());
+        for &(id, p) in &occurrences {
+            let p16 = p.min(0xFFFF);
             if sig.last() == Some(&id) {
                 *counts.last_mut().expect("counts parallel to sig") += 1;
+                // Occurrences of one id arrive position-sorted, so the low
+                // half only ever grows toward the last occurrence.
+                let packed = gram_pos.last_mut().expect("pos parallel to sig");
+                *packed = (*packed & 0xFFFF_0000) | p16;
             } else {
                 sig.push(id);
                 counts.push(1);
+                gram_pos.push((p16 << 16) | p16);
             }
         }
         sig.extend_from_slice(&counts);
@@ -295,6 +340,8 @@ impl NameFeatures {
             grams: sig.into_boxed_slice(),
             gram_total: occurrences.len() as u32,
             peq,
+            gram_pos: gram_pos.into_boxed_slice(),
+            block_peq: std::sync::OnceLock::new(),
         }
     }
 
@@ -366,6 +413,21 @@ impl NameFeatures {
         &self.peq
     }
 
+    /// Packed positions (`first << 16 | last`, clamped to `u16`) of each gram in
+    /// [`NameFeatures::gram_sig`], in the padded gram stream. Empty on features
+    /// reassembled by [`NameFeatures::from_parts`].
+    pub fn gram_positions(&self) -> &[u32] {
+        &self.gram_pos
+    }
+
+    /// The blocked Myers match table for names past [`BITPARALLEL_MAX_CHARS`],
+    /// materialised on first call (thread-safe, like [`NameFeatures::chars`]).
+    /// Snapshot-loaded features build it here too, from the lazily unpacked
+    /// chars — nothing extra is serialized.
+    pub fn block_peq(&self) -> &BlockPeq {
+        self.block_peq.get_or_init(|| BlockPeq::build(self.chars()))
+    }
+
     /// Reassemble features from previously dumped parts (a snapshot load path).
     ///
     /// The parts must come from an earlier [`NameFeatures`] built against the
@@ -398,6 +460,8 @@ impl NameFeatures {
             grams,
             gram_total,
             peq,
+            gram_pos: Box::new([]),
+            block_peq: std::sync::OnceLock::new(),
         }
     }
 }
@@ -412,6 +476,7 @@ pub struct SimScratch {
     row2: Vec<usize>,
     a_matched: Vec<bool>,
     b_matched: Vec<bool>,
+    blocks: BlockScratch,
 }
 
 /// Myers' 1999 bit-parallel Levenshtein distance: pattern of `m <= 64` characters
@@ -487,6 +552,20 @@ pub fn levenshtein_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut Si
         myers_levenshtein(&a.peq, a.char_len(), b.chars())
     } else if b.char_len() <= BITPARALLEL_MAX_CHARS {
         myers_levenshtein(&b.peq, b.char_len(), a.chars())
+    } else if !crate::simd::force_scalar() {
+        // Both sides past the single-word limit: blocked Myers, with the
+        // shorter side as the pattern (fewer blocks per text character).
+        let (p, t) = if a.char_len() <= b.char_len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        crate::simd::myers_levenshtein_blocked(
+            p.block_peq(),
+            p.char_len(),
+            t.chars(),
+            &mut scratch.blocks,
+        )
     } else {
         levenshtein_chars_scratch(a.chars(), b.chars(), &mut scratch.row0, &mut scratch.row1)
     }
@@ -497,11 +576,14 @@ pub fn levenshtein_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut Si
 /// (distance is symmetric, so either side may serve as the pattern), classic DP
 /// over the scratch rows otherwise. One policy, so a fast-path change can never
 /// silently diverge names from tokens.
+#[allow(clippy::too_many_arguments)]
 fn damerau_dispatch(
     a_chars: &[char],
     a_peq: &[(char, u64)],
+    a_block: &std::sync::OnceLock<BlockPeq>,
     b_chars: &[char],
     b_peq: &[(char, u64)],
+    b_block: &std::sync::OnceLock<BlockPeq>,
     scratch: &mut SimScratch,
 ) -> usize {
     if a_chars.is_empty() {
@@ -514,6 +596,16 @@ fn damerau_dispatch(
         hyyro_osa(a_peq, a_chars.len(), b_chars)
     } else if b_chars.len() <= BITPARALLEL_MAX_CHARS {
         hyyro_osa(b_peq, b_chars.len(), a_chars)
+    } else if !crate::simd::force_scalar() {
+        // Both sides past the single-word limit: blocked Hyyrö, shorter side
+        // as the pattern.
+        let (pc, pb, tc) = if a_chars.len() <= b_chars.len() {
+            (a_chars, a_block, b_chars)
+        } else {
+            (b_chars, b_block, a_chars)
+        };
+        let peq = pb.get_or_init(|| BlockPeq::build(pc));
+        crate::simd::hyyro_osa_blocked(peq, pc.len(), tc, &mut scratch.blocks)
     } else {
         damerau_levenshtein_chars_scratch(
             a_chars,
@@ -529,7 +621,15 @@ fn damerau_dispatch(
 /// path as in [`levenshtein_features`]. Equals
 /// `edit::damerau_levenshtein(a.lower, b.lower)`.
 pub fn damerau_features(a: &NameFeatures, b: &NameFeatures, scratch: &mut SimScratch) -> usize {
-    damerau_dispatch(a.chars(), &a.peq, b.chars(), &b.peq, scratch)
+    damerau_dispatch(
+        a.chars(),
+        &a.peq,
+        &a.block_peq,
+        b.chars(),
+        &b.peq,
+        &b.block_peq,
+        scratch,
+    )
 }
 
 /// The paper's kernel over features: normalized Damerau–Levenshtein, bit-identical
@@ -549,7 +649,15 @@ fn fuzzy_tokens(a: &TokenFeatures, b: &TokenFeatures, scratch: &mut SimScratch) 
     if a.chars == b.chars {
         return 1.0;
     }
-    let d = damerau_dispatch(&a.chars, &a.peq, &b.chars, &b.peq, scratch);
+    let d = damerau_dispatch(
+        &a.chars,
+        &a.peq,
+        &a.block_peq,
+        &b.chars,
+        &b.peq,
+        &b.block_peq,
+        scratch,
+    );
     normalized_similarity(d, a.chars.len(), b.chars.len())
 }
 

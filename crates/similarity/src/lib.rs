@@ -26,7 +26,9 @@
 //! All functions return values in `[0,1]`, are symmetric in their arguments, and are
 //! case-insensitive unless documented otherwise.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module scopes an `allow` around its
+// runtime-dispatched vectorized kernels; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod affix;
@@ -37,6 +39,7 @@ pub mod features;
 pub mod fuzzy;
 pub mod jaro;
 pub mod ngram;
+pub mod simd;
 pub mod synonym;
 pub mod token;
 

@@ -13,6 +13,16 @@ use crate::fuzzy::compare_lower_fuzzy;
 /// tokens are dropped. Tokens are fully lowercased here — the one normalization
 /// boundary — so downstream measures compare them without case-folding again.
 pub fn tokenize(name: &str) -> Vec<String> {
+    if name.is_ascii() && !crate::simd::force_scalar() {
+        // Byte-level twin driven by the shufti classifier; bit-identical on
+        // ASCII input (pinned by the proptest below).
+        return crate::simd::tokenize_ascii(name);
+    }
+    tokenize_scalar(name)
+}
+
+/// The scalar reference tokenizer (all inputs, any script).
+pub(crate) fn tokenize_scalar(name: &str) -> Vec<String> {
     let mut tokens = Vec::new();
     let mut current = String::new();
     let chars: Vec<char> = name.chars().collect();
@@ -161,6 +171,13 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn ascii_tokenizer_equals_scalar(name in "[ -~]{0,24}") {
+            // Full printable-ASCII range: separators, glue punctuation, digits
+            // and case transitions must split identically on both paths.
+            prop_assert_eq!(crate::simd::tokenize_ascii(&name), tokenize_scalar(&name));
+        }
+
         #[test]
         fn tokens_are_lowercase_and_nonempty(name in "[a-zA-Z0-9_\\-\\. ]{0,20}") {
             for t in tokenize(&name) {

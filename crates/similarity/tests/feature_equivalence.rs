@@ -4,8 +4,8 @@
 //!
 //! Strategies mix ASCII schema-name characters with multi-byte Unicode (Greek,
 //! umlauts, CJK) and lengths past the 64-character bit-parallel cutoff so the
-//! Myers/Hyyrö fast path, the mixed short/long path and the DP fallback are all
-//! exercised.
+//! Myers/Hyyrö fast path, the mixed short/long path and the blocked multi-word
+//! kernels (including the three-block ≥ 128-char shapes) are all exercised.
 
 use proptest::prelude::*;
 use xsm_similarity::edit::{damerau_levenshtein, levenshtein};
@@ -31,8 +31,10 @@ fn features(a: &str, b: &str, q: usize) -> (NameFeatures, NameFeatures) {
 // Mixed-case ASCII, separators, digits, and multi-byte letters (ä/Ö/ß, Greek
 // λ/Σ, CJK 中) — short enough for the bit-parallel path.
 const NAMEISH: &str = "[a-zA-Z0-9_\\-äÖßλΣ中]{0,14}";
-// Long strings (possibly > 64 chars) force the DP fallback on one or both sides.
-const LONGISH: &str = "[a-c ]{0,90}";
+// Long strings (possibly > 64 and > 128 chars) force the blocked Myers/Hyyrö
+// kernels — across one-, two- and three-block pattern widths — on one or both
+// sides (the DP reference under `XSM_FORCE_SCALAR`).
+const LONGISH: &str = "[a-c ]{0,150}";
 
 proptest! {
     #[test]
